@@ -1,0 +1,292 @@
+//! Binary-heap Dijkstra searches over any [`GraphView`].
+//!
+//! Scratch state is kept in hash maps keyed by vertex id rather than dense arrays, so
+//! running a search confined to a small subgraph costs time and memory proportional to
+//! the subgraph — not to the full road network — which matters because DTLP runs one
+//! search per pair of boundary vertices per subgraph.
+
+use crate::path::Path;
+use ksp_graph::{GraphView, VertexId, Weight};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Result of a single-source Dijkstra: distances and predecessor pointers.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceMap {
+    source: Option<VertexId>,
+    dist: HashMap<VertexId, Weight>,
+    parent: HashMap<VertexId, VertexId>,
+}
+
+impl DistanceMap {
+    /// The source vertex of the search.
+    pub fn source(&self) -> Option<VertexId> {
+        self.source
+    }
+
+    /// The distance from the source to `v`, or [`Weight::INFINITY`] if unreachable.
+    pub fn distance(&self, v: VertexId) -> Weight {
+        self.dist.get(&v).copied().unwrap_or(Weight::INFINITY)
+    }
+
+    /// Whether `v` was reached by the search.
+    pub fn is_reached(&self, v: VertexId) -> bool {
+        self.dist.contains_key(&v)
+    }
+
+    /// Number of vertices reached (including the source).
+    pub fn num_reached(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Iterates over all reached vertices and their distances.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.dist.iter().map(|(&v, &d)| (v, d))
+    }
+
+    /// Reconstructs the shortest path from the source to `v`, if `v` was reached.
+    pub fn path_to(&self, v: VertexId) -> Option<Path> {
+        let source = self.source?;
+        if !self.is_reached(v) {
+            return None;
+        }
+        let mut vertices = vec![v];
+        let mut cur = v;
+        while cur != source {
+            cur = *self.parent.get(&cur)?;
+            vertices.push(cur);
+        }
+        vertices.reverse();
+        Some(Path::new(vertices, self.distance(v)))
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    dist: Weight,
+    vertex: VertexId,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist.cmp(&other.dist).then_with(|| self.vertex.cmp(&other.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs a full single-source Dijkstra from `source` over `view`.
+pub fn dijkstra_all<G: GraphView>(view: &G, source: VertexId) -> DistanceMap {
+    dijkstra_internal(view, source, None, &HashSet::new(), &HashSet::new())
+}
+
+/// Computes the shortest path from `source` to `target`, stopping as soon as the
+/// target is settled. Returns `None` if `target` is unreachable.
+pub fn dijkstra_path<G: GraphView>(view: &G, source: VertexId, target: VertexId) -> Option<Path> {
+    let map = dijkstra_internal(view, source, Some(target), &HashSet::new(), &HashSet::new());
+    map.path_to(target)
+}
+
+/// Computes the shortest path from `source` to `target` avoiding the banned vertices
+/// and the banned (directed) edges. Used as the spur-path search inside Yen's
+/// algorithm; for undirected views a banned edge `(u, v)` also bans traversal `v → u`
+/// only if the caller inserts both orientations.
+pub fn dijkstra_path_with_bans<G: GraphView>(
+    view: &G,
+    source: VertexId,
+    target: VertexId,
+    banned_vertices: &HashSet<VertexId>,
+    banned_edges: &HashSet<(VertexId, VertexId)>,
+) -> Option<Path> {
+    if banned_vertices.contains(&source) || banned_vertices.contains(&target) {
+        return None;
+    }
+    let map = dijkstra_internal(view, source, Some(target), banned_vertices, banned_edges);
+    map.path_to(target)
+}
+
+fn dijkstra_internal<G: GraphView>(
+    view: &G,
+    source: VertexId,
+    target: Option<VertexId>,
+    banned_vertices: &HashSet<VertexId>,
+    banned_edges: &HashSet<(VertexId, VertexId)>,
+) -> DistanceMap {
+    let mut result = DistanceMap { source: Some(source), ..Default::default() };
+    if !view.contains_vertex(source) {
+        return result;
+    }
+    let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+    let mut settled: HashSet<VertexId> = HashSet::new();
+    result.dist.insert(source, Weight::ZERO);
+    heap.push(Reverse(HeapEntry { dist: Weight::ZERO, vertex: source }));
+
+    while let Some(Reverse(HeapEntry { dist, vertex })) = heap.pop() {
+        if settled.contains(&vertex) {
+            continue;
+        }
+        settled.insert(vertex);
+        if target == Some(vertex) {
+            break;
+        }
+        view.for_each_neighbor(vertex, |to, w| {
+            if settled.contains(&to)
+                || banned_vertices.contains(&to)
+                || banned_edges.contains(&(vertex, to))
+            {
+                return;
+            }
+            let candidate = dist + w;
+            let better = match result.dist.get(&to) {
+                Some(&existing) => candidate < existing,
+                None => true,
+            };
+            if better {
+                result.dist.insert(to, candidate);
+                result.parent.insert(to, vertex);
+                heap.push(Reverse(HeapEntry { dist: candidate, vertex: to }));
+            }
+        });
+    }
+    // Remove tentative (unsettled) distances when the search stopped early at the
+    // target, so reported distances are always final.
+    if target.is_some() {
+        result.dist.retain(|v, _| settled.contains(v));
+        result.parent.retain(|v, _| settled.contains(v));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// The small example used throughout the paper's Figure 6a: a 3-way parallel graph.
+    fn parallel_graph() -> ksp_graph::DynamicGraph {
+        let mut b = GraphBuilder::undirected(8);
+        // vs=0, vt=7; route A via 1, route B via 2,3, route C via 4,5,6.
+        b.edge(0, 1, 1).edge(1, 7, 1);
+        b.edge(0, 2, 1).edge(2, 3, 1).edge(3, 7, 1);
+        b.edge(0, 4, 1).edge(4, 5, 1).edge(5, 6, 1).edge(6, 7, 1);
+        b.build().unwrap()
+    }
+
+    fn weighted_graph() -> ksp_graph::DynamicGraph {
+        let mut b = GraphBuilder::undirected(6);
+        b.edge(0, 1, 7).edge(0, 2, 9).edge(0, 5, 14);
+        b.edge(1, 2, 10).edge(1, 3, 15);
+        b.edge(2, 3, 11).edge(2, 5, 2);
+        b.edge(3, 4, 6);
+        b.edge(4, 5, 9);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_source_distances_match_known_values() {
+        // Classic Wikipedia Dijkstra example: distances from vertex 0.
+        let g = weighted_graph();
+        let map = dijkstra_all(&g, v(0));
+        assert_eq!(map.distance(v(0)), Weight::ZERO);
+        assert_eq!(map.distance(v(1)), Weight::new(7.0));
+        assert_eq!(map.distance(v(2)), Weight::new(9.0));
+        assert_eq!(map.distance(v(3)), Weight::new(20.0));
+        assert_eq!(map.distance(v(4)), Weight::new(20.0));
+        assert_eq!(map.distance(v(5)), Weight::new(11.0));
+        assert_eq!(map.num_reached(), 6);
+    }
+
+    #[test]
+    fn point_to_point_path_is_reconstructed() {
+        let g = weighted_graph();
+        let p = dijkstra_path(&g, v(0), v(4)).unwrap();
+        assert_eq!(p.distance(), Weight::new(20.0));
+        assert_eq!(p.source(), v(0));
+        assert_eq!(p.target(), v(4));
+        assert_eq!(p.vertices(), &[v(0), v(2), v(5), v(4)]);
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut b = GraphBuilder::undirected(4);
+        b.edge(0, 1, 1).edge(2, 3, 1);
+        let g = b.build().unwrap();
+        assert!(dijkstra_path(&g, v(0), v(3)).is_none());
+        let map = dijkstra_all(&g, v(0));
+        assert_eq!(map.distance(v(3)), Weight::INFINITY);
+        assert!(!map.is_reached(v(3)));
+    }
+
+    #[test]
+    fn source_equals_target_gives_trivial_path() {
+        let g = weighted_graph();
+        let p = dijkstra_path(&g, v(3), v(3)).unwrap();
+        assert_eq!(p.vertices(), &[v(3)]);
+        assert_eq!(p.distance(), Weight::ZERO);
+    }
+
+    #[test]
+    fn banned_vertices_are_avoided() {
+        let g = parallel_graph();
+        let shortest = dijkstra_path(&g, v(0), v(7)).unwrap();
+        assert_eq!(shortest.distance(), Weight::new(2.0));
+        // Ban the middle vertex of the shortest route; the 3-hop route must be used.
+        let banned: HashSet<_> = [v(1)].into_iter().collect();
+        let p = dijkstra_path_with_bans(&g, v(0), v(7), &banned, &HashSet::new()).unwrap();
+        assert_eq!(p.distance(), Weight::new(3.0));
+        assert!(!p.contains(v(1)));
+    }
+
+    #[test]
+    fn banned_edges_are_avoided() {
+        let g = parallel_graph();
+        // Ban the first edge of the 2-hop route in both orientations.
+        let banned_edges: HashSet<_> = [(v(0), v(1)), (v(1), v(0))].into_iter().collect();
+        let p = dijkstra_path_with_bans(&g, v(0), v(7), &HashSet::new(), &banned_edges).unwrap();
+        assert_eq!(p.distance(), Weight::new(3.0));
+    }
+
+    #[test]
+    fn banning_source_or_target_returns_none() {
+        let g = parallel_graph();
+        let banned: HashSet<_> = [v(0)].into_iter().collect();
+        assert!(dijkstra_path_with_bans(&g, v(0), v(7), &banned, &HashSet::new()).is_none());
+    }
+
+    #[test]
+    fn directed_graphs_respect_edge_direction() {
+        let mut b = GraphBuilder::directed(3);
+        b.edge(0, 1, 1).edge(1, 2, 1);
+        let g = b.build().unwrap();
+        assert!(dijkstra_path(&g, v(0), v(2)).is_some());
+        assert!(dijkstra_path(&g, v(2), v(0)).is_none());
+    }
+
+    #[test]
+    fn early_termination_reports_only_settled_vertices() {
+        let g = weighted_graph();
+        let map = dijkstra_internal(&g, v(0), Some(v(1)), &HashSet::new(), &HashSet::new());
+        // Every distance it does report must be final (equal to the full search).
+        let full = dijkstra_all(&g, v(0));
+        for (vertex, d) in map.iter() {
+            assert_eq!(d, full.distance(vertex));
+        }
+    }
+
+    #[test]
+    fn path_to_unreached_vertex_is_none() {
+        let g = weighted_graph();
+        let map = dijkstra_all(&g, v(0));
+        assert!(map.path_to(v(5)).is_some());
+        assert!(map.path_to(VertexId(99)).is_none());
+        assert_eq!(map.source(), Some(v(0)));
+    }
+}

@@ -1,0 +1,335 @@
+//! Yen's k-shortest-simple-paths algorithm [27], as a lazy enumerator.
+//!
+//! The enumerator form matters for KSP-DG: Algorithm 3 consumes *reference paths* from
+//! the skeleton graph one at a time and stops as soon as the termination condition of
+//! Theorem 3 holds, so eagerly computing `k` paths up front would waste work. The same
+//! enumerator also powers the plain Yen baseline and the partial-KSP computation inside
+//! each subgraph (Algorithm 4, line 6).
+
+use crate::dijkstra::{dijkstra_path, dijkstra_path_with_bans};
+use crate::path::Path;
+use ksp_graph::{GraphView, VertexId, Weight};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Lazy enumerator of the successive shortest simple paths between two vertices.
+pub struct KspEnumerator<'a, G: GraphView> {
+    view: &'a G,
+    source: VertexId,
+    target: VertexId,
+    /// Paths already produced, in ascending distance order (Yen's list `A`).
+    produced: Vec<Path>,
+    /// Candidate paths not yet produced (Yen's list `B`), keyed by distance.
+    candidates: BinaryHeap<Reverse<Candidate>>,
+    /// Routes already present in `produced` or `candidates`, to avoid duplicates.
+    seen_routes: HashSet<Vec<VertexId>>,
+    exhausted: bool,
+    /// Number of spur searches performed; exposed for cost accounting in benchmarks.
+    spur_searches: usize,
+}
+
+#[derive(PartialEq, Eq)]
+struct Candidate {
+    distance: Weight,
+    vertices: Vec<VertexId>,
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.distance.cmp(&other.distance).then_with(|| self.vertices.cmp(&other.vertices))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a, G: GraphView> KspEnumerator<'a, G> {
+    /// Creates an enumerator for paths from `source` to `target` in `view`.
+    pub fn new(view: &'a G, source: VertexId, target: VertexId) -> Self {
+        KspEnumerator {
+            view,
+            source,
+            target,
+            produced: Vec::new(),
+            candidates: BinaryHeap::new(),
+            seen_routes: HashSet::new(),
+            exhausted: false,
+            spur_searches: 0,
+        }
+    }
+
+    /// The paths produced so far, in ascending distance order.
+    pub fn produced(&self) -> &[Path] {
+        &self.produced
+    }
+
+    /// Number of spur-path searches performed so far (a proxy for the computation cost
+    /// of the enumeration, reported by the cost-model benchmarks).
+    pub fn spur_searches(&self) -> usize {
+        self.spur_searches
+    }
+
+    /// Produces the next shortest simple path, or `None` when no further simple path
+    /// exists.
+    pub fn next_path(&mut self) -> Option<Path> {
+        if self.exhausted {
+            return None;
+        }
+        if self.produced.is_empty() {
+            // First path: plain Dijkstra.
+            let first = if self.source == self.target {
+                Some(Path::trivial(self.source))
+            } else {
+                dijkstra_path(self.view, self.source, self.target)
+            };
+            return match first {
+                Some(p) => {
+                    self.seen_routes.insert(p.vertices().to_vec());
+                    self.produced.push(p.clone());
+                    Some(p)
+                }
+                None => {
+                    self.exhausted = true;
+                    None
+                }
+            };
+        }
+
+        // Generate deviations of the most recently produced path.
+        let prev = self.produced.last().expect("produced is non-empty").clone();
+        if prev.num_edges() > 0 {
+            self.generate_deviations(&prev);
+        }
+
+        match self.candidates.pop() {
+            Some(Reverse(c)) => {
+                let path = Path::new(c.vertices, c.distance);
+                self.produced.push(path.clone());
+                Some(path)
+            }
+            None => {
+                self.exhausted = true;
+                None
+            }
+        }
+    }
+
+    /// Produces up to `k` paths (including any already produced).
+    pub fn take_up_to(&mut self, k: usize) -> Vec<Path> {
+        while self.produced.len() < k {
+            if self.next_path().is_none() {
+                break;
+            }
+        }
+        self.produced.iter().take(k).cloned().collect()
+    }
+
+    fn generate_deviations(&mut self, prev: &Path) {
+        let prev_vertices = prev.vertices();
+        for i in 0..prev.num_edges() {
+            let spur_node = prev_vertices[i];
+            let root_vertices = &prev_vertices[..=i];
+
+            // Ban the next edge of every already-produced path sharing this root, so
+            // the spur path deviates from all of them.
+            let mut banned_edges: HashSet<(VertexId, VertexId)> = HashSet::new();
+            for p in &self.produced {
+                let pv = p.vertices();
+                if pv.len() > i + 1 && &pv[..=i] == root_vertices {
+                    banned_edges.insert((pv[i], pv[i + 1]));
+                    banned_edges.insert((pv[i + 1], pv[i]));
+                }
+            }
+            // Ban the root path's vertices (except the spur node) so the total path
+            // stays simple.
+            let banned_vertices: HashSet<VertexId> = root_vertices[..i].iter().copied().collect();
+
+            self.spur_searches += 1;
+            let Some(spur_path) = dijkstra_path_with_bans(
+                self.view,
+                spur_node,
+                self.target,
+                &banned_vertices,
+                &banned_edges,
+            ) else {
+                continue;
+            };
+
+            // Assemble root + spur.
+            let mut vertices = root_vertices.to_vec();
+            vertices.extend_from_slice(&spur_path.vertices()[1..]);
+            if !Path::is_simple(&vertices) {
+                continue;
+            }
+            if self.seen_routes.contains(&vertices) {
+                continue;
+            }
+            let root_distance: Weight = root_vertices
+                .windows(2)
+                .map(|w| self.view.edge_weight(w[0], w[1]).expect("root edges exist in the view"))
+                .sum();
+            let distance = root_distance + spur_path.distance();
+            self.seen_routes.insert(vertices.clone());
+            self.candidates.push(Reverse(Candidate { distance, vertices }));
+        }
+    }
+}
+
+/// Convenience wrapper: computes the `k` shortest simple paths from `source` to
+/// `target`, fewer if fewer exist.
+pub fn yen_ksp<G: GraphView>(view: &G, source: VertexId, target: VertexId, k: usize) -> Vec<Path> {
+    let mut enumerator = KspEnumerator::new(view, source, target);
+    enumerator.take_up_to(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_graph::{DynamicGraph, GraphBuilder};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// The classic Yen example graph (from the original paper / Wikipedia), directed.
+    /// Vertices: C=0, D=1, E=2, F=3, G=4, H=5.
+    fn yen_wikipedia_graph() -> DynamicGraph {
+        let mut b = GraphBuilder::directed(6);
+        b.edge(0, 1, 3) // C -> D
+            .edge(0, 2, 2) // C -> E
+            .edge(1, 3, 4) // D -> F
+            .edge(2, 1, 1) // E -> D
+            .edge(2, 3, 2) // E -> F
+            .edge(2, 4, 3) // E -> G
+            .edge(3, 4, 2) // F -> G
+            .edge(3, 5, 1) // F -> H
+            .edge(4, 5, 2); // G -> H
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reproduces_the_classic_yen_example() {
+        let g = yen_wikipedia_graph();
+        let paths = yen_ksp(&g, v(0), v(5), 3);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].distance(), Weight::new(5.0));
+        assert_eq!(paths[0].vertices(), &[v(0), v(2), v(3), v(5)]);
+        assert_eq!(paths[1].distance(), Weight::new(7.0));
+        assert_eq!(paths[2].distance(), Weight::new(8.0));
+    }
+
+    #[test]
+    fn paths_are_simple_distinct_and_sorted() {
+        let g = yen_wikipedia_graph();
+        let paths = yen_ksp(&g, v(0), v(5), 10);
+        for w in paths.windows(2) {
+            assert!(w[0].distance() <= w[1].distance());
+            assert!(!w[0].same_route(&w[1]));
+        }
+        for p in &paths {
+            assert!(Path::is_simple(p.vertices()));
+            assert_eq!(p.source(), v(0));
+            assert_eq!(p.target(), v(5));
+        }
+    }
+
+    #[test]
+    fn enumeration_terminates_when_paths_are_exhausted() {
+        // A graph with exactly 2 simple routes between the endpoints.
+        let mut b = GraphBuilder::undirected(4);
+        b.edge(0, 1, 1).edge(1, 3, 1).edge(0, 2, 2).edge(2, 3, 2);
+        let g = b.build().unwrap();
+        let paths = yen_ksp(&g, v(0), v(3), 10);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].distance(), Weight::new(2.0));
+        assert_eq!(paths[1].distance(), Weight::new(4.0));
+
+        let mut e = KspEnumerator::new(&g, v(0), v(3));
+        assert!(e.next_path().is_some());
+        assert!(e.next_path().is_some());
+        assert!(e.next_path().is_none());
+        assert!(e.next_path().is_none(), "enumerator stays exhausted");
+        assert!(e.spur_searches() > 0);
+    }
+
+    #[test]
+    fn unreachable_pairs_yield_no_paths() {
+        let mut b = GraphBuilder::undirected(4);
+        b.edge(0, 1, 1).edge(2, 3, 1);
+        let g = b.build().unwrap();
+        assert!(yen_ksp(&g, v(0), v(3), 5).is_empty());
+    }
+
+    #[test]
+    fn identical_endpoints_yield_the_trivial_path() {
+        let g = yen_wikipedia_graph();
+        let paths = yen_ksp(&g, v(2), v(2), 3);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].vertices(), &[v(2)]);
+        assert_eq!(paths[0].distance(), Weight::ZERO);
+    }
+
+    #[test]
+    fn lazy_enumeration_matches_batch_results() {
+        let g = yen_wikipedia_graph();
+        let batch = yen_ksp(&g, v(0), v(5), 5);
+        let mut enumerator = KspEnumerator::new(&g, v(0), v(5));
+        let mut lazy = Vec::new();
+        while let Some(p) = enumerator.next_path() {
+            lazy.push(p);
+            if lazy.len() == 5 {
+                break;
+            }
+        }
+        assert_eq!(batch.len(), lazy.len());
+        for (a, b) in batch.iter().zip(lazy.iter()) {
+            assert!(a.same_route(b));
+            assert_eq!(a.distance(), b.distance());
+        }
+    }
+
+    #[test]
+    fn undirected_triangle_has_expected_second_path() {
+        let mut b = GraphBuilder::undirected(3);
+        b.edge(0, 1, 1).edge(1, 2, 1).edge(0, 2, 5);
+        let g = b.build().unwrap();
+        let paths = yen_ksp(&g, v(0), v(2), 3);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].distance(), Weight::new(2.0));
+        assert_eq!(paths[1].distance(), Weight::new(5.0));
+        assert_eq!(paths[1].vertices(), &[v(0), v(2)]);
+    }
+
+    #[test]
+    fn produces_exactly_k_paths_when_more_exist() {
+        // A ladder graph has many simple paths; ask for 4.
+        let mut b = GraphBuilder::undirected(8);
+        for i in 0..3u32 {
+            b.edge(2 * i, 2 * i + 2, 1);
+            b.edge(2 * i + 1, 2 * i + 3, 1);
+            b.edge(2 * i, 2 * i + 1, 2);
+        }
+        b.edge(6, 7, 2);
+        let g = b.build().unwrap();
+        let paths = yen_ksp(&g, v(0), v(7), 4);
+        assert_eq!(paths.len(), 4);
+        for w in paths.windows(2) {
+            assert!(w[0].distance() <= w[1].distance());
+        }
+    }
+
+    #[test]
+    fn take_up_to_is_idempotent() {
+        let g = yen_wikipedia_graph();
+        let mut e = KspEnumerator::new(&g, v(0), v(5));
+        let first = e.take_up_to(2);
+        let again = e.take_up_to(2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(again.len(), 2);
+        assert!(first[0].same_route(&again[0]));
+        assert_eq!(e.produced().len(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the KSP algorithms: Yen and FindKSP must agree with each
+//! other and with a brute-force enumeration of all simple paths on small graphs.
+
+use ksp_algo::{find_ksp, yen_ksp, Path};
+use ksp_graph::{DynamicGraph, GraphBuilder, GraphView, VertexId, Weight};
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = DynamicGraph> {
+    (4usize..9).prop_flat_map(|n| {
+        let edge_count = n * 2;
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..12), edge_count),
+        )
+            .prop_map(|(n, edges)| {
+                let mut b = GraphBuilder::undirected(n);
+                for (u, v, w) in edges {
+                    if u != v {
+                        b.edge(u, v, w);
+                    }
+                }
+                b.build().expect("valid graph")
+            })
+    })
+}
+
+/// Exhaustively enumerates the distances of all simple paths between two vertices via
+/// depth-first search; feasible because the graphs are tiny.
+fn brute_force_distances(graph: &DynamicGraph, s: VertexId, t: VertexId) -> Vec<Weight> {
+    fn dfs(
+        graph: &DynamicGraph,
+        current: VertexId,
+        target: VertexId,
+        visited: &mut Vec<VertexId>,
+        distance: Weight,
+        out: &mut Vec<Weight>,
+    ) {
+        if current == target {
+            out.push(distance);
+            return;
+        }
+        let neighbors = graph.neighbors(current);
+        for (to, w) in neighbors {
+            if visited.contains(&to) {
+                continue;
+            }
+            visited.push(to);
+            dfs(graph, to, target, visited, distance + w, out);
+            visited.pop();
+        }
+    }
+    let mut out = Vec::new();
+    let mut visited = vec![s];
+    dfs(graph, s, t, &mut visited, Weight::ZERO, &mut out);
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn yen_matches_brute_force(graph in arbitrary_graph(), k in 1usize..6) {
+        let s = VertexId(0);
+        let t = VertexId((graph.num_vertices() - 1) as u32);
+        let expected = brute_force_distances(&graph, s, t);
+        let got = yen_ksp(&graph, s, t, k);
+        let expected_k: Vec<Weight> = expected.iter().copied().take(k).collect();
+        prop_assert_eq!(got.len(), expected_k.len());
+        for (p, want) in got.iter().zip(expected_k.iter()) {
+            prop_assert!(p.distance().approx_eq(*want),
+                "yen distance {} but brute force {}", p.distance(), want);
+            prop_assert!(Path::is_simple(p.vertices()));
+        }
+    }
+
+    #[test]
+    fn findksp_matches_yen_distances(graph in arbitrary_graph(), k in 1usize..6) {
+        let s = VertexId(1 % graph.num_vertices() as u32);
+        let t = VertexId((graph.num_vertices() - 2) as u32);
+        let a = yen_ksp(&graph, s, t, k);
+        let b = find_ksp(&graph, s, t, k);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!(x.distance().approx_eq(y.distance()));
+        }
+    }
+
+    #[test]
+    fn yen_output_is_sorted_distinct_and_simple(graph in arbitrary_graph(), k in 1usize..8) {
+        let s = VertexId(0);
+        let t = VertexId((graph.num_vertices() / 2) as u32);
+        let paths = yen_ksp(&graph, s, t, k);
+        prop_assert!(paths.len() <= k);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].distance() <= w[1].distance());
+            prop_assert!(!w[0].same_route(&w[1]));
+        }
+        for p in &paths {
+            prop_assert!(Path::is_simple(p.vertices()));
+            let recomputed = p.recompute_distance(&graph).expect("edges exist");
+            prop_assert!(recomputed.approx_eq(p.distance()));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion bench: ablation of the storage backend (EP-Index vs MFP-tree) and of the
+//! cross-iteration partial-path cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_core::kspdg::{KspDgConfig, KspDgEngine};
+use ksp_workload::{
+    QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+    TrafficModel,
+};
+
+fn bench_ablation(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(600))
+        .generate(0xAB1A)
+        .expect("network generation");
+    let graph = net.graph;
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.5, 0.5), 3);
+    let batch = traffic.next_snapshot();
+
+    let mut group = c.benchmark_group("backend_maintenance");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("ep_index", DtlpConfig::new(40, 3)),
+        ("mfp_tree", DtlpConfig::new(40, 3).with_mfp_backend()),
+    ] {
+        let index = DtlpIndex::build(&graph, cfg).expect("build");
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || index.clone(),
+                |mut index| index.apply_batch(&batch).expect("maintenance"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("partial_path_cache");
+    group.sample_size(10);
+    let index = DtlpIndex::build(&graph, DtlpConfig::new(40, 2)).expect("build");
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(8, 6), 0xAB);
+    for (name, cache) in [("enabled", true), ("disabled", false)] {
+        group.bench_function(name, |b| {
+            let engine = KspDgEngine::with_config(
+                &index,
+                KspDgConfig { cache_partials: cache, ..Default::default() },
+            );
+            b.iter(|| {
+                for q in workload.iter() {
+                    std::hint::black_box(engine.query(q.source, q.target, q.k));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: KSP-DG vs FindKSP vs Yen vs CANDS on the same query workload
+//! (the micro-benchmark behind Figures 35–41).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksp_algo::{find_ksp, yen_ksp};
+use ksp_cands::CandsIndex;
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_core::kspdg::KspDgEngine;
+use ksp_workload::{QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator};
+
+fn bench_baselines(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(600))
+        .generate(0xBA5E)
+        .expect("network generation");
+    let graph = net.graph;
+    let index = DtlpIndex::build(&graph, DtlpConfig::new(40, 3)).expect("build");
+    let cands = CandsIndex::build(&graph, 40).expect("CANDS build");
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(8, 2), 0xBA);
+
+    let mut group = c.benchmark_group("baselines_k2");
+    group.sample_size(10);
+    group.bench_function("ksp_dg", |b| {
+        let engine = KspDgEngine::new(&index);
+        b.iter(|| {
+            for q in workload.iter() {
+                std::hint::black_box(engine.query(q.source, q.target, q.k));
+            }
+        });
+    });
+    group.bench_function("findksp", |b| {
+        b.iter(|| {
+            for q in workload.iter() {
+                std::hint::black_box(find_ksp(&graph, q.source, q.target, q.k));
+            }
+        });
+    });
+    group.bench_function("yen", |b| {
+        b.iter(|| {
+            for q in workload.iter() {
+                std::hint::black_box(yen_ksp(&graph, q.source, q.target, q.k));
+            }
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("baselines_sssp");
+    group.sample_size(10);
+    group.bench_function("ksp_dg_k1", |b| {
+        let engine = KspDgEngine::new(&index);
+        b.iter(|| {
+            for q in workload.iter() {
+                std::hint::black_box(engine.query(q.source, q.target, 1));
+            }
+        });
+    });
+    group.bench_function("cands", |b| {
+        b.iter(|| {
+            for q in workload.iter() {
+                std::hint::black_box(cands.shortest_path(q.source, q.target));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

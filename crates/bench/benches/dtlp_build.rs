@@ -1,0 +1,33 @@
+//! Criterion bench: DTLP index construction cost vs subgraph size `z` and `ξ`
+//! (the micro-benchmark behind Figures 15–18).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_workload::{RoadNetworkConfig, RoadNetworkGenerator};
+
+fn bench_build(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(700))
+        .generate(0xBE9C)
+        .expect("network generation");
+
+    let mut group = c.benchmark_group("dtlp_build_vs_z");
+    group.sample_size(10);
+    for z in [25usize, 50, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(z), &z, |b, &z| {
+            b.iter(|| DtlpIndex::build(&net.graph, DtlpConfig::new(z, 2)).expect("build"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dtlp_build_vs_xi");
+    group.sample_size(10);
+    for xi in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(xi), &xi, |b, &xi| {
+            b.iter(|| DtlpIndex::build(&net.graph, DtlpConfig::new(60, xi)).expect("build"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: DTLP maintenance under traffic snapshots vs `α`, `τ` and `ξ`
+//! (the micro-benchmark behind Figures 19–23), plus update throughput (Figure 21).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_workload::{RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig, TrafficModel};
+
+fn bench_update(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(700))
+        .generate(0xBE9D)
+        .expect("network generation");
+    let base = DtlpIndex::build(&net.graph, DtlpConfig::new(40, 3)).expect("build");
+
+    let mut group = c.benchmark_group("dtlp_update_vs_alpha");
+    group.sample_size(10);
+    for alpha in [10usize, 30, 50] {
+        let mut traffic =
+            TrafficModel::new(&net.graph, TrafficConfig::new(alpha as f64 / 100.0, 0.5), 7);
+        let batch = traffic.next_snapshot();
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &batch, |b, batch| {
+            b.iter_batched(
+                || base.clone(),
+                |mut index| index.apply_batch(batch).expect("maintenance"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dtlp_update_vs_xi");
+    group.sample_size(10);
+    for xi in [1usize, 4, 8] {
+        let index = DtlpIndex::build(&net.graph, DtlpConfig::new(60, xi)).expect("build");
+        let mut traffic = TrafficModel::new(&net.graph, TrafficConfig::new(0.5, 0.5), 11);
+        let batch = traffic.next_snapshot();
+        group.bench_with_input(BenchmarkId::from_parameter(xi), &batch, |b, batch| {
+            b.iter_batched(
+                || index.clone(),
+                |mut index| index.apply_batch(batch).expect("maintenance"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

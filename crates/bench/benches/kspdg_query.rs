@@ -1,0 +1,56 @@
+//! Criterion bench: KSP-DG query latency vs `k` and vs `z`
+//! (the micro-benchmark behind Figures 28–31 and 33–34).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_core::kspdg::KspDgEngine;
+use ksp_workload::{
+    QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+    TrafficModel,
+};
+
+fn bench_query(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(700))
+        .generate(0xBE9E)
+        .expect("network generation");
+    let mut graph = net.graph;
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.35, 0.3), 3);
+    let batch = traffic.next_snapshot();
+    graph.apply_batch(&batch).expect("graph update");
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(16, 2), 0xBE);
+
+    let mut group = c.benchmark_group("kspdg_query_vs_k");
+    group.sample_size(10);
+    let mut index = DtlpIndex::build(&graph, DtlpConfig::new(40, 3)).expect("build");
+    index.apply_batch(&batch).expect("maintenance");
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let engine = KspDgEngine::new(&index);
+            b.iter(|| {
+                for q in workload.iter() {
+                    std::hint::black_box(engine.query(q.source, q.target, k));
+                }
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kspdg_query_vs_z");
+    group.sample_size(10);
+    for z in [30usize, 60, 120] {
+        let mut index = DtlpIndex::build(&graph, DtlpConfig::new(z, 4)).expect("build");
+        index.apply_batch(&batch).expect("maintenance");
+        group.bench_with_input(BenchmarkId::from_parameter(z), &z, |b, _| {
+            let engine = KspDgEngine::new(&index);
+            b.iter(|| {
+                for q in workload.iter() {
+                    std::hint::black_box(engine.query(q.source, q.target, 2));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

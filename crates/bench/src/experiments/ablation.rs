@@ -1,0 +1,115 @@
+//! Ablation study over the design choices called out in `DESIGN.md`:
+//! vfrag-based bounds vs edge-count bounds (approximated by ξ = 1 with a single
+//! bounding path), the number of bounding paths ξ, the EP-Index vs MFP-tree backend,
+//! and the cross-iteration partial-path cache.
+
+use crate::report::{f2, mib, ms, Table};
+use crate::Scale;
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_core::kspdg::{KspDgConfig, KspDgEngine};
+use ksp_workload::{DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel};
+use std::time::Instant;
+
+/// Runs the full ablation and returns one table per studied choice.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let preset = DatasetPreset::NewYork;
+    let spec = preset.spec(scale.dataset_scale());
+    let net = spec.generate().expect("dataset generation");
+    let mut graph = net.graph;
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.4, 0.6), 0xAB1);
+    let batch = traffic.next_snapshot();
+    graph.apply_batch(&batch).expect("graph update");
+    let nq = match scale {
+        Scale::Tiny => 15,
+        _ => 60,
+    };
+    let k = match scale {
+        Scale::Tiny => 4,
+        _ => 10,
+    };
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(nq, k), 0xAB2);
+
+    // --- ξ sweep: bound tightness vs query iterations and maintenance cost. ---
+    let mut xi_table = Table::new(
+        format!("Ablation: number of bounding paths xi (NY, k={k}, Nq={nq})"),
+        &["xi", "mean iterations", "query time (ms)", "maintenance time (ms)", "index (MiB)"],
+    );
+    for xi in [1usize, 2, 4, 8] {
+        let mut index =
+            DtlpIndex::build(&graph, DtlpConfig::new(spec.default_z, xi)).expect("build");
+        let t_m = Instant::now();
+        index.apply_batch(&batch).expect("maintenance");
+        let maintenance = t_m.elapsed();
+        let engine = KspDgEngine::new(&index);
+        let t_q = Instant::now();
+        let total_iters: usize =
+            workload.iter().map(|q| engine.query(q.source, q.target, q.k).stats.iterations).sum();
+        let query_time = t_q.elapsed();
+        xi_table.row(vec![
+            xi.to_string(),
+            f2(total_iters as f64 / workload.len() as f64),
+            ms(query_time),
+            ms(maintenance),
+            mib(index.level1_memory_bytes()),
+        ]);
+    }
+
+    // --- EP-Index vs MFP-tree backend: memory and maintenance. ---
+    let mut backend_table = Table::new(
+        "Ablation: EP-Index vs MFP-tree storage backend (NY)",
+        &["backend", "index memory (MiB)", "build time (ms)", "maintenance time (ms)"],
+    );
+    for (name, cfg) in [
+        ("EP-Index", DtlpConfig::new(spec.default_z, 4)),
+        ("MFP-tree", DtlpConfig::new(spec.default_z, 4).with_mfp_backend()),
+    ] {
+        let t_b = Instant::now();
+        let mut index = DtlpIndex::build(&graph, cfg).expect("build");
+        let build = t_b.elapsed();
+        let t_m = Instant::now();
+        index.apply_batch(&batch).expect("maintenance");
+        backend_table.row(vec![
+            name.to_string(),
+            mib(index.level1_memory_bytes()),
+            ms(build),
+            ms(t_m.elapsed()),
+        ]);
+    }
+
+    // --- Partial-path cache on/off. ---
+    let mut cache_table = Table::new(
+        format!("Ablation: cross-iteration partial-path cache (NY, k={k}, Nq={nq})"),
+        &["cache", "query time (ms)", "partial computations"],
+    );
+    let index = {
+        let mut idx = DtlpIndex::build(&graph, DtlpConfig::new(spec.default_z, 2)).expect("build");
+        idx.apply_batch(&batch).expect("maintenance");
+        idx
+    };
+    for (name, cache) in [("enabled", true), ("disabled", false)] {
+        let engine = KspDgEngine::with_config(
+            &index,
+            KspDgConfig { cache_partials: cache, ..Default::default() },
+        );
+        let t0 = Instant::now();
+        let partials: usize = workload
+            .iter()
+            .map(|q| engine.query(q.source, q.target, q.k).stats.partial_computations)
+            .sum();
+        cache_table.row(vec![name.to_string(), ms(t0.elapsed()), partials.to_string()]);
+    }
+
+    vec![xi_table, backend_table, cache_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_produces_three_tables() {
+        let tables = run(Scale::Tiny);
+        assert_eq!(tables.len(), 3);
+        assert!(tables.iter().all(|t| t.num_rows() >= 2));
+    }
+}

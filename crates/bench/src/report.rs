@@ -1,0 +1,134 @@
+//! Plain-text reporting of experiment results: aligned tables and CSV.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table used by every experiment to print its rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the number of cells must match the number of headers.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch in table '{}'", self.title);
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a duration in milliseconds with three decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a byte count as mebibytes with two decimals.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_with_alignment_and_csv() {
+        let mut t = Table::new("Figure 0: demo", &["dataset", "value"]);
+        t.row(vec!["NY".into(), "1.0".into()]);
+        t.row(vec!["CUSA".into(), "123.45".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Figure 0: demo"));
+        assert!(rendered.contains("dataset"));
+        assert!(rendered.contains("CUSA"));
+        assert_eq!(t.num_rows(), 2);
+        let csv = t.to_csv();
+        assert!(csv.contains("dataset,value"));
+        assert!(csv.contains("CUSA,123.45"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn mismatched_rows_are_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.000");
+        assert_eq!(mib(1024 * 1024), "1.00");
+        assert_eq!(f2(3.14159), "3.14");
+    }
+}

@@ -1,0 +1,20 @@
+//! CANDS baseline: continuous single-shortest-path navigation over a dynamic,
+//! partitioned graph (Yang et al., VLDB 2014), reimplemented for the comparison in
+//! Figures 40–41 of the KSP-DG paper.
+//!
+//! CANDS partitions the graph like KSP-DG does, but instead of weight-insensitive
+//! bounding paths it indexes the **exact shortest path between every pair of boundary
+//! vertices within each subgraph**. Queries are fast — the indexed distances let a
+//! single Dijkstra over the small boundary (overlay) graph answer a shortest-path
+//! query — but maintenance is expensive: when edge weights change, the affected
+//! subgraphs must recompute all of their boundary-pair shortest paths, which is exactly
+//! the trade-off the paper's comparison highlights.
+//!
+//! The implementation answers single-shortest-path (k = 1) queries only, as in the
+//! original system.
+
+#![warn(missing_docs)]
+
+pub mod index;
+
+pub use index::{CandsIndex, CandsMaintenanceStats, CandsQueryResult};

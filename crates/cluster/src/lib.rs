@@ -1,0 +1,35 @@
+//! Distributed runtime for KSP-DG (Section 6.1 of the paper), simulated on one machine.
+//!
+//! The paper deploys KSP-DG on Apache Storm over a cluster of 10–20 servers:
+//! an **EntranceSpout** on the master routes weight updates and queries,
+//! **SubgraphBolts** own the partitioned subgraphs and their level-one DTLP indexes,
+//! and **QueryBolts** hold a replica of the skeleton graph and coordinate the
+//! filter-and-refine iterations of each query.
+//!
+//! This crate reproduces that architecture with OS threads on a single machine:
+//!
+//! * [`cluster`] — the measurement harness used by the benchmarks. Subgraphs are
+//!   assigned to `Ns` logical servers, index construction and query batches execute in
+//!   parallel (one thread per server up to the machine's core count), and every
+//!   operation is attributed to its server so that both the *wall-clock* time and a
+//!   *simulated makespan* (the maximum per-server busy time, which is what a real
+//!   cluster's latency would track) are reported. The simulated makespan is what the
+//!   scaling figures (42–46) use for server counts beyond the local core count.
+//! * [`topology`] — a faithful message-passing implementation of the Storm topology
+//!   using `crossbeam` channels: worker threads own their SubgraphBolts, a QueryBolt
+//!   broadcasts reference paths and merges the partial k-shortest paths returned by the
+//!   workers. It exists to demonstrate (and test) that the algorithm really does
+//!   decompose into the message flow of Figure 14; the benchmarks use [`cluster`]
+//!   because in-process channel overhead is not representative of network cost.
+//! * [`metrics`] — per-server load accounting and the utilisation-spread statistics
+//!   reported in Section 6.6.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod metrics;
+pub mod topology;
+
+pub use cluster::{Cluster, ClusterConfig, DistributedBuildReport, DistributedMaintenanceReport, DistributedQueryReport};
+pub use metrics::{LoadBalanceReport, ServerLoad};
+pub use topology::{StormTopology, TopologyConfig};

@@ -1,0 +1,539 @@
+//! The assembled DTLP index (Algorithms 1 and 2 of the paper).
+
+use crate::dtlp::skeleton::SkeletonGraph;
+use crate::dtlp::subgraph_index::{BackendKind, SubgraphIndex};
+use ksp_graph::{
+    DynamicGraph, EdgeId, GraphError, PartitionConfig, Partitioner, SubgraphId, UpdateBatch,
+    VertexId,
+};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+pub use crate::dtlp::subgraph_index::BackendKind as PathStorageBackend;
+
+/// Configuration of the DTLP index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtlpConfig {
+    /// Maximum number of vertices per subgraph (the paper's `z`).
+    pub max_subgraph_vertices: usize,
+    /// Maximum number of bounding paths per boundary pair (the paper's `ξ`).
+    pub xi: usize,
+    /// Cap on the number of paths enumerated per pair while searching for bounding
+    /// paths; truncation trades bound tightness for build time, never correctness.
+    pub max_enumerated_per_pair: usize,
+    /// Which storage backend maintains the edge → bounding-paths mapping.
+    pub backend: PathStorageBackend,
+}
+
+impl DtlpConfig {
+    /// Creates a configuration with the given `z` and `ξ` and default remaining fields.
+    pub fn new(z: usize, xi: usize) -> Self {
+        DtlpConfig {
+            max_subgraph_vertices: z,
+            xi,
+            max_enumerated_per_pair: 48,
+            backend: BackendKind::EpIndex,
+        }
+    }
+
+    /// Returns a copy using the MFP-tree backend.
+    pub fn with_mfp_backend(mut self) -> Self {
+        self.backend = BackendKind::MfpTree;
+        self
+    }
+}
+
+impl Default for DtlpConfig {
+    fn default() -> Self {
+        DtlpConfig::new(200, 5)
+    }
+}
+
+/// Statistics recorded while building the index (reported by Figures 15–18 / Table 1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildStats {
+    /// Number of subgraphs produced by the partitioner.
+    pub num_subgraphs: usize,
+    /// Number of subgraphs with more than five boundary vertices (Table 1).
+    pub num_subgraphs_boundary_over_5: usize,
+    /// Number of boundary vertices (= skeleton vertices).
+    pub num_boundary_vertices: usize,
+    /// Number of boundary pairs indexed across all subgraphs.
+    pub num_pairs: usize,
+    /// Total number of bounding paths stored.
+    pub num_bounding_paths: usize,
+    /// Number of edges in the skeleton graph.
+    pub skeleton_edges: usize,
+    /// Wall-clock time spent building.
+    pub build_time: Duration,
+    /// Memory used by the level-one (per-subgraph) index structures, in bytes.
+    pub level1_memory_bytes: usize,
+    /// Memory used by the skeleton graph, in bytes.
+    pub skeleton_memory_bytes: usize,
+}
+
+/// Statistics returned by a maintenance (update-batch) call (Figures 19–23).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Number of weight updates applied.
+    pub updates_applied: usize,
+    /// Number of bounding-path distance adjustments performed.
+    pub paths_touched: usize,
+    /// Number of boundary pairs whose lower bound distance changed.
+    pub pairs_changed: usize,
+    /// Number of skeleton edges whose weight changed as a result.
+    pub skeleton_edges_changed: usize,
+}
+
+/// The Distributed Two-Level Path index over one graph.
+#[derive(Debug, Clone)]
+pub struct DtlpIndex {
+    config: DtlpConfig,
+    directed: bool,
+    subgraph_indexes: Vec<SubgraphIndex>,
+    vertex_subgraphs: HashMap<VertexId, Vec<SubgraphId>>,
+    edge_owner: Vec<SubgraphId>,
+    boundary: Vec<VertexId>,
+    skeleton: SkeletonGraph,
+    build_stats: BuildStats,
+}
+
+impl DtlpIndex {
+    /// Builds the index for `graph` (Algorithm 1): partition, compute bounding paths
+    /// and lower bounds per subgraph, then assemble the skeleton graph.
+    pub fn build(graph: &DynamicGraph, config: DtlpConfig) -> Result<Self, GraphError> {
+        let start = Instant::now();
+        let partitioning =
+            Partitioner::new(PartitionConfig::with_max_vertices(config.max_subgraph_vertices))
+                .partition(graph)?;
+
+        let boundary = partitioning.boundary_vertices().to_vec();
+        let num_subgraphs = partitioning.num_subgraphs();
+        let num_subgraphs_boundary_over_5 = partitioning.subgraphs_with_boundary_over(5);
+        let mut vertex_subgraphs = HashMap::new();
+        for v in graph.vertices() {
+            let sgs = partitioning.subgraphs_of_vertex(v).to_vec();
+            vertex_subgraphs.insert(v, sgs);
+        }
+        let edge_owner: Vec<SubgraphId> =
+            graph.edge_ids().map(|e| partitioning.owner_of_edge(e)).collect();
+
+        let subgraph_indexes: Vec<SubgraphIndex> = partitioning
+            .into_subgraphs()
+            .into_iter()
+            .map(|sg| {
+                SubgraphIndex::build(sg, config.xi, config.max_enumerated_per_pair, config.backend)
+            })
+            .collect();
+
+        let mut index = Self::assemble(
+            config,
+            graph.is_directed(),
+            subgraph_indexes,
+            vertex_subgraphs,
+            edge_owner,
+            boundary,
+        );
+        index.build_stats.num_subgraphs = num_subgraphs;
+        index.build_stats.num_subgraphs_boundary_over_5 = num_subgraphs_boundary_over_5;
+        index.build_stats.build_time = start.elapsed();
+        Ok(index)
+    }
+
+    /// Assembles an index from per-subgraph indexes that may have been built elsewhere
+    /// (e.g. in parallel on the workers of the distributed runtime).
+    pub fn assemble(
+        config: DtlpConfig,
+        directed: bool,
+        subgraph_indexes: Vec<SubgraphIndex>,
+        vertex_subgraphs: HashMap<VertexId, Vec<SubgraphId>>,
+        edge_owner: Vec<SubgraphId>,
+        boundary: Vec<VertexId>,
+    ) -> Self {
+        let mut skeleton = SkeletonGraph::new(directed);
+        let mut num_pairs = 0;
+        let mut num_bounding_paths = 0;
+        let mut level1_memory_bytes = 0;
+        for idx in &subgraph_indexes {
+            num_pairs += idx.num_pairs();
+            num_bounding_paths += idx.num_bounding_paths();
+            level1_memory_bytes += idx.index_memory_bytes();
+            for lb in idx.lower_bounds() {
+                skeleton.set_contribution(lb.a, lb.b, idx.id(), lb.new_lbd);
+            }
+        }
+        let build_stats = BuildStats {
+            num_subgraphs: subgraph_indexes.len(),
+            num_subgraphs_boundary_over_5: 0,
+            num_boundary_vertices: boundary.len(),
+            num_pairs,
+            num_bounding_paths,
+            skeleton_edges: skeleton.num_skeleton_edges(),
+            build_time: Duration::default(),
+            level1_memory_bytes,
+            skeleton_memory_bytes: skeleton.memory_bytes(),
+        };
+        DtlpIndex {
+            config,
+            directed,
+            subgraph_indexes,
+            vertex_subgraphs,
+            edge_owner,
+            boundary,
+            skeleton,
+            build_stats,
+        }
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &DtlpConfig {
+        &self.config
+    }
+
+    /// Whether the indexed graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Build statistics.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// The skeleton graph `Gλ`.
+    pub fn skeleton(&self) -> &SkeletonGraph {
+        &self.skeleton
+    }
+
+    /// The per-subgraph indexes (indexed by [`SubgraphId`]).
+    pub fn subgraph_indexes(&self) -> &[SubgraphIndex] {
+        &self.subgraph_indexes
+    }
+
+    /// The index of one subgraph.
+    pub fn subgraph_index(&self, id: SubgraphId) -> &SubgraphIndex {
+        &self.subgraph_indexes[id.index()]
+    }
+
+    /// Number of subgraphs.
+    pub fn num_subgraphs(&self) -> usize {
+        self.subgraph_indexes.len()
+    }
+
+    /// All boundary vertices, sorted ascending.
+    pub fn boundary_vertices(&self) -> &[VertexId] {
+        &self.boundary
+    }
+
+    /// Whether `v` is a boundary vertex.
+    pub fn is_boundary(&self, v: VertexId) -> bool {
+        self.boundary.binary_search(&v).is_ok()
+    }
+
+    /// The subgraphs a vertex belongs to.
+    pub fn subgraphs_of_vertex(&self, v: VertexId) -> &[SubgraphId] {
+        self.vertex_subgraphs.get(&v).map(|s| s.as_slice()).unwrap_or(&[])
+    }
+
+    /// The subgraph owning an edge.
+    pub fn owner_of_edge(&self, e: EdgeId) -> SubgraphId {
+        self.edge_owner[e.index()]
+    }
+
+    /// The subgraphs containing both vertices (the candidates examined by the refine
+    /// step for one adjacent pair of a reference path).
+    pub fn subgraphs_containing_pair(&self, a: VertexId, b: VertexId) -> Vec<SubgraphId> {
+        let sa = self.subgraphs_of_vertex(a);
+        let sb = self.subgraphs_of_vertex(b);
+        sa.iter().filter(|id| sb.contains(id)).copied().collect()
+    }
+
+    /// Splits a batch of updates by owning subgraph, mirroring how the EntranceSpout
+    /// scatters an update stream to the SubgraphBolts.
+    pub fn route_batch(
+        &self,
+        batch: &UpdateBatch,
+    ) -> Result<HashMap<SubgraphId, Vec<ksp_graph::WeightUpdate>>, GraphError> {
+        let mut per_subgraph: HashMap<SubgraphId, Vec<ksp_graph::WeightUpdate>> = HashMap::new();
+        for u in batch.iter() {
+            let owner = *self
+                .edge_owner
+                .get(u.edge.index())
+                .ok_or(GraphError::EdgeOutOfRange { edge: u.edge, num_edges: self.edge_owner.len() })?;
+            per_subgraph.entry(owner).or_default().push(*u);
+        }
+        Ok(per_subgraph)
+    }
+
+    /// Applies the updates destined for one subgraph (they must all belong to it) and
+    /// patches the skeleton graph with the resulting lower-bound changes. This is the
+    /// unit of work a single worker performs during maintenance; the distributed
+    /// runtime calls it per subgraph so it can attribute the cost to the owning server.
+    pub fn apply_updates_for_subgraph(
+        &mut self,
+        sg_id: SubgraphId,
+        updates: &[ksp_graph::WeightUpdate],
+    ) -> Result<MaintenanceStats, GraphError> {
+        let idx = &mut self.subgraph_indexes[sg_id.index()];
+        let (changes, touched) = idx.apply_updates(updates)?;
+        let mut stats = MaintenanceStats {
+            updates_applied: updates.len(),
+            paths_touched: touched,
+            pairs_changed: changes.len(),
+            skeleton_edges_changed: 0,
+        };
+        for c in changes {
+            if self.skeleton.set_contribution(c.a, c.b, sg_id, c.new_lbd) {
+                stats.skeleton_edges_changed += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Applies a batch of weight updates (Algorithm 2): routes each update to the
+    /// owning subgraph, refreshes bounding-path distances and lower bounds, and patches
+    /// the skeleton graph.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<MaintenanceStats, GraphError> {
+        let per_subgraph = self.route_batch(batch)?;
+        let mut stats = MaintenanceStats::default();
+        for (sg_id, updates) in per_subgraph {
+            let part = self.apply_updates_for_subgraph(sg_id, &updates)?;
+            stats.updates_applied += part.updates_applied;
+            stats.paths_touched += part.paths_touched;
+            stats.pairs_changed += part.pairs_changed;
+            stats.skeleton_edges_changed += part.skeleton_edges_changed;
+        }
+        Ok(stats)
+    }
+
+    /// Total memory of the level-one index structures across all subgraphs, in bytes.
+    pub fn level1_memory_bytes(&self) -> usize {
+        self.subgraph_indexes.iter().map(|i| i.index_memory_bytes()).sum()
+    }
+
+    /// Memory of the skeleton graph in bytes.
+    pub fn skeleton_memory_bytes(&self) -> usize {
+        self.skeleton.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_algo::dijkstra_path;
+    use ksp_graph::{GraphBuilder, GraphView, Weight};
+    use ksp_workload::{
+        QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+        TrafficModel,
+    };
+
+    fn paper_graph() -> DynamicGraph {
+        let edges: &[(u32, u32, u32)] = &[
+            (1, 2, 3),
+            (1, 3, 3),
+            (2, 3, 6),
+            (2, 4, 3),
+            (3, 5, 2),
+            (4, 5, 3),
+            (4, 6, 4),
+            (5, 6, 4),
+            (4, 7, 3),
+            (6, 9, 3),
+            (7, 8, 5),
+            (8, 9, 4),
+            (8, 10, 6),
+            (9, 10, 5),
+            (9, 14, 7),
+            (10, 11, 5),
+            (11, 12, 3),
+            (12, 13, 3),
+            (10, 13, 6),
+            (13, 14, 3),
+            (13, 18, 3),
+            (14, 16, 3),
+            (16, 13, 5),
+            (16, 17, 2),
+            (17, 18, 2),
+            (18, 19, 3),
+        ];
+        let mut b = GraphBuilder::undirected(19);
+        for &(x, y, w) in edges {
+            b.edge(x - 1, y - 1, w);
+        }
+        b.build().unwrap()
+    }
+
+    fn road_network(n: usize, seed: u64) -> DynamicGraph {
+        RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n)).generate(seed).unwrap().graph
+    }
+
+    #[test]
+    fn build_produces_consistent_statistics() {
+        let g = paper_graph();
+        let index = DtlpIndex::build(&g, DtlpConfig::new(6, 3)).unwrap();
+        let stats = index.build_stats();
+        assert_eq!(stats.num_subgraphs, index.num_subgraphs());
+        assert_eq!(stats.num_boundary_vertices, index.boundary_vertices().len());
+        assert_eq!(stats.skeleton_edges, index.skeleton().num_skeleton_edges());
+        assert!(stats.num_pairs > 0);
+        assert!(stats.num_bounding_paths >= stats.num_pairs);
+        assert!(stats.level1_memory_bytes > 0);
+        assert!(stats.skeleton_memory_bytes > 0);
+        // Every boundary vertex appears in the skeleton.
+        for &b in index.boundary_vertices() {
+            assert!(index.skeleton().contains(b), "boundary vertex {b} missing from skeleton");
+        }
+    }
+
+    #[test]
+    fn theorem2_skeleton_distance_is_a_lower_bound_on_graph_distance() {
+        let g = road_network(300, 11);
+        let index = DtlpIndex::build(&g, DtlpConfig::new(20, 2)).unwrap();
+        let workload = QueryWorkload::generate_from_candidates(
+            index.boundary_vertices(),
+            QueryWorkloadConfig::new(40, 1),
+            7,
+        );
+        for q in workload.iter() {
+            let skeleton_dist = dijkstra_path(index.skeleton(), q.source, q.target)
+                .map(|p| p.distance())
+                .unwrap_or(Weight::INFINITY);
+            let graph_dist = dijkstra_path(&g, q.source, q.target)
+                .map(|p| p.distance())
+                .unwrap_or(Weight::INFINITY);
+            assert!(
+                skeleton_dist <= graph_dist || skeleton_dist.approx_eq(graph_dist),
+                "Theorem 2 violated for {} -> {}: skeleton {skeleton_dist} > graph {graph_dist}",
+                q.source,
+                q.target
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_holds_after_traffic_updates() {
+        let mut g = road_network(250, 3);
+        let mut index = DtlpIndex::build(&g, DtlpConfig::new(18, 2)).unwrap();
+        let mut traffic = TrafficModel::new(&g, TrafficConfig::new(0.4, 0.5), 5);
+        for _ in 0..3 {
+            let batch = traffic.next_snapshot();
+            g.apply_batch(&batch).unwrap();
+            index.apply_batch(&batch).unwrap();
+        }
+        let workload = QueryWorkload::generate_from_candidates(
+            index.boundary_vertices(),
+            QueryWorkloadConfig::new(30, 1),
+            13,
+        );
+        for q in workload.iter() {
+            let skeleton_dist = dijkstra_path(index.skeleton(), q.source, q.target)
+                .map(|p| p.distance())
+                .unwrap_or(Weight::INFINITY);
+            let graph_dist = dijkstra_path(&g, q.source, q.target)
+                .map(|p| p.distance())
+                .unwrap_or(Weight::INFINITY);
+            assert!(
+                skeleton_dist <= graph_dist || skeleton_dist.approx_eq(graph_dist),
+                "Theorem 2 violated after updates for {} -> {}",
+                q.source,
+                q.target
+            );
+        }
+    }
+
+    #[test]
+    fn subgraph_weights_track_applied_batches() {
+        let g = road_network(200, 9);
+        let mut index = DtlpIndex::build(&g, DtlpConfig::new(15, 1)).unwrap();
+        let edge = EdgeId(0);
+        let owner = index.owner_of_edge(edge);
+        let batch = UpdateBatch::new(vec![ksp_graph::WeightUpdate::new(edge, Weight::new(123.0))]);
+        let stats = index.apply_batch(&batch).unwrap();
+        assert_eq!(stats.updates_applied, 1);
+        let stored = index.subgraph_index(owner).subgraph().edge(edge).unwrap();
+        assert_eq!(stored.current_weight, Weight::new(123.0));
+    }
+
+    #[test]
+    fn apply_batch_rejects_unknown_edges() {
+        let g = road_network(150, 2);
+        let mut index = DtlpIndex::build(&g, DtlpConfig::new(15, 1)).unwrap();
+        let batch =
+            UpdateBatch::new(vec![ksp_graph::WeightUpdate::new(EdgeId(999_999), Weight::new(1.0))]);
+        assert!(index.apply_batch(&batch).is_err());
+    }
+
+    #[test]
+    fn skeleton_is_much_smaller_than_the_graph() {
+        let g = road_network(800, 21);
+        let index = DtlpIndex::build(&g, DtlpConfig::new(60, 1)).unwrap();
+        assert!(index.skeleton().num_skeleton_vertices() < g.num_vertices() / 2);
+        assert!(index.skeleton().num_skeleton_vertices() > 0);
+    }
+
+    #[test]
+    fn larger_z_yields_smaller_skeleton() {
+        // Table 3 of the paper: the skeleton shrinks as z grows.
+        let g = road_network(600, 5);
+        let small = DtlpIndex::build(&g, DtlpConfig::new(15, 1)).unwrap();
+        let large = DtlpIndex::build(&g, DtlpConfig::new(80, 1)).unwrap();
+        assert!(
+            large.skeleton().num_skeleton_vertices() < small.skeleton().num_skeleton_vertices()
+        );
+        assert!(large.num_subgraphs() < small.num_subgraphs());
+    }
+
+    #[test]
+    fn directed_index_doubles_pair_work() {
+        let cfg = RoadNetworkConfig::with_vertices(200).directed();
+        let gd = RoadNetworkGenerator::new(cfg).generate(31).unwrap().graph;
+        let gu = road_network(200, 31);
+        let id = DtlpIndex::build(&gd, DtlpConfig::new(15, 1)).unwrap();
+        let iu = DtlpIndex::build(&gu, DtlpConfig::new(15, 1)).unwrap();
+        assert!(id.is_directed());
+        assert!(!iu.is_directed());
+        // The directed index maintains bounds per direction, so it stores more pairs
+        // relative to its boundary-vertex count.
+        assert!(id.build_stats().num_pairs > 0);
+        assert!(iu.build_stats().num_pairs > 0);
+    }
+
+    #[test]
+    fn vertex_and_edge_ownership_lookups_are_consistent() {
+        let g = road_network(300, 8);
+        let index = DtlpIndex::build(&g, DtlpConfig::new(25, 1)).unwrap();
+        for e in g.edge_ids().take(100) {
+            let owner = index.owner_of_edge(e);
+            let record = g.edge(e);
+            assert!(index.subgraphs_of_vertex(record.u).contains(&owner));
+            assert!(index.subgraphs_of_vertex(record.v).contains(&owner));
+            assert!(index.subgraph_index(owner).subgraph().owns_edge(e));
+        }
+        for &b in index.boundary_vertices().iter().take(50) {
+            assert!(index.is_boundary(b));
+            assert!(index.subgraphs_of_vertex(b).len() >= 2);
+        }
+    }
+
+    #[test]
+    fn maintenance_stats_reflect_work_done() {
+        let g = road_network(300, 10);
+        let mut index = DtlpIndex::build(&g, DtlpConfig::new(20, 3)).unwrap();
+        let mut traffic = TrafficModel::new(&g, TrafficConfig::new(0.5, 0.5), 3);
+        let batch = traffic.next_snapshot();
+        let stats = index.apply_batch(&batch).unwrap();
+        assert_eq!(stats.updates_applied, batch.len());
+        assert!(stats.paths_touched > 0);
+        assert!(stats.pairs_changed > 0);
+        assert!(stats.skeleton_edges_changed > 0);
+        assert!(stats.skeleton_edges_changed <= stats.pairs_changed);
+    }
+
+    #[test]
+    fn skeleton_view_num_vertices_covers_ids() {
+        let g = paper_graph();
+        let index = DtlpIndex::build(&g, DtlpConfig::new(6, 2)).unwrap();
+        let max_boundary = index.boundary_vertices().iter().map(|v| v.index()).max().unwrap();
+        assert!(GraphView::num_vertices(index.skeleton()) >= max_boundary + 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! The Distributed Two-Level Path (DTLP) index — Sections 3 and 4 of the paper.
+//!
+//! Level one ([`subgraph_index`]) lives with each subgraph (on its owning worker in the
+//! distributed deployment): the bounding paths between boundary-vertex pairs, the
+//! unit-weight multiset used to compute bound distances, and a storage backend
+//! ([`ep_index`] or the compressed [`mfp`]) that maps an edge to the bounding paths
+//! passing through it so that weight updates touch only what they must.
+//!
+//! Level two ([`skeleton`]) is the skeleton graph `Gλ` over all boundary vertices; its
+//! edge weights are *minimum lower bound distances* and it is small enough to be
+//! replicated to every worker.
+//!
+//! [`index`] ties both levels together behind [`DtlpIndex`].
+
+pub mod bounding;
+pub mod ep_index;
+pub mod index;
+pub mod mfp;
+pub mod skeleton;
+pub mod subgraph_index;
+pub mod unit_weights;
+
+pub use bounding::{BoundingPath, BoundingPathSet};
+pub use ep_index::EpIndex;
+pub use index::{BuildStats, DtlpConfig, DtlpIndex, MaintenanceStats, PathStorageBackend};
+pub use mfp::{MfpForest, MinHashLsh};
+pub use skeleton::{OverlayView, SkeletonGraph};
+pub use subgraph_index::{BackendKind, LowerBoundChange, SubgraphIndex};
+pub use unit_weights::UnitWeightMultiset;

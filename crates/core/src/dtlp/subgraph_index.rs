@@ -1,0 +1,557 @@
+//! The per-subgraph (level-one) part of DTLP.
+//!
+//! A [`SubgraphIndex`] is what a worker keeps for each subgraph it owns: the subgraph
+//! itself (with live weights), the bounding paths between its boundary-vertex pairs,
+//! the unit-weight multiset, and a storage backend (EP-Index or MFP forest) that maps
+//! an edge to the bounding paths covering it. It receives the weight updates routed to
+//! this subgraph and reports which pairs' lower bound distances changed, so the
+//! skeleton graph can be patched incrementally.
+
+use crate::dtlp::bounding::{BoundingPath, BoundingPathSet};
+use crate::dtlp::ep_index::{EpIndex, PathRef};
+use crate::dtlp::mfp::MfpForest;
+use crate::dtlp::unit_weights::UnitWeightMultiset;
+use ksp_algo::{fewest_vfrag_paths, Path};
+use ksp_graph::{EdgeId, GraphError, Subgraph, SubgraphId, VertexId, Weight, WeightUpdate};
+use std::collections::HashMap;
+
+/// Which structure stores the edge → bounding-paths mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The plain EP-Index map of Section 3.7 (larger, slightly faster lookups).
+    #[default]
+    EpIndex,
+    /// The LSH-grouped MFP-tree forest of Section 4 (compressed).
+    MfpTree,
+}
+
+#[derive(Debug, Clone)]
+enum BackendStore {
+    Ep(EpIndex),
+    Mfp(MfpForest),
+}
+
+impl BackendStore {
+    fn collect_paths_through(&self, edge: EdgeId, out: &mut Vec<PathRef>) {
+        match self {
+            BackendStore::Ep(ep) => out.extend_from_slice(ep.paths_through(edge)),
+            BackendStore::Mfp(mfp) => mfp.collect_paths_through(edge, out),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            BackendStore::Ep(ep) => ep.memory_bytes(),
+            BackendStore::Mfp(mfp) => mfp.memory_bytes(),
+        }
+    }
+}
+
+/// Per-pair change reported after applying a batch of weight updates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowerBoundChange {
+    /// First endpoint of the boundary pair.
+    pub a: VertexId,
+    /// Second endpoint of the boundary pair.
+    pub b: VertexId,
+    /// The new lower bound distance for this subgraph.
+    pub new_lbd: Weight,
+}
+
+/// The level-one DTLP index of a single subgraph.
+#[derive(Debug, Clone)]
+pub struct SubgraphIndex {
+    subgraph: Subgraph,
+    pairs: Vec<BoundingPathSet>,
+    /// Last lower bound distance reported for each pair, to detect changes.
+    last_lbd: Vec<Weight>,
+    backend: BackendStore,
+    unit_weights: UnitWeightMultiset,
+    /// Total number of bounding paths across all pairs.
+    num_bounding_paths: usize,
+}
+
+impl SubgraphIndex {
+    /// Builds the index for one subgraph.
+    ///
+    /// `xi` is the maximum number of bounding paths per boundary pair (the paper's ξ);
+    /// `max_enumerated` caps the path enumeration per pair (see
+    /// [`ksp_algo::fewest_vfrag_paths`] for why truncation is safe).
+    pub fn build(subgraph: Subgraph, xi: usize, max_enumerated: usize, backend: BackendKind) -> Self {
+        let directed = subgraph.is_directed();
+        let boundary: Vec<VertexId> = subgraph.boundary_vertices().to_vec();
+
+        // Edge lookup (endpoint pair -> global edge id) for registering paths with the
+        // backend.
+        let mut edge_of: HashMap<(VertexId, VertexId), EdgeId> = HashMap::new();
+        for e in subgraph.edges() {
+            edge_of.insert((e.u, e.v), e.global_id);
+            if !directed {
+                edge_of.insert((e.v, e.u), e.global_id);
+            }
+        }
+
+        let mut pairs: Vec<BoundingPathSet> = Vec::new();
+        for (i, &a) in boundary.iter().enumerate() {
+            for (j, &b) in boundary.iter().enumerate() {
+                let take = if directed { i != j } else { j > i };
+                if !take {
+                    continue;
+                }
+                let candidates = fewest_vfrag_paths(&subgraph, a, b, xi, max_enumerated);
+                let paths: Vec<BoundingPath> = candidates
+                    .into_iter()
+                    .filter_map(|c| {
+                        let dist =
+                            Path::from_vertices(&subgraph, c.vertices.clone())?.distance();
+                        Some(BoundingPath::new(c.vertices, c.vfrags, dist))
+                    })
+                    .collect();
+                if !paths.is_empty() {
+                    pairs.push(BoundingPathSet::new(a, b, paths));
+                }
+            }
+        }
+
+        // Build the edge -> paths backend.
+        let mut edge_paths: HashMap<EdgeId, Vec<PathRef>> = HashMap::new();
+        for (pi, set) in pairs.iter().enumerate() {
+            for (qi, p) in set.paths.iter().enumerate() {
+                for w in p.vertices.windows(2) {
+                    let Some(&e) = edge_of.get(&(w[0], w[1])) else { continue };
+                    edge_paths
+                        .entry(e)
+                        .or_default()
+                        .push(PathRef { pair: pi as u32, path: qi as u32 });
+                }
+            }
+        }
+        let backend = match backend {
+            BackendKind::EpIndex => {
+                let mut ep = EpIndex::new();
+                for (e, refs) in &edge_paths {
+                    for &r in refs {
+                        ep.insert(*e, r);
+                    }
+                }
+                BackendStore::Ep(ep)
+            }
+            BackendKind::MfpTree => {
+                let mut list: Vec<(EdgeId, Vec<PathRef>)> =
+                    edge_paths.iter().map(|(e, v)| (*e, v.clone())).collect();
+                list.sort_by_key(|(e, _)| e.0);
+                BackendStore::Mfp(MfpForest::build(&list))
+            }
+        };
+
+        let unit_weights = UnitWeightMultiset::from_subgraph(&subgraph);
+        let num_bounding_paths = pairs.iter().map(|p| p.len()).sum();
+        let last_lbd = pairs.iter().map(|p| p.lower_bound_distance(&unit_weights)).collect();
+        SubgraphIndex { subgraph, pairs, last_lbd, backend, unit_weights, num_bounding_paths }
+    }
+
+    /// The subgraph this index covers (with live weights).
+    pub fn subgraph(&self) -> &Subgraph {
+        &self.subgraph
+    }
+
+    /// Identifier of the underlying subgraph.
+    pub fn id(&self) -> SubgraphId {
+        self.subgraph.id()
+    }
+
+    /// Number of boundary pairs indexed.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total number of bounding paths stored.
+    pub fn num_bounding_paths(&self) -> usize {
+        self.num_bounding_paths
+    }
+
+    /// Iterates over the current lower bound distances of every indexed pair.
+    pub fn lower_bounds(&self) -> impl Iterator<Item = LowerBoundChange> + '_ {
+        self.pairs.iter().zip(self.last_lbd.iter()).map(|(set, &lbd)| LowerBoundChange {
+            a: set.a,
+            b: set.b,
+            new_lbd: lbd,
+        })
+    }
+
+    /// Applies a batch of weight updates belonging to this subgraph (Algorithm 2).
+    ///
+    /// Returns the pairs whose lower bound distance changed, so the caller can patch
+    /// the skeleton graph. Also returns, via the second tuple element, the number of
+    /// bounding paths whose stored distance was adjusted (a cost metric).
+    pub fn apply_updates(
+        &mut self,
+        updates: &[WeightUpdate],
+    ) -> Result<(Vec<LowerBoundChange>, usize), GraphError> {
+        if updates.is_empty() {
+            return Ok((Vec::new(), 0));
+        }
+        let mut paths_touched = 0usize;
+        let mut refs: Vec<PathRef> = Vec::new();
+        for update in updates {
+            let delta = self.subgraph.apply_update(update)?;
+            if delta == 0.0 {
+                continue;
+            }
+            refs.clear();
+            self.backend.collect_paths_through(update.edge, &mut refs);
+            for r in &refs {
+                let set = &mut self.pairs[r.pair as usize];
+                let p = &mut set.paths[r.path as usize];
+                let new = (p.current_distance.value() + delta).max(0.0);
+                p.current_distance = Weight::new(new);
+                paths_touched += 1;
+            }
+        }
+
+        // The unit-weight multiset depends on every weight in the subgraph, so rebuild
+        // it once per batch, then refresh every pair's lower bound (each refresh is
+        // O(ξ log |E_sg|)). Only pairs whose bound actually moved are reported.
+        self.unit_weights = UnitWeightMultiset::from_subgraph(&self.subgraph);
+        let mut changed = Vec::new();
+        for (i, set) in self.pairs.iter().enumerate() {
+            let lbd = set.lower_bound_distance(&self.unit_weights);
+            if !lbd.approx_eq(self.last_lbd[i]) {
+                self.last_lbd[i] = lbd;
+                changed.push(LowerBoundChange { a: set.a, b: set.b, new_lbd: lbd });
+            }
+        }
+        Ok((changed, paths_touched))
+    }
+
+    /// Shortest distances from `v` to every boundary vertex of this subgraph, computed
+    /// on the current weights. Used to attach a non-boundary query endpoint to the
+    /// skeleton graph (Section 5.3 / Step 1 of the Storm deployment).
+    pub fn boundary_distances_from(&self, v: VertexId) -> Vec<(VertexId, Weight)> {
+        let map = ksp_algo::dijkstra_all(&self.subgraph, v);
+        self.subgraph
+            .boundary_vertices()
+            .iter()
+            .filter_map(|&b| {
+                let d = map.distance(b);
+                d.is_finite().then_some((b, d))
+            })
+            .collect()
+    }
+
+    /// Shortest distances from every boundary vertex of this subgraph *to* `v`.
+    /// Identical to [`Self::boundary_distances_from`] for undirected subgraphs; for
+    /// directed subgraphs it searches the reversed subgraph.
+    pub fn boundary_distances_to(&self, v: VertexId) -> Vec<(VertexId, Weight)> {
+        if !self.subgraph.is_directed() {
+            return self.boundary_distances_from(v);
+        }
+        let reversed = ReversedSubgraph::new(&self.subgraph);
+        let map = ksp_algo::dijkstra_all(&reversed, v);
+        self.subgraph
+            .boundary_vertices()
+            .iter()
+            .filter_map(|&b| {
+                let d = map.distance(b);
+                d.is_finite().then_some((b, d))
+            })
+            .collect()
+    }
+
+    /// Estimated memory footprint of the level-one index structures in bytes
+    /// (excluding the subgraph itself).
+    pub fn index_memory_bytes(&self) -> usize {
+        self.backend.memory_bytes()
+            + self.pairs.iter().map(|p| p.memory_bytes()).sum::<usize>()
+            + self.unit_weights.memory_bytes()
+            + self.last_lbd.len() * std::mem::size_of::<Weight>()
+    }
+
+    /// Memory footprint of the subgraph structure itself in bytes.
+    pub fn subgraph_memory_bytes(&self) -> usize {
+        self.subgraph.memory_bytes()
+    }
+}
+
+/// A reversed view of a directed subgraph (in-edges become out-edges).
+struct ReversedSubgraph {
+    adj: HashMap<VertexId, Vec<(VertexId, Weight)>>,
+    max_vertex: usize,
+}
+
+impl ReversedSubgraph {
+    fn new(subgraph: &Subgraph) -> Self {
+        let mut adj: HashMap<VertexId, Vec<(VertexId, Weight)>> = HashMap::new();
+        for e in subgraph.edges() {
+            adj.entry(e.v).or_default().push((e.u, e.current_weight));
+        }
+        let max_vertex = ksp_graph::GraphView::num_vertices(subgraph);
+        ReversedSubgraph { adj, max_vertex }
+    }
+}
+
+impl ksp_graph::GraphView for ReversedSubgraph {
+    fn num_vertices(&self) -> usize {
+        self.max_vertex
+    }
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        self.adj.contains_key(&v) || v.index() < self.max_vertex
+    }
+    fn for_each_neighbor(&self, v: VertexId, mut f: impl FnMut(VertexId, Weight)) {
+        if let Some(list) = self.adj.get(&v) {
+            for &(to, w) in list {
+                f(to, w);
+            }
+        }
+    }
+    fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.adj.get(&u)?.iter().find(|&&(to, _)| to == v).map(|&(_, w)| w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_algo::dijkstra_path;
+    use ksp_graph::{GraphBuilder, PartitionConfig, Partitioner};
+
+    /// Builds the Figure 3 graph of the paper and partitions it with z = 6.
+    fn paper_partitioning() -> (ksp_graph::DynamicGraph, ksp_graph::Partitioning) {
+        let edges: &[(u32, u32, u32)] = &[
+            (1, 2, 3),
+            (1, 3, 3),
+            (2, 3, 6),
+            (2, 4, 3),
+            (3, 5, 2),
+            (4, 5, 3),
+            (4, 6, 4),
+            (5, 6, 4),
+            (4, 7, 3),
+            (6, 9, 3),
+            (7, 8, 5),
+            (8, 9, 4),
+            (8, 10, 6),
+            (9, 10, 5),
+            (9, 14, 7),
+            (10, 11, 5),
+            (11, 12, 3),
+            (12, 13, 3),
+            (10, 13, 6),
+            (13, 14, 3),
+            (13, 18, 3),
+            (14, 16, 3),
+            (16, 13, 5),
+            (16, 17, 2),
+            (17, 18, 2),
+            (18, 19, 3),
+        ];
+        let mut b = GraphBuilder::undirected(19);
+        for &(x, y, w) in edges {
+            b.edge(x - 1, y - 1, w);
+        }
+        let g = b.build().unwrap();
+        let p = Partitioner::new(PartitionConfig::with_max_vertices(6)).partition(&g).unwrap();
+        (g, p)
+    }
+
+    fn build_indexes(
+        partitioning: &ksp_graph::Partitioning,
+        xi: usize,
+        backend: BackendKind,
+    ) -> Vec<SubgraphIndex> {
+        partitioning
+            .subgraphs()
+            .iter()
+            .map(|sg| SubgraphIndex::build(sg.clone(), xi, 64, backend))
+            .collect()
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_subgraph_shortest_distances() {
+        let (_, partitioning) = paper_partitioning();
+        for idx in build_indexes(&partitioning, 3, BackendKind::EpIndex) {
+            for lb in idx.lower_bounds() {
+                let shortest = dijkstra_path(idx.subgraph(), lb.a, lb.b)
+                    .map(|p| p.distance())
+                    .unwrap_or(Weight::INFINITY);
+                assert!(
+                    lb.new_lbd <= shortest || lb.new_lbd.approx_eq(shortest),
+                    "LBD({}, {}) = {} exceeds shortest {shortest}",
+                    lb.a,
+                    lb.b,
+                    lb.new_lbd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initial_lower_bounds_equal_shortest_distances() {
+        // Section 5.5: at construction time all unit weights equal 1 and the lower
+        // bound distance equals the true shortest distance within every subgraph.
+        let (_, partitioning) = paper_partitioning();
+        for idx in build_indexes(&partitioning, 3, BackendKind::EpIndex) {
+            for lb in idx.lower_bounds() {
+                if !lb.new_lbd.is_finite() {
+                    continue;
+                }
+                let shortest = dijkstra_path(idx.subgraph(), lb.a, lb.b).unwrap().distance();
+                assert!(
+                    lb.new_lbd.approx_eq(shortest),
+                    "initial LBD({}, {}) = {} != shortest {shortest}",
+                    lb.a,
+                    lb.b,
+                    lb.new_lbd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn updates_keep_lower_bound_property() {
+        let (_, partitioning) = paper_partitioning();
+        let mut indexes = build_indexes(&partitioning, 2, BackendKind::EpIndex);
+        // Repeatedly perturb each subgraph's edges and re-check the bound property.
+        for round in 1..5u32 {
+            for idx in &mut indexes {
+                let updates: Vec<WeightUpdate> = idx
+                    .subgraph()
+                    .edges()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (i + round as usize) % 3 == 0)
+                    .map(|(i, e)| {
+                        let factor = 0.5 + ((i as f64 * 0.37 + round as f64) % 1.0);
+                        WeightUpdate::new(
+                            e.global_id,
+                            Weight::new(e.initial_weight as f64 * factor),
+                        )
+                    })
+                    .collect();
+                idx.apply_updates(&updates).unwrap();
+                for lb in idx.lower_bounds() {
+                    let shortest = dijkstra_path(idx.subgraph(), lb.a, lb.b)
+                        .map(|p| p.distance())
+                        .unwrap_or(Weight::INFINITY);
+                    assert!(
+                        lb.new_lbd <= shortest || lb.new_lbd.approx_eq(shortest),
+                        "after update: LBD({}, {}) = {} exceeds shortest {shortest}",
+                        lb.a,
+                        lb.b,
+                        lb.new_lbd
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ep_and_mfp_backends_agree_after_updates() {
+        let (_, partitioning) = paper_partitioning();
+        let mut ep = build_indexes(&partitioning, 2, BackendKind::EpIndex);
+        let mut mfp = build_indexes(&partitioning, 2, BackendKind::MfpTree);
+        for (a, b) in ep.iter_mut().zip(mfp.iter_mut()) {
+            let updates: Vec<WeightUpdate> = a
+                .subgraph()
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == 0)
+                .map(|(i, e)| {
+                    WeightUpdate::new(e.global_id, Weight::new(e.initial_weight as f64 + i as f64))
+                })
+                .collect();
+            a.apply_updates(&updates).unwrap();
+            b.apply_updates(&updates).unwrap();
+            let la: Vec<_> = a.lower_bounds().collect();
+            let lb: Vec<_> = b.lower_bounds().collect();
+            assert_eq!(la.len(), lb.len());
+            for (x, y) in la.iter().zip(lb.iter()) {
+                assert_eq!(x.a, y.a);
+                assert_eq!(x.b, y.b);
+                assert!(x.new_lbd.approx_eq(y.new_lbd), "{} vs {}", x.new_lbd, y.new_lbd);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_updates_reports_touched_paths_and_changes() {
+        let (_, partitioning) = paper_partitioning();
+        let mut indexes = build_indexes(&partitioning, 2, BackendKind::EpIndex);
+        let idx = indexes
+            .iter_mut()
+            .find(|i| i.num_pairs() > 0 && i.subgraph().num_edges() > 2)
+            .expect("some subgraph has pairs");
+        // Raise the weight of every edge sharply: distances of all bounding paths grow.
+        let updates: Vec<WeightUpdate> = idx
+            .subgraph()
+            .edges()
+            .iter()
+            .map(|e| WeightUpdate::new(e.global_id, Weight::new(e.initial_weight as f64 * 10.0)))
+            .collect();
+        let (changes, touched) = idx.apply_updates(&updates).unwrap();
+        assert!(touched > 0, "bounding paths must have been adjusted");
+        assert!(!changes.is_empty(), "lower bounds must change when all weights grow 10x");
+        // A second identical batch changes nothing.
+        let (changes2, _) = idx.apply_updates(&updates).unwrap();
+        assert!(changes2.is_empty());
+    }
+
+    #[test]
+    fn updates_for_foreign_edges_are_rejected() {
+        let (_, partitioning) = paper_partitioning();
+        let mut indexes = build_indexes(&partitioning, 1, BackendKind::EpIndex);
+        let foreign = EdgeId(10_000);
+        let err = indexes[0]
+            .apply_updates(&[WeightUpdate::new(foreign, Weight::new(1.0))])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::EdgeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn boundary_distances_from_cover_reachable_boundary_vertices() {
+        let (_, partitioning) = paper_partitioning();
+        let indexes = build_indexes(&partitioning, 1, BackendKind::EpIndex);
+        for idx in &indexes {
+            let Some(&start) = idx.subgraph().vertices().first() else { continue };
+            let dists = idx.boundary_distances_from(start);
+            for (b, d) in dists {
+                let expected = dijkstra_path(idx.subgraph(), start, b).unwrap().distance();
+                assert!(d.approx_eq(expected));
+            }
+        }
+    }
+
+    #[test]
+    fn directed_boundary_distances_respect_direction() {
+        let mut b = GraphBuilder::directed(4);
+        // 0 -> 1 -> 2 -> 3 and a back edge 3 -> 0.
+        b.edge(0, 1, 1).edge(1, 2, 1).edge(2, 3, 1).edge(3, 0, 1);
+        let g = b.build().unwrap();
+        let partitioning =
+            Partitioner::new(PartitionConfig::with_max_vertices(3)).partition(&g).unwrap();
+        for sg in partitioning.subgraphs() {
+            let idx = SubgraphIndex::build(sg.clone(), 1, 16, BackendKind::EpIndex);
+            for &bv in idx.subgraph().boundary_vertices() {
+                // distances *to* bv from bv must be zero in both helper directions.
+                let from = idx.boundary_distances_from(bv);
+                let to = idx.boundary_distances_to(bv);
+                assert!(from.iter().any(|&(x, d)| x == bv && d == Weight::ZERO));
+                assert!(to.iter().any(|&(x, d)| x == bv && d == Weight::ZERO));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_for_nonempty_indexes() {
+        let (_, partitioning) = paper_partitioning();
+        let indexes = build_indexes(&partitioning, 2, BackendKind::EpIndex);
+        let with_pairs = indexes.iter().filter(|i| i.num_pairs() > 0).count();
+        assert!(with_pairs > 0);
+        for idx in indexes.iter().filter(|i| i.num_pairs() > 0) {
+            assert!(idx.index_memory_bytes() > 0);
+            assert!(idx.subgraph_memory_bytes() > 0);
+            assert!(idx.num_bounding_paths() >= idx.num_pairs());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The unit-weight multiset of a subgraph and bound-distance computation (Section 3.4).
+//!
+//! Every edge `e` contributes `w0(e)` virtual fragments, each with *unit weight*
+//! `w(e) / w0(e)`. The bound distance of a bounding path with `φ` vfrags is the sum of
+//! the `φ` smallest unit weights in the subgraph. The multiset keeps the fragments as
+//! `(unit weight, count)` groups sorted by unit weight with prefix sums, so a bound
+//! distance query costs `O(log |E_sg|)`.
+
+use ksp_graph::{Subgraph, Weight};
+
+/// Sorted multiset of the unit weights of a subgraph, with prefix sums.
+#[derive(Debug, Clone)]
+pub struct UnitWeightMultiset {
+    /// `(unit weight, vfrag count)` groups sorted ascending by unit weight.
+    groups: Vec<(f64, u64)>,
+    /// Prefix sums of vfrag counts: `count_prefix[i]` = total vfrags in groups `0..i`.
+    count_prefix: Vec<u64>,
+    /// Prefix sums of `unit weight × count`.
+    weight_prefix: Vec<f64>,
+    total_vfrags: u64,
+}
+
+impl UnitWeightMultiset {
+    /// Builds the multiset from the current weights of a subgraph.
+    pub fn from_subgraph(subgraph: &Subgraph) -> Self {
+        let mut groups: Vec<(f64, u64)> = subgraph
+            .unit_weight_multiset()
+            .map(|(w, count)| (w.value(), count as u64))
+            .collect();
+        groups.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Merge equal unit weights to keep the structure compact.
+        let mut merged: Vec<(f64, u64)> = Vec::with_capacity(groups.len());
+        for (w, c) in groups {
+            match merged.last_mut() {
+                Some(last) if last.0 == w => last.1 += c,
+                _ => merged.push((w, c)),
+            }
+        }
+        let mut count_prefix = Vec::with_capacity(merged.len() + 1);
+        let mut weight_prefix = Vec::with_capacity(merged.len() + 1);
+        count_prefix.push(0);
+        weight_prefix.push(0.0);
+        for &(w, c) in &merged {
+            count_prefix.push(count_prefix.last().unwrap() + c);
+            weight_prefix.push(weight_prefix.last().unwrap() + w * c as f64);
+        }
+        let total_vfrags = *count_prefix.last().unwrap();
+        UnitWeightMultiset { groups: merged, count_prefix, weight_prefix, total_vfrags }
+    }
+
+    /// Total number of virtual fragments in the subgraph.
+    pub fn total_vfrags(&self) -> u64 {
+        self.total_vfrags
+    }
+
+    /// Number of distinct unit-weight values.
+    pub fn num_distinct(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The bound distance for a path with `vfrags` virtual fragments: the sum of the
+    /// `vfrags` smallest unit weights in the subgraph (Example 4 of the paper).
+    ///
+    /// If the path has more vfrags than the subgraph contains (possible only if the
+    /// path is not confined to the subgraph, which would be a logic error upstream),
+    /// the total weight of the subgraph is returned, which is still a valid lower
+    /// bound.
+    pub fn bound_distance(&self, vfrags: u64) -> Weight {
+        if vfrags == 0 {
+            return Weight::ZERO;
+        }
+        let take = vfrags.min(self.total_vfrags);
+        // Find the first group index where the cumulative count reaches `take`.
+        let idx = self.count_prefix.partition_point(|&c| c < take);
+        // groups[..idx-1] are fully taken; part of groups[idx-1] completes the sum.
+        let full = idx - 1;
+        let taken_full = self.count_prefix[full];
+        let mut sum = self.weight_prefix[full];
+        let remaining = take - taken_full;
+        sum += self.groups[full].0 * remaining as f64;
+        Weight::new(sum.max(0.0))
+    }
+
+    /// Estimated memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.groups.len() * std::mem::size_of::<(f64, u64)>()
+            + self.count_prefix.len() * std::mem::size_of::<u64>()
+            + self.weight_prefix.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_graph::{GraphBuilder, PartitionConfig, Partitioner, UpdateBatch, WeightUpdate};
+
+    /// Builds the paper's subgraph SG4 of Figure 5: edges with initial weights
+    /// 5, 3, 3, 2, 2, 3 (16 vfrags total, all unit weights 1 initially).
+    fn paper_sg4() -> (ksp_graph::DynamicGraph, Subgraph) {
+        let mut b = GraphBuilder::undirected(6);
+        b.edge(0, 2, 5).edge(2, 1, 3).edge(0, 4, 3).edge(4, 3, 2).edge(3, 2, 2).edge(4, 5, 3);
+        let g = b.build().unwrap();
+        let sg = Partitioner::new(PartitionConfig::with_max_vertices(100))
+            .partition(&g)
+            .unwrap()
+            .into_subgraphs()
+            .remove(0);
+        (g, sg)
+    }
+
+    #[test]
+    fn initial_unit_weights_are_all_one() {
+        let (_, sg) = paper_sg4();
+        let ms = UnitWeightMultiset::from_subgraph(&sg);
+        assert_eq!(ms.total_vfrags(), 18);
+        assert_eq!(ms.num_distinct(), 1);
+        // Example 4: with all unit weights 1, BD of an 8-vfrag path is 8.
+        assert_eq!(ms.bound_distance(8), Weight::new(8.0));
+        assert_eq!(ms.bound_distance(1), Weight::new(1.0));
+        assert_eq!(ms.bound_distance(0), Weight::ZERO);
+    }
+
+    #[test]
+    fn bound_distance_uses_smallest_unit_weights_after_updates() {
+        // Reproduces the spirit of Example 4: after weights change, the 8 smallest unit
+        // weights are mixed fractions.
+        let (g, mut sg) = paper_sg4();
+        // Make edge (0,2) [5 vfrags] have weight 2.5 -> unit weight 0.5,
+        // and edge (2,1) [3 vfrags] weight 1.0 -> unit weight 1/3.
+        let e02 = g.edge_between(ksp_graph::VertexId(0), ksp_graph::VertexId(2)).unwrap();
+        let e21 = g.edge_between(ksp_graph::VertexId(2), ksp_graph::VertexId(1)).unwrap();
+        let batch = UpdateBatch::new(vec![
+            WeightUpdate::new(e02, Weight::new(2.5)),
+            WeightUpdate::new(e21, Weight::new(1.0)),
+        ]);
+        for u in batch.iter() {
+            sg.apply_update(u).unwrap();
+        }
+        let ms = UnitWeightMultiset::from_subgraph(&sg);
+        // Unit weights now: 3 × 1/3, 5 × 1/2, 10 × 1.
+        assert_eq!(ms.num_distinct(), 3);
+        // 8 smallest = 3×(1/3) + 5×(1/2) = 1 + 2.5 = 3.5
+        assert!(ms.bound_distance(8).approx_eq(Weight::new(3.5)));
+        // 4 smallest = 3×(1/3) + 1×(1/2) = 1.5
+        assert!(ms.bound_distance(4).approx_eq(Weight::new(1.5)));
+    }
+
+    #[test]
+    fn bound_distance_is_monotone_in_vfrags() {
+        let (_, sg) = paper_sg4();
+        let ms = UnitWeightMultiset::from_subgraph(&sg);
+        let mut prev = Weight::ZERO;
+        for phi in 1..=ms.total_vfrags() {
+            let bd = ms.bound_distance(phi);
+            assert!(bd >= prev);
+            prev = bd;
+        }
+    }
+
+    #[test]
+    fn oversized_vfrag_request_clamps_to_total() {
+        let (_, sg) = paper_sg4();
+        let ms = UnitWeightMultiset::from_subgraph(&sg);
+        assert_eq!(ms.bound_distance(10_000), ms.bound_distance(ms.total_vfrags()));
+    }
+
+    #[test]
+    fn bound_distance_is_a_lower_bound_of_any_path_with_that_many_vfrags() {
+        let (_, mut sg) = paper_sg4();
+        // Perturb some weights.
+        let updates: Vec<WeightUpdate> = sg
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                WeightUpdate::new(e.global_id, Weight::new(e.current_weight.value() * (0.5 + 0.3 * i as f64)))
+            })
+            .collect();
+        for u in &updates {
+            sg.apply_update(u).unwrap();
+        }
+        let ms = UnitWeightMultiset::from_subgraph(&sg);
+        // For every single edge (a path of w0 vfrags), BD(w0 vfrags) <= actual weight.
+        for e in sg.edges() {
+            let bd = ms.bound_distance(e.initial_weight as u64);
+            assert!(
+                bd <= e.current_weight || bd.approx_eq(e.current_weight),
+                "bound {bd} exceeds edge weight {}",
+                e.current_weight
+            );
+        }
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let (_, sg) = paper_sg4();
+        let ms = UnitWeightMultiset::from_subgraph(&sg);
+        assert!(ms.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Query variants the paper lists as future work (Section 8), built on top of the
+//! KSP-DG engine:
+//!
+//! * **Constrained KSP** — all returned paths must pass through a given sequence of
+//!   designated vertices (e.g. "via this charging station, then this depot").
+//! * **Diversity-limited KSP** — the returned alternatives must not overlap more than a
+//!   given fraction of their edges, which is what navigation products actually show
+//!   (three *different* routes, not three near-identical ones).
+//!
+//! Both are implemented by composing ordinary KSP-DG queries, so they automatically
+//! benefit from the DTLP index and stay correct under weight updates.
+
+use crate::kspdg::query::{KspDgEngine, QueryResult, QueryStats};
+use ksp_algo::path::keep_k_shortest;
+use ksp_algo::Path;
+use ksp_graph::VertexId;
+use std::collections::HashSet;
+
+/// Edge-overlap similarity of two paths: the Jaccard similarity of their edge sets,
+/// with edges compared as unordered endpoint pairs. Two vertex-disjoint alternatives
+/// have similarity 0; identical routes have similarity 1.
+pub fn path_similarity(a: &Path, b: &Path) -> f64 {
+    let canon = |u: VertexId, v: VertexId| if u <= v { (u, v) } else { (v, u) };
+    let ea: HashSet<_> = a.edges().map(|(u, v)| canon(u, v)).collect();
+    let eb: HashSet<_> = b.edges().map(|(u, v)| canon(u, v)).collect();
+    if ea.is_empty() && eb.is_empty() {
+        return 1.0;
+    }
+    let inter = ea.intersection(&eb).count() as f64;
+    let union = ea.union(&eb).count() as f64;
+    inter / union
+}
+
+impl KspDgEngine<'_> {
+    /// Constrained KSP query: the k shortest simple paths from `source` to `target`
+    /// that visit every vertex of `waypoints`, in the given order.
+    ///
+    /// Each consecutive leg (source → w₁ → … → target) is answered with an ordinary
+    /// KSP-DG query; the per-leg top-k results are joined left to right, keeping only
+    /// simple combinations and the k best after every join — the same composition used
+    /// inside the refine step (Algorithm 4), so the result is the exact top-k of the
+    /// paths expressible as concatenations of per-leg top-k paths. With an empty
+    /// waypoint list this is exactly [`KspDgEngine::query`].
+    pub fn query_via(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        waypoints: &[VertexId],
+        k: usize,
+    ) -> QueryResult {
+        assert!(k >= 1, "k must be at least 1");
+        if waypoints.is_empty() {
+            return self.query(source, target, k);
+        }
+        let mut stops = Vec::with_capacity(waypoints.len() + 2);
+        stops.push(source);
+        stops.extend_from_slice(waypoints);
+        stops.push(target);
+
+        let mut combined: Vec<Path> = vec![Path::trivial(source)];
+        let mut stats = QueryStats::default();
+        for leg in stops.windows(2) {
+            let result = self.query(leg[0], leg[1], k);
+            accumulate(&mut stats, &result.stats);
+            if result.paths.is_empty() {
+                return QueryResult { paths: Vec::new(), stats };
+            }
+            let mut next = Vec::with_capacity(combined.len() * result.paths.len());
+            for left in &combined {
+                for right in &result.paths {
+                    if let Some(joined) = left.concat(right) {
+                        next.push(joined);
+                    }
+                }
+            }
+            keep_k_shortest(&mut next, k);
+            if next.is_empty() {
+                return QueryResult { paths: Vec::new(), stats };
+            }
+            combined = next;
+        }
+        QueryResult { paths: combined, stats }
+    }
+
+    /// Diversity-limited KSP query: up to `k` paths from `source` to `target` such that
+    /// no two returned paths share more than `max_similarity` of their edges (Jaccard).
+    ///
+    /// The engine enumerates a larger candidate pool (`overprovision × k` ordinary KSP
+    /// results) and greedily keeps, in ascending distance order, every candidate that is
+    /// sufficiently different from all already-kept paths. The shortest path is always
+    /// returned first. Fewer than `k` paths are returned when the graph does not admit
+    /// enough sufficiently-diverse alternatives within the candidate pool.
+    pub fn query_diverse(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        k: usize,
+        max_similarity: f64,
+        overprovision: usize,
+    ) -> QueryResult {
+        assert!(k >= 1, "k must be at least 1");
+        assert!((0.0..=1.0).contains(&max_similarity), "similarity threshold must be in [0, 1]");
+        let pool_size = k.max(1) * overprovision.max(1);
+        let base = self.query(source, target, pool_size);
+        let mut selected: Vec<Path> = Vec::with_capacity(k);
+        for candidate in &base.paths {
+            if selected.len() == k {
+                break;
+            }
+            let diverse_enough = selected
+                .iter()
+                .all(|kept| path_similarity(kept, candidate) <= max_similarity + 1e-12);
+            if diverse_enough {
+                selected.push(candidate.clone());
+            }
+        }
+        QueryResult { paths: selected, stats: base.stats }
+    }
+}
+
+fn accumulate(total: &mut QueryStats, part: &QueryStats) {
+    total.iterations += part.iterations;
+    total.partial_computations += part.partial_computations;
+    total.partial_cache_hits += part.partial_cache_hits;
+    total.subgraphs_examined += part.subgraphs_examined;
+    total.candidates_generated += part.candidates_generated;
+    total.vertices_transferred += part.vertices_transferred;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtlp::{DtlpConfig, DtlpIndex};
+    use ksp_algo::yen_ksp;
+    use ksp_graph::{DynamicGraph, Weight};
+    use ksp_workload::{RoadNetworkConfig, RoadNetworkGenerator, Xoshiro256};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn network(n: usize, seed: u64) -> DynamicGraph {
+        RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n)).generate(seed).unwrap().graph
+    }
+
+    #[test]
+    fn similarity_is_one_for_identical_and_zero_for_disjoint_routes() {
+        let g = network(150, 3);
+        let p = yen_ksp(&g, v(0), v(60), 1).remove(0);
+        assert_eq!(path_similarity(&p, &p), 1.0);
+        // A path far away shares no edges.
+        let far_a = v((g.num_vertices() - 2) as u32);
+        let far_b = v((g.num_vertices() - 40) as u32);
+        let q = yen_ksp(&g, far_a, far_b, 1).remove(0);
+        if !q
+            .edges()
+            .any(|(a, b)| p.edges().any(|(c, d)| (a, b) == (c, d) || (a, b) == (d, c)))
+        {
+            assert_eq!(path_similarity(&p, &q), 0.0);
+        }
+    }
+
+    #[test]
+    fn query_via_with_no_waypoints_equals_plain_query() {
+        let g = network(200, 5);
+        let index = DtlpIndex::build(&g, DtlpConfig::new(18, 2)).unwrap();
+        let engine = KspDgEngine::new(&index);
+        let plain = engine.query(v(3), v(150), 3);
+        let via = engine.query_via(v(3), v(150), &[], 3);
+        assert_eq!(plain.paths.len(), via.paths.len());
+        for (a, b) in plain.paths.iter().zip(via.paths.iter()) {
+            assert!(a.distance().approx_eq(b.distance()));
+        }
+    }
+
+    #[test]
+    fn query_via_passes_through_waypoints_in_order() {
+        let g = network(250, 7);
+        let index = DtlpIndex::build(&g, DtlpConfig::new(20, 2)).unwrap();
+        let engine = KspDgEngine::new(&index);
+        let (s, w1, w2, t) = (v(5), v(80), v(160), v(230));
+        let result = engine.query_via(s, t, &[w1, w2], 2);
+        for p in &result.paths {
+            assert_eq!(p.source(), s);
+            assert_eq!(p.target(), t);
+            let pos = |x: VertexId| p.vertices().iter().position(|&y| y == x);
+            let (ps, p1, p2, pt) =
+                (pos(s).unwrap(), pos(w1).expect("w1 visited"), pos(w2).expect("w2 visited"), pos(t).unwrap());
+            assert!(ps < p1 && p1 < p2 && p2 < pt, "waypoints out of order in {p}");
+            assert!(Path::is_simple(p.vertices()));
+        }
+        // The best constrained path can never beat the unconstrained shortest path.
+        let unconstrained = engine.query(s, t, 1);
+        if let (Some(best), Some(free)) = (result.paths.first(), unconstrained.paths.first()) {
+            assert!(best.distance() >= free.distance() || best.distance().approx_eq(free.distance()));
+        }
+    }
+
+    #[test]
+    fn query_via_distance_matches_sum_of_leg_optima_for_k1() {
+        let g = network(200, 11);
+        let index = DtlpIndex::build(&g, DtlpConfig::new(18, 2)).unwrap();
+        let engine = KspDgEngine::new(&index);
+        let (s, w, t) = (v(2), v(90), v(180));
+        let via = engine.query_via(s, t, &[w], 1);
+        if let Some(best) = via.paths.first() {
+            let leg1 = engine.query(s, w, 1).shortest_distance().unwrap();
+            let leg2 = engine.query(w, t, 1).shortest_distance().unwrap();
+            // The legs' optima may only combine if the concatenation is simple; if it
+            // is, the constrained optimum equals their sum.
+            if best.distance().approx_eq(leg1 + leg2) {
+                assert!(best.contains(w));
+            } else {
+                assert!(best.distance() >= leg1 + leg2);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_waypoints_give_empty_results() {
+        let mut b = ksp_graph::GraphBuilder::undirected(6);
+        b.edge(0, 1, 1).edge(1, 2, 1).edge(3, 4, 1).edge(4, 5, 1);
+        let g = b.build().unwrap();
+        let index = DtlpIndex::build(&g, DtlpConfig::new(3, 1)).unwrap();
+        let engine = KspDgEngine::new(&index);
+        let result = engine.query_via(v(0), v(2), &[v(4)], 2);
+        assert!(result.paths.is_empty());
+    }
+
+    #[test]
+    fn diverse_query_respects_the_similarity_threshold() {
+        let g = network(300, 13);
+        let index = DtlpIndex::build(&g, DtlpConfig::new(25, 2)).unwrap();
+        let engine = KspDgEngine::new(&index);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for _ in 0..5 {
+            let s = v(rng.next_bounded(g.num_vertices() as u64) as u32);
+            let t = v(rng.next_bounded(g.num_vertices() as u64) as u32);
+            if s == t {
+                continue;
+            }
+            let threshold = 0.5;
+            let result = engine.query_diverse(s, t, 3, threshold, 4);
+            for (i, a) in result.paths.iter().enumerate() {
+                for b in &result.paths[i + 1..] {
+                    assert!(
+                        path_similarity(a, b) <= threshold + 1e-9,
+                        "similarity {} exceeds threshold between {a} and {b}",
+                        path_similarity(a, b)
+                    );
+                }
+            }
+            // The first diverse path is always the true shortest path.
+            if let Some(first) = result.paths.first() {
+                let shortest = engine.query(s, t, 1).shortest_distance().unwrap();
+                assert!(first.distance().approx_eq(shortest));
+            }
+        }
+    }
+
+    #[test]
+    fn diverse_query_with_threshold_one_degenerates_to_plain_ksp() {
+        let g = network(200, 17);
+        let index = DtlpIndex::build(&g, DtlpConfig::new(18, 2)).unwrap();
+        let engine = KspDgEngine::new(&index);
+        let plain = engine.query(v(1), v(150), 3);
+        let diverse = engine.query_diverse(v(1), v(150), 3, 1.0, 1);
+        assert_eq!(plain.paths.len(), diverse.paths.len());
+        for (a, b) in plain.paths.iter().zip(diverse.paths.iter()) {
+            assert!(a.distance().approx_eq(b.distance()));
+        }
+    }
+
+    #[test]
+    fn diverse_selection_prefers_distance_order() {
+        let g = network(250, 19);
+        let index = DtlpIndex::build(&g, DtlpConfig::new(20, 2)).unwrap();
+        let engine = KspDgEngine::new(&index);
+        let result = engine.query_diverse(v(0), v(200), 4, 0.6, 4);
+        for w in result.paths.windows(2) {
+            assert!(w[0].distance() <= w[1].distance());
+        }
+        assert!(result.paths.len() <= 4);
+        if result.paths.len() > 1 {
+            assert!(result.paths[0].distance() <= result.paths[1].distance());
+        }
+        let _ = Weight::ZERO; // silence unused-import lints in minimal builds
+    }
+}

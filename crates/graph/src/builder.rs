@@ -1,0 +1,130 @@
+//! Convenience builder for constructing graphs from edge lists.
+
+use crate::error::GraphError;
+use crate::graph::DynamicGraph;
+use crate::ids::VertexId;
+
+/// A builder that accumulates an edge list and produces a [`DynamicGraph`].
+///
+/// Duplicate edges are silently skipped (the first occurrence wins), which makes the
+/// builder convenient for loading real-world datasets (e.g. DIMACS files list both
+/// directions of every road; for undirected graphs the second direction is a
+/// duplicate).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    directed: bool,
+    edges: Vec<(u32, u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts building an undirected graph with `num_vertices` vertices.
+    pub fn undirected(num_vertices: usize) -> Self {
+        GraphBuilder { num_vertices, directed: false, edges: Vec::new() }
+    }
+
+    /// Starts building a directed graph with `num_vertices` vertices.
+    pub fn directed(num_vertices: usize) -> Self {
+        GraphBuilder { num_vertices, directed: true, edges: Vec::new() }
+    }
+
+    /// Whether this builder produces a directed graph.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edge entries recorded so far (before duplicate removal).
+    pub fn num_edge_entries(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Records an edge with an initial integer weight (its vfrag count).
+    pub fn edge(&mut self, u: u32, v: u32, initial_weight: u32) -> &mut Self {
+        self.edges.push((u, v, initial_weight));
+        self
+    }
+
+    /// Builds the graph, validating every edge.
+    ///
+    /// Duplicate edges (same endpoint pair, and for undirected graphs same unordered
+    /// pair) are skipped; self-loops, zero weights and out-of-range endpoints are
+    /// reported as errors.
+    pub fn build(&self) -> Result<DynamicGraph, GraphError> {
+        let mut g = DynamicGraph::new(self.num_vertices, self.directed);
+        for &(u, v, w) in &self.edges {
+            match g.add_edge(VertexId(u), VertexId(v), w) {
+                Ok(_) => {}
+                Err(GraphError::DuplicateEdge { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::GraphView;
+    use crate::weight::Weight;
+
+    #[test]
+    fn builds_undirected_graph_from_edge_list() {
+        let mut b = GraphBuilder::undirected(4);
+        b.edge(0, 1, 2).edge(1, 2, 3).edge(2, 3, 4);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_directed());
+        assert_eq!(g.edge_weight(VertexId(2), VertexId(1)), Some(Weight::new(3.0)));
+    }
+
+    #[test]
+    fn duplicate_edges_are_skipped_not_errors() {
+        let mut b = GraphBuilder::undirected(3);
+        b.edge(0, 1, 2).edge(1, 0, 9).edge(0, 1, 5);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        // First occurrence wins.
+        assert_eq!(g.edge_weight(VertexId(0), VertexId(1)), Some(Weight::new(2.0)));
+    }
+
+    #[test]
+    fn directed_builder_keeps_both_directions() {
+        let mut b = GraphBuilder::directed(3);
+        b.edge(0, 1, 2).edge(1, 0, 9);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn invalid_edges_are_reported() {
+        let mut b = GraphBuilder::undirected(2);
+        b.edge(0, 7, 1);
+        assert!(matches!(b.build(), Err(GraphError::VertexOutOfRange { .. })));
+
+        let mut b = GraphBuilder::undirected(2);
+        b.edge(0, 0, 1);
+        assert!(matches!(b.build(), Err(GraphError::SelfLoop { .. })));
+
+        let mut b = GraphBuilder::undirected(2);
+        b.edge(0, 1, 0);
+        assert!(matches!(b.build(), Err(GraphError::ZeroInitialWeight { .. })));
+    }
+
+    #[test]
+    fn builder_reports_progress() {
+        let mut b = GraphBuilder::undirected(10);
+        assert_eq!(b.num_edge_entries(), 0);
+        b.edge(0, 1, 1).edge(1, 2, 1);
+        assert_eq!(b.num_edge_entries(), 2);
+        assert_eq!(b.num_vertices(), 10);
+        assert!(!b.is_directed());
+    }
+}

@@ -1,0 +1,158 @@
+//! Consistent weight snapshots (the `Gcurr` buffer of Section 2).
+//!
+//! The paper processes each query against the most recent *snapshot* of the evolving
+//! graph so that the answer has unambiguous semantics; the answer carries the snapshot
+//! version ("timestamp") it is exact for. [`GraphSnapshot`] captures the current
+//! weights of a [`DynamicGraph`]; [`SnapshotView`] combines the captured weights with
+//! the (immutable) structure of the graph and implements [`GraphView`], so algorithms
+//! can run against the snapshot while new updates keep arriving at the live graph.
+
+use crate::graph::DynamicGraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::view::GraphView;
+use crate::weight::Weight;
+use std::sync::Arc;
+
+/// An immutable capture of all edge weights at a particular graph version.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    version: u64,
+    weights: Arc<Vec<Weight>>,
+}
+
+impl GraphSnapshot {
+    /// Captures the current weights of `graph`.
+    pub fn capture(graph: &DynamicGraph) -> Self {
+        GraphSnapshot {
+            version: graph.version(),
+            weights: Arc::new(graph.edges().map(|(_, e)| e.current_weight).collect()),
+        }
+    }
+
+    /// The graph version this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of edges captured.
+    pub fn num_edges(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The captured weight of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range for the graph the snapshot was taken from.
+    pub fn weight(&self, e: EdgeId) -> Weight {
+        self.weights[e.index()]
+    }
+
+    /// Builds a [`GraphView`] that pairs this snapshot's weights with the structure of
+    /// `graph`.
+    ///
+    /// The caller must pass the same graph the snapshot was captured from (or one with
+    /// identical structure); this is asserted on the number of edges.
+    pub fn view<'a>(&'a self, graph: &'a DynamicGraph) -> SnapshotView<'a> {
+        assert_eq!(
+            self.weights.len(),
+            graph.num_edges(),
+            "snapshot was captured from a graph with a different number of edges"
+        );
+        SnapshotView { snapshot: self, graph }
+    }
+}
+
+/// A [`GraphView`] over the structure of a graph with weights frozen at snapshot time.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotView<'a> {
+    snapshot: &'a GraphSnapshot,
+    graph: &'a DynamicGraph,
+}
+
+impl SnapshotView<'_> {
+    /// The version of the underlying snapshot.
+    pub fn version(&self) -> u64 {
+        self.snapshot.version()
+    }
+}
+
+impl GraphView for SnapshotView<'_> {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.graph.num_vertices()
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, mut f: impl FnMut(VertexId, Weight)) {
+        for &(to, e) in self.graph.adjacency(v) {
+            f(to, self.snapshot.weight(e));
+        }
+    }
+
+    fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.graph.edge_between(u, v).map(|e| self.snapshot.weight(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{UpdateBatch, WeightUpdate};
+
+    fn path_graph() -> DynamicGraph {
+        let mut g = DynamicGraph::new(3, false);
+        g.add_edge(VertexId(0), VertexId(1), 5).unwrap();
+        g.add_edge(VertexId(1), VertexId(2), 5).unwrap();
+        g
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_updates() {
+        let mut g = path_graph();
+        let snap = g.snapshot();
+        let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        g.apply_batch(&UpdateBatch::new(vec![WeightUpdate::new(e, Weight::new(50.0))])).unwrap();
+
+        // Live graph sees the new weight, the snapshot still reports the old one.
+        assert_eq!(g.weight(e), Weight::new(50.0));
+        assert_eq!(snap.weight(e), Weight::new(5.0));
+
+        let view = snap.view(&g);
+        assert_eq!(view.edge_weight(VertexId(0), VertexId(1)), Some(Weight::new(5.0)));
+    }
+
+    #[test]
+    fn snapshot_records_version_at_capture_time() {
+        let mut g = path_graph();
+        let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        g.apply_batch(&UpdateBatch::new(vec![WeightUpdate::new(e, Weight::new(2.0))])).unwrap();
+        let snap = g.snapshot();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.num_edges(), 2);
+        assert_eq!(snap.view(&g).version(), 1);
+    }
+
+    #[test]
+    fn snapshot_view_exposes_structure() {
+        let g = path_graph();
+        let snap = g.snapshot();
+        let view = snap.view(&g);
+        assert_eq!(view.num_vertices(), 3);
+        assert!(view.contains_vertex(VertexId(2)));
+        assert!(!view.contains_vertex(VertexId(3)));
+        let n = view.neighbors(VertexId(1));
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different number of edges")]
+    fn snapshot_view_rejects_mismatched_graph() {
+        let g = path_graph();
+        let snap = g.snapshot();
+        let other = DynamicGraph::new(3, false);
+        let _ = snap.view(&other);
+    }
+}

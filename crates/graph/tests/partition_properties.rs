@@ -1,0 +1,68 @@
+//! Property-based tests of the partitioner invariants (Section 3.3) over randomly
+//! generated sparse graphs.
+
+use ksp_graph::{DynamicGraph, GraphBuilder, PartitionConfig, Partitioner, VertexId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a random sparse undirected graph with `n` vertices and roughly `1.5 n`
+/// edges (road-network-like density), defined by a seed-style edge list.
+fn arbitrary_graph() -> impl Strategy<Value = DynamicGraph> {
+    (5usize..60).prop_flat_map(|n| {
+        let edge_count = n + n / 2;
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..20), edge_count),
+        )
+            .prop_map(|(n, edges)| {
+                let mut b = GraphBuilder::undirected(n);
+                for (u, v, w) in edges {
+                    if u != v {
+                        b.edge(u, v, w);
+                    }
+                }
+                b.build().expect("valid graph")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn partition_invariants_hold(graph in arbitrary_graph(), z in 2usize..20) {
+        let partitioning = Partitioner::new(PartitionConfig::with_max_vertices(z))
+            .partition(&graph)
+            .expect("partitioning succeeds");
+
+        // Every edge owned exactly once.
+        let mut owned = vec![0usize; graph.num_edges()];
+        for sg in partitioning.subgraphs() {
+            prop_assert!(sg.num_vertices() <= z.max(1));
+            for e in sg.edges() {
+                owned[e.global_id.index()] += 1;
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1), "edge ownership counts: {owned:?}");
+
+        // Every vertex covered; boundary flag consistent with multiplicity.
+        let mut covered: HashSet<VertexId> = HashSet::new();
+        for sg in partitioning.subgraphs() {
+            covered.extend(sg.vertices().iter().copied());
+        }
+        prop_assert_eq!(covered.len(), graph.num_vertices());
+        for v in graph.vertices() {
+            let multiplicity = partitioning.subgraphs_of_vertex(v).len();
+            prop_assert!(multiplicity >= 1);
+            prop_assert_eq!(partitioning.is_boundary(v), multiplicity >= 2);
+        }
+
+        // Subgraph weights mirror the graph's weights at partition time.
+        for sg in partitioning.subgraphs() {
+            for e in sg.edges() {
+                prop_assert_eq!(e.current_weight, graph.weight(e.global_id));
+                prop_assert_eq!(e.initial_weight, graph.initial_weight(e.global_id));
+            }
+        }
+    }
+}

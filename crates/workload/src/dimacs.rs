@@ -1,0 +1,238 @@
+//! Parser for the DIMACS shortest-path challenge graph format (`.gr` files).
+//!
+//! The paper's datasets (NY, COL, FLA, CUSA with travel times) come from the 9th DIMACS
+//! Implementation Challenge. When the real files are available they can be loaded with
+//! [`parse_gr`] / [`load_gr_file`] and used in place of the synthetic presets; the rest
+//! of the system is agnostic to where the graph came from.
+//!
+//! Format summary (one record per line):
+//!
+//! ```text
+//! c <comment>
+//! p sp <num_vertices> <num_edges>
+//! a <from> <to> <weight>          # 1-based vertex ids
+//! ```
+
+use ksp_graph::{DynamicGraph, GraphBuilder, GraphError};
+use std::fmt;
+use std::io::{self, BufRead};
+use std::path::Path;
+
+/// Errors raised while parsing a DIMACS `.gr` stream.
+#[derive(Debug)]
+pub enum DimacsError {
+    /// I/O failure while reading the input.
+    Io(io::Error),
+    /// A malformed line (wrong arity, non-numeric field, unknown record type).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The problem line (`p sp n m`) was missing before the first arc line.
+    MissingProblemLine,
+    /// The edge list was structurally invalid for a road network.
+    Graph(GraphError),
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::Io(e) => write!(f, "i/o error reading DIMACS input: {e}"),
+            DimacsError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            DimacsError::MissingProblemLine => {
+                write!(f, "missing 'p sp <n> <m>' line before the first arc")
+            }
+            DimacsError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+impl From<io::Error> for DimacsError {
+    fn from(e: io::Error) -> Self {
+        DimacsError::Io(e)
+    }
+}
+
+impl From<GraphError> for DimacsError {
+    fn from(e: GraphError) -> Self {
+        DimacsError::Graph(e)
+    }
+}
+
+/// Parses a DIMACS `.gr` stream into a graph.
+///
+/// DIMACS road networks list both directions of every road as separate arcs. When
+/// `directed` is `false`, the second direction is treated as a duplicate and skipped,
+/// producing the undirected graph the bulk of the paper's experiments use; when `true`,
+/// both arcs are kept (the directed CUSA experiments).
+pub fn parse_gr<R: BufRead>(reader: R, directed: bool) -> Result<DynamicGraph, DimacsError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_edges: usize = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        match fields.next() {
+            Some("c") => continue,
+            Some("p") => {
+                let kind = fields.next().unwrap_or_default();
+                if kind != "sp" {
+                    return Err(DimacsError::Parse {
+                        line: line_no,
+                        message: format!("unsupported problem type '{kind}' (expected 'sp')"),
+                    });
+                }
+                let n: usize = parse_field(fields.next(), line_no, "vertex count")?;
+                declared_edges = parse_field(fields.next(), line_no, "edge count")?;
+                builder = Some(if directed {
+                    GraphBuilder::directed(n)
+                } else {
+                    GraphBuilder::undirected(n)
+                });
+            }
+            Some("a") => {
+                let b = builder.as_mut().ok_or(DimacsError::MissingProblemLine)?;
+                let from: u32 = parse_field(fields.next(), line_no, "arc tail")?;
+                let to: u32 = parse_field(fields.next(), line_no, "arc head")?;
+                let weight: u32 = parse_field(fields.next(), line_no, "arc weight")?;
+                if from == 0 || to == 0 {
+                    return Err(DimacsError::Parse {
+                        line: line_no,
+                        message: "DIMACS vertex ids are 1-based; found id 0".to_string(),
+                    });
+                }
+                // DIMACS travel-time weights can be zero for degenerate arcs; clamp to 1
+                // so the vfrag interpretation (initial weight >= 1) holds.
+                b.edge(from - 1, to - 1, weight.max(1));
+            }
+            Some(other) => {
+                return Err(DimacsError::Parse {
+                    line: line_no,
+                    message: format!("unknown record type '{other}'"),
+                });
+            }
+            None => continue,
+        }
+    }
+    let builder = builder.ok_or(DimacsError::MissingProblemLine)?;
+    let _ = declared_edges; // informational only; duplicates make exact matching moot
+    Ok(builder.build()?)
+}
+
+/// Loads a DIMACS `.gr` file from disk.
+pub fn load_gr_file<P: AsRef<Path>>(path: P, directed: bool) -> Result<DynamicGraph, DimacsError> {
+    let file = std::fs::File::open(path)?;
+    parse_gr(io::BufReader::new(file), directed)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, DimacsError> {
+    let raw = field.ok_or_else(|| DimacsError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    raw.parse().map_err(|_| DimacsError::Parse {
+        line,
+        message: format!("invalid {what}: '{raw}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_graph::{GraphView, VertexId, Weight};
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+c sample road network
+p sp 4 10
+a 1 2 7
+a 2 1 7
+a 2 3 4
+a 3 2 4
+a 3 4 2
+a 4 3 2
+a 1 4 9
+a 4 1 9
+a 1 3 12
+a 3 1 12
+";
+
+    #[test]
+    fn parses_undirected_graph_deduplicating_reverse_arcs() {
+        let g = parse_gr(Cursor::new(SAMPLE), false).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert!(!g.is_directed());
+        assert_eq!(g.edge_weight(VertexId(0), VertexId(1)), Some(Weight::new(7.0)));
+        assert_eq!(g.edge_weight(VertexId(2), VertexId(3)), Some(Weight::new(2.0)));
+    }
+
+    #[test]
+    fn parses_directed_graph_keeping_both_arcs() {
+        let g = parse_gr(Cursor::new(SAMPLE), true).unwrap();
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let input = "c hello\n\nc world\np sp 2 2\n\na 1 2 3\na 2 1 3\n";
+        let g = parse_gr(Cursor::new(input), false).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn missing_problem_line_is_an_error() {
+        let input = "a 1 2 3\n";
+        assert!(matches!(parse_gr(Cursor::new(input), false), Err(DimacsError::MissingProblemLine)));
+    }
+
+    #[test]
+    fn malformed_arc_is_reported_with_line_number() {
+        let input = "p sp 2 1\na 1 x 3\n";
+        match parse_gr(Cursor::new(input), false) {
+            Err(DimacsError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("arc head"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_record_type_is_an_error() {
+        let input = "p sp 2 1\nz 1 2 3\n";
+        assert!(matches!(parse_gr(Cursor::new(input), false), Err(DimacsError::Parse { .. })));
+    }
+
+    #[test]
+    fn zero_based_vertex_ids_are_rejected() {
+        let input = "p sp 2 1\na 0 1 3\n";
+        assert!(matches!(parse_gr(Cursor::new(input), false), Err(DimacsError::Parse { .. })));
+    }
+
+    #[test]
+    fn zero_weights_are_clamped_to_one() {
+        let input = "p sp 2 1\na 1 2 0\n";
+        let g = parse_gr(Cursor::new(input), false).unwrap();
+        assert_eq!(g.edge_weight(VertexId(0), VertexId(1)), Some(Weight::new(1.0)));
+    }
+
+    #[test]
+    fn unsupported_problem_type_is_rejected() {
+        let input = "p max 2 1\na 1 2 1\n";
+        assert!(matches!(parse_gr(Cursor::new(input), false), Err(DimacsError::Parse { .. })));
+    }
+}

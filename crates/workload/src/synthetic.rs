@@ -1,0 +1,373 @@
+//! Synthetic quasi-planar road-network generator.
+//!
+//! The paper evaluates on real DIMACS road networks. Where those files are not
+//! available, this generator produces graphs with the structural properties that the
+//! KSP-DG experiments are sensitive to:
+//!
+//! * sparse and quasi-planar (average degree ≈ 2.5–3, like real road graphs);
+//! * strong locality — most edges connect geometrically close intersections, so BFS
+//!   partitioning produces compact subgraphs with few boundary vertices;
+//! * a small number of longer "highway" edges with lower per-distance travel time;
+//! * connected, so every query has an answer;
+//! * integer initial travel times (the vfrag counts of DTLP).
+//!
+//! The generator lays intersections on a jittered grid, keeps most axis-aligned
+//! neighbour connections, drops some to create irregular holes (rivers, parks), adds a
+//! few diagonals and highway shortcuts, and finally stitches connected components
+//! together so the result is a single component.
+
+use crate::rng::Xoshiro256;
+use ksp_graph::{DynamicGraph, GraphBuilder, GraphError, VertexId};
+
+/// Configuration of the synthetic road-network generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadNetworkConfig {
+    /// Approximate number of vertices. The generator uses a `width × height` grid with
+    /// `width * height = num_vertices` (rounded to the nearest grid shape).
+    pub num_vertices: usize,
+    /// Probability of keeping each axis-aligned grid edge. Lower values create more
+    /// irregular networks with more dead ends. Typical: 0.90–0.96.
+    pub keep_probability: f64,
+    /// Probability of adding a diagonal edge in a grid cell. Typical: 0.05–0.15.
+    pub diagonal_probability: f64,
+    /// Probability, per vertex, of starting a long-range "highway" edge. Typical: 0.01.
+    pub highway_probability: f64,
+    /// Minimum initial (integer) travel time of a local road edge.
+    pub min_weight: u32,
+    /// Maximum initial (integer) travel time of a local road edge.
+    pub max_weight: u32,
+    /// Whether to produce a directed graph with both directions of every road as
+    /// separate edges (Section 5.3 / CUSA experiments). Undirected otherwise.
+    pub directed: bool,
+}
+
+impl Default for RoadNetworkConfig {
+    fn default() -> Self {
+        RoadNetworkConfig {
+            num_vertices: 1000,
+            keep_probability: 0.93,
+            diagonal_probability: 0.08,
+            highway_probability: 0.01,
+            min_weight: 3,
+            max_weight: 20,
+            directed: false,
+        }
+    }
+}
+
+impl RoadNetworkConfig {
+    /// Convenience constructor for an undirected network of roughly `num_vertices`
+    /// vertices with default structural parameters.
+    pub fn with_vertices(num_vertices: usize) -> Self {
+        RoadNetworkConfig { num_vertices, ..Default::default() }
+    }
+
+    /// Returns a copy of this configuration producing a directed graph.
+    pub fn directed(mut self) -> Self {
+        self.directed = true;
+        self
+    }
+}
+
+/// A generated road network: the graph plus planar coordinates of every vertex.
+#[derive(Debug, Clone)]
+pub struct GeneratedNetwork {
+    /// The road network graph.
+    pub graph: DynamicGraph,
+    /// Planar coordinates (x, y) of every vertex, indexed by vertex id. Useful for
+    /// distance-stratified query generation and for debugging partition locality.
+    pub coordinates: Vec<(f64, f64)>,
+}
+
+/// The synthetic road-network generator.
+#[derive(Debug, Clone)]
+pub struct RoadNetworkGenerator {
+    config: RoadNetworkConfig,
+}
+
+impl RoadNetworkGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: RoadNetworkConfig) -> Self {
+        RoadNetworkGenerator { config }
+    }
+
+    /// Generates a road network deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Result<GeneratedNetwork, GraphError> {
+        let cfg = &self.config;
+        assert!(cfg.num_vertices >= 4, "road networks need at least 4 vertices");
+        assert!(cfg.min_weight >= 1 && cfg.min_weight <= cfg.max_weight, "invalid weight range");
+
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut topo_rng = rng.fork(1);
+        let mut weight_rng = rng.fork(2);
+
+        // Choose grid dimensions close to the requested vertex count with a 4:3-ish
+        // aspect ratio, like a metropolitan area.
+        let width = ((cfg.num_vertices as f64 * 4.0 / 3.0).sqrt().round() as usize).max(2);
+        let height = (cfg.num_vertices / width).max(2);
+        let n = width * height;
+
+        let vid = |x: usize, y: usize| (y * width + x) as u32;
+
+        // Jittered coordinates.
+        let mut coordinates = Vec::with_capacity(n);
+        for y in 0..height {
+            for x in 0..width {
+                let jx = topo_rng.next_range_f64(-0.3, 0.3);
+                let jy = topo_rng.next_range_f64(-0.3, 0.3);
+                coordinates.push((x as f64 + jx, y as f64 + jy));
+            }
+        }
+
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * 2);
+        // Axis-aligned local roads.
+        for y in 0..height {
+            for x in 0..width {
+                if x + 1 < width && topo_rng.next_bool(cfg.keep_probability) {
+                    edges.push((vid(x, y), vid(x + 1, y)));
+                }
+                if y + 1 < height && topo_rng.next_bool(cfg.keep_probability) {
+                    edges.push((vid(x, y), vid(x, y + 1)));
+                }
+                // Occasional diagonal.
+                if x + 1 < width && y + 1 < height && topo_rng.next_bool(cfg.diagonal_probability) {
+                    if topo_rng.next_bool(0.5) {
+                        edges.push((vid(x, y), vid(x + 1, y + 1)));
+                    } else {
+                        edges.push((vid(x + 1, y), vid(x, y + 1)));
+                    }
+                }
+            }
+        }
+        let num_local = edges.len();
+
+        // Highway shortcuts: connect a vertex to another a few blocks away in the same
+        // row or column, modelling arterials / expressways.
+        for y in 0..height {
+            for x in 0..width {
+                if topo_rng.next_bool(cfg.highway_probability) {
+                    let span = topo_rng.next_range_u32(3, 8) as usize;
+                    if topo_rng.next_bool(0.5) {
+                        if x + span < width {
+                            edges.push((vid(x, y), vid(x + span, y)));
+                        }
+                    } else if y + span < height {
+                        edges.push((vid(x, y), vid(x, y + span)));
+                    }
+                }
+            }
+        }
+
+        // Stitch connected components together so that every query is answerable.
+        let mut dsu = DisjointSet::new(n);
+        for &(u, v) in &edges {
+            dsu.union(u as usize, v as usize);
+        }
+        let mut extra: Vec<(u32, u32)> = Vec::new();
+        for v in 1..n {
+            if dsu.find(v) != dsu.find(v - 1) {
+                dsu.union(v, v - 1);
+                extra.push(((v - 1) as u32, v as u32));
+            }
+        }
+        edges.extend(extra);
+
+        // Assign integer travel times. Local roads get a weight proportional to their
+        // jittered length; highways are faster per unit distance.
+        let mut builder =
+            if cfg.directed { GraphBuilder::directed(n) } else { GraphBuilder::undirected(n) };
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let (ux, uy) = coordinates[u as usize];
+            let (vx, vy) = coordinates[v as usize];
+            let dist = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt().max(0.5);
+            let is_highway = i >= num_local && dist > 2.0;
+            let base = cfg.min_weight as f64
+                + (cfg.max_weight - cfg.min_weight) as f64 * weight_rng.next_f64();
+            let speed_factor = if is_highway { 0.45 } else { 1.0 };
+            let w = (base * dist * speed_factor).round().clamp(cfg.min_weight as f64, u32::MAX as f64);
+            let w = (w as u32).max(cfg.min_weight);
+            if cfg.directed {
+                builder.edge(u, v, w);
+                // Opposite direction: same initial weight (the paper applies identical
+                // initial travel times to both directions; the traffic model may later
+                // vary them independently).
+                builder.edge(v, u, w);
+            } else {
+                builder.edge(u, v, w);
+            }
+        }
+
+        let graph = builder.build()?;
+        Ok(GeneratedNetwork { graph, coordinates })
+    }
+}
+
+/// Checks that a graph is connected when viewed as undirected; exposed for tests and
+/// dataset sanity checks.
+pub fn is_connected_undirected(graph: &DynamicGraph) -> bool {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return true;
+    }
+    let mut dsu = DisjointSet::new(n);
+    for (_, e) in graph.edges() {
+        dsu.union(e.u.index(), e.v.index());
+    }
+    let root = dsu.find(0);
+    (1..n).all(|v| dsu.find(v) == root)
+}
+
+/// Average degree of the graph, counting each undirected edge twice.
+pub fn average_degree(graph: &DynamicGraph) -> f64 {
+    if graph.num_vertices() == 0 {
+        return 0.0;
+    }
+    let factor = if graph.is_directed() { 1.0 } else { 2.0 };
+    factor * graph.num_edges() as f64 / graph.num_vertices() as f64
+}
+
+/// Returns, for each vertex, its degree; exposed for structural tests.
+pub fn degree_histogram(graph: &DynamicGraph) -> Vec<usize> {
+    (0..graph.num_vertices()).map(|v| graph.degree(VertexId(v as u32))).collect()
+}
+
+/// A plain union-find structure used for connectivity stitching.
+#[derive(Debug, Clone)]
+struct DisjointSet {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        DisjointSet { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, v: usize) -> usize {
+        let mut root = v;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = v;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate(n: usize, seed: u64) -> GeneratedNetwork {
+        RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n)).generate(seed).unwrap()
+    }
+
+    #[test]
+    fn generated_network_is_connected() {
+        for seed in [1, 2, 3] {
+            let net = generate(500, seed);
+            assert!(is_connected_undirected(&net.graph), "seed {seed} produced a disconnected graph");
+        }
+    }
+
+    #[test]
+    fn generated_network_has_road_like_degree() {
+        let net = generate(2000, 7);
+        let avg = average_degree(&net.graph);
+        assert!((2.0..4.5).contains(&avg), "average degree {avg} is not road-like");
+        let hist = degree_histogram(&net.graph);
+        let max_degree = hist.iter().copied().max().unwrap();
+        assert!(max_degree <= 10, "max degree {max_degree} too high for a road network");
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = generate(300, 99);
+        let b = generate(300, 99);
+        assert_eq!(a.graph.num_vertices(), b.graph.num_vertices());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for (ea, eb) in a.graph.edges().zip(b.graph.edges()) {
+            assert_eq!(ea.1, eb.1);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_networks() {
+        let a = generate(300, 1);
+        let b = generate(300, 2);
+        let differing = a
+            .graph
+            .edges()
+            .zip(b.graph.edges())
+            .filter(|(ea, eb)| ea.1 != eb.1)
+            .count();
+        assert!(differing > 0);
+    }
+
+    #[test]
+    fn vertex_count_is_close_to_requested() {
+        for requested in [100, 1000, 5000] {
+            let net = generate(requested, 5);
+            let n = net.graph.num_vertices();
+            assert!(
+                (n as f64) > requested as f64 * 0.75 && (n as f64) < requested as f64 * 1.35,
+                "requested {requested}, got {n}"
+            );
+            assert_eq!(net.coordinates.len(), n);
+        }
+    }
+
+    #[test]
+    fn initial_weights_are_positive_integers_within_reason() {
+        let net = generate(800, 21);
+        for (_, e) in net.graph.edges() {
+            assert!(e.initial_weight >= 1);
+            assert!(e.initial_weight < 500);
+            assert_eq!(e.current_weight.value(), e.initial_weight as f64);
+        }
+    }
+
+    #[test]
+    fn directed_networks_have_both_directions() {
+        let cfg = RoadNetworkConfig::with_vertices(300).directed();
+        let net = RoadNetworkGenerator::new(cfg).generate(3).unwrap();
+        assert!(net.graph.is_directed());
+        let mut forward = 0;
+        let mut has_reverse = 0;
+        for (_, e) in net.graph.edges() {
+            forward += 1;
+            if net.graph.edge_between(e.v, e.u).is_some() {
+                has_reverse += 1;
+            }
+        }
+        assert_eq!(forward, has_reverse, "every directed road must have its opposite direction");
+    }
+
+    #[test]
+    fn connectivity_helper_detects_disconnection() {
+        let mut b = GraphBuilder::undirected(4);
+        b.edge(0, 1, 1).edge(2, 3, 1);
+        let g = b.build().unwrap();
+        assert!(!is_connected_undirected(&g));
+    }
+}

@@ -1,0 +1,77 @@
+//! A navigation-service scenario (the paper's first motivating application):
+//! a stream of concurrent route requests is answered over a road network whose travel
+//! times keep changing, using the simulated cluster.
+//!
+//! Every few query batches a traffic snapshot arrives; the DTLP index absorbs it with a
+//! cheap maintenance pass (the bounding paths never change), and subsequent queries are
+//! answered against the fresh weights.
+//!
+//! ```text
+//! cargo run --release --example navigation_service
+//! ```
+
+use ksp_dg::cluster::cluster::{Cluster, ClusterConfig, QuerySpec};
+use ksp_dg::core::dtlp::DtlpConfig;
+use ksp_dg::workload::{
+    DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
+};
+use ksp_dg::workload::datasets::DatasetScale;
+
+fn main() {
+    // The NY-like preset at benchmark scale, served by a 8-server cluster.
+    let spec = DatasetPreset::NewYork.spec(DatasetScale::Small);
+    let net = spec.generate().expect("dataset generation");
+    let mut graph = net.graph;
+    println!(
+        "dataset {} ({} vertices, {} edges), z = {}",
+        spec.preset.short_name(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        spec.default_z
+    );
+
+    let (mut cluster, build) =
+        Cluster::build(&graph, ClusterConfig::new(8, DtlpConfig::new(spec.default_z, 3)))
+            .expect("cluster build");
+    println!(
+        "distributed DTLP built in {:.1} ms wall clock ({:.1} ms simulated on 8 servers)",
+        build.wall_clock.as_secs_f64() * 1e3,
+        build.load_balance.simulated_makespan().as_secs_f64() * 1e3
+    );
+
+    // Traffic evolves with the paper's default parameters (α = 35 %, τ = 30 %).
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 99);
+
+    for round in 1..=3 {
+        // A batch of concurrent route requests: top-3 alternative routes each.
+        let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(60, 3), round);
+        let specs: Vec<QuerySpec> = workload
+            .iter()
+            .map(|q| QuerySpec { source: q.source, target: q.target, k: q.k })
+            .collect();
+        let report = cluster.process_queries(&specs);
+        println!(
+            "round {round}: answered {} queries in {:.1} ms wall clock \
+             ({:.1} ms simulated makespan, {:.1} iterations/query, {} vertices transferred)",
+            report.queries_answered,
+            report.wall_clock.as_secs_f64() * 1e3,
+            report.simulated_makespan().as_secs_f64() * 1e3,
+            report.mean_iterations(),
+            report.total_vertices_transferred
+        );
+
+        // Traffic conditions change; route the update batch through the cluster.
+        let batch = traffic.next_snapshot();
+        graph.apply_batch(&batch).expect("graph update");
+        let maintenance = cluster.apply_batch(&batch).expect("index maintenance");
+        println!(
+            "    traffic snapshot: {} edge updates absorbed in {:.1} ms \
+             ({} bounding paths touched, {} skeleton edges changed)",
+            batch.len(),
+            maintenance.wall_clock.as_secs_f64() * 1e3,
+            maintenance.paths_touched,
+            maintenance.skeleton_edges_changed
+        );
+    }
+    println!("navigation service example finished");
+}

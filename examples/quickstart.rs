@@ -1,0 +1,68 @@
+//! Quickstart: build a DTLP index over a small synthetic road network and answer a
+//! handful of k-shortest-path queries, cross-checking the answers against Yen's
+//! algorithm on the full graph.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ksp_dg::algo::yen_ksp;
+use ksp_dg::core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_dg::core::kspdg::KspDgEngine;
+use ksp_dg::graph::VertexId;
+use ksp_dg::workload::{QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator};
+
+fn main() {
+    // 1. Generate a small road network (~1000 intersections).
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(1000))
+        .generate(2024)
+        .expect("network generation");
+    println!(
+        "road network: {} vertices, {} edges",
+        net.graph.num_vertices(),
+        net.graph.num_edges()
+    );
+
+    // 2. Build the DTLP index: subgraphs of at most 50 vertices, 3 bounding paths per
+    //    boundary pair.
+    let index = DtlpIndex::build(&net.graph, DtlpConfig::new(50, 3)).expect("index build");
+    let stats = index.build_stats();
+    println!(
+        "DTLP: {} subgraphs, {} boundary vertices, {} bounding paths, built in {:.1} ms",
+        stats.num_subgraphs,
+        stats.num_boundary_vertices,
+        stats.num_bounding_paths,
+        stats.build_time.as_secs_f64() * 1e3
+    );
+
+    // 3. Answer a few queries with the KSP-DG engine and verify against Yen.
+    let engine = KspDgEngine::new(&index);
+    let workload = QueryWorkload::generate(&net.graph, QueryWorkloadConfig::new(5, 3), 7);
+    for q in workload.iter() {
+        let result = engine.query(q.source, q.target, q.k);
+        let reference = yen_ksp(&net.graph, q.source, q.target, q.k);
+        println!(
+            "q({}, {}) -> {} paths in {} iterations ({} vertices transferred)",
+            q.source,
+            q.target,
+            result.paths.len(),
+            result.stats.iterations,
+            result.stats.vertices_transferred
+        );
+        for (i, p) in result.paths.iter().enumerate() {
+            println!("    #{}: distance {:.2}, {} edges", i + 1, p.distance().value(), p.num_edges());
+        }
+        assert_eq!(result.paths.len(), reference.len(), "answer must match Yen");
+        for (a, b) in result.paths.iter().zip(reference.iter()) {
+            assert!(a.distance().approx_eq(b.distance()), "distance must match Yen");
+        }
+    }
+
+    // 4. A single point-to-point query with explicit endpoints.
+    let result = engine.query(VertexId(0), VertexId((net.graph.num_vertices() - 1) as u32), 2);
+    println!(
+        "corner-to-corner query: best distance {:?}",
+        result.shortest_distance().map(|d| d.value())
+    );
+    println!("quickstart finished: all answers matched Yen's algorithm");
+}

@@ -1,0 +1,68 @@
+//! A ride-sharing dispatch scenario (the paper's second motivating application):
+//! for each (driver, rider) match the service wants a few alternative shortest routes
+//! so the driver can trade earnings against delay. Here we score candidate pickups by
+//! the detour their top-k routes impose on the driver.
+//!
+//! ```text
+//! cargo run --release --example ride_sharing
+//! ```
+
+use ksp_dg::core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_dg::core::kspdg::KspDgEngine;
+use ksp_dg::graph::VertexId;
+use ksp_dg::workload::{RoadNetworkConfig, RoadNetworkGenerator, Xoshiro256};
+
+fn main() {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(2000))
+        .generate(777)
+        .expect("network generation");
+    let graph = net.graph;
+    let index = DtlpIndex::build(&graph, DtlpConfig::new(60, 3)).expect("index build");
+    let engine = KspDgEngine::new(&index);
+    let mut rng = Xoshiro256::seed_from_u64(2025);
+    let n = graph.num_vertices() as u64;
+
+    // One driver heading to a destination, and a handful of waiting riders.
+    let driver = VertexId(rng.next_bounded(n) as u32);
+    let destination = VertexId(rng.next_bounded(n) as u32);
+    let riders: Vec<(VertexId, VertexId)> = (0..5)
+        .map(|_| (VertexId(rng.next_bounded(n) as u32), VertexId(rng.next_bounded(n) as u32)))
+        .collect();
+
+    let direct = engine.query(driver, destination, 1);
+    let direct_distance = direct.shortest_distance().expect("driver can reach destination");
+    println!(
+        "driver at {driver}, destination {destination}, direct travel time {:.1}",
+        direct_distance.value()
+    );
+
+    // For each rider, the detour is: driver -> pickup -> dropoff -> destination, using
+    // the best of the top-3 alternatives for each leg.
+    let mut scored: Vec<(usize, f64)> = Vec::new();
+    for (i, &(pickup, dropoff)) in riders.iter().enumerate() {
+        let to_pickup = engine.query(driver, pickup, 3);
+        let ride = engine.query(pickup, dropoff, 3);
+        let to_destination = engine.query(dropoff, destination, 3);
+        let legs = [&to_pickup, &ride, &to_destination];
+        if legs.iter().any(|r| r.paths.is_empty()) {
+            println!("rider {i}: unreachable, skipped");
+            continue;
+        }
+        let total: f64 = legs
+            .iter()
+            .map(|r| r.shortest_distance().expect("non-empty").value())
+            .sum();
+        let detour = total - direct_distance.value();
+        let alternatives: usize = legs.iter().map(|r| r.paths.len()).sum();
+        println!(
+            "rider {i}: pickup {pickup}, dropoff {dropoff}: total {total:.1}, detour {detour:.1} \
+             ({alternatives} alternative legs offered)"
+        );
+        scored.push((i, detour));
+    }
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    if let Some(&(best, detour)) = scored.first() {
+        println!("best match: rider {best} with detour {detour:.1}");
+    }
+    println!("ride sharing example finished");
+}

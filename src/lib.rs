@@ -1,0 +1,37 @@
+//! Facade crate for the KSP-DG system: distributed processing of k shortest path
+//! queries over dynamic road networks (reproduction of the SIGMOD 2020 paper).
+//!
+//! This crate re-exports the workspace members under short module names so that
+//! applications (and the examples in `examples/`) can depend on a single crate:
+//!
+//! * [`graph`] — the dynamic weighted graph substrate ([`ksp_graph`]).
+//! * [`algo`] — Dijkstra, Yen's algorithm, FindKSP and path utilities ([`ksp_algo`]).
+//! * [`core`] — the DTLP index and the KSP-DG query engine ([`ksp_core`]).
+//! * [`cands`] — the CANDS single-shortest-path baseline ([`ksp_cands`]).
+//! * [`cluster`] — the simulated distributed runtime ([`ksp_cluster`]).
+//! * [`workload`] — dataset generators, the traffic model and query workloads
+//!   ([`ksp_workload`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ksp_dg::core::dtlp::{DtlpConfig, DtlpIndex};
+//! use ksp_dg::core::kspdg::KspDgEngine;
+//! use ksp_dg::workload::{RoadNetworkConfig, RoadNetworkGenerator};
+//! use ksp_dg::graph::VertexId;
+//!
+//! let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(300))
+//!     .generate(42)
+//!     .expect("network generation");
+//! let index = DtlpIndex::build(&net.graph, DtlpConfig::new(25, 2)).expect("index build");
+//! let engine = KspDgEngine::new(&index);
+//! let result = engine.query(VertexId(0), VertexId(120), 3);
+//! assert!(!result.paths.is_empty());
+//! ```
+
+pub use ksp_algo as algo;
+pub use ksp_cands as cands;
+pub use ksp_cluster as cluster;
+pub use ksp_core as core;
+pub use ksp_graph as graph;
+pub use ksp_workload as workload;

@@ -1,0 +1,125 @@
+//! Workspace-level property-based tests of the system's central invariants, driven by
+//! proptest over randomly generated road networks, weight updates and queries.
+
+use ksp_dg::algo::{dijkstra_path, yen_ksp};
+use ksp_dg::core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_dg::core::kspdg::KspDgEngine;
+use ksp_dg::graph::{UpdateBatch, VertexId, Weight, WeightUpdate};
+use ksp_dg::workload::{RoadNetworkConfig, RoadNetworkGenerator, Xoshiro256};
+use proptest::prelude::*;
+
+/// Generates a connected road network of 60–160 vertices from an arbitrary seed.
+fn network(seed: u64) -> ksp_dg::graph::DynamicGraph {
+    let size = 60 + (seed % 100) as usize;
+    RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(size))
+        .generate(seed)
+        .expect("network generation")
+        .graph
+}
+
+/// Applies a pseudo-random weight perturbation derived from `seed` to `fraction` of the
+/// edges, returning the batch.
+fn perturb(graph: &ksp_dg::graph::DynamicGraph, seed: u64, fraction: f64) -> UpdateBatch {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let m = graph.num_edges();
+    let count = ((m as f64) * fraction) as usize;
+    let updates = rng
+        .sample_indices(m, count)
+        .into_iter()
+        .map(|i| {
+            let e = ksp_dg::graph::EdgeId(i as u32);
+            let w0 = graph.initial_weight(e) as f64;
+            let factor = rng.next_range_f64(0.5, 1.5);
+            WeightUpdate::new(e, Weight::new((w0 * factor).max(0.1)))
+        })
+        .collect();
+    UpdateBatch::new(updates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Theorem 2: the skeleton-graph distance between two boundary vertices never
+    /// exceeds the true graph distance, even after arbitrary weight perturbations.
+    #[test]
+    fn skeleton_distance_is_lower_bound(seed in 0u64..5_000, z in 8usize..40, xi in 1usize..4) {
+        let mut graph = network(seed);
+        let mut index = DtlpIndex::build(&graph, DtlpConfig::new(z, xi)).unwrap();
+        let batch = perturb(&graph, seed ^ 0xFEED, 0.4);
+        graph.apply_batch(&batch).unwrap();
+        index.apply_batch(&batch).unwrap();
+
+        let boundary = index.boundary_vertices();
+        prop_assume!(boundary.len() >= 2);
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xBEEF);
+        for _ in 0..5 {
+            let a = boundary[rng.next_bounded(boundary.len() as u64) as usize];
+            let b = boundary[rng.next_bounded(boundary.len() as u64) as usize];
+            if a == b { continue; }
+            let skeleton_d = dijkstra_path(index.skeleton(), a, b)
+                .map(|p| p.distance()).unwrap_or(Weight::INFINITY);
+            let graph_d = dijkstra_path(&graph, a, b)
+                .map(|p| p.distance()).unwrap_or(Weight::INFINITY);
+            prop_assert!(
+                skeleton_d <= graph_d || skeleton_d.approx_eq(graph_d),
+                "skeleton {} > graph {} for {} -> {}", skeleton_d, graph_d, a, b
+            );
+        }
+    }
+
+    /// KSP-DG returns exactly the same k distances as Yen's algorithm on the full
+    /// graph, for random graphs, random updates and random endpoints.
+    #[test]
+    fn kspdg_matches_yen(seed in 0u64..5_000, z in 8usize..40, k in 1usize..5) {
+        let mut graph = network(seed);
+        let mut index = DtlpIndex::build(&graph, DtlpConfig::new(z, 2)).unwrap();
+        let batch = perturb(&graph, seed ^ 0xABCD, 0.35);
+        graph.apply_batch(&batch).unwrap();
+        index.apply_batch(&batch).unwrap();
+
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x1234);
+        let n = graph.num_vertices() as u64;
+        let engine = KspDgEngine::new(&index);
+        for _ in 0..3 {
+            let s = VertexId(rng.next_bounded(n) as u32);
+            let t = VertexId(rng.next_bounded(n) as u32);
+            if s == t { continue; }
+            let got = engine.query(s, t, k);
+            let expected = yen_ksp(&graph, s, t, k);
+            prop_assert_eq!(got.paths.len(), expected.len(), "count mismatch for {} -> {}", s, t);
+            for (a, b) in got.paths.iter().zip(expected.iter()) {
+                prop_assert!(
+                    a.distance().approx_eq(b.distance()),
+                    "distance mismatch for {} -> {}: {} vs {}", s, t, a.distance(), b.distance()
+                );
+            }
+        }
+    }
+
+    /// Query answers are internally consistent: sorted by distance, simple, and with
+    /// endpoints matching the query.
+    #[test]
+    fn query_results_are_well_formed(seed in 0u64..5_000, k in 1usize..6) {
+        let graph = network(seed);
+        let index = DtlpIndex::build(&graph, DtlpConfig::new(20, 2)).unwrap();
+        let engine = KspDgEngine::new(&index);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let n = graph.num_vertices() as u64;
+        let s = VertexId(rng.next_bounded(n) as u32);
+        let t = VertexId(rng.next_bounded(n) as u32);
+        let result = engine.query(s, t, k);
+        prop_assert!(result.paths.len() <= k);
+        for w in result.paths.windows(2) {
+            prop_assert!(w[0].distance() <= w[1].distance());
+            prop_assert!(!w[0].same_route(&w[1]), "duplicate route returned");
+        }
+        for p in &result.paths {
+            prop_assert_eq!(p.source(), s);
+            prop_assert_eq!(p.target(), t);
+            prop_assert!(ksp_dg::algo::Path::is_simple(p.vertices()));
+            // The stored distance matches the live graph weights.
+            let recomputed = p.recompute_distance(&graph).expect("path edges exist");
+            prop_assert!(recomputed.approx_eq(p.distance()));
+        }
+    }
+}
