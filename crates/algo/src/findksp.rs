@@ -207,7 +207,11 @@ impl<'a> FindKsp<'a> {
         let mut parent: HashMap<VertexId, VertexId> = HashMap::new();
         let mut closed: HashSet<VertexId> = HashSet::new();
         g_score.insert(from, Weight::ZERO);
-        open.push(Reverse(Entry { f: h(from, &self.dist_to_target), g: Weight::ZERO, vertex: from }));
+        open.push(Reverse(Entry {
+            f: h(from, &self.dist_to_target),
+            g: Weight::ZERO,
+            vertex: from,
+        }));
 
         while let Some(Reverse(Entry { g, vertex, .. })) = open.pop() {
             if closed.contains(&vertex) {
@@ -244,7 +248,11 @@ impl<'a> FindKsp<'a> {
                 if better {
                     g_score.insert(to, tentative);
                     parent.insert(to, vertex);
-                    open.push(Reverse(Entry { f: tentative + h(to, dist_map), g: tentative, vertex: to }));
+                    open.push(Reverse(Entry {
+                        f: tentative + h(to, dist_map),
+                        g: tentative,
+                        vertex: to,
+                    }));
                 }
             }
         }
@@ -297,8 +305,7 @@ pub fn find_ksp(graph: &DynamicGraph, source: VertexId, target: VertexId, k: usi
 pub fn agrees_with_yen(graph: &DynamicGraph, source: VertexId, target: VertexId, k: usize) -> bool {
     let a = find_ksp(graph, source, target, k);
     let b = yen_ksp(graph, source, target, k);
-    a.len() == b.len()
-        && a.iter().zip(b.iter()).all(|(x, y)| x.distance().approx_eq(y.distance()))
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.distance().approx_eq(y.distance()))
 }
 
 #[cfg(test)]
@@ -331,9 +338,8 @@ mod tests {
 
     #[test]
     fn matches_yen_on_random_road_networks() {
-        let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(220))
-            .generate(17)
-            .unwrap();
+        let net =
+            RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(220)).generate(17).unwrap();
         let mut rng = Xoshiro256::seed_from_u64(4);
         for _ in 0..8 {
             let s = v(rng.next_bounded(net.graph.num_vertices() as u64) as u32);
@@ -398,9 +404,8 @@ mod tests {
 
     #[test]
     fn produced_paths_are_sorted_and_simple() {
-        let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(150))
-            .generate(23)
-            .unwrap();
+        let net =
+            RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(150)).generate(23).unwrap();
         let paths = find_ksp(&net.graph, v(1), v(100), 6);
         for w in paths.windows(2) {
             assert!(w[0].distance() <= w[1].distance());

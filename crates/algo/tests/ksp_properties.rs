@@ -8,10 +8,7 @@ use proptest::prelude::*;
 fn arbitrary_graph() -> impl Strategy<Value = DynamicGraph> {
     (4usize..9).prop_flat_map(|n| {
         let edge_count = n * 2;
-        (
-            Just(n),
-            proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..12), edge_count),
-        )
+        (Just(n), proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..12), edge_count))
             .prop_map(|(n, edges)| {
                 let mut b = GraphBuilder::undirected(n);
                 for (u, v, w) in edges {

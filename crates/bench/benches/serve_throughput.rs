@@ -1,0 +1,87 @@
+//! Criterion bench: the serving subsystem's hot paths — cache-hit vs engine
+//! queries through the service, epoch publish cost, and a short closed-loop
+//! burst with concurrent traffic epochs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksp_core::dtlp::DtlpConfig;
+use ksp_serve::{run_closed_loop, LoadDriverConfig, QueryService, ServiceConfig};
+use ksp_workload::{
+    QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+    TrafficModel,
+};
+use std::time::Duration;
+
+fn bench_serve(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(600))
+        .generate(0x5EE0)
+        .expect("network generation");
+    let graph = net.graph;
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(32, 2), 0x5E);
+
+    let mut group = c.benchmark_group("serve_query_path");
+    group.sample_size(10);
+    let service = QueryService::start(graph.clone(), ServiceConfig::new(2, DtlpConfig::new(40, 2)))
+        .expect("service start");
+    group.bench_function("cold_miss_per_epoch", |b| {
+        // Publishing before each sample clears the cache, so every query in the
+        // sample runs the engine exactly once per (query, epoch).
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.3, 0.3), 1);
+        b.iter(|| {
+            service.apply_batch(&traffic.next_snapshot()).expect("publish");
+            for q in workload.iter() {
+                std::hint::black_box(service.query(q.source, q.target, q.k).expect("query"));
+            }
+        });
+    });
+    group.bench_function("cache_hit", |b| {
+        // Warm once, then every iteration is answered from the result cache.
+        for q in workload.iter() {
+            service.query(q.source, q.target, q.k).expect("warm-up query");
+        }
+        b.iter(|| {
+            for q in workload.iter() {
+                std::hint::black_box(service.query(q.source, q.target, q.k).expect("query"));
+            }
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("serve_epoch_publish");
+    group.sample_size(10);
+    group.bench_function("apply_batch_and_publish", |b| {
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 7);
+        b.iter(|| service.apply_batch(&traffic.next_snapshot()).expect("publish"));
+    });
+    group.finish();
+    drop(service);
+
+    let mut group = c.benchmark_group("serve_closed_loop");
+    group.sample_size(10);
+    for shards in [1usize, 4] {
+        group.bench_function(format!("shards_{shards}"), |b| {
+            let service = QueryService::start(
+                graph.clone(),
+                ServiceConfig::new(shards, DtlpConfig::new(40, 2)),
+            )
+            .expect("service start");
+            let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 11);
+            // Keep total work constant across shard counts so the rows compare.
+            let clients = shards * 2;
+            let requests_per_client = 64 / clients;
+            b.iter(|| {
+                let report = run_closed_loop(
+                    &service,
+                    &workload,
+                    Some(&mut traffic),
+                    LoadDriverConfig::new(clients, requests_per_client)
+                        .with_updates_every(Duration::from_millis(10)),
+                );
+                std::hint::black_box(report);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

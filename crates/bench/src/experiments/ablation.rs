@@ -7,7 +7,9 @@ use crate::report::{f2, mib, ms, Table};
 use crate::Scale;
 use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
 use ksp_core::kspdg::{KspDgConfig, KspDgEngine};
-use ksp_workload::{DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel};
+use ksp_workload::{
+    DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
+};
 use std::time::Instant;
 
 /// Runs the full ablation and returns one table per studied choice.

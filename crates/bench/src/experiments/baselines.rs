@@ -7,7 +7,9 @@ use ksp_algo::{find_ksp, yen_ksp};
 use ksp_cands::CandsIndex;
 use ksp_cluster::cluster::{Cluster, ClusterConfig, QuerySpec};
 use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
-use ksp_workload::{DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel};
+use ksp_workload::{
+    DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
+};
 use std::time::{Duration, Instant};
 
 const DEFAULT_SERVERS: usize = 10;
@@ -146,11 +148,7 @@ pub fn fig40(scale: Scale) -> Vec<Table> {
             let _ = cands.shortest_path(q.source, q.target);
         }
         let cands_time = t0.elapsed();
-        table.row(vec![
-            preset.short_name().to_string(),
-            ms(report.wall_clock),
-            ms(cands_time),
-        ]);
+        table.row(vec![preset.short_name().to_string(), ms(report.wall_clock), ms(cands_time)]);
     }
     vec![table]
 }

@@ -21,13 +21,21 @@ fn default_xi(scale: Scale) -> usize {
 pub fn table1(scale: Scale) -> Vec<Table> {
     let mut table = Table::new(
         "Table 1: road network datasets (scaled) and partitioning statistics",
-        &["dataset", "vertices", "edges", "z", "#subgraphs", "#subgraphs(nb>5)", "skeleton vertices"],
+        &[
+            "dataset",
+            "vertices",
+            "edges",
+            "z",
+            "#subgraphs",
+            "#subgraphs(nb>5)",
+            "skeleton vertices",
+        ],
     );
     for preset in datasets_for(scale) {
         let spec = preset.spec(scale.dataset_scale());
         let net = spec.generate().expect("dataset generation");
-        let index = DtlpIndex::build(&net.graph, DtlpConfig::new(spec.default_z, 1))
-            .expect("index build");
+        let index =
+            DtlpIndex::build(&net.graph, DtlpConfig::new(spec.default_z, 1)).expect("index build");
         let stats = index.build_stats();
         table.row(vec![
             preset.short_name().to_string(),
@@ -52,8 +60,7 @@ pub fn table3(scale: Scale) -> Vec<Table> {
         let spec = preset.spec(scale.dataset_scale());
         let net = spec.generate().expect("dataset generation");
         for z in spec.z_sweep() {
-            let index =
-                DtlpIndex::build(&net.graph, DtlpConfig::new(z, 1)).expect("index build");
+            let index = DtlpIndex::build(&net.graph, DtlpConfig::new(z, 1)).expect("index build");
             table.row(vec![
                 preset.short_name().to_string(),
                 z.to_string(),
@@ -79,8 +86,7 @@ pub fn fig15_18(scale: Scale) -> Vec<Table> {
         let net = spec.generate().expect("dataset generation");
         for z in spec.z_sweep() {
             let t0 = Instant::now();
-            let index =
-                DtlpIndex::build(&net.graph, DtlpConfig::new(z, xi)).expect("index build");
+            let index = DtlpIndex::build(&net.graph, DtlpConfig::new(z, xi)).expect("index build");
             let elapsed = t0.elapsed();
             table.row(vec![
                 preset.short_name().to_string(),
@@ -160,12 +166,11 @@ pub fn fig20(scale: Scale) -> Vec<Table> {
     let xi = default_xi(scale) * 2;
     for n in sizes {
         let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n))
-            .generate(0xF16_20)
+            .generate(0x000F_1620)
             .expect("network generation");
         let z = (n / 20).clamp(10, 400);
         let t0 = Instant::now();
-        let mut index =
-            DtlpIndex::build(&net.graph, DtlpConfig::new(z, xi)).expect("index build");
+        let mut index = DtlpIndex::build(&net.graph, DtlpConfig::new(z, xi)).expect("index build");
         let build = t0.elapsed();
         let mut traffic = TrafficModel::new(&net.graph, TrafficConfig::new(0.5, 0.5), 7);
         let batch = traffic.next_snapshot();
@@ -194,11 +199,10 @@ pub fn fig21(scale: Scale) -> Vec<Table> {
     let xi = default_xi(scale) * 2;
     for n in sizes {
         let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n))
-            .generate(0xF16_21)
+            .generate(0x000F_1621)
             .expect("network generation");
         let z = (n / 20).clamp(10, 400);
-        let mut index =
-            DtlpIndex::build(&net.graph, DtlpConfig::new(z, xi)).expect("index build");
+        let mut index = DtlpIndex::build(&net.graph, DtlpConfig::new(z, xi)).expect("index build");
         let mut traffic = TrafficModel::new(&net.graph, TrafficConfig::new(0.5, 0.5), 11);
         let mut total_updates = 0usize;
         let t0 = Instant::now();

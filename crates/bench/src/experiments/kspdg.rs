@@ -152,7 +152,14 @@ pub fn fig28_31(scale: Scale) -> Vec<Table> {
     };
     let mut table = Table::new(
         format!("Figures 28-31: processing time (ms) of {nq} queries vs z and k (xi={xi})"),
-        &["dataset", "z", "k", "wall clock (ms)", "simulated 10-server makespan (ms)", "mean iterations"],
+        &[
+            "dataset",
+            "z",
+            "k",
+            "wall clock (ms)",
+            "simulated 10-server makespan (ms)",
+            "mean iterations",
+        ],
     );
     for preset in datasets_for(scale) {
         let spec = preset.spec(scale.dataset_scale());
@@ -295,11 +302,7 @@ pub fn fig34(scale: Scale) -> Vec<Table> {
             for q in workload.iter() {
                 let _ = engine.query(q.source, q.target, k);
             }
-            table.row(vec![
-                format!("{}%", (tau * 100.0) as u32),
-                k.to_string(),
-                ms(t0.elapsed()),
-            ]);
+            table.row(vec![format!("{}%", (tau * 100.0) as u32), k.to_string(), ms(t0.elapsed())]);
         }
     }
     vec![table]

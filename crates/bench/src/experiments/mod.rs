@@ -10,6 +10,7 @@ pub mod baselines;
 pub mod dtlp;
 pub mod kspdg;
 pub mod scaling;
+pub mod serve;
 
 use crate::report::Table;
 use crate::Scale;
@@ -45,6 +46,7 @@ pub fn catalogue() -> Vec<(&'static str, &'static str)> {
         ("fig46", "Figure 46: relative speedups vs servers"),
         ("loadbal", "Section 6.6: per-server CPU/memory load balance"),
         ("ablation", "Ablation: vfrags, xi, MFP-tree backend, partial-path cache"),
+        ("serve", "Serving: closed-loop throughput/latency vs shards with live epochs"),
     ]
 }
 
@@ -78,6 +80,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "fig46" => scaling::fig46(scale),
         "loadbal" => scaling::load_balance(scale),
         "ablation" => ablation::run(scale),
+        "serve" => serve::serve_throughput(scale),
         _ => return None,
     };
     Some(tables)

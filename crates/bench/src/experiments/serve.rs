@@ -1,0 +1,92 @@
+//! Serving-layer experiment: closed-loop throughput and tail latency of
+//! `ksp_serve::QueryService` as the shard count grows, with traffic epochs
+//! publishing concurrently.
+//!
+//! This is the serving-side companion of the batch scaling figures: instead of
+//! a batch makespan it reports what an online operator watches — queries per
+//! second, p50/p95/p99 latency, cache hit rate and admission rejections.
+
+use crate::report::{f2, Table};
+use crate::Scale;
+use ksp_core::dtlp::DtlpConfig;
+use ksp_serve::{run_closed_loop, LoadDriverConfig, QueryService, ServiceConfig};
+use ksp_workload::{
+    DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
+};
+use std::time::Duration;
+
+/// Closed-loop serving throughput vs number of shards.
+pub fn serve_throughput(scale: Scale) -> Vec<Table> {
+    let spec = DatasetPreset::NewYork.spec(scale.dataset_scale());
+    let net = spec.generate().expect("dataset generation");
+    let graph = net.graph;
+    let workload = QueryWorkload::generate(
+        &graph,
+        QueryWorkloadConfig::new(scale.default_num_queries(), 2),
+        0x5E11,
+    );
+
+    let mut table = Table::new(
+        format!(
+            "serve: closed-loop throughput vs shards ({}, {} vertices, Nq = {})",
+            spec.preset.short_name(),
+            graph.num_vertices(),
+            workload.len()
+        ),
+        &[
+            "shards",
+            "clients",
+            "completed",
+            "rejected",
+            "qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "hit_rate",
+            "epochs",
+        ],
+    );
+
+    for &shards in &[1usize, 2, 4, 8] {
+        let service = QueryService::start(
+            graph.clone(),
+            ServiceConfig::new(shards, DtlpConfig::new(spec.default_z, 2)),
+        )
+        .expect("service start");
+        let clients = shards * 2;
+        let requests_per_client = (workload.len() * 2 / clients).max(1);
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 0xE9);
+        let report = run_closed_loop(
+            &service,
+            &workload,
+            Some(&mut traffic),
+            LoadDriverConfig::new(clients, requests_per_client)
+                .with_updates_every(Duration::from_millis(10)),
+        );
+        table.row(vec![
+            shards.to_string(),
+            clients.to_string(),
+            report.completed.to_string(),
+            report.rejected.to_string(),
+            f2(report.throughput_qps()),
+            f2(report.metrics.p50.as_secs_f64() * 1e3),
+            f2(report.metrics.p95.as_secs_f64() * 1e3),
+            f2(report.metrics.p99.as_secs_f64() * 1e3),
+            f2(report.metrics.cache_hit_rate()),
+            report.epochs_published.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_throughput_reports_all_shard_counts() {
+        let tables = serve_throughput(Scale::Tiny);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].num_rows(), 4);
+    }
+}

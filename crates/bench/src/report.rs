@@ -54,7 +54,11 @@ impl Table {
             .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header_line.join("  "));
-        let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
@@ -129,6 +133,6 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(ms(Duration::from_millis(1500)), "1500.000");
         assert_eq!(mib(1024 * 1024), "1.00");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(1.2345), "1.23");
     }
 }

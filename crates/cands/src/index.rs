@@ -3,8 +3,8 @@
 
 use ksp_algo::{dijkstra_all, dijkstra_path};
 use ksp_graph::{
-    DynamicGraph, GraphError, GraphView, PartitionConfig, Partitioner, Subgraph,
-    SubgraphId, UpdateBatch, VertexId, Weight,
+    DynamicGraph, GraphError, GraphView, PartitionConfig, Partitioner, Subgraph, SubgraphId,
+    UpdateBatch, VertexId, Weight,
 };
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -170,7 +170,10 @@ impl CandsIndex {
     /// Applies a batch of weight updates. Every subgraph containing an updated edge
     /// recomputes all of its boundary-pair shortest paths — the expensive maintenance
     /// step that Figure 41 contrasts with DTLP's cheap bound refresh.
-    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<CandsMaintenanceStats, GraphError> {
+    pub fn apply_batch(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<CandsMaintenanceStats, GraphError> {
         let start = Instant::now();
         let mut dirty: Vec<bool> = vec![false; self.subgraphs.len()];
         for u in batch.iter() {
@@ -181,15 +184,14 @@ impl CandsIndex {
             self.subgraphs[owner.index()].apply_update(u)?;
             dirty[owner.index()] = true;
         }
-        let mut stats = CandsMaintenanceStats {
-            updates_applied: batch.len(),
-            ..Default::default()
-        };
+        let mut stats =
+            CandsMaintenanceStats { updates_applied: batch.len(), ..Default::default() };
         for (i, is_dirty) in dirty.iter().enumerate() {
             if !is_dirty {
                 continue;
             }
-            self.pair_distances[i] = Self::compute_pair_distances(&self.subgraphs[i], self.directed);
+            self.pair_distances[i] =
+                Self::compute_pair_distances(&self.subgraphs[i], self.directed);
             stats.subgraphs_recomputed += 1;
             stats.pairs_recomputed += self.pair_distances[i].len();
         }
@@ -259,7 +261,9 @@ impl CandsIndex {
                 settled_vertices: p.num_vertices(),
                 boundary_route: p.vertices().to_vec(),
             },
-            None => CandsQueryResult { distance: None, boundary_route: Vec::new(), settled_vertices: 0 },
+            None => {
+                CandsQueryResult { distance: None, boundary_route: Vec::new(), settled_vertices: 0 }
+            }
         }
     }
 
@@ -286,7 +290,9 @@ impl GraphView for CandsOverlayView<'_> {
     }
 
     fn contains_vertex(&self, v: VertexId) -> bool {
-        self.index.overlay.contains_key(&v) || self.extra.contains_key(&v) || self.index.is_boundary(v)
+        self.index.overlay.contains_key(&v)
+            || self.extra.contains_key(&v)
+            || self.index.is_boundary(v)
     }
 
     fn for_each_neighbor(&self, v: VertexId, mut f: impl FnMut(VertexId, Weight)) {
@@ -336,10 +342,17 @@ mod tests {
             let expected = dijkstra_path(&g, q.source, q.target).map(|p| p.distance());
             match (result.distance, expected) {
                 (Some(a), Some(b)) => {
-                    assert!(a.approx_eq(b), "{} -> {}: CANDS {a} vs Dijkstra {b}", q.source, q.target)
+                    assert!(
+                        a.approx_eq(b),
+                        "{} -> {}: CANDS {a} vs Dijkstra {b}",
+                        q.source,
+                        q.target
+                    )
                 }
                 (None, None) => {}
-                other => panic!("reachability mismatch for {} -> {}: {other:?}", q.source, q.target),
+                other => {
+                    panic!("reachability mismatch for {} -> {}: {other:?}", q.source, q.target)
+                }
             }
         }
     }
@@ -382,7 +395,8 @@ mod tests {
         let g = network(300, 13);
         let mut index = CandsIndex::build(&g, 25).unwrap();
         // A single-edge update touches exactly one subgraph.
-        let batch = UpdateBatch::new(vec![ksp_graph::WeightUpdate::new(EdgeId(0), Weight::new(99.0))]);
+        let batch =
+            UpdateBatch::new(vec![ksp_graph::WeightUpdate::new(EdgeId(0), Weight::new(99.0))]);
         let stats = index.apply_batch(&batch).unwrap();
         assert_eq!(stats.updates_applied, 1);
         assert_eq!(stats.subgraphs_recomputed, 1);

@@ -83,7 +83,9 @@ pub struct DistributedMaintenanceReport {
     pub skeleton_edges_changed: usize,
 }
 
-/// Report of a distributed query batch (Figures 28–46).
+/// Report of a distributed query batch (the query-scaling Figures 43–46 and the
+/// Section 6.6 load-balance report; the engine-level query figures 28–34 come from
+/// `ksp-bench` directly).
 #[derive(Debug, Clone)]
 pub struct DistributedQueryReport {
     /// Wall-clock time of the parallel batch on this machine.
@@ -135,10 +137,9 @@ impl Cluster {
     ) -> Result<(Self, DistributedBuildReport), GraphError> {
         assert!(config.num_servers >= 1, "a cluster needs at least one server");
         let start = Instant::now();
-        let partitioning = Partitioner::new(PartitionConfig::with_max_vertices(
-            config.dtlp.max_subgraph_vertices,
-        ))
-        .partition(graph)?;
+        let partitioning =
+            Partitioner::new(PartitionConfig::with_max_vertices(config.dtlp.max_subgraph_vertices))
+                .partition(graph)?;
 
         let boundary = partitioning.boundary_vertices().to_vec();
         let mut vertex_subgraphs = HashMap::new();
@@ -188,7 +189,8 @@ impl Cluster {
         for (i, slot) in results.into_inner().into_iter().enumerate() {
             let (idx, elapsed) = slot.expect("every subgraph index was built");
             per_server[subgraph_server[i]].record(elapsed);
-            per_server[subgraph_server[i]].memory_bytes += idx.index_memory_bytes() + idx.subgraph_memory_bytes();
+            per_server[subgraph_server[i]].memory_bytes +=
+                idx.index_memory_bytes() + idx.subgraph_memory_bytes();
             indexes.push(idx);
         }
 
@@ -322,7 +324,10 @@ impl Cluster {
 mod tests {
     use super::*;
     use ksp_algo::yen_ksp;
-    use ksp_workload::{QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig, TrafficModel};
+    use ksp_workload::{
+        QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+        TrafficModel,
+    };
 
     fn network(n: usize, seed: u64) -> DynamicGraph {
         RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n)).generate(seed).unwrap().graph
@@ -357,16 +362,14 @@ mod tests {
             sequential.skeleton().num_skeleton_edges(),
             cluster.index().skeleton().num_skeleton_edges()
         );
-        assert_eq!(
-            sequential.boundary_vertices(),
-            cluster.index().boundary_vertices()
-        );
+        assert_eq!(sequential.boundary_vertices(), cluster.index().boundary_vertices());
     }
 
     #[test]
     fn query_batch_answers_match_yen() {
         let g = network(250, 7);
-        let (cluster, _) = Cluster::build(&g, ClusterConfig::new(4, DtlpConfig::new(18, 2))).unwrap();
+        let (cluster, _) =
+            Cluster::build(&g, ClusterConfig::new(4, DtlpConfig::new(18, 2))).unwrap();
         let workload = QueryWorkload::generate(&g, QueryWorkloadConfig::new(8, 2), 3);
         // Check correctness through the shared engine (the batch API reports stats only).
         let engine = KspDgEngine::new(cluster.index());

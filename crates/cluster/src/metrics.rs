@@ -55,7 +55,8 @@ impl LoadBalanceReport {
         };
         let mem_max = loads.iter().map(|l| l.memory_bytes).max().unwrap();
         let mem_min = loads.iter().map(|l| l.memory_bytes).min().unwrap();
-        let memory_spread = if mem_max > 0 { (mem_max - mem_min) as f64 / mem_max as f64 } else { 0.0 };
+        let memory_spread =
+            if mem_max > 0 { (mem_max - mem_min) as f64 / mem_max as f64 } else { 0.0 };
         LoadBalanceReport {
             num_servers: loads.len(),
             max_busy,
@@ -107,9 +108,21 @@ mod tests {
     #[test]
     fn report_computes_spread() {
         let loads = vec![
-            ServerLoad { busy_time: Duration::from_millis(100), items_processed: 1, memory_bytes: 100 },
-            ServerLoad { busy_time: Duration::from_millis(80), items_processed: 1, memory_bytes: 90 },
-            ServerLoad { busy_time: Duration::from_millis(90), items_processed: 1, memory_bytes: 95 },
+            ServerLoad {
+                busy_time: Duration::from_millis(100),
+                items_processed: 1,
+                memory_bytes: 100,
+            },
+            ServerLoad {
+                busy_time: Duration::from_millis(80),
+                items_processed: 1,
+                memory_bytes: 90,
+            },
+            ServerLoad {
+                busy_time: Duration::from_millis(90),
+                items_processed: 1,
+                memory_bytes: 95,
+            },
         ];
         let report = LoadBalanceReport::from_loads(&loads);
         assert_eq!(report.num_servers, 3);

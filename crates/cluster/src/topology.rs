@@ -62,18 +62,10 @@ enum WorkerRequest {
     /// Distances between a (possibly non-boundary) vertex and the boundary vertices of
     /// the worker's subgraphs containing it; `reverse` asks for boundary → vertex
     /// distances (needed for directed graphs).
-    EndpointDistances {
-        vertex: VertexId,
-        reverse: bool,
-        reply: Sender<Vec<(VertexId, Weight)>>,
-    },
+    EndpointDistances { vertex: VertexId, reverse: bool, reply: Sender<Vec<(VertexId, Weight)>> },
     /// Shortest within-subgraph distance between two vertices, over the worker's
     /// subgraphs containing both.
-    WithinSubgraph {
-        source: VertexId,
-        target: VertexId,
-        reply: Sender<Option<Weight>>,
-    },
+    WithinSubgraph { source: VertexId, target: VertexId, reply: Sender<Option<Weight>> },
     /// Stop the worker thread.
     Shutdown,
 }
@@ -105,10 +97,9 @@ impl StormTopology {
     /// worker threads that own them, and assembles the skeleton on the master.
     pub fn build(graph: &DynamicGraph, config: TopologyConfig) -> Result<Self, GraphError> {
         assert!(config.num_workers >= 1, "need at least one worker");
-        let partitioning = Partitioner::new(PartitionConfig::with_max_vertices(
-            config.dtlp.max_subgraph_vertices,
-        ))
-        .partition(graph)?;
+        let partitioning =
+            Partitioner::new(PartitionConfig::with_max_vertices(config.dtlp.max_subgraph_vertices))
+                .partition(graph)?;
         let boundary = partitioning.boundary_vertices().to_vec();
         let mut vertex_subgraphs = HashMap::new();
         for v in graph.vertices() {
@@ -208,10 +199,7 @@ impl StormTopology {
 
     fn send(&self, worker: usize, request: WorkerRequest) {
         self.tuples_sent.set(self.tuples_sent.get() + 1);
-        self.workers[worker]
-            .sender
-            .send(request)
-            .expect("worker thread terminated unexpectedly");
+        self.workers[worker].sender.send(request).expect("worker thread terminated unexpectedly");
     }
 
     /// Routes a weight-update batch to the owning workers (the EntranceSpout role) and
@@ -399,10 +387,7 @@ impl StormTopology {
     ) -> HashMap<(VertexId, VertexId), Vec<Path>> {
         let (tx, rx) = unbounded();
         for w in 0..self.workers.len() {
-            self.send(
-                w,
-                WorkerRequest::PartialKsp { pairs: pairs.to_vec(), k, reply: tx.clone() },
-            );
+            self.send(w, WorkerRequest::PartialKsp { pairs: pairs.to_vec(), k, reply: tx.clone() });
         }
         drop(tx);
         let mut merged: HashMap<(VertexId, VertexId), Vec<Path>> = HashMap::new();
@@ -442,8 +427,7 @@ fn worker_main(mut indexes: Vec<SubgraphIndex>, rx: Receiver<WorkerRequest>) {
                 // Group the updates by the owning subgraph among this worker's indexes.
                 let mut per_index: HashMap<usize, Vec<WeightUpdate>> = HashMap::new();
                 for u in updates {
-                    if let Some(i) =
-                        indexes.iter().position(|idx| idx.subgraph().owns_edge(u.edge))
+                    if let Some(i) = indexes.iter().position(|idx| idx.subgraph().owns_edge(u.edge))
                     {
                         per_index.entry(i).or_default().push(u);
                     }
@@ -542,10 +526,7 @@ mod tests {
         let dtlp = DtlpConfig::new(15, 2);
         let topology = StormTopology::build(&g, TopologyConfig::new(4, dtlp)).unwrap();
         let index = DtlpIndex::build(&g, dtlp).unwrap();
-        assert_eq!(
-            topology.skeleton().num_skeleton_edges(),
-            index.skeleton().num_skeleton_edges()
-        );
+        assert_eq!(topology.skeleton().num_skeleton_edges(), index.skeleton().num_skeleton_edges());
         assert_eq!(
             topology.skeleton().num_skeleton_vertices(),
             index.skeleton().num_skeleton_vertices()

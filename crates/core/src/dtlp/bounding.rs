@@ -91,17 +91,8 @@ impl BoundingPathSet {
         if self.paths.is_empty() {
             return Weight::INFINITY;
         }
-        let d_u = self
-            .paths
-            .iter()
-            .map(|p| p.current_distance)
-            .min()
-            .expect("non-empty path set");
-        let bd_r = self
-            .paths
-            .last()
-            .expect("non-empty path set")
-            .bound_distance(multiset);
+        let d_u = self.paths.iter().map(|p| p.current_distance).min().expect("non-empty path set");
+        let bd_r = self.paths.last().expect("non-empty path set").bound_distance(multiset);
         d_u.min(bd_r)
     }
 
@@ -124,10 +115,8 @@ impl BoundingPathSet {
     pub fn apply_edge_delta(&mut self, u: VertexId, v: VertexId, delta: f64) -> usize {
         let mut touched = 0;
         for p in &mut self.paths {
-            let on_path = p
-                .vertices
-                .windows(2)
-                .any(|w| (w[0] == u && w[1] == v) || (w[0] == v && w[1] == u));
+            let on_path =
+                p.vertices.windows(2).any(|w| (w[0] == u && w[1] == v) || (w[0] == v && w[1] == u));
             if on_path {
                 let new = (p.current_distance.value() + delta).max(0.0);
                 p.current_distance = Weight::new(new);
@@ -197,9 +186,7 @@ mod tests {
                     .map(|w| {
                         sg.edges()
                             .iter()
-                            .find(|e| {
-                                (e.u == w[0] && e.v == w[1]) || (e.u == w[1] && e.v == w[0])
-                            })
+                            .find(|e| (e.u == w[0] && e.v == w[1]) || (e.u == w[1] && e.v == w[0]))
                             .map(|e| e.initial_weight as u64)
                             .unwrap()
                     })
@@ -209,9 +196,7 @@ mod tests {
                     .map(|w| {
                         sg.edges()
                             .iter()
-                            .find(|e| {
-                                (e.u == w[0] && e.v == w[1]) || (e.u == w[1] && e.v == w[0])
-                            })
+                            .find(|e| (e.u == w[0] && e.v == w[1]) || (e.u == w[1] && e.v == w[0]))
                             .map(|e| e.current_weight.value())
                             .unwrap()
                     })

@@ -72,7 +72,7 @@ impl MinHashLsh {
         // LSH banding: edges identical in at least one band are unioned.
         let rows_per_band = NUM_HASHES / NUM_BANDS;
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

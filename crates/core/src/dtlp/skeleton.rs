@@ -130,7 +130,8 @@ impl SkeletonGraph {
                 } else {
                     self.adj.entry(key.1).or_default();
                 }
-                self.max_vertex_id = self.max_vertex_id.max(key.0.index() + 1).max(key.1.index() + 1);
+                self.max_vertex_id =
+                    self.max_vertex_id.max(key.0.index() + 1).max(key.1.index() + 1);
                 true
             }
         }

@@ -77,7 +77,12 @@ impl SubgraphIndex {
     /// `xi` is the maximum number of bounding paths per boundary pair (the paper's ξ);
     /// `max_enumerated` caps the path enumeration per pair (see
     /// [`ksp_algo::fewest_vfrag_paths`] for why truncation is safe).
-    pub fn build(subgraph: Subgraph, xi: usize, max_enumerated: usize, backend: BackendKind) -> Self {
+    pub fn build(
+        subgraph: Subgraph,
+        xi: usize,
+        max_enumerated: usize,
+        backend: BackendKind,
+    ) -> Self {
         let directed = subgraph.is_directed();
         let boundary: Vec<VertexId> = subgraph.boundary_vertices().to_vec();
 
@@ -102,8 +107,7 @@ impl SubgraphIndex {
                 let paths: Vec<BoundingPath> = candidates
                     .into_iter()
                     .filter_map(|c| {
-                        let dist =
-                            Path::from_vertices(&subgraph, c.vertices.clone())?.distance();
+                        let dist = Path::from_vertices(&subgraph, c.vertices.clone())?.distance();
                         Some(BoundingPath::new(c.vertices, c.vfrags, dist))
                     })
                     .collect();
@@ -419,7 +423,7 @@ mod tests {
                     .edges()
                     .iter()
                     .enumerate()
-                    .filter(|(i, _)| (i + round as usize) % 3 == 0)
+                    .filter(|(i, _)| (i + round as usize).is_multiple_of(3))
                     .map(|(i, e)| {
                         let factor = 0.5 + ((i as f64 * 0.37 + round as f64) % 1.0);
                         WeightUpdate::new(
@@ -502,9 +506,8 @@ mod tests {
         let (_, partitioning) = paper_partitioning();
         let mut indexes = build_indexes(&partitioning, 1, BackendKind::EpIndex);
         let foreign = EdgeId(10_000);
-        let err = indexes[0]
-            .apply_updates(&[WeightUpdate::new(foreign, Weight::new(1.0))])
-            .unwrap_err();
+        let err =
+            indexes[0].apply_updates(&[WeightUpdate::new(foreign, Weight::new(1.0))]).unwrap_err();
         assert!(matches!(err, GraphError::EdgeOutOfRange { .. }));
     }
 

@@ -23,10 +23,8 @@ pub struct UnitWeightMultiset {
 impl UnitWeightMultiset {
     /// Builds the multiset from the current weights of a subgraph.
     pub fn from_subgraph(subgraph: &Subgraph) -> Self {
-        let mut groups: Vec<(f64, u64)> = subgraph
-            .unit_weight_multiset()
-            .map(|(w, count)| (w.value(), count as u64))
-            .collect();
+        let mut groups: Vec<(f64, u64)> =
+            subgraph.unit_weight_multiset().map(|(w, count)| (w.value(), count as u64)).collect();
         groups.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Merge equal unit weights to keep the structure compact.
         let mut merged: Vec<(f64, u64)> = Vec::with_capacity(groups.len());
@@ -173,7 +171,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, e)| {
-                WeightUpdate::new(e.global_id, Weight::new(e.current_weight.value() * (0.5 + 0.3 * i as f64)))
+                WeightUpdate::new(
+                    e.global_id,
+                    Weight::new(e.current_weight.value() * (0.5 + 0.3 * i as f64)),
+                )
             })
             .collect();
         for u in &updates {

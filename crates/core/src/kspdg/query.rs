@@ -200,8 +200,12 @@ impl<'a> KspDgEngine<'a> {
             let best = shared
                 .iter()
                 .filter_map(|&sg| {
-                    ksp_algo::dijkstra_path(self.index.subgraph_index(sg).subgraph(), source, target)
-                        .map(|p| p.distance())
+                    ksp_algo::dijkstra_path(
+                        self.index.subgraph_index(sg).subgraph(),
+                        source,
+                        target,
+                    )
+                    .map(|p| p.distance())
                 })
                 .min();
             if let Some(d) = best {
@@ -215,6 +219,48 @@ impl<'a> KspDgEngine<'a> {
         overlay
     }
 }
+
+/// A query engine that owns its index behind an [`Arc`], so it can be moved into
+/// `'static` worker threads (the serving subsystem's shards) and shared freely.
+///
+/// Queries are read-only, so any number of `SharedEngine`s (or clones of one) can
+/// answer queries against the same index concurrently.
+#[derive(Debug, Clone)]
+pub struct SharedEngine {
+    index: std::sync::Arc<DtlpIndex>,
+    config: KspDgConfig,
+}
+
+impl SharedEngine {
+    /// Creates a shared engine over the given index with default configuration.
+    pub fn new(index: std::sync::Arc<DtlpIndex>) -> Self {
+        SharedEngine { index, config: KspDgConfig::default() }
+    }
+
+    /// Creates a shared engine with an explicit configuration.
+    pub fn with_config(index: std::sync::Arc<DtlpIndex>, config: KspDgConfig) -> Self {
+        SharedEngine { index, config }
+    }
+
+    /// The index this engine queries.
+    pub fn index(&self) -> &std::sync::Arc<DtlpIndex> {
+        &self.index
+    }
+
+    /// Answers the query `q(source, target)` with parameter `k`.
+    pub fn query(&self, source: VertexId, target: VertexId, k: usize) -> QueryResult {
+        KspDgEngine::with_config(&self.index, self.config).query(source, target, k)
+    }
+}
+
+// The serving subsystem hands `&DtlpIndex` / `SharedEngine` across threads; keep
+// that property from regressing silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DtlpIndex>();
+    assert_send_sync::<SharedEngine>();
+    assert_send_sync::<KspDgEngine<'_>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -269,7 +315,13 @@ mod tests {
 
     /// Checks that KSP-DG and Yen (ground truth on the full graph) return the same
     /// multiset of path distances for the given query.
-    fn assert_matches_yen(graph: &DynamicGraph, index: &DtlpIndex, s: VertexId, t: VertexId, k: usize) {
+    fn assert_matches_yen(
+        graph: &DynamicGraph,
+        index: &DtlpIndex,
+        s: VertexId,
+        t: VertexId,
+        k: usize,
+    ) {
         let engine = KspDgEngine::new(index);
         let result = engine.query(s, t, k);
         let expected = yen_ksp(graph, s, t, k);
@@ -312,7 +364,8 @@ mod tests {
 
     #[test]
     fn matches_yen_for_boundary_endpoint_queries() {
-        let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(250)).generate(41).unwrap();
+        let net =
+            RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(250)).generate(41).unwrap();
         let index = DtlpIndex::build(&net.graph, DtlpConfig::new(18, 2)).unwrap();
         let workload = QueryWorkload::generate_from_candidates(
             index.boundary_vertices(),
@@ -326,10 +379,10 @@ mod tests {
 
     #[test]
     fn matches_yen_for_arbitrary_endpoint_queries() {
-        let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(220)).generate(43).unwrap();
+        let net =
+            RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(220)).generate(43).unwrap();
         let index = DtlpIndex::build(&net.graph, DtlpConfig::new(15, 2)).unwrap();
-        let workload =
-            QueryWorkload::generate(&net.graph, QueryWorkloadConfig::new(12, 2), 5);
+        let workload = QueryWorkload::generate(&net.graph, QueryWorkloadConfig::new(12, 2), 5);
         for q in workload.iter() {
             assert_matches_yen(&net.graph, &index, q.source, q.target, q.k);
         }
@@ -354,7 +407,8 @@ mod tests {
 
     #[test]
     fn same_subgraph_non_boundary_endpoints_are_answered() {
-        let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(150)).generate(53).unwrap();
+        let net =
+            RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(150)).generate(53).unwrap();
         let index = DtlpIndex::build(&net.graph, DtlpConfig::new(30, 2)).unwrap();
         // Find two non-boundary vertices sharing a subgraph.
         let pair = (0..net.graph.num_vertices() as u32)
@@ -395,7 +449,8 @@ mod tests {
     #[test]
     fn higher_xi_never_increases_iterations() {
         // Figure 24: more bounding paths tighten the bounds and reduce iterations.
-        let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(300)).generate(61).unwrap();
+        let net =
+            RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(300)).generate(61).unwrap();
         let mut g = net.graph.clone();
         let mut traffic = TrafficModel::new(&g, TrafficConfig::new(0.5, 0.6), 3);
         let batch = traffic.next_snapshot();
@@ -421,7 +476,8 @@ mod tests {
 
     #[test]
     fn cache_disabled_still_produces_correct_results() {
-        let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(180)).generate(73).unwrap();
+        let net =
+            RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(180)).generate(73).unwrap();
         let index = DtlpIndex::build(&net.graph, DtlpConfig::new(15, 2)).unwrap();
         let cached = KspDgEngine::new(&index);
         let uncached = KspDgEngine::with_config(

@@ -179,8 +179,7 @@ mod tests {
             .flat_map(|&a| index.boundary_vertices().iter().map(move |&b| (a, b)))
             .find(|&(a, b)| a != b && !index.subgraphs_containing_pair(a, b).is_empty())
             .expect("some boundary pair shares a subgraph");
-        let partials =
-            cache.partial_ksp(&index, pair.0, pair.1, &mut transferred, &mut examined);
+        let partials = cache.partial_ksp(&index, pair.0, pair.1, &mut transferred, &mut examined);
         assert!(!partials.is_empty());
         // The best partial equals the best single-subgraph shortest path.
         let best_direct = index
@@ -285,8 +284,14 @@ mod tests {
         // v1 (id 0) and v19 (id 18) never share a subgraph in this partitioning, so the
         // partial computation finds no subgraph and yields nothing.
         if index.subgraphs_containing_pair(v(0), v(18)).is_empty() {
-            let candidates =
-                candidate_ksp(&index, &[v(0), v(18)], 2, &mut cache, &mut transferred, &mut examined);
+            let candidates = candidate_ksp(
+                &index,
+                &[v(0), v(18)],
+                2,
+                &mut cache,
+                &mut transferred,
+                &mut examined,
+            );
             assert!(candidates.is_empty());
         }
     }

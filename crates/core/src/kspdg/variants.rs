@@ -152,10 +152,7 @@ mod tests {
         let far_a = v((g.num_vertices() - 2) as u32);
         let far_b = v((g.num_vertices() - 40) as u32);
         let q = yen_ksp(&g, far_a, far_b, 1).remove(0);
-        if !q
-            .edges()
-            .any(|(a, b)| p.edges().any(|(c, d)| (a, b) == (c, d) || (a, b) == (d, c)))
-        {
+        if !q.edges().any(|(a, b)| p.edges().any(|(c, d)| (a, b) == (c, d) || (a, b) == (d, c))) {
             assert_eq!(path_similarity(&p, &q), 0.0);
         }
     }
@@ -184,15 +181,21 @@ mod tests {
             assert_eq!(p.source(), s);
             assert_eq!(p.target(), t);
             let pos = |x: VertexId| p.vertices().iter().position(|&y| y == x);
-            let (ps, p1, p2, pt) =
-                (pos(s).unwrap(), pos(w1).expect("w1 visited"), pos(w2).expect("w2 visited"), pos(t).unwrap());
+            let (ps, p1, p2, pt) = (
+                pos(s).unwrap(),
+                pos(w1).expect("w1 visited"),
+                pos(w2).expect("w2 visited"),
+                pos(t).unwrap(),
+            );
             assert!(ps < p1 && p1 < p2 && p2 < pt, "waypoints out of order in {p}");
             assert!(Path::is_simple(p.vertices()));
         }
         // The best constrained path can never beat the unconstrained shortest path.
         let unconstrained = engine.query(s, t, 1);
         if let (Some(best), Some(free)) = (result.paths.first(), unconstrained.paths.first()) {
-            assert!(best.distance() >= free.distance() || best.distance().approx_eq(free.distance()));
+            assert!(
+                best.distance() >= free.distance() || best.distance().approx_eq(free.distance())
+            );
         }
     }
 

@@ -54,4 +54,4 @@ pub mod dtlp;
 pub mod kspdg;
 
 pub use dtlp::{DtlpConfig, DtlpIndex, PathStorageBackend};
-pub use kspdg::{KspDgEngine, QueryResult, QueryStats};
+pub use kspdg::{KspDgEngine, QueryResult, QueryStats, SharedEngine};

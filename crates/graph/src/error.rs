@@ -71,7 +71,10 @@ impl fmt::Display for GraphError {
                 write!(f, "self-loop at {vertex} is not allowed")
             }
             GraphError::ZeroInitialWeight { u, v } => {
-                write!(f, "initial weight of edge ({u}, {v}) must be >= 1 (it defines the vfrag count)")
+                write!(
+                    f,
+                    "initial weight of edge ({u}, {v}) must be >= 1 (it defines the vfrag count)"
+                )
             }
             GraphError::NoSuchEdge { u, v } => {
                 write!(f, "no edge between {u} and {v}")

@@ -232,6 +232,17 @@ impl DynamicGraph {
         GraphSnapshot::capture(self)
     }
 
+    /// Copy-on-write batch application: returns a new graph with `batch` applied and
+    /// the version advanced, leaving `self` untouched.
+    ///
+    /// This is the publish primitive of the serving subsystem: the updater derives the
+    /// next epoch's graph without ever mutating the one concurrent readers hold.
+    pub fn with_batch(&self, batch: &UpdateBatch) -> Result<DynamicGraph, GraphError> {
+        let mut next = self.clone();
+        next.apply_batch(batch)?;
+        Ok(next)
+    }
+
     /// Current weight of an edge.
     #[inline]
     pub fn weight(&self, e: EdgeId) -> Weight {

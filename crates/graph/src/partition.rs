@@ -74,7 +74,8 @@ impl Partitioner {
         let mut edge_assigned = vec![false; m];
         let mut edge_owner = vec![SubgraphId(u32::MAX); m];
         // Remaining unassigned incident edges per vertex, to pick good seeds cheaply.
-        let mut remaining_degree: Vec<u32> = (0..n).map(|v| incident_count(graph, VertexId(v as u32))).collect();
+        let mut remaining_degree: Vec<u32> =
+            (0..n).map(|v| incident_count(graph, VertexId(v as u32))).collect();
         let mut subgraphs: Vec<Subgraph> = Vec::new();
         let mut vertex_subgraphs: BTreeMap<VertexId, Vec<SubgraphId>> = BTreeMap::new();
 
@@ -134,7 +135,8 @@ impl Partitioner {
                         // so the neighbour's remaining count drops too. For directed
                         // graphs `remaining_degree` counts out-edges only and the
                         // neighbour's count is unaffected by consuming an in-edge.
-                        remaining_degree[to.index()] = remaining_degree[to.index()].saturating_sub(1);
+                        remaining_degree[to.index()] =
+                            remaining_degree[to.index()].saturating_sub(1);
                     }
                     let record = graph.edge(e);
                     sg_edges.push(SubgraphEdge {
@@ -186,11 +188,8 @@ impl Partitioner {
             }
         }
 
-        let boundary: Vec<VertexId> = vertex_subgraphs
-            .iter()
-            .filter(|(_, sgs)| sgs.len() >= 2)
-            .map(|(&v, _)| v)
-            .collect();
+        let boundary: Vec<VertexId> =
+            vertex_subgraphs.iter().filter(|(_, sgs)| sgs.len() >= 2).map(|(&v, _)| v).collect();
         for sg in &mut subgraphs {
             sg.set_boundary(boundary.clone());
         }
@@ -363,7 +362,8 @@ mod tests {
     #[test]
     fn rejects_too_small_z() {
         let g = grid_graph(3, 3);
-        let err = Partitioner::new(PartitionConfig::with_max_vertices(1)).partition(&g).unwrap_err();
+        let err =
+            Partitioner::new(PartitionConfig::with_max_vertices(1)).partition(&g).unwrap_err();
         assert_eq!(err, GraphError::InvalidPartitionSize { z: 1 });
     }
 
@@ -391,10 +391,8 @@ mod tests {
     #[test]
     fn larger_z_gives_fewer_subgraphs() {
         let g = grid_graph(15, 15);
-        let small =
-            Partitioner::new(PartitionConfig::with_max_vertices(8)).partition(&g).unwrap();
-        let large =
-            Partitioner::new(PartitionConfig::with_max_vertices(64)).partition(&g).unwrap();
+        let small = Partitioner::new(PartitionConfig::with_max_vertices(8)).partition(&g).unwrap();
+        let large = Partitioner::new(PartitionConfig::with_max_vertices(64)).partition(&g).unwrap();
         assert!(large.num_subgraphs() < small.num_subgraphs());
         assert!(large.boundary_vertices().len() < small.boundary_vertices().len());
     }

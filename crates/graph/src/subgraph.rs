@@ -89,7 +89,16 @@ impl Subgraph {
             }
             edge_index.insert(e.global_id, i as u32);
         }
-        Subgraph { id, directed, vertices, vertex_index, edges, edge_index, adj, boundary: Vec::new() }
+        Subgraph {
+            id,
+            directed,
+            vertices,
+            vertex_index,
+            edges,
+            edge_index,
+            adj,
+            boundary: Vec::new(),
+        }
     }
 
     /// Identifier of this subgraph.
@@ -165,10 +174,10 @@ impl Subgraph {
     /// Returns the signed weight delta. Fails with [`GraphError::NoSuchEdge`]-style
     /// error if the edge is not owned here (the caller routed the update incorrectly).
     pub fn apply_update(&mut self, update: &WeightUpdate) -> Result<f64, GraphError> {
-        let idx = *self.edge_index.get(&update.edge).ok_or(GraphError::EdgeOutOfRange {
-            edge: update.edge,
-            num_edges: self.edges.len(),
-        })?;
+        let idx = *self
+            .edge_index
+            .get(&update.edge)
+            .ok_or(GraphError::EdgeOutOfRange { edge: update.edge, num_edges: self.edges.len() })?;
         let e = &mut self.edges[idx as usize];
         let delta = update.new_weight.value() - e.current_weight.value();
         e.current_weight = update.new_weight;
@@ -209,7 +218,11 @@ impl Subgraph {
     pub fn memory_bytes(&self) -> usize {
         self.vertices.len() * std::mem::size_of::<VertexId>()
             + self.edges.len() * std::mem::size_of::<SubgraphEdge>()
-            + self.adj.iter().map(|a| a.len() * std::mem::size_of::<(VertexId, u32)>()).sum::<usize>()
+            + self
+                .adj
+                .iter()
+                .map(|a| a.len() * std::mem::size_of::<(VertexId, u32)>())
+                .sum::<usize>()
             + self.vertex_index.len() * (std::mem::size_of::<VertexId>() + 4)
             + self.edge_index.len() * (std::mem::size_of::<EdgeId>() + 4)
     }

@@ -62,7 +62,11 @@ impl UpdateBatch {
     ///
     /// This mirrors how the EntranceSpout scatters an incoming update stream to
     /// SubgraphBolts.
-    pub fn split_by(&self, num_partitions: usize, mut owner_of: impl FnMut(EdgeId) -> usize) -> Vec<UpdateBatch> {
+    pub fn split_by(
+        &self,
+        num_partitions: usize,
+        mut owner_of: impl FnMut(EdgeId) -> usize,
+    ) -> Vec<UpdateBatch> {
         let mut parts = vec![UpdateBatch::default(); num_partitions];
         for u in &self.updates {
             let p = owner_of(u.edge);

@@ -41,6 +41,27 @@ pub trait GraphView {
     }
 }
 
+/// Blanket implementation so `Arc<G>` handles (as shared between the serving
+/// subsystem's epoch snapshots and worker threads) can be passed wherever a
+/// view is expected.
+impl<G: GraphView> GraphView for std::sync::Arc<G> {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        (**self).contains_vertex(v)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: impl FnMut(VertexId, Weight)) {
+        (**self).for_each_neighbor(v, f)
+    }
+
+    fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        (**self).edge_weight(u, v)
+    }
+}
+
 /// Blanket implementation so `&G` can be passed wherever a view is expected.
 impl<G: GraphView> GraphView for &G {
     fn num_vertices(&self) -> usize {
@@ -85,6 +106,11 @@ mod tests {
         let mut g = DynamicGraph::new(3, false);
         g.add_edge(VertexId(0), VertexId(1), 1).unwrap();
         assert_eq!(count_neighbors(&g, VertexId(0)), 1);
-        assert_eq!(count_neighbors(&&g, VertexId(1)), 1);
+        // A double reference and an Arc are views too (the blanket impls).
+        let byref: &&DynamicGraph = &&g;
+        assert_eq!(count_neighbors(byref, VertexId(1)), 1);
+        let shared = std::sync::Arc::new(g);
+        assert_eq!(count_neighbors(shared.clone(), VertexId(0)), 1);
+        assert_eq!(count_neighbors(&shared, VertexId(1)), 1);
     }
 }

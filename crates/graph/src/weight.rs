@@ -220,7 +220,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_infinity_is_max() {
-        let mut ws = vec![Weight::INFINITY, Weight::new(3.0), Weight::ZERO, Weight::new(1.5)];
+        let mut ws = [Weight::INFINITY, Weight::new(3.0), Weight::ZERO, Weight::new(1.5)];
         ws.sort();
         assert_eq!(ws[0], Weight::ZERO);
         assert_eq!(ws[1], Weight::new(1.5));

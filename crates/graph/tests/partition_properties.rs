@@ -10,10 +10,7 @@ use std::collections::HashSet;
 fn arbitrary_graph() -> impl Strategy<Value = DynamicGraph> {
     (5usize..60).prop_flat_map(|n| {
         let edge_count = n + n / 2;
-        (
-            Just(n),
-            proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..20), edge_count),
-        )
+        (Just(n), proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..20), edge_count))
             .prop_map(|(n, edges)| {
                 let mut b = GraphBuilder::undirected(n);
                 for (u, v, w) in edges {

@@ -1,0 +1,159 @@
+//! Bounded request queues with admission control.
+//!
+//! Each shard owns one [`BoundedQueue`]. Producers (`submit`) are rejected with
+//! [`QueueFull`] once the queue holds `max_depth` requests — backpressure the
+//! client observes immediately instead of unbounded queueing delay. The shard's
+//! worker drains requests in batches of up to `max_batch`, which lets it load
+//! the current epoch once (and take its cache lock once) per batch instead of
+//! per request.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Admission-control settings for every shard queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum number of queued (admitted but not yet executing) requests per
+    /// shard; submissions beyond this are rejected.
+    pub max_queue_depth: usize,
+    /// Maximum number of requests a worker drains per batch.
+    pub max_batch: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { max_queue_depth: 1024, max_batch: 32 }
+    }
+}
+
+impl AdmissionConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) {
+        assert!(self.max_queue_depth >= 1, "max_queue_depth must be at least 1");
+        assert!(self.max_batch >= 1, "max_batch must be at least 1");
+    }
+}
+
+/// Rejection marker: the shard's queue is at its configured depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured depth that was reached.
+    pub depth: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue: many submitting clients, one draining worker.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    max_depth: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `max_depth` pending items.
+    pub fn new(max_depth: usize) -> Self {
+        assert!(max_depth >= 1, "queue depth must be at least 1");
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            max_depth,
+        }
+    }
+
+    /// Number of currently queued items.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+    }
+
+    /// Admits `item`, or rejects it if the queue is full or closed.
+    ///
+    /// On rejection the item is handed back so the caller can fail the request
+    /// without losing its reply channel.
+    pub fn submit(&self, item: T) -> Result<(), (T, QueueFull)> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed || state.items.len() >= self.max_depth {
+            return Err((item, QueueFull { depth: self.max_depth }));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available, then drains up to
+    /// `max_batch` items. Returns `None` once the queue is closed and empty.
+    pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !state.items.is_empty() {
+                let take = state.items.len().min(max_batch.max(1));
+                return Some(state.items.drain(..take).collect());
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: further submissions are rejected and the worker drains
+    /// what remains, then observes the shutdown.
+    pub fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn submissions_beyond_depth_are_rejected() {
+        let q = BoundedQueue::new(2);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        let (item, err) = q.submit(3).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(err.depth, 2);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max_batch() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.submit(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3), Some(vec![0, 1, 2]));
+        assert_eq!(q.pop_batch(3), Some(vec![3, 4]));
+    }
+
+    #[test]
+    fn close_wakes_blocked_worker_and_rejects_producers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop_batch(4))
+        };
+        // Give the worker a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+        assert!(q.submit(1).is_err());
+    }
+
+    #[test]
+    fn close_lets_worker_drain_remaining_items() {
+        let q = BoundedQueue::new(4);
+        q.submit(7).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(4), Some(vec![7]));
+        assert_eq!(q.pop_batch(4), None);
+    }
+}

@@ -1,0 +1,229 @@
+//! Epoch-keyed LRU cache of query results.
+//!
+//! The paper observes that weight updates arrive in periodic batches
+//! (Section 6.2), so between two epochs the answer to a repeated
+//! `(source, target, k)` request is bit-identical. The cache key therefore
+//! includes the epoch: entries for a superseded epoch can never be returned,
+//! and the service clears the cache wholesale at every publish to release the
+//! memory immediately rather than waiting for LRU churn.
+//!
+//! The implementation is a classic O(1) LRU: a `HashMap` from key to a slot in
+//! a slab of doubly linked entries, with the most recently used entry at the
+//! head of the list.
+
+use ksp_algo::Path;
+use ksp_graph::VertexId;
+use std::collections::HashMap;
+
+/// Cache key: the full query identity plus the epoch it was answered against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Query source vertex.
+    pub source: VertexId,
+    /// Query target vertex.
+    pub target: VertexId,
+    /// Number of paths requested.
+    pub k: usize,
+    /// Epoch the cached answer is exact for.
+    pub epoch: u64,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry {
+    key: CacheKey,
+    value: Vec<Path>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map from [`CacheKey`] to the k shortest paths.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// Creates a cache that holds at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        ResultCache {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking the entry as most recently used on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&[Path]> {
+        let slot = *self.map.get(key)?;
+        self.detach(slot);
+        self.attach_front(slot);
+        Some(&self.slab[slot].value)
+    }
+
+    /// Inserts or replaces the entry for `key`, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn insert(&mut self, key: CacheKey, value: Vec<Path>) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.free.push(lru);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Entry { key, value, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                self.slab.push(Entry { key, value, prev: NIL, next: NIL });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+    }
+
+    /// Drops every entry (the wholesale invalidation at epoch publish).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_graph::Weight;
+
+    fn key(s: u32, t: u32, k: usize, epoch: u64) -> CacheKey {
+        CacheKey { source: VertexId(s), target: VertexId(t), k, epoch }
+    }
+
+    fn path(len: f64) -> Vec<Path> {
+        vec![Path::new(vec![VertexId(0), VertexId(1)], Weight::new(len))]
+    }
+
+    #[test]
+    fn get_returns_inserted_value() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(key(0, 1, 2, 0), path(3.0));
+        let hit = cache.get(&key(0, 1, 2, 0)).expect("hit");
+        assert_eq!(hit.len(), 1);
+        assert!(hit[0].distance().approx_eq(Weight::new(3.0)));
+        assert!(cache.get(&key(0, 1, 2, 1)).is_none(), "different epoch must miss");
+        assert!(cache.get(&key(0, 1, 3, 0)).is_none(), "different k must miss");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(0, 1, 1, 0), path(1.0));
+        cache.insert(key(0, 2, 1, 0), path(2.0));
+        assert!(cache.get(&key(0, 1, 1, 0)).is_some()); // 0->1 now most recent
+        cache.insert(key(0, 3, 1, 0), path(3.0)); // evicts 0->2
+        assert!(cache.get(&key(0, 2, 1, 0)).is_none());
+        assert!(cache.get(&key(0, 1, 1, 0)).is_some());
+        assert!(cache.get(&key(0, 3, 1, 0)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_value_without_growth() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(0, 1, 1, 0), path(1.0));
+        cache.insert(key(0, 1, 1, 0), path(9.0));
+        assert_eq!(cache.len(), 1);
+        let hit = cache.get(&key(0, 1, 1, 0)).unwrap();
+        assert!(hit[0].distance().approx_eq(Weight::new(9.0)));
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut cache = ResultCache::new(8);
+        for t in 1..5 {
+            cache.insert(key(0, t, 2, 0), path(t as f64));
+        }
+        assert_eq!(cache.len(), 4);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(0, 1, 2, 0)).is_none());
+        cache.insert(key(0, 1, 2, 1), path(1.0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn heavy_churn_keeps_list_consistent() {
+        let mut cache = ResultCache::new(8);
+        for round in 0u64..200 {
+            for t in 0..16u32 {
+                cache.insert(key(t, t + 1, 1, round % 3), path(t as f64));
+                let _ = cache.get(&key(t / 2, t / 2 + 1, 1, round % 3));
+            }
+        }
+        assert_eq!(cache.len(), 8);
+    }
+}

@@ -1,0 +1,233 @@
+//! Closed-loop load driver: replays a [`QueryWorkload`] against a
+//! [`QueryService`] from many client threads while a [`TrafficModel`] keeps
+//! publishing weight-update epochs.
+//!
+//! Each client owns one in-flight request at a time (closed loop), cycling
+//! through the workload from its own offset so concurrent clients exercise
+//! different shards. The optional updater thread applies a traffic snapshot at
+//! a fixed cadence, which is exactly the paper's serving regime: queries and
+//! update batches interleave and every answer must be exact for some published
+//! epoch.
+
+use crate::metrics::MetricsReport;
+use crate::service::{QueryService, ServiceError};
+use ksp_workload::{QueryWorkload, TrafficModel};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of one closed-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadDriverConfig {
+    /// Number of concurrent client threads.
+    pub num_clients: usize,
+    /// Requests each client issues before the run ends.
+    pub requests_per_client: usize,
+    /// Cadence of traffic publishes; `None` disables the updater thread.
+    pub update_every: Option<Duration>,
+}
+
+impl LoadDriverConfig {
+    /// A configuration with the given client count and per-client request count,
+    /// without traffic updates.
+    pub fn new(num_clients: usize, requests_per_client: usize) -> Self {
+        LoadDriverConfig { num_clients, requests_per_client, update_every: None }
+    }
+
+    /// Enables the updater thread at the given cadence.
+    pub fn with_updates_every(mut self, cadence: Duration) -> Self {
+        self.update_every = Some(cadence);
+        self
+    }
+}
+
+/// Outcome of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests rejected by admission control.
+    pub rejected: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Epochs published during the run.
+    pub epochs_published: u64,
+    /// Service metrics snapshot taken at the end of the run.
+    pub metrics: MetricsReport,
+}
+
+impl LoadReport {
+    /// Completed requests per second of wall-clock time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Runs a closed loop of `config.num_clients` clients against `service`.
+///
+/// When `config.update_every` is set, `traffic` must be provided; its snapshots
+/// are applied through [`QueryService::apply_batch`] until every client
+/// finishes.
+pub fn run_closed_loop(
+    service: &QueryService,
+    workload: &QueryWorkload,
+    traffic: Option<&mut TrafficModel>,
+    config: LoadDriverConfig,
+) -> LoadReport {
+    assert!(config.num_clients >= 1, "need at least one client");
+    assert!(!workload.is_empty(), "workload must not be empty");
+    if config.update_every.is_some() {
+        assert!(traffic.is_some(), "update cadence set but no traffic model provided");
+    }
+
+    let epochs_before = service.metrics().epochs_published;
+    let completed = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    // Unexpected errors are counted (not panicked on inside the scope): a
+    // client panic would leave the watcher and updater threads spinning on a
+    // request total that can never be reached, deadlocking the whole run.
+    // Every client accounts each of its requests under exactly one of the
+    // three counters, so the watcher's termination condition always fires.
+    let failed = AtomicUsize::new(0);
+    let first_failure: Mutex<Option<String>> = Mutex::new(None);
+    let done = AtomicBool::new(false);
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client in 0..config.num_clients {
+            let completed = &completed;
+            let rejected = &rejected;
+            let failed = &failed;
+            let first_failure = &first_failure;
+            scope.spawn(move || {
+                // Stagger starting offsets so clients spread over the workload
+                // (and therefore over shards) instead of marching in lockstep.
+                let stride = (workload.len() / config.num_clients.max(1)).max(1);
+                let replay = workload.cycle_from(client * stride);
+                for q in replay.take(config.requests_per_client) {
+                    match service.query(q.source, q.target, q.k) {
+                        Ok(_) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServiceError::Overloaded { .. }) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            // Closed loop: back off briefly before the next request.
+                            std::thread::yield_now();
+                        }
+                        Err(other) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            first_failure.lock().get_or_insert_with(|| other.to_string());
+                        }
+                    }
+                }
+            });
+        }
+
+        if let (Some(cadence), Some(traffic)) = (config.update_every, traffic) {
+            let done = &done;
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    std::thread::sleep(cadence);
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let batch = traffic.next_snapshot();
+                    service.apply_batch(&batch).expect("epoch publish failed");
+                }
+            });
+        }
+
+        // `scope` joins the clients when this closure returns; flag the updater
+        // from a watcher thread that waits for all client work to finish.
+        let total = config.num_clients * config.requests_per_client;
+        let completed = &completed;
+        let rejected = &rejected;
+        let failed = &failed;
+        let done = &done;
+        scope.spawn(move || {
+            while completed.load(Ordering::Relaxed)
+                + rejected.load(Ordering::Relaxed)
+                + failed.load(Ordering::Relaxed)
+                < total
+            {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+
+    // All threads are joined; surface unexpected errors now that nothing can
+    // deadlock on the missing counts.
+    let failures = failed.into_inner();
+    if failures > 0 {
+        let detail = first_failure.into_inner().unwrap_or_default();
+        panic!("{failures} request(s) failed with unexpected service errors; first: {detail}");
+    }
+
+    let metrics = service.metrics();
+    LoadReport {
+        completed: completed.into_inner(),
+        rejected: rejected.into_inner(),
+        elapsed: started.elapsed(),
+        epochs_published: metrics.epochs_published - epochs_before,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use ksp_core::dtlp::DtlpConfig;
+    use ksp_workload::{
+        QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+    };
+
+    #[test]
+    fn closed_loop_completes_all_requests_without_updates() {
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(150))
+            .generate(23)
+            .unwrap()
+            .graph;
+        let service =
+            QueryService::start(graph.clone(), ServiceConfig::new(2, DtlpConfig::new(15, 2)))
+                .unwrap();
+        let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(12, 2), 7);
+        let report = run_closed_loop(&service, &workload, None, LoadDriverConfig::new(3, 8));
+        assert_eq!(report.completed + report.rejected, 24);
+        assert!(report.completed > 0);
+        assert_eq!(report.epochs_published, 0);
+        assert!(report.throughput_qps() > 0.0);
+        // Every request is either a cache hit or a miss.
+        assert_eq!(
+            report.metrics.cache_hits + report.metrics.cache_misses,
+            report.completed as u64
+        );
+    }
+
+    #[test]
+    fn closed_loop_with_updates_publishes_epochs() {
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(150))
+            .generate(29)
+            .unwrap()
+            .graph;
+        let service =
+            QueryService::start(graph.clone(), ServiceConfig::new(2, DtlpConfig::new(15, 2)))
+                .unwrap();
+        let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(10, 2), 11);
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.4, 0.4), 5);
+        let report = run_closed_loop(
+            &service,
+            &workload,
+            Some(&mut traffic),
+            LoadDriverConfig::new(4, 25).with_updates_every(Duration::from_millis(5)),
+        );
+        assert_eq!(report.completed + report.rejected, 100);
+        assert!(report.epochs_published >= 1, "updater must have published");
+        assert_eq!(service.current_epoch(), report.epochs_published);
+    }
+}

@@ -1,0 +1,64 @@
+//! `ksp-serve`: the concurrent query-serving subsystem for KSP-DG.
+//!
+//! The paper's deployment (Section 6.1) answers k-shortest-path queries *while*
+//! traffic updates stream in. The rest of this workspace provides the engine
+//! and a measurement cluster for offline batch experiments; this crate provides
+//! the serving substrate around them:
+//!
+//! * [`epoch`] — **epoch-based snapshots**: every applied update batch becomes
+//!   an immutable, internally consistent `(DynamicGraph, DtlpIndex)` pair
+//!   behind a swap-on-publish generation pointer. Queries never block updates
+//!   and never observe a torn graph/index combination.
+//! * [`service`] — the [`QueryService`]: a sharded pool of worker threads with
+//!   per-shard **bounded queues** (reject-with-backpressure admission control)
+//!   and request **batching** (one epoch load per drained batch).
+//! * [`cache`] — a per-shard **LRU result cache** keyed by
+//!   `(source, target, k, epoch)`, cleared wholesale at every epoch publish.
+//! * [`metrics`] — lock-free latency histograms (p50/p95/p99), cache hit rate,
+//!   and per-shard busy accounting exported through `ksp-cluster`'s
+//!   [`ServerLoad`](ksp_cluster::ServerLoad) so the Section 6.6 load-balance
+//!   reporting applies to service shards.
+//! * [`driver`] — a **closed-loop load driver** replaying a
+//!   [`QueryWorkload`](ksp_workload::QueryWorkload) from many client threads
+//!   while a [`TrafficModel`](ksp_workload::TrafficModel) publishes epochs.
+//!
+//! # Example
+//!
+//! ```
+//! use ksp_core::dtlp::DtlpConfig;
+//! use ksp_graph::VertexId;
+//! use ksp_serve::{QueryService, ServiceConfig};
+//! use ksp_workload::{RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig, TrafficModel};
+//!
+//! let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(200))
+//!     .generate(7)
+//!     .unwrap()
+//!     .graph;
+//! let service =
+//!     QueryService::start(graph.clone(), ServiceConfig::new(2, DtlpConfig::new(20, 2))).unwrap();
+//!
+//! // Serve a query, publish a traffic epoch, serve again.
+//! let target = VertexId(graph.num_vertices() as u32 - 1);
+//! let before = service.query(VertexId(0), target, 2).unwrap();
+//! assert_eq!(before.epoch, 0);
+//! let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 1);
+//! service.apply_batch(&traffic.next_snapshot()).unwrap();
+//! let after = service.query(VertexId(0), target, 2).unwrap();
+//! assert_eq!(after.epoch, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod driver;
+pub mod epoch;
+pub mod metrics;
+pub mod service;
+
+pub use admission::{AdmissionConfig, QueueFull};
+pub use cache::{CacheKey, ResultCache};
+pub use driver::{run_closed_loop, LoadDriverConfig, LoadReport};
+pub use epoch::{EpochPointer, EpochSnapshot};
+pub use metrics::{LatencyHistogram, MetricsReport, ServiceMetrics};
+pub use service::{QueryResponse, QueryService, ServiceConfig, ServiceError};

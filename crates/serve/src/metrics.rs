@@ -1,0 +1,251 @@
+//! Latency/throughput metrics for the serving subsystem.
+//!
+//! Everything on the hot path is an atomic counter: workers record into a
+//! log-scale latency histogram and per-shard busy-time counters without locks,
+//! and [`ServiceMetrics::report`] folds the counters into the summary the
+//! operator cares about — p50/p95/p99 latency, cache hit rate, admission
+//! rejections and epochs published. Per-shard busy time is exported through the
+//! measurement cluster's [`ServerLoad`] accounting so the same load-balance
+//! reporting used for the paper's Section 6.6 figures applies to service shards.
+
+use ksp_cluster::{LoadBalanceReport, ServerLoad};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` covers `[2^i, 2^(i+1))` microseconds,
+/// with the last bucket open-ended. 40 buckets cover ~1 µs to ~9 minutes.
+const BUCKETS: usize = 40;
+
+/// A lock-free log₂-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or zero when empty. Log-bucketing bounds the error to
+    /// a factor of two, which is plenty for p50/p95/p99 reporting.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_micros(1u64 << (i + 1).min(63));
+            }
+        }
+        Duration::from_micros(self.max_micros.load(Ordering::Relaxed))
+    }
+
+    /// Mean observed latency.
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.total_micros.load(Ordering::Relaxed) / count)
+    }
+
+    /// Largest observed latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros.load(Ordering::Relaxed))
+    }
+}
+
+/// Per-shard hot-path counters.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    busy_nanos: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Attributes `elapsed` of compute time (one request) to this shard.
+    pub fn record(&self, elapsed: Duration) {
+        self.busy_nanos
+            .fetch_add(elapsed.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Converts the counters into the cluster's per-server accounting record.
+    pub fn as_server_load(&self) -> ServerLoad {
+        ServerLoad {
+            busy_time: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            items_processed: self.requests.load(Ordering::Relaxed) as usize,
+            memory_bytes: 0,
+        }
+    }
+}
+
+/// All counters of one [`crate::QueryService`].
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// End-to-end latency of completed requests (queueing + compute).
+    pub latency: LatencyHistogram,
+    /// Completed requests.
+    pub completed: AtomicU64,
+    /// Requests rejected by admission control.
+    pub rejected: AtomicU64,
+    /// Requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that had to run the engine.
+    pub cache_misses: AtomicU64,
+    /// Epochs published (excluding the initial build).
+    pub epochs_published: AtomicU64,
+    /// Per-shard busy accounting.
+    pub shards: Vec<ShardCounters>,
+}
+
+impl ServiceMetrics {
+    /// Creates zeroed metrics for `num_shards` shards.
+    pub fn new(num_shards: usize) -> Self {
+        ServiceMetrics {
+            latency: LatencyHistogram::default(),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            epochs_published: AtomicU64::new(0),
+            shards: (0..num_shards).map(|_| ShardCounters::default()).collect(),
+        }
+    }
+
+    /// Folds the live counters into an immutable report.
+    pub fn report(&self) -> MetricsReport {
+        let per_shard: Vec<ServerLoad> = self.shards.iter().map(|s| s.as_server_load()).collect();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        MetricsReport {
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            p50: self.latency.quantile(0.50),
+            p95: self.latency.quantile(0.95),
+            p99: self.latency.quantile(0.99),
+            mean: self.latency.mean(),
+            max: self.latency.max(),
+            load_balance: LoadBalanceReport::from_loads(&per_shard),
+            per_shard,
+        }
+    }
+}
+
+/// A point-in-time summary of a service's metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests served from the result cache.
+    pub cache_hits: u64,
+    /// Requests that ran the engine.
+    pub cache_misses: u64,
+    /// Epochs published since the service started.
+    pub epochs_published: u64,
+    /// Median end-to-end latency.
+    pub p50: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub p95: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Duration,
+    /// Mean end-to-end latency.
+    pub mean: Duration,
+    /// Worst observed end-to-end latency.
+    pub max: Duration,
+    /// Busy time and request count attributed to each shard.
+    pub per_shard: Vec<ServerLoad>,
+    /// Shard load balance through the cluster crate's accounting.
+    pub load_balance: LoadBalanceReport,
+}
+
+impl MetricsReport {
+    /// Fraction of completed requests answered from the cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let denom = self.cache_hits + self.cache_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / denom as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_orders_quantiles() {
+        let h = LatencyHistogram::default();
+        for micros in [10u64, 20, 40, 80, 160, 320, 640, 1280, 2560, 100_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+        assert!(h.quantile(0.99) >= Duration::from_micros(100_000 / 2));
+        assert!(h.mean() >= Duration::from_micros(10));
+        assert!(h.max() >= Duration::from_micros(100_000));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn report_computes_hit_rate_and_shard_loads() {
+        let m = ServiceMetrics::new(3);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.completed.fetch_add(4, Ordering::Relaxed);
+        m.shards[1].record(Duration::from_millis(5));
+        m.latency.record(Duration::from_millis(2));
+        let report = m.report();
+        assert!((report.cache_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(report.per_shard.len(), 3);
+        assert_eq!(report.per_shard[1].items_processed, 1);
+        assert_eq!(report.load_balance.num_servers, 3);
+        assert!(report.p50 > Duration::ZERO);
+    }
+}

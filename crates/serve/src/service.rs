@@ -1,0 +1,517 @@
+//! The concurrent query service: sharded workers over epoch snapshots.
+//!
+//! [`QueryService`] owns the master `(DynamicGraph, DtlpIndex)` pair and serves
+//! `(source, target, k)` requests from a pool of shard worker threads:
+//!
+//! * **Routing.** A request is hashed by its full identity to one shard, so a
+//!   repeated request always lands on the shard whose cache can answer it.
+//! * **Epoch consistency.** A worker loads the current [`EpochSnapshot`] once
+//!   per request; graph and index come from the same atomic pointer read, so a
+//!   query can never observe a torn (graph, index) pair even while
+//!   [`QueryService::apply_batch`] publishes new epochs concurrently.
+//! * **Admission control.** Each shard's queue is bounded; a full queue rejects
+//!   the request immediately with [`ServiceError::Overloaded`] instead of
+//!   letting latency grow without bound.
+//! * **Caching.** Results are cached per shard under a key that includes the
+//!   epoch; publishing an epoch clears every shard cache wholesale (the paper's
+//!   periodic-batch update model makes finer invalidation pointless).
+
+use crate::admission::{AdmissionConfig, BoundedQueue};
+use crate::cache::{CacheKey, ResultCache};
+use crate::epoch::{EpochPointer, EpochSnapshot};
+use crate::metrics::{MetricsReport, ServiceMetrics};
+use ksp_algo::Path;
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_core::kspdg::{KspDgConfig, QueryStats, SharedEngine};
+use ksp_graph::{DynamicGraph, GraphError, UpdateBatch, VertexId};
+use parking_lot::Mutex;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`QueryService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Number of shard worker threads.
+    pub num_shards: usize,
+    /// Capacity of each shard's result cache, in entries.
+    pub cache_capacity: usize,
+    /// Admission control for each shard's queue.
+    pub admission: AdmissionConfig,
+    /// Engine configuration used by every worker.
+    pub engine: KspDgConfig,
+    /// DTLP index configuration (subgraph size `z`, bounding paths `ξ`).
+    pub dtlp: DtlpConfig,
+}
+
+impl ServiceConfig {
+    /// A configuration with the given shard count and DTLP settings, defaults
+    /// elsewhere.
+    pub fn new(num_shards: usize, dtlp: DtlpConfig) -> Self {
+        ServiceConfig {
+            num_shards,
+            cache_capacity: 4096,
+            admission: AdmissionConfig::default(),
+            engine: KspDgConfig::default(),
+            dtlp,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.num_shards >= 1, "a service needs at least one shard");
+        assert!(self.cache_capacity >= 1, "cache capacity must be at least 1");
+        self.admission.validate();
+    }
+}
+
+/// Why the service could not answer a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The target shard's queue is at its configured depth; retry later.
+    Overloaded {
+        /// The queue depth that was reached.
+        depth: usize,
+    },
+    /// The service is shutting down and dropped the request.
+    ShuttingDown,
+    /// A query endpoint does not exist in the current graph.
+    InvalidQuery(GraphError),
+    /// `k` must be at least 1.
+    InvalidK,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded { depth } => {
+                write!(f, "shard queue full (depth {depth}); request rejected")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            ServiceError::InvalidK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The answer to one request.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The k shortest paths, ascending by distance.
+    pub paths: Vec<Path>,
+    /// Engine statistics (zeroed for cache hits — no engine work was done).
+    pub stats: QueryStats,
+    /// The epoch the answer is exact for.
+    pub epoch: u64,
+    /// Whether the answer came from the result cache.
+    pub cache_hit: bool,
+    /// End-to-end latency: submission to completion, including queueing.
+    pub latency: Duration,
+}
+
+struct Request {
+    source: VertexId,
+    target: VertexId,
+    k: usize,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<QueryResponse, ServiceError>>,
+}
+
+struct Shard {
+    queue: Arc<BoundedQueue<Request>>,
+    cache: Arc<Mutex<ResultCache>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// Masters owned by the updater path; workers never touch these. Held as
+/// `Arc`s so committing a staged update and publishing the epoch share the
+/// same allocation.
+struct Masters {
+    graph: Arc<DynamicGraph>,
+    index: Arc<DtlpIndex>,
+}
+
+/// A concurrent KSP query service over a dynamic road network.
+pub struct QueryService {
+    config: ServiceConfig,
+    shards: Vec<Shard>,
+    epoch: Arc<EpochPointer>,
+    metrics: Arc<ServiceMetrics>,
+    masters: Mutex<Masters>,
+}
+
+impl QueryService {
+    /// Builds the DTLP index for `graph`, publishes epoch 0 and starts the
+    /// shard workers.
+    pub fn start(graph: DynamicGraph, config: ServiceConfig) -> Result<Self, GraphError> {
+        config.validate();
+        let index = Arc::new(DtlpIndex::build(&graph, config.dtlp)?);
+        let graph = Arc::new(graph);
+        let initial = EpochSnapshot::new(graph.version(), graph.clone(), index.clone());
+        let epoch = Arc::new(EpochPointer::new(initial));
+        let metrics = Arc::new(ServiceMetrics::new(config.num_shards));
+
+        let mut shards = Vec::with_capacity(config.num_shards);
+        for shard_id in 0..config.num_shards {
+            let queue = Arc::new(BoundedQueue::new(config.admission.max_queue_depth));
+            let cache = Arc::new(Mutex::new(ResultCache::new(config.cache_capacity)));
+            let worker = std::thread::Builder::new()
+                .name(format!("ksp-serve-shard-{shard_id}"))
+                .spawn({
+                    let queue = queue.clone();
+                    let cache = cache.clone();
+                    let epoch = epoch.clone();
+                    let metrics = metrics.clone();
+                    let engine_config = config.engine;
+                    let max_batch = config.admission.max_batch;
+                    move || {
+                        shard_main(
+                            shard_id,
+                            &queue,
+                            &cache,
+                            &epoch,
+                            &metrics,
+                            engine_config,
+                            max_batch,
+                        )
+                    }
+                })
+                .expect("failed to spawn shard worker");
+            shards.push(Shard { queue, cache, worker: Some(worker) });
+        }
+
+        Ok(QueryService {
+            config,
+            shards,
+            epoch,
+            metrics,
+            masters: Mutex::new(Masters { graph, index }),
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current epoch number.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load().epoch()
+    }
+
+    /// The current epoch snapshot (kept alive for as long as the caller holds it).
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.epoch.load()
+    }
+
+    /// A point-in-time metrics summary.
+    pub fn metrics(&self) -> MetricsReport {
+        self.metrics.report()
+    }
+
+    /// Current depth of every shard queue.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.queue.depth()).collect()
+    }
+
+    /// Submits a query and blocks until its shard answers.
+    ///
+    /// Fails fast with [`ServiceError::Overloaded`] when the target shard's
+    /// queue is at capacity — the backpressure signal of admission control.
+    pub fn query(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        k: usize,
+    ) -> Result<QueryResponse, ServiceError> {
+        if k == 0 {
+            return Err(ServiceError::InvalidK);
+        }
+        // Validate endpoints against the current structure (the vertex set is
+        // immutable across epochs, only weights change).
+        let snapshot = self.epoch.load();
+        snapshot.graph().check_vertex(source).map_err(ServiceError::InvalidQuery)?;
+        snapshot.graph().check_vertex(target).map_err(ServiceError::InvalidQuery)?;
+        drop(snapshot);
+
+        let shard = &self.shards[route(source, target, k, self.shards.len())];
+        let (reply, receiver) = mpsc::channel();
+        let request = Request { source, target, k, submitted: Instant::now(), reply };
+        if shard.queue.submit(request).is_err() {
+            self.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(ServiceError::Overloaded { depth: self.config.admission.max_queue_depth });
+        }
+        receiver.recv().map_err(|_| ServiceError::ShuttingDown)?
+    }
+
+    /// Applies one weight-update batch and publishes the next epoch.
+    ///
+    /// Updates are serialised through the master copies; queries in flight keep
+    /// reading their already-loaded epochs and are never blocked by this call
+    /// (beyond the final pointer swap). Returns the new epoch number.
+    ///
+    /// The update is staged on copies and committed only when both the graph
+    /// and the index accepted the whole batch: a failing batch (e.g. an
+    /// out-of-range edge id) leaves the masters — and therefore every future
+    /// epoch — exactly as they were.
+    pub fn apply_batch(&self, batch: &UpdateBatch) -> Result<u64, GraphError> {
+        let mut masters = self.masters.lock();
+        let next_graph = Arc::new(masters.graph.with_batch(batch)?);
+        let mut staged_index = (*masters.index).clone();
+        staged_index.apply_batch(batch)?;
+        let next_index = Arc::new(staged_index);
+        masters.graph = next_graph.clone();
+        masters.index = next_index.clone();
+        let epoch = next_graph.version();
+        // Publish before releasing the masters lock so epochs appear in order.
+        self.epoch.publish(EpochSnapshot::new(epoch, next_graph, next_index));
+        for shard in &self.shards {
+            shard.cache.lock().clear();
+        }
+        drop(masters);
+        self.metrics.epochs_published.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(epoch)
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// FNV-1a over the request identity; stable routing keeps cache affinity.
+fn route(source: VertexId, target: VertexId, k: usize, num_shards: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for part in [source.0 as u64, target.0 as u64, k as u64] {
+        h ^= part;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % num_shards as u64) as usize
+}
+
+/// Closes and drains the shard queue when the worker exits — including by
+/// panic. Dropping the drained requests drops their reply senders, so blocked
+/// clients observe [`ServiceError::ShuttingDown`] instead of hanging forever
+/// on a dead shard.
+struct CloseQueueOnExit<'a>(&'a BoundedQueue<Request>);
+
+impl Drop for CloseQueueOnExit<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+        while self.0.pop_batch(usize::MAX).is_some() {}
+    }
+}
+
+fn shard_main(
+    shard_id: usize,
+    queue: &BoundedQueue<Request>,
+    cache: &Mutex<ResultCache>,
+    epoch: &EpochPointer,
+    metrics: &ServiceMetrics,
+    engine_config: KspDgConfig,
+    max_batch: usize,
+) {
+    use std::sync::atomic::Ordering::Relaxed;
+    let _guard = CloseQueueOnExit(queue);
+    while let Some(batch) = queue.pop_batch(max_batch) {
+        // One epoch load per batch: every request in the batch is answered
+        // against the same consistent (graph, index) pair.
+        let snapshot = epoch.load();
+        let engine = SharedEngine::with_config(snapshot.index().clone(), engine_config);
+        for request in batch {
+            let started = Instant::now();
+            let key = CacheKey {
+                source: request.source,
+                target: request.target,
+                k: request.k,
+                epoch: snapshot.epoch(),
+            };
+            let cached = {
+                let mut cache = cache.lock();
+                cache.get(&key).map(<[Path]>::to_vec)
+            };
+            let (paths, stats, cache_hit) = match cached {
+                Some(paths) => (paths, QueryStats::default(), true),
+                None => {
+                    let result = engine.query(request.source, request.target, request.k);
+                    let mut cache = cache.lock();
+                    cache.insert(key, result.paths.clone());
+                    (result.paths, result.stats, false)
+                }
+            };
+            metrics.shards[shard_id].record(started.elapsed());
+            if cache_hit {
+                metrics.cache_hits.fetch_add(1, Relaxed);
+            } else {
+                metrics.cache_misses.fetch_add(1, Relaxed);
+            }
+            let latency = request.submitted.elapsed();
+            metrics.latency.record(latency);
+            metrics.completed.fetch_add(1, Relaxed);
+            let response =
+                QueryResponse { paths, stats, epoch: snapshot.epoch(), cache_hit, latency };
+            // The client may have given up; a dropped receiver is not an error.
+            let _ = request.reply.send(Ok(response));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_algo::yen_ksp;
+    use ksp_workload::{
+        QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+        TrafficModel,
+    };
+
+    fn service(n: usize, shards: usize, seed: u64) -> (QueryService, DynamicGraph) {
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n))
+            .generate(seed)
+            .unwrap()
+            .graph;
+        let config = ServiceConfig::new(shards, DtlpConfig::new(18, 2));
+        let service = QueryService::start(graph.clone(), config).unwrap();
+        (service, graph)
+    }
+
+    #[test]
+    fn answers_match_yen_on_the_initial_epoch() {
+        let (service, graph) = service(200, 3, 5);
+        let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(10, 2), 3);
+        for q in workload.iter() {
+            let response = service.query(q.source, q.target, q.k).unwrap();
+            assert_eq!(response.epoch, 0);
+            let expected = yen_ksp(&graph, q.source, q.target, q.k);
+            assert_eq!(response.paths.len(), expected.len());
+            for (a, b) in response.paths.iter().zip(expected.iter()) {
+                assert!(a.distance().approx_eq(b.distance()));
+            }
+        }
+        let report = service.metrics();
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_until_publish() {
+        let (service, graph) = service(150, 2, 7);
+        let (s, t) = (VertexId(1), VertexId(graph.num_vertices() as u32 - 1));
+        let cold = service.query(s, t, 2).unwrap();
+        assert!(!cold.cache_hit);
+        let warm = service.query(s, t, 2).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(cold.paths.len(), warm.paths.len());
+        for (a, b) in cold.paths.iter().zip(warm.paths.iter()) {
+            assert_eq!(a.vertices(), b.vertices());
+            assert!(a.distance().approx_eq(b.distance()));
+        }
+
+        // Publishing an epoch invalidates the cache.
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.5, 0.4), 11);
+        let epoch = service.apply_batch(&traffic.next_snapshot()).unwrap();
+        assert_eq!(epoch, 1);
+        let after = service.query(s, t, 2).unwrap();
+        assert_eq!(after.epoch, 1);
+        assert!(!after.cache_hit, "publish must invalidate cached results");
+        assert!(service.metrics().cache_hit_rate() > 0.0);
+        assert_eq!(service.metrics().epochs_published, 1);
+    }
+
+    #[test]
+    fn queries_reflect_published_weight_updates() {
+        let (service, graph) = service(180, 2, 13);
+        let mut live = graph.clone();
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.5, 0.5), 3);
+        for _ in 0..3 {
+            let batch = traffic.next_snapshot();
+            live.apply_batch(&batch).unwrap();
+            service.apply_batch(&batch).unwrap();
+        }
+        assert_eq!(service.current_epoch(), 3);
+        let workload = QueryWorkload::generate(&live, QueryWorkloadConfig::new(8, 3), 17);
+        for q in workload.iter() {
+            let response = service.query(q.source, q.target, q.k).unwrap();
+            assert_eq!(response.epoch, 3);
+            let expected = yen_ksp(&live, q.source, q.target, q.k);
+            assert_eq!(response.paths.len(), expected.len());
+            for (a, b) in response.paths.iter().zip(expected.iter()) {
+                assert!(a.distance().approx_eq(b.distance()));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_without_panicking_workers() {
+        let (service, graph) = service(100, 2, 19);
+        let bad = VertexId(graph.num_vertices() as u32 + 5);
+        assert!(matches!(service.query(bad, VertexId(1), 2), Err(ServiceError::InvalidQuery(_))));
+        assert!(matches!(service.query(VertexId(0), VertexId(1), 0), Err(ServiceError::InvalidK)));
+        // Workers are still healthy afterwards.
+        let ok = service.query(VertexId(0), VertexId(50), 1).unwrap();
+        assert!(!ok.paths.is_empty());
+    }
+
+    #[test]
+    fn failed_batch_leaves_masters_and_epochs_untouched() {
+        use ksp_graph::{EdgeId, Weight, WeightUpdate};
+        let (service, graph) = service(150, 2, 31);
+        let valid_edge = EdgeId(0);
+        let bogus_edge = EdgeId(graph.num_edges() as u32 + 100);
+        // A batch that fails halfway: the valid update must NOT leak into any
+        // future epoch.
+        let poisoned = ksp_graph::UpdateBatch::new(vec![
+            WeightUpdate::new(valid_edge, Weight::new(999.0)),
+            WeightUpdate::new(bogus_edge, Weight::new(1.0)),
+        ]);
+        assert!(service.apply_batch(&poisoned).is_err());
+        assert_eq!(service.current_epoch(), 0, "failed batch must not publish");
+
+        // A follow-up valid batch publishes epoch 1, whose graph must match
+        // the pristine graph plus only this batch.
+        let fix =
+            ksp_graph::UpdateBatch::new(vec![WeightUpdate::new(valid_edge, Weight::new(2.5))]);
+        assert_eq!(service.apply_batch(&fix).unwrap(), 1);
+        let snapshot = service.snapshot();
+        let expected = graph.with_batch(&fix).unwrap();
+        assert_eq!(snapshot.graph().weight(valid_edge), Weight::new(2.5));
+        assert_eq!(snapshot.graph().total_weight(), expected.total_weight());
+        // And queries still agree with Yen on that graph.
+        let q = service.query(VertexId(0), VertexId(100), 2).unwrap();
+        assert_eq!(q.epoch, 1);
+        let want = yen_ksp(&expected, VertexId(0), VertexId(100), 2);
+        assert_eq!(q.paths.len(), want.len());
+        for (a, b) in q.paths.iter().zip(want.iter()) {
+            assert!(a.distance().approx_eq(b.distance()));
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 7, 16] {
+            for s in 0..20u32 {
+                for t in 0..20u32 {
+                    let a = route(VertexId(s), VertexId(t), 3, shards);
+                    let b = route(VertexId(s), VertexId(t), 3, shards);
+                    assert_eq!(a, b);
+                    assert!(a < shards);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of criterion's API this workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`] and the
+//! `criterion_group!` / `criterion_main!` macros — as a plain wall-clock
+//! harness: each benchmark runs `sample_size` measured samples after one
+//! warm-up and prints mean / min / max. There is no statistical analysis,
+//! HTML report, or outlier rejection; swap this path dependency for crates.io
+//! `criterion` to regain those without touching the bench sources.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. This shim re-runs setup before
+/// every sample regardless of the hint, which is the conservative choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup re-run per sample).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to every benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, durations: Vec::with_capacity(samples) }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the routine
+    /// is measured.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{label}: no samples collected");
+        return;
+    }
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = durations.iter().min().unwrap();
+    let max = durations.iter().max().unwrap();
+    println!(
+        "{label}: mean {:.3} ms, min {:.3} ms, max {:.3} ms ({} samples)",
+        mean.as_secs_f64() * 1e3,
+        min.as_secs_f64() * 1e3,
+        max.as_secs_f64() * 1e3,
+        durations.len()
+    );
+}
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.default_sample_size);
+        f(&mut bencher);
+        report(&name.into(), &bencher.durations);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measured samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher.durations);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher.durations);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(5);
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(b.durations.len(), 5);
+        assert_eq!(runs, 6); // warm-up + 5 samples
+
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| 21u64, |x| x * 2, BatchSize::LargeInput);
+        assert_eq!(b.durations.len(), 3);
+    }
+
+    #[test]
+    fn groups_run_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        let mut calls = 0u32;
+        group.bench_function("inner", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| b.iter(|| x + 1));
+        group.finish();
+        assert!(calls >= 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the [`channel`] module with the multi-producer multi-consumer
+//! unbounded channel API the workspace uses (`unbounded`, cloneable
+//! [`channel::Sender`] / [`channel::Receiver`], disconnect-aware `send` and
+//! `recv`), implemented over a `Mutex<VecDeque>` + `Condvar`. Swap this path
+//! dependency for the real crates.io `crossbeam` to regain the lock-free
+//! implementation; the semantics observed by this workspace are identical.
+
+#![warn(missing_docs)]
+
+pub mod channel;

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a crate registry, so this tiny local
+//! crate supplies just enough of serde's surface for the workspace to compile:
+//! the [`Serialize`] / [`Deserialize`] marker traits and the same-named no-op
+//! derive macros from the sibling `serde_derive` shim. The derives emit no
+//! code, so `#[derive(Serialize, Deserialize)]` annotations in the workspace
+//! compile to plain markers; swap this path dependency for the real crates.io
+//! `serde` (features = ["derive"]) to regain actual serialization support
+//! without touching any annotated type.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

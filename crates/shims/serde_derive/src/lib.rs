@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde shim.
+//!
+//! Each derive expands to nothing: the shim's traits carry blanket
+//! implementations, so the annotated types need no generated code.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shim's `Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the shim's `Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -26,8 +26,12 @@ pub enum DatasetPreset {
 
 impl DatasetPreset {
     /// All presets, in the order the paper reports them.
-    pub const ALL: [DatasetPreset; 4] =
-        [DatasetPreset::NewYork, DatasetPreset::Colorado, DatasetPreset::Florida, DatasetPreset::CentralUsa];
+    pub const ALL: [DatasetPreset; 4] = [
+        DatasetPreset::NewYork,
+        DatasetPreset::Colorado,
+        DatasetPreset::Florida,
+        DatasetPreset::CentralUsa,
+    ];
 
     /// Short name used in figures and tables ("NY", "COL", "FLA", "CUSA").
     pub fn short_name(self) -> &'static str {
@@ -146,7 +150,8 @@ impl DatasetSpec {
     /// Creates the specification for a preset at the given scale.
     pub fn new(preset: DatasetPreset, scale: DatasetScale) -> Self {
         let num_vertices = scale.vertex_budget(preset);
-        let default_z = ((preset.paper_default_z() as f64 * scale.z_scale_factor()).round() as usize).max(8);
+        let default_z =
+            ((preset.paper_default_z() as f64 * scale.z_scale_factor()).round() as usize).max(8);
         let seed = 0xD1A5_0000
             + match preset {
                 DatasetPreset::NewYork => 1,
@@ -172,8 +177,8 @@ impl DatasetSpec {
         RoadNetworkGenerator::new(cfg).generate(self.seed)
     }
 
-    /// Generates the directed variant of this dataset (used by the CUSA directed-graph
-    /// experiments in Figs. 18–19).
+    /// Generates the directed variant of this dataset (used by the directed-graph
+    /// maintenance comparison of Fig. 19).
     pub fn generate_directed(&self) -> Result<GeneratedNetwork, GraphError> {
         let cfg = RoadNetworkConfig::with_vertices(self.num_vertices).directed();
         RoadNetworkGenerator::new(cfg).generate(self.seed)
@@ -196,10 +201,8 @@ mod tests {
 
     #[test]
     fn relative_sizes_are_preserved_at_small_scale() {
-        let sizes: Vec<usize> = DatasetPreset::ALL
-            .iter()
-            .map(|p| p.spec(DatasetScale::Small).num_vertices)
-            .collect();
+        let sizes: Vec<usize> =
+            DatasetPreset::ALL.iter().map(|p| p.spec(DatasetScale::Small).num_vertices).collect();
         assert!(sizes[0] < sizes[1], "NY must be smaller than COL");
         assert!(sizes[1] < sizes[2], "COL must be smaller than FLA");
         assert!(sizes[2] < sizes[3], "FLA must be smaller than CUSA");

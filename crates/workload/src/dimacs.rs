@@ -138,14 +138,10 @@ fn parse_field<T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, DimacsError> {
-    let raw = field.ok_or_else(|| DimacsError::Parse {
-        line,
-        message: format!("missing {what}"),
-    })?;
-    raw.parse().map_err(|_| DimacsError::Parse {
-        line,
-        message: format!("invalid {what}: '{raw}'"),
-    })
+    let raw =
+        field.ok_or_else(|| DimacsError::Parse { line, message: format!("missing {what}") })?;
+    raw.parse()
+        .map_err(|_| DimacsError::Parse { line, message: format!("invalid {what}: '{raw}'") })
 }
 
 #[cfg(test)]
@@ -196,7 +192,10 @@ a 3 1 12
     #[test]
     fn missing_problem_line_is_an_error() {
         let input = "a 1 2 3\n";
-        assert!(matches!(parse_gr(Cursor::new(input), false), Err(DimacsError::MissingProblemLine)));
+        assert!(matches!(
+            parse_gr(Cursor::new(input), false),
+            Err(DimacsError::MissingProblemLine)
+        ));
     }
 
     #[test]

@@ -122,6 +122,22 @@ impl QueryWorkload {
     pub fn prefix(&self, count: usize) -> Self {
         QueryWorkload { queries: self.queries.iter().take(count).copied().collect() }
     }
+
+    /// Endlessly cycles through the workload starting at `offset % len`.
+    ///
+    /// This is the replay order used by closed-loop load clients: each client
+    /// starts at its own offset so concurrent clients cover different parts of
+    /// the workload (and therefore different service shards) instead of
+    /// marching in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty.
+    pub fn cycle_from(&self, offset: usize) -> impl Iterator<Item = KspQuery> + '_ {
+        assert!(!self.is_empty(), "cannot cycle over an empty workload");
+        let len = self.queries.len();
+        (0..).map(move |i| self.queries[(offset + i) % len])
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +182,11 @@ mod tests {
     #[test]
     fn candidate_generation_only_uses_candidates() {
         let candidates = vec![VertexId(3), VertexId(7), VertexId(11), VertexId(19)];
-        let w = QueryWorkload::generate_from_candidates(&candidates, QueryWorkloadConfig::new(50, 2), 5);
+        let w = QueryWorkload::generate_from_candidates(
+            &candidates,
+            QueryWorkloadConfig::new(50, 2),
+            5,
+        );
         for q in w.iter() {
             assert!(candidates.contains(&q.source));
             assert!(candidates.contains(&q.target));
@@ -185,6 +205,18 @@ mod tests {
             assert_eq!(a.target, b.target);
             assert_eq!(b.k, 8);
         }
+    }
+
+    #[test]
+    fn cycle_from_wraps_and_respects_offset() {
+        let g = graph();
+        let w = QueryWorkload::generate(&g, QueryWorkloadConfig::new(5, 2), 3);
+        let replay: Vec<KspQuery> = w.cycle_from(3).take(12).collect();
+        assert_eq!(replay.len(), 12);
+        assert_eq!(replay[0], w.queries[3]);
+        assert_eq!(replay[1], w.queries[4]);
+        assert_eq!(replay[2], w.queries[0]);
+        assert_eq!(replay[7], w.queries[(3 + 7) % 5]);
     }
 
     #[test]

@@ -184,7 +184,8 @@ impl RoadNetworkGenerator {
             let base = cfg.min_weight as f64
                 + (cfg.max_weight - cfg.min_weight) as f64 * weight_rng.next_f64();
             let speed_factor = if is_highway { 0.45 } else { 1.0 };
-            let w = (base * dist * speed_factor).round().clamp(cfg.min_weight as f64, u32::MAX as f64);
+            let w =
+                (base * dist * speed_factor).round().clamp(cfg.min_weight as f64, u32::MAX as f64);
             let w = (w as u32).max(cfg.min_weight);
             if cfg.directed {
                 builder.edge(u, v, w);
@@ -286,7 +287,10 @@ mod tests {
     fn generated_network_is_connected() {
         for seed in [1, 2, 3] {
             let net = generate(500, seed);
-            assert!(is_connected_undirected(&net.graph), "seed {seed} produced a disconnected graph");
+            assert!(
+                is_connected_undirected(&net.graph),
+                "seed {seed} produced a disconnected graph"
+            );
         }
     }
 
@@ -315,12 +319,8 @@ mod tests {
     fn different_seeds_give_different_networks() {
         let a = generate(300, 1);
         let b = generate(300, 2);
-        let differing = a
-            .graph
-            .edges()
-            .zip(b.graph.edges())
-            .filter(|(ea, eb)| ea.1 != eb.1)
-            .count();
+        let differing =
+            a.graph.edges().zip(b.graph.edges()).filter(|(ea, eb)| ea.1 != eb.1).count();
         assert!(differing > 0);
     }
 

@@ -47,7 +47,11 @@ impl TrafficConfig {
     }
 
     fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be within [0, 1], got {}", self.alpha);
+        assert!(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha must be within [0, 1], got {}",
+            self.alpha
+        );
         assert!((0.0..=1.0).contains(&self.tau), "tau must be within [0, 1], got {}", self.tau);
         assert!(self.cycle_length > 0, "cycle length must be positive");
     }
@@ -117,8 +121,7 @@ impl TrafficModel {
             }
             let w0 = self.initial_weights[idx] as f64;
             let noise = self.rng.next_range_f64(-0.4 * self.config.tau, 0.4 * self.config.tau);
-            let factor = (1.0 + trend + noise)
-                .clamp(1.0 - self.config.tau, 1.0 + self.config.tau);
+            let factor = (1.0 + trend + noise).clamp(1.0 - self.config.tau, 1.0 + self.config.tau);
             let new_weight = Weight::new((w0 * factor).max(0.1));
             touched[idx] = true;
             updates.push(WeightUpdate::new(EdgeId(idx as u32), new_weight));

@@ -1,27 +1,39 @@
 //! A navigation-service scenario (the paper's first motivating application):
-//! a stream of concurrent route requests is answered over a road network whose travel
-//! times keep changing, using the simulated cluster.
+//! a stream of concurrent route requests is answered by `ksp_dg::serve`'s
+//! `QueryService` — sharded workers over epoch snapshots — while traffic keeps
+//! changing underneath.
 //!
-//! Every few query batches a traffic snapshot arrives; the DTLP index absorbs it with a
-//! cheap maintenance pass (the bounding paths never change), and subsequent queries are
-//! answered against the fresh weights.
+//! Closed-loop clients replay a query workload against the service; an updater
+//! thread publishes a traffic epoch every few milliseconds. Every answer is
+//! exact for the epoch it reports, repeated requests within an epoch hit the
+//! result cache, and the run ends with the latency/throughput/cache summary a
+//! service operator would watch.
 //!
 //! ```text
 //! cargo run --release --example navigation_service
 //! ```
 
-use ksp_dg::cluster::cluster::{Cluster, ClusterConfig, QuerySpec};
 use ksp_dg::core::dtlp::DtlpConfig;
+use ksp_dg::serve::{run_closed_loop, LoadDriverConfig, QueryService, ServiceConfig};
+use ksp_dg::workload::datasets::DatasetScale;
 use ksp_dg::workload::{
     DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
 };
-use ksp_dg::workload::datasets::DatasetScale;
+use std::time::Duration;
 
 fn main() {
-    // The NY-like preset at benchmark scale, served by a 8-server cluster.
-    let spec = DatasetPreset::NewYork.spec(DatasetScale::Small);
+    // The NY-like preset. Tiny keeps the demo interactive (single KSP-DG
+    // queries on the Small scale take around a second each, which is a
+    // benchmark, not a demo); set KSP_EXAMPLE_SCALE=small for serving numbers
+    // on the benchmark-sized network.
+    let scale = match std::env::var("KSP_EXAMPLE_SCALE").as_deref() {
+        Ok("small") => DatasetScale::Small,
+        Ok("medium") => DatasetScale::Medium,
+        _ => DatasetScale::Tiny,
+    };
+    let spec = DatasetPreset::NewYork.spec(scale);
     let net = spec.generate().expect("dataset generation");
-    let mut graph = net.graph;
+    let graph = net.graph;
     println!(
         "dataset {} ({} vertices, {} edges), z = {}",
         spec.preset.short_name(),
@@ -30,47 +42,70 @@ fn main() {
         spec.default_z
     );
 
-    let (mut cluster, build) =
-        Cluster::build(&graph, ClusterConfig::new(8, DtlpConfig::new(spec.default_z, 3)))
-            .expect("cluster build");
+    // A 4-shard service with the paper's default DTLP parameters.
+    let config = ServiceConfig::new(4, DtlpConfig::new(spec.default_z, 3));
+    let service = QueryService::start(graph.clone(), config).expect("service start");
     println!(
-        "distributed DTLP built in {:.1} ms wall clock ({:.1} ms simulated on 8 servers)",
-        build.wall_clock.as_secs_f64() * 1e3,
-        build.load_balance.simulated_makespan().as_secs_f64() * 1e3
+        "query service up: {} shards, cache {} entries/shard, queue depth {}",
+        service.num_shards(),
+        config.cache_capacity,
+        config.admission.max_queue_depth
     );
 
-    // Traffic evolves with the paper's default parameters (α = 35 %, τ = 30 %).
+    // Traffic evolves with the paper's default parameters (α = 35 %, τ = 30 %)
+    // while closed-loop clients replay top-3 route requests.
+    let update_cadence = Duration::from_millis(20);
     let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 99);
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(60, 3), 7);
+    let driver = LoadDriverConfig::new(8, 150).with_updates_every(update_cadence);
+    println!(
+        "closed-loop run: {} clients x {} requests, traffic epoch every {:?}",
+        driver.num_clients, driver.requests_per_client, update_cadence,
+    );
 
-    for round in 1..=3 {
-        // A batch of concurrent route requests: top-3 alternative routes each.
-        let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(60, 3), round);
-        let specs: Vec<QuerySpec> = workload
-            .iter()
-            .map(|q| QuerySpec { source: q.source, target: q.target, k: q.k })
-            .collect();
-        let report = cluster.process_queries(&specs);
-        println!(
-            "round {round}: answered {} queries in {:.1} ms wall clock \
-             ({:.1} ms simulated makespan, {:.1} iterations/query, {} vertices transferred)",
-            report.queries_answered,
-            report.wall_clock.as_secs_f64() * 1e3,
-            report.simulated_makespan().as_secs_f64() * 1e3,
-            report.mean_iterations(),
-            report.total_vertices_transferred
-        );
+    let report = run_closed_loop(&service, &workload, Some(&mut traffic), driver);
 
-        // Traffic conditions change; route the update batch through the cluster.
-        let batch = traffic.next_snapshot();
-        graph.apply_batch(&batch).expect("graph update");
-        let maintenance = cluster.apply_batch(&batch).expect("index maintenance");
+    println!();
+    println!("== closed-loop serving report ==");
+    println!(
+        "requests: {} completed, {} rejected by admission control",
+        report.completed, report.rejected
+    );
+    println!(
+        "throughput: {:.0} queries/s over {:.2} s",
+        report.throughput_qps(),
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms (mean {:.3} ms, max {:.3} ms)",
+        report.metrics.p50.as_secs_f64() * 1e3,
+        report.metrics.p95.as_secs_f64() * 1e3,
+        report.metrics.p99.as_secs_f64() * 1e3,
+        report.metrics.mean.as_secs_f64() * 1e3,
+        report.metrics.max.as_secs_f64() * 1e3,
+    );
+    println!(
+        "cache: {:.1} % hit rate ({} hits, {} misses)",
+        report.metrics.cache_hit_rate() * 100.0,
+        report.metrics.cache_hits,
+        report.metrics.cache_misses
+    );
+    println!(
+        "epochs: {} published during the run (service now at epoch {})",
+        report.epochs_published,
+        service.current_epoch()
+    );
+    println!(
+        "shard balance: busy spread {:.1} % over {} shards (simulated makespan {:.1} ms)",
+        report.metrics.load_balance.busy_spread * 100.0,
+        report.metrics.load_balance.num_servers,
+        report.metrics.load_balance.simulated_makespan().as_secs_f64() * 1e3,
+    );
+    for (i, shard) in report.metrics.per_shard.iter().enumerate() {
         println!(
-            "    traffic snapshot: {} edge updates absorbed in {:.1} ms \
-             ({} bounding paths touched, {} skeleton edges changed)",
-            batch.len(),
-            maintenance.wall_clock.as_secs_f64() * 1e3,
-            maintenance.paths_touched,
-            maintenance.skeleton_edges_changed
+            "    shard {i}: {} requests, {:.1} ms busy",
+            shard.items_processed,
+            shard.busy_time.as_secs_f64() * 1e3
         );
     }
     println!("navigation service example finished");

@@ -10,7 +10,9 @@ use ksp_dg::algo::yen_ksp;
 use ksp_dg::core::dtlp::{DtlpConfig, DtlpIndex};
 use ksp_dg::core::kspdg::KspDgEngine;
 use ksp_dg::graph::VertexId;
-use ksp_dg::workload::{QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator};
+use ksp_dg::workload::{
+    QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator,
+};
 
 fn main() {
     // 1. Generate a small road network (~1000 intersections).
@@ -50,7 +52,12 @@ fn main() {
             result.stats.vertices_transferred
         );
         for (i, p) in result.paths.iter().enumerate() {
-            println!("    #{}: distance {:.2}, {} edges", i + 1, p.distance().value(), p.num_edges());
+            println!(
+                "    #{}: distance {:.2}, {} edges",
+                i + 1,
+                p.distance().value(),
+                p.num_edges()
+            );
         }
         assert_eq!(result.paths.len(), reference.len(), "answer must match Yen");
         for (a, b) in result.paths.iter().zip(reference.iter()) {

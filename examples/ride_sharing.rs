@@ -48,10 +48,8 @@ fn main() {
             println!("rider {i}: unreachable, skipped");
             continue;
         }
-        let total: f64 = legs
-            .iter()
-            .map(|r| r.shortest_distance().expect("non-empty").value())
-            .sum();
+        let total: f64 =
+            legs.iter().map(|r| r.shortest_distance().expect("non-empty").value()).sum();
         let detour = total - direct_distance.value();
         let alternatives: usize = legs.iter().map(|r| r.paths.len()).sum();
         println!(

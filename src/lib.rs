@@ -11,6 +11,9 @@
 //! * [`cluster`] — the simulated distributed runtime ([`ksp_cluster`]).
 //! * [`workload`] — dataset generators, the traffic model and query workloads
 //!   ([`ksp_workload`]).
+//! * [`serve`] — the concurrent query-serving subsystem: epoch snapshots,
+//!   sharded workers, admission control and an epoch-keyed result cache
+//!   ([`ksp_serve`]).
 //!
 //! # Quickstart
 //!
@@ -29,9 +32,12 @@
 //! assert!(!result.paths.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub use ksp_algo as algo;
 pub use ksp_cands as cands;
 pub use ksp_cluster as cluster;
 pub use ksp_core as core;
 pub use ksp_graph as graph;
+pub use ksp_serve as serve;
 pub use ksp_workload as workload;

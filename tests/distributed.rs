@@ -7,10 +7,10 @@ use ksp_dg::cluster::cluster::{Cluster, ClusterConfig, QuerySpec};
 use ksp_dg::cluster::topology::{StormTopology, TopologyConfig};
 use ksp_dg::core::dtlp::DtlpConfig;
 use ksp_dg::core::kspdg::KspDgEngine;
+use ksp_dg::workload::datasets::DatasetScale;
 use ksp_dg::workload::{
     DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
 };
-use ksp_dg::workload::datasets::DatasetScale;
 
 fn tiny_graph() -> ksp_dg::graph::DynamicGraph {
     DatasetPreset::NewYork.spec(DatasetScale::Tiny).generate().expect("dataset").graph
@@ -21,7 +21,8 @@ fn cluster_and_topology_agree_with_yen_after_updates() {
     let mut graph = tiny_graph();
     let dtlp = DtlpConfig::new(18, 2);
     let (mut cluster, _) = Cluster::build(&graph, ClusterConfig::new(4, dtlp)).expect("cluster");
-    let mut topology = StormTopology::build(&graph, TopologyConfig::new(3, dtlp)).expect("topology");
+    let mut topology =
+        StormTopology::build(&graph, TopologyConfig::new(3, dtlp)).expect("topology");
 
     let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.4, 0.5), 21);
     for _ in 0..2 {
@@ -73,8 +74,9 @@ fn more_servers_never_increase_simulated_makespan_much() {
         workload.iter().map(|q| QuerySpec { source: q.source, target: q.target, k: q.k }).collect();
     let mut previous = None;
     for servers in [1usize, 2, 8] {
-        let (cluster, _) = Cluster::build(&graph, ClusterConfig::new(servers, DtlpConfig::new(18, 2)))
-            .expect("cluster");
+        let (cluster, _) =
+            Cluster::build(&graph, ClusterConfig::new(servers, DtlpConfig::new(18, 2)))
+                .expect("cluster");
         let makespan = cluster.process_queries(&specs).simulated_makespan();
         if let Some(prev) = previous {
             // Allow a generous tolerance: measurement noise on very fast queries.

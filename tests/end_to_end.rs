@@ -6,10 +6,10 @@ use ksp_dg::algo::{find_ksp, yen_ksp};
 use ksp_dg::cands::CandsIndex;
 use ksp_dg::core::dtlp::{DtlpConfig, DtlpIndex};
 use ksp_dg::core::kspdg::KspDgEngine;
+use ksp_dg::workload::datasets::DatasetScale;
 use ksp_dg::workload::{
     DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
 };
-use ksp_dg::workload::datasets::DatasetScale;
 
 fn tiny_dataset(preset: DatasetPreset) -> (ksp_dg::graph::DynamicGraph, usize) {
     let spec = preset.spec(DatasetScale::Tiny);

@@ -1,0 +1,157 @@
+//! Snapshot-consistency stress tests of the serving subsystem: many client
+//! threads hammer a `QueryService` while an updater publishes traffic epochs,
+//! and every response must be *exactly* the answer Yen's algorithm computes on
+//! the graph of the epoch the response claims — i.e. no torn (graph, index)
+//! reads, ever.
+
+use ksp_dg::algo::yen_ksp;
+use ksp_dg::core::dtlp::DtlpConfig;
+use ksp_dg::graph::DynamicGraph;
+use ksp_dg::serve::{run_closed_loop, LoadDriverConfig, QueryService, ServiceConfig, ServiceError};
+use ksp_dg::workload::{
+    QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+    TrafficModel,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn network(n: usize, seed: u64) -> DynamicGraph {
+    RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n)).generate(seed).unwrap().graph
+}
+
+/// The central guarantee: under concurrent queries and epoch publishes, every
+/// returned path set exactly matches `yen_ksp` recomputed on that response's
+/// epoch graph.
+#[test]
+fn concurrent_queries_are_exact_for_their_epoch() {
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 40;
+    const EPOCHS: usize = 6;
+
+    let graph = network(220, 71);
+    let service =
+        QueryService::start(graph.clone(), ServiceConfig::new(3, DtlpConfig::new(18, 2))).unwrap();
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(30, 2), 13);
+
+    // Precompute the graph of every epoch the updater will publish: epoch e is
+    // the initial graph with batches 1..=e applied. The updater below applies
+    // the same deterministic batches through the service, so a response tagged
+    // epoch e must match Yen on `per_epoch[e]`.
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.45, 0.45), 29);
+    let batches: Vec<_> = traffic.snapshots(EPOCHS);
+    let mut per_epoch: Vec<DynamicGraph> = vec![graph.clone()];
+    for batch in &batches {
+        per_epoch.push(per_epoch.last().unwrap().with_batch(batch).unwrap());
+    }
+
+    let torn = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let service = &service;
+            let workload = &workload;
+            let per_epoch = &per_epoch;
+            let torn = &torn;
+            scope.spawn(move || {
+                for q in workload.cycle_from(client * 7).take(REQUESTS_PER_CLIENT) {
+                    let response = match service.query(q.source, q.target, q.k) {
+                        Ok(r) => r,
+                        Err(ServiceError::Overloaded { .. }) => continue,
+                        Err(other) => panic!("unexpected error: {other}"),
+                    };
+                    let epoch_graph = &per_epoch[response.epoch as usize];
+                    let expected = yen_ksp(epoch_graph, q.source, q.target, q.k);
+                    if response.paths.len() != expected.len() {
+                        torn.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    for (got, want) in response.paths.iter().zip(expected.iter()) {
+                        if !got.distance().approx_eq(want.distance()) {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // The path must also be valid on the epoch graph with
+                        // exactly the claimed distance.
+                        let recomputed = got
+                            .recompute_distance(epoch_graph)
+                            .expect("returned path uses edges that exist");
+                        if !recomputed.approx_eq(got.distance()) {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Updater: publish the precomputed batches while clients are running.
+        // All EPOCHS batches are published even if clients finish early, so the
+        // final epoch count below is deterministic.
+        let service = &service;
+        let batches = &batches;
+        scope.spawn(move || {
+            for batch in batches {
+                std::thread::sleep(Duration::from_millis(3));
+                service.apply_batch(batch).unwrap();
+            }
+        });
+    });
+
+    assert_eq!(torn.load(Ordering::Relaxed), 0, "torn or stale reads detected");
+    assert_eq!(service.current_epoch(), EPOCHS as u64);
+    let report = service.metrics();
+    assert!(report.completed > 0);
+    assert_eq!(report.epochs_published, EPOCHS as u64);
+}
+
+/// A cached hit must be byte-identical to a cold miss for the same
+/// `(source, target, k, epoch)`.
+#[test]
+fn cache_hit_equals_cold_miss() {
+    let graph = network(180, 3);
+    let service =
+        QueryService::start(graph.clone(), ServiceConfig::new(2, DtlpConfig::new(15, 2))).unwrap();
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(12, 3), 5);
+
+    for q in workload.iter() {
+        let cold = service.query(q.source, q.target, q.k).unwrap();
+        let warm = service.query(q.source, q.target, q.k).unwrap();
+        assert!(!cold.cache_hit, "first request for {q:?} must be a miss");
+        assert!(warm.cache_hit, "second request for {q:?} must hit");
+        assert_eq!(cold.epoch, warm.epoch);
+        assert_eq!(cold.paths.len(), warm.paths.len());
+        for (a, b) in cold.paths.iter().zip(warm.paths.iter()) {
+            assert_eq!(a.vertices(), b.vertices());
+            assert!(a.distance().approx_eq(b.distance()));
+        }
+    }
+    let report = service.metrics();
+    assert_eq!(report.cache_hits, workload.len() as u64);
+    assert_eq!(report.cache_misses, workload.len() as u64);
+    assert!((report.cache_hit_rate() - 0.5).abs() < 1e-9);
+}
+
+/// The closed-loop driver against a live service with traffic updates: every
+/// request completes or is explicitly rejected, and the metrics add up.
+#[test]
+fn closed_loop_driver_accounts_for_every_request() {
+    let graph = network(200, 41);
+    let service =
+        QueryService::start(graph.clone(), ServiceConfig::new(3, DtlpConfig::new(18, 2))).unwrap();
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(24, 2), 9);
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.35, 0.3), 17);
+
+    let report = run_closed_loop(
+        &service,
+        &workload,
+        Some(&mut traffic),
+        LoadDriverConfig::new(4, 30).with_updates_every(Duration::from_millis(4)),
+    );
+
+    assert_eq!(report.completed + report.rejected, 4 * 30);
+    assert_eq!(report.metrics.completed, report.completed as u64);
+    assert_eq!(report.metrics.cache_hits + report.metrics.cache_misses, report.completed as u64);
+    assert!(report.throughput_qps() > 0.0);
+    assert!(report.metrics.p50 <= report.metrics.p95);
+    assert!(report.metrics.p95 <= report.metrics.p99);
+    // Shard accounting flows through the cluster crate's ServerLoad.
+    let items: usize = report.metrics.per_shard.iter().map(|l| l.items_processed).sum();
+    assert_eq!(items, report.completed);
+}
