@@ -1,0 +1,98 @@
+//! Criterion bench: cold-start paths of the query service.
+//!
+//! The number the storage subsystem exists for: `Store::recover` (newest
+//! checkpoint + delta-log replay) vs a full `DtlpIndex::build` on the same
+//! benchmark graph — plus the component costs around it (checkpoint encode,
+//! checkpoint write, one durable log append).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_store::{Store, StoreConfig, SyncPolicy};
+use ksp_workload::{RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig, TrafficModel};
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ksp-ckpt-bench-{tag}-{}", std::process::id()))
+}
+
+fn bench_checkpoint_restart(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(600))
+        .generate(0xC01D)
+        .expect("network generation");
+    let mut graph = net.graph;
+    let dtlp = DtlpConfig::new(40, 2);
+    let mut index = DtlpIndex::build(&graph, dtlp).expect("index build");
+
+    // Prepare a store with a checkpoint at epoch 0 and a 4-epoch log suffix,
+    // so recovery exercises both the decode and the replay path.
+    let dir = scratch_dir("restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_config =
+        StoreConfig { checkpoint_interval: 0, sync: SyncPolicy::Never, ..StoreConfig::default() };
+    let mut store = Store::create(&dir, store_config, 0, &graph, &index).expect("store create");
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 0xBEEF);
+    for _ in 0..4 {
+        let batch = traffic.next_snapshot();
+        let epoch = graph.apply_batch(&batch).expect("graph update");
+        index.apply_batch(&batch).expect("index maintenance");
+        store.log_batch(epoch, &batch).expect("log append");
+    }
+    drop(store);
+
+    let mut group = c.benchmark_group("cold_start");
+    group.sample_size(10);
+    group.bench_function("full_index_build", |b| {
+        b.iter(|| std::hint::black_box(DtlpIndex::build(&graph, dtlp).expect("index build")));
+    });
+    group.bench_function("store_recover", |b| {
+        b.iter(|| {
+            let (_store, recovered) = Store::recover(&dir, store_config).expect("recover");
+            assert_eq!(recovered.epoch, 4);
+            std::hint::black_box(recovered);
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("store_ops");
+    group.sample_size(10);
+    group.bench_function("encode_checkpoint", |b| {
+        b.iter(|| std::hint::black_box(Store::encode_checkpoint(4, &graph, &index)));
+    });
+    group.bench_function("checkpoint_commit", |b| {
+        // Includes the atomic write + log rotation, on a scratch store.
+        let dir = scratch_dir("commit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Store::create(&dir, store_config, graph.version(), &graph, &index)
+            .expect("store create");
+        b.iter(|| store.checkpoint(graph.version(), &graph, &index).expect("checkpoint"));
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.bench_function("durable_log_append", |b| {
+        let dir = scratch_dir("append");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fsync_config = StoreConfig {
+            checkpoint_interval: 0,
+            sync: SyncPolicy::Always,
+            segment_max_records: u64::MAX,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::create(&dir, fsync_config, graph.version(), &graph, &index)
+            .expect("store create");
+        let mut live = graph.clone();
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 0xFEED);
+        b.iter(|| {
+            let batch = traffic.next_snapshot();
+            let epoch = live.apply_batch(&batch).expect("graph update");
+            store.log_batch(epoch, &batch).expect("log append");
+        });
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_checkpoint_restart);
+criterion_main!(benches);

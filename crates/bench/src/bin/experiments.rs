@@ -5,16 +5,34 @@
 //! experiments all [--scale small]      # run everything
 //! experiments fig39 [--scale medium]   # run one experiment
 //! experiments table1 fig40 --csv       # run several, emit CSV instead of tables
+//! experiments --verify-store <dir>     # operator check: recompute store CRCs
 //! ```
 
 use ksp_bench::experiments::{catalogue, run};
 use ksp_bench::Scale;
 
 fn print_usage() {
-    eprintln!("usage: experiments <list|all|ID...> [--scale tiny|small|medium] [--csv]");
+    eprintln!(
+        "usage: experiments <list|all|ID...> [--scale tiny|small|medium] [--csv]\n       experiments --verify-store <dir>"
+    );
     eprintln!("known experiment ids:");
     for (id, description) in catalogue() {
         eprintln!("  {id:<10} {description}");
+    }
+}
+
+/// Operator integrity check: recompute every CRC in a store directory and
+/// report torn or corrupt files. Exits non-zero when the store cannot recover.
+fn verify_store(dir: &str) -> ! {
+    match ksp_store::Store::verify(std::path::Path::new(dir)) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(if report.recoverable { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("verify failed: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -42,6 +60,13 @@ fn main() {
                 }
             }
             "--csv" => csv = true,
+            "--verify-store" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--verify-store needs a store directory");
+                    std::process::exit(2);
+                };
+                verify_store(&dir);
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;

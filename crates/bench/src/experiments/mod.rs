@@ -9,6 +9,7 @@ pub mod ablation;
 pub mod baselines;
 pub mod dtlp;
 pub mod kspdg;
+pub mod persistence;
 pub mod scaling;
 pub mod serve;
 
@@ -47,6 +48,7 @@ pub fn catalogue() -> Vec<(&'static str, &'static str)> {
         ("loadbal", "Section 6.6: per-server CPU/memory load balance"),
         ("ablation", "Ablation: vfrags, xi, MFP-tree backend, partial-path cache"),
         ("serve", "Serving: closed-loop throughput/latency vs shards with live epochs"),
+        ("persistence", "Storage: cold-start-from-checkpoint vs full rebuild, store verify"),
     ]
 }
 
@@ -81,6 +83,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "loadbal" => scaling::load_balance(scale),
         "ablation" => ablation::run(scale),
         "serve" => serve::serve_throughput(scale),
+        "persistence" => persistence::persistence(scale),
         _ => return None,
     };
     Some(tables)

@@ -1,0 +1,118 @@
+//! Persistence experiment: what the storage subsystem buys a cold-starting
+//! service.
+//!
+//! For each dataset the experiment builds the DTLP index, initialises a store,
+//! publishes a run of logged traffic epochs with periodic checkpoints, then
+//! measures the two cold-start paths side by side: a full `DtlpIndex::build`
+//! versus `Store::recover` (newest checkpoint + log replay). It also reports
+//! the on-disk footprint and runs `Store::verify` so the operator-facing
+//! integrity check is exercised end to end.
+
+use crate::report::{f2, Table};
+use crate::Scale;
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_store::{Store, StoreConfig, SyncPolicy};
+use ksp_workload::{TrafficConfig, TrafficModel};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ksp-persistence-exp-{tag}-{}", std::process::id()))
+}
+
+fn dir_size_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries.filter_map(|e| e.ok()).filter_map(|e| e.metadata().ok()).map(|m| m.len()).sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Cold-start-from-checkpoint vs full rebuild, plus store footprint and the
+/// integrity report.
+pub fn persistence(scale: Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "persistence: cold start from checkpoint+log vs full index rebuild",
+        &[
+            "dataset",
+            "vertices",
+            "edges",
+            "epochs",
+            "build_ms",
+            "recover_ms",
+            "speedup",
+            "replayed",
+            "ckpt_epoch",
+            "disk_kib",
+            "verify",
+        ],
+    );
+    for preset in super::datasets_for(scale) {
+        let spec = preset.spec(scale.dataset_scale());
+        let net = spec.generate().expect("dataset generation");
+        let mut graph = net.graph;
+        let dtlp = DtlpConfig::new(spec.default_z, 2);
+
+        let build_started = Instant::now();
+        let mut index = DtlpIndex::build(&graph, dtlp).expect("index build");
+        let build_time = build_started.elapsed();
+
+        let dir = scratch_dir(preset.short_name());
+        let _ = std::fs::remove_dir_all(&dir);
+        let store_config = StoreConfig {
+            checkpoint_interval: 4,
+            sync: SyncPolicy::Always,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::create(&dir, store_config, 0, &graph, &index).expect("store create");
+
+        // Publish a run of logged epochs; the interval leaves a log suffix to
+        // replay, so recovery exercises both the checkpoint and the log path.
+        let num_epochs = 6u64;
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 0xD15C);
+        for _ in 0..num_epochs {
+            let batch = traffic.next_snapshot();
+            let epoch = graph.apply_batch(&batch).expect("graph update");
+            index.apply_batch(&batch).expect("index maintenance");
+            store.log_batch(epoch, &batch).expect("log append");
+            if store_config.is_checkpoint_epoch(epoch) {
+                store.checkpoint(epoch, &graph, &index).expect("checkpoint");
+            }
+        }
+        drop(store);
+
+        let recover_started = Instant::now();
+        let (_store, recovered) = Store::recover(&dir, store_config).expect("recover");
+        let recover_time = recover_started.elapsed();
+        assert_eq!(recovered.epoch, num_epochs);
+
+        let verify = Store::verify(&dir).expect("verify");
+        table.row(vec![
+            preset.short_name().to_string(),
+            recovered.graph.num_vertices().to_string(),
+            recovered.graph.num_edges().to_string(),
+            num_epochs.to_string(),
+            f2(build_time.as_secs_f64() * 1e3),
+            f2(recover_time.as_secs_f64() * 1e3),
+            f2(build_time.as_secs_f64() / recover_time.as_secs_f64().max(1e-9)),
+            recovered.report.batches_replayed.to_string(),
+            recovered.report.checkpoint_epoch.to_string(),
+            (dir_size_bytes(&dir) / 1024).to_string(),
+            if verify.recoverable { "ok".to_string() } else { "DAMAGED".to_string() },
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistence_reports_every_dataset() {
+        let tables = persistence(Scale::Tiny);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].num_rows(), super::super::datasets_for(Scale::Tiny).len());
+    }
+}

@@ -235,9 +235,22 @@ impl DtlpIndex {
         self.vertex_subgraphs.get(&v).map(|s| s.as_slice()).unwrap_or(&[])
     }
 
+    /// Every vertex → subgraphs membership entry, in unspecified order.
+    /// Exposed so the storage layer can persist the table exactly as built
+    /// (per-vertex membership order matters to refine-step candidate order).
+    pub fn vertex_memberships(&self) -> impl Iterator<Item = (VertexId, &[SubgraphId])> {
+        self.vertex_subgraphs.iter().map(|(&v, sgs)| (v, sgs.as_slice()))
+    }
+
     /// The subgraph owning an edge.
     pub fn owner_of_edge(&self, e: EdgeId) -> SubgraphId {
         self.edge_owner[e.index()]
+    }
+
+    /// The owner of every edge, indexed by [`EdgeId`]. Exposed so the storage
+    /// layer can persist the ownership table wholesale.
+    pub fn edge_owners(&self) -> &[SubgraphId] {
+        &self.edge_owner
     }
 
     /// The subgraphs containing both vertices (the candidates examined by the refine

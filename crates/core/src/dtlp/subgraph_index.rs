@@ -86,16 +86,6 @@ impl SubgraphIndex {
         let directed = subgraph.is_directed();
         let boundary: Vec<VertexId> = subgraph.boundary_vertices().to_vec();
 
-        // Edge lookup (endpoint pair -> global edge id) for registering paths with the
-        // backend.
-        let mut edge_of: HashMap<(VertexId, VertexId), EdgeId> = HashMap::new();
-        for e in subgraph.edges() {
-            edge_of.insert((e.u, e.v), e.global_id);
-            if !directed {
-                edge_of.insert((e.v, e.u), e.global_id);
-            }
-        }
-
         let mut pairs: Vec<BoundingPathSet> = Vec::new();
         for (i, &a) in boundary.iter().enumerate() {
             for (j, &b) in boundary.iter().enumerate() {
@@ -117,46 +107,58 @@ impl SubgraphIndex {
             }
         }
 
-        // Build the edge -> paths backend.
-        let mut edge_paths: HashMap<EdgeId, Vec<PathRef>> = HashMap::new();
-        for (pi, set) in pairs.iter().enumerate() {
-            for (qi, p) in set.paths.iter().enumerate() {
-                for w in p.vertices.windows(2) {
-                    let Some(&e) = edge_of.get(&(w[0], w[1])) else { continue };
-                    edge_paths
-                        .entry(e)
-                        .or_default()
-                        .push(PathRef { pair: pi as u32, path: qi as u32 });
-                }
-            }
-        }
-        let backend = match backend {
-            BackendKind::EpIndex => {
-                let mut ep = EpIndex::new();
-                for (e, refs) in &edge_paths {
-                    for &r in refs {
-                        ep.insert(*e, r);
-                    }
-                }
-                BackendStore::Ep(ep)
-            }
-            BackendKind::MfpTree => {
-                let mut list: Vec<(EdgeId, Vec<PathRef>)> =
-                    edge_paths.iter().map(|(e, v)| (*e, v.clone())).collect();
-                list.sort_by_key(|(e, _)| e.0);
-                BackendStore::Mfp(MfpForest::build(&list))
-            }
-        };
-
+        let backend = build_backend(&subgraph, &pairs, backend);
         let unit_weights = UnitWeightMultiset::from_subgraph(&subgraph);
         let num_bounding_paths = pairs.iter().map(|p| p.len()).sum();
         let last_lbd = pairs.iter().map(|p| p.lower_bound_distance(&unit_weights)).collect();
         SubgraphIndex { subgraph, pairs, last_lbd, backend, unit_weights, num_bounding_paths }
     }
 
+    /// Reassembles an index from persisted parts, skipping the expensive
+    /// bounding-path enumeration of [`SubgraphIndex::build`].
+    ///
+    /// `pairs` carries the accumulated `current_distance` of every bounding
+    /// path and `last_lbd` the exact lower bounds last reported to the
+    /// skeleton, so the restored index continues maintenance bit-identically
+    /// to the instance that was checkpointed. The edge → paths backend and the
+    /// unit-weight multiset are derived data and are rebuilt here (both are
+    /// deterministic functions of `subgraph` and `pairs`).
+    pub fn restore(
+        subgraph: Subgraph,
+        pairs: Vec<BoundingPathSet>,
+        last_lbd: Vec<Weight>,
+        backend: BackendKind,
+    ) -> Self {
+        assert_eq!(pairs.len(), last_lbd.len(), "one stored lower bound per boundary pair");
+        let backend = build_backend(&subgraph, &pairs, backend);
+        let unit_weights = UnitWeightMultiset::from_subgraph(&subgraph);
+        let num_bounding_paths = pairs.iter().map(|p| p.len()).sum();
+        SubgraphIndex { subgraph, pairs, last_lbd, backend, unit_weights, num_bounding_paths }
+    }
+
     /// The subgraph this index covers (with live weights).
     pub fn subgraph(&self) -> &Subgraph {
         &self.subgraph
+    }
+
+    /// The bounding-path sets, one per indexed boundary pair.
+    pub fn pairs(&self) -> &[BoundingPathSet] {
+        &self.pairs
+    }
+
+    /// The lower bound distance last reported for each pair (parallel to
+    /// [`SubgraphIndex::pairs`]). Persisted verbatim so a restored index
+    /// detects future bound changes against the same baseline.
+    pub fn last_lower_bounds(&self) -> &[Weight] {
+        &self.last_lbd
+    }
+
+    /// Which backend kind stores the edge → bounding-paths mapping.
+    pub fn backend_kind(&self) -> BackendKind {
+        match self.backend {
+            BackendStore::Ep(_) => BackendKind::EpIndex,
+            BackendStore::Mfp(_) => BackendKind::MfpTree,
+        }
     }
 
     /// Identifier of the underlying subgraph.
@@ -274,6 +276,50 @@ impl SubgraphIndex {
     /// Memory footprint of the subgraph structure itself in bytes.
     pub fn subgraph_memory_bytes(&self) -> usize {
         self.subgraph.memory_bytes()
+    }
+}
+
+/// Builds the edge → bounding-paths backend for `pairs` over `subgraph`.
+/// Shared by [`SubgraphIndex::build`] and [`SubgraphIndex::restore`]: the
+/// backend is fully derived from the paths, so it is never persisted.
+fn build_backend(
+    subgraph: &Subgraph,
+    pairs: &[BoundingPathSet],
+    kind: BackendKind,
+) -> BackendStore {
+    // Edge lookup (endpoint pair -> global edge id) for registering paths.
+    let mut edge_of: HashMap<(VertexId, VertexId), EdgeId> = HashMap::new();
+    for e in subgraph.edges() {
+        edge_of.insert((e.u, e.v), e.global_id);
+        if !subgraph.is_directed() {
+            edge_of.insert((e.v, e.u), e.global_id);
+        }
+    }
+    let mut edge_paths: HashMap<EdgeId, Vec<PathRef>> = HashMap::new();
+    for (pi, set) in pairs.iter().enumerate() {
+        for (qi, p) in set.paths.iter().enumerate() {
+            for w in p.vertices.windows(2) {
+                let Some(&e) = edge_of.get(&(w[0], w[1])) else { continue };
+                edge_paths.entry(e).or_default().push(PathRef { pair: pi as u32, path: qi as u32 });
+            }
+        }
+    }
+    match kind {
+        BackendKind::EpIndex => {
+            let mut ep = EpIndex::new();
+            for (e, refs) in &edge_paths {
+                for &r in refs {
+                    ep.insert(*e, r);
+                }
+            }
+            BackendStore::Ep(ep)
+        }
+        BackendKind::MfpTree => {
+            let mut list: Vec<(EdgeId, Vec<PathRef>)> =
+                edge_paths.iter().map(|(e, v)| (*e, v.clone())).collect();
+            list.sort_by_key(|(e, _)| e.0);
+            BackendStore::Mfp(MfpForest::build(&list))
+        }
     }
 }
 

@@ -232,6 +232,26 @@ impl DynamicGraph {
         GraphSnapshot::capture(self)
     }
 
+    /// Rebuilds a graph from its persisted parts: the edge records (in edge-id
+    /// order, carrying both initial and current weights) and the version
+    /// counter. This is the decode-side counterpart of iterating
+    /// [`DynamicGraph::edges`]; `ksp-store` uses it to reconstruct the exact
+    /// graph a checkpoint captured, including in-flight weight updates.
+    pub fn restore(
+        directed: bool,
+        num_vertices: usize,
+        edges: Vec<EdgeRecord>,
+        version: u64,
+    ) -> Result<Self, GraphError> {
+        let mut graph = DynamicGraph::new(num_vertices, directed);
+        for record in edges {
+            let id = graph.add_edge(record.u, record.v, record.initial_weight)?;
+            graph.edges[id.index()].current_weight = record.current_weight;
+        }
+        graph.version = version;
+        Ok(graph)
+    }
+
     /// Copy-on-write batch application: returns a new graph with `batch` applied and
     /// the version advanced, leaving `self` untouched.
     ///

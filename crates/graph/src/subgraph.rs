@@ -101,6 +101,22 @@ impl Subgraph {
         }
     }
 
+    /// Rebuilds a subgraph from its persisted parts, including the boundary
+    /// vertex list the partitioner had assigned. The decode-side counterpart of
+    /// [`Subgraph::vertices`] / [`Subgraph::edges`] / [`Subgraph::boundary_vertices`],
+    /// used by `ksp-store` to reconstruct checkpointed subgraphs exactly.
+    pub fn restore(
+        id: SubgraphId,
+        directed: bool,
+        vertices: Vec<VertexId>,
+        edges: Vec<SubgraphEdge>,
+        boundary: Vec<VertexId>,
+    ) -> Self {
+        let mut subgraph = Subgraph::new(id, directed, vertices, edges);
+        subgraph.set_boundary(boundary);
+        subgraph
+    }
+
     /// Identifier of this subgraph.
     #[inline]
     pub fn id(&self) -> SubgraphId {

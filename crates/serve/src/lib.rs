@@ -22,6 +22,15 @@
 //!   [`QueryWorkload`](ksp_workload::QueryWorkload) from many client threads
 //!   while a [`TrafficModel`](ksp_workload::TrafficModel) publishes epochs.
 //!
+//! A service can also be **persistent**: started with
+//! [`QueryService::start_with_store`], every published batch is appended to
+//! `ksp-store`'s fsync-on-commit delta log *before* the epoch becomes
+//! visible, and a background thread checkpoints the `(graph, index)` pair
+//! every N epochs. After a crash or restart, [`QueryService::open`] loads the
+//! newest checkpoint and replays the log instead of paying a full
+//! `DtlpIndex::build` — and answers queries byte-identically to the service
+//! that went down.
+//!
 //! # Example
 //!
 //! ```
@@ -61,4 +70,4 @@ pub use cache::{CacheKey, ResultCache};
 pub use driver::{run_closed_loop, LoadDriverConfig, LoadReport};
 pub use epoch::{EpochPointer, EpochSnapshot};
 pub use metrics::{LatencyHistogram, MetricsReport, ServiceMetrics};
-pub use service::{QueryResponse, QueryService, ServiceConfig, ServiceError};
+pub use service::{PublishError, QueryResponse, QueryService, ServiceConfig, ServiceError};

@@ -24,7 +24,9 @@ use ksp_algo::Path;
 use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
 use ksp_core::kspdg::{KspDgConfig, QueryStats, SharedEngine};
 use ksp_graph::{DynamicGraph, GraphError, UpdateBatch, VertexId};
+use ksp_store::{RecoveryReport, Store, StoreConfig, StoreError};
 use parking_lot::Mutex;
+use std::path::Path as FsPath;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -96,6 +98,51 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Why publishing an epoch failed.
+///
+/// A publish can be rejected by the data layer (an invalid batch — see
+/// [`QueryService::apply_batch`]'s staging contract) or, for a persistent
+/// service, by the storage layer (the batch could not be made durable). In
+/// both cases nothing is published: readers keep the previous epoch.
+#[derive(Debug)]
+pub enum PublishError {
+    /// The batch is invalid for the current graph/index (e.g. an out-of-range
+    /// edge id).
+    Graph(GraphError),
+    /// The batch could not be appended to the durable delta log.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::Graph(e) => write!(f, "invalid update batch: {e}"),
+            PublishError::Store(e) => write!(f, "batch could not be made durable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PublishError::Graph(e) => Some(e),
+            PublishError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for PublishError {
+    fn from(e: GraphError) -> Self {
+        PublishError::Graph(e)
+    }
+}
+
+impl From<StoreError> for PublishError {
+    fn from(e: StoreError) -> Self {
+        PublishError::Store(e)
+    }
+}
+
 /// The answer to one request.
 #[derive(Debug, Clone)]
 pub struct QueryResponse {
@@ -133,6 +180,28 @@ struct Masters {
     index: Arc<DtlpIndex>,
 }
 
+/// One background-checkpoint request: `Arc`'d snapshots of a just-published
+/// epoch, encoded off the publish path.
+struct CheckpointJob {
+    epoch: u64,
+    graph: Arc<DynamicGraph>,
+    index: Arc<DtlpIndex>,
+}
+
+/// The durable side of a persistent service.
+struct Persistence {
+    /// Shared with the background checkpointer; the publish path holds it
+    /// only for the append, the checkpointer only for the commit.
+    store: Arc<Mutex<Store>>,
+    store_config: StoreConfig,
+    /// The store directory, kept outside the lock so checkpoint images can
+    /// be staged (written + fsynced) without blocking the publish path.
+    dir: std::path::PathBuf,
+    /// Dropped first on shutdown so the checkpointer's `recv` ends.
+    jobs: Option<mpsc::Sender<CheckpointJob>>,
+    checkpointer: Option<JoinHandle<()>>,
+}
+
 /// A concurrent KSP query service over a dynamic road network.
 pub struct QueryService {
     config: ServiceConfig,
@@ -140,15 +209,82 @@ pub struct QueryService {
     epoch: Arc<EpochPointer>,
     metrics: Arc<ServiceMetrics>,
     masters: Mutex<Masters>,
+    persistence: Option<Persistence>,
 }
 
 impl QueryService {
     /// Builds the DTLP index for `graph`, publishes epoch 0 and starts the
-    /// shard workers.
+    /// shard workers. Purely in-memory: a restart rebuilds from scratch and a
+    /// crash loses applied batches — see [`QueryService::start_with_store`]
+    /// for the durable variant.
     pub fn start(graph: DynamicGraph, config: ServiceConfig) -> Result<Self, GraphError> {
         config.validate();
         let index = Arc::new(DtlpIndex::build(&graph, config.dtlp)?);
         let graph = Arc::new(graph);
+        Ok(Self::boot(graph, index, config, None))
+    }
+
+    /// Like [`QueryService::start`], but also initialises a durable store in
+    /// `dir`: the freshly built index is checkpointed, every published batch
+    /// is appended to the delta log before it becomes visible, and a
+    /// background thread re-checkpoints every
+    /// [`StoreConfig::checkpoint_interval`] epochs so the log stays bounded.
+    ///
+    /// Fails if `dir` already contains a store — recover it with
+    /// [`QueryService::open`] instead of overwriting it.
+    pub fn start_with_store(
+        graph: DynamicGraph,
+        config: ServiceConfig,
+        dir: &FsPath,
+        store_config: StoreConfig,
+    ) -> Result<Self, PublishError> {
+        config.validate();
+        // Probe before the index build: an occupied directory must fail in
+        // microseconds, not after minutes of DtlpIndex::build.
+        if Store::exists(dir).map_err(PublishError::Store)? {
+            return Err(PublishError::Store(StoreError::Corrupt {
+                path: dir.to_path_buf(),
+                detail: "directory already contains a store (recover it with QueryService::open)"
+                    .to_string(),
+            }));
+        }
+        let index = Arc::new(DtlpIndex::build(&graph, config.dtlp).map_err(PublishError::Graph)?);
+        let graph = Arc::new(graph);
+        let store = Store::create(dir, store_config, graph.version(), &graph, &index)
+            .map_err(PublishError::Store)?;
+        Ok(Self::boot(graph, index, config, Some(store)))
+    }
+
+    /// Starts a service from the store in `dir` without rebuilding the index:
+    /// loads the newest valid checkpoint, replays the delta log (truncating a
+    /// torn tail left by a crash), and serves from the recovered epoch. The
+    /// recovered service continues logging and checkpointing into the same
+    /// directory.
+    ///
+    /// `config.dtlp` is replaced by the configuration the recovered index was
+    /// built with, so queries behave exactly as they did before the restart.
+    pub fn open(
+        dir: &FsPath,
+        mut config: ServiceConfig,
+        store_config: StoreConfig,
+    ) -> Result<(Self, RecoveryReport), PublishError> {
+        let (store, recovered) = Store::recover(dir, store_config).map_err(PublishError::Store)?;
+        config.dtlp = *recovered.index.config();
+        config.validate();
+        let report = recovered.report;
+        let graph = Arc::new(recovered.graph);
+        let index = Arc::new(recovered.index);
+        Ok((Self::boot(graph, index, config, Some(store)), report))
+    }
+
+    /// Publishes the initial epoch, starts the shard workers and (when a
+    /// store is given) the background checkpointer.
+    fn boot(
+        graph: Arc<DynamicGraph>,
+        index: Arc<DtlpIndex>,
+        config: ServiceConfig,
+        store: Option<Store>,
+    ) -> Self {
         let initial = EpochSnapshot::new(graph.version(), graph.clone(), index.clone());
         let epoch = Arc::new(EpochPointer::new(initial));
         let metrics = Arc::new(ServiceMetrics::new(config.num_shards));
@@ -182,13 +318,36 @@ impl QueryService {
             shards.push(Shard { queue, cache, worker: Some(worker) });
         }
 
-        Ok(QueryService {
+        let persistence = store.map(|store| {
+            let store_config = *store.config();
+            let dir = store.dir().to_path_buf();
+            let store = Arc::new(Mutex::new(store));
+            let (jobs, receiver) = mpsc::channel::<CheckpointJob>();
+            let checkpointer = std::thread::Builder::new()
+                .name("ksp-serve-checkpointer".to_string())
+                .spawn({
+                    let store = store.clone();
+                    let dir = dir.clone();
+                    move || checkpointer_main(&store, &dir, &receiver)
+                })
+                .expect("failed to spawn checkpointer");
+            Persistence {
+                store,
+                store_config,
+                dir,
+                jobs: Some(jobs),
+                checkpointer: Some(checkpointer),
+            }
+        });
+
+        QueryService {
             config,
             shards,
             epoch,
             metrics,
             masters: Mutex::new(Masters { graph, index }),
-        })
+            persistence,
+        }
     }
 
     /// The service configuration.
@@ -255,34 +414,118 @@ impl QueryService {
     ///
     /// Updates are serialised through the master copies; queries in flight keep
     /// reading their already-loaded epochs and are never blocked by this call
-    /// (beyond the final pointer swap). Returns the new epoch number.
+    /// (beyond the final pointer swap). Returns the epoch id the batch
+    /// produced, so callers can correlate answers (`QueryResponse::epoch`) and
+    /// log records with the batch that caused them.
     ///
     /// The update is staged on copies and committed only when both the graph
     /// and the index accepted the whole batch: a failing batch (e.g. an
     /// out-of-range edge id) leaves the masters — and therefore every future
-    /// epoch — exactly as they were.
-    pub fn apply_batch(&self, batch: &UpdateBatch) -> Result<u64, GraphError> {
+    /// epoch — exactly as they were. For a persistent service the batch is
+    /// additionally appended to the delta log (fsync-on-commit) *before* the
+    /// epoch becomes visible: an epoch a reader can observe is always an
+    /// epoch recovery can reproduce.
+    pub fn apply_batch(&self, batch: &UpdateBatch) -> Result<u64, PublishError> {
         let mut masters = self.masters.lock();
         let next_graph = Arc::new(masters.graph.with_batch(batch)?);
         let mut staged_index = (*masters.index).clone();
         staged_index.apply_batch(batch)?;
         let next_index = Arc::new(staged_index);
+        let epoch = next_graph.version();
+        // Durability before visibility: a batch that cannot be logged
+        // publishes nothing.
+        if let Some(p) = &self.persistence {
+            p.store.lock().log_batch(epoch, batch)?;
+        }
         masters.graph = next_graph.clone();
         masters.index = next_index.clone();
-        let epoch = next_graph.version();
         // Publish before releasing the masters lock so epochs appear in order.
-        self.epoch.publish(EpochSnapshot::new(epoch, next_graph, next_index));
+        self.epoch.publish(EpochSnapshot::new(epoch, next_graph.clone(), next_index.clone()));
         for shard in &self.shards {
             shard.cache.lock().clear();
         }
         drop(masters);
         self.metrics.epochs_published.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(p) = &self.persistence {
+            if p.store_config.is_checkpoint_epoch(epoch) {
+                let job = CheckpointJob { epoch, graph: next_graph, index: next_index };
+                // A full or closed channel only delays the checkpoint; the
+                // log still holds every batch.
+                if let Some(jobs) = &p.jobs {
+                    let _ = jobs.send(job);
+                }
+            }
+        }
         Ok(epoch)
+    }
+
+    /// Whether this service persists its epochs to a store.
+    pub fn is_persistent(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// Synchronously checkpoints the current epoch into the store. Returns
+    /// `Ok(None)` for an in-memory service, `Ok(Some(epoch))` after a
+    /// successful checkpoint. Useful at controlled shutdown so the next
+    /// [`QueryService::open`] replays an empty log.
+    pub fn checkpoint_now(&self) -> Result<Option<u64>, PublishError> {
+        let Some(p) = &self.persistence else { return Ok(None) };
+        let (epoch, graph, index) = {
+            let masters = self.masters.lock();
+            (masters.graph.version(), masters.graph.clone(), masters.index.clone())
+        };
+        // Encode and stage (write + fsync) without the store lock — the slow
+        // halves must not stall concurrent publishes — then commit under it.
+        let encoded = Store::encode_checkpoint(epoch, &graph, &index);
+        let staged = Store::stage_checkpoint(&p.dir, &encoded)?;
+        p.store.lock().commit_staged_checkpoint(staged)?;
+        Ok(Some(epoch))
+    }
+
+    /// Epoch of the newest committed checkpoint, for a persistent service.
+    pub fn last_checkpoint_epoch(&self) -> Option<u64> {
+        self.persistence.as_ref().map(|p| p.store.lock().last_checkpoint_epoch())
+    }
+}
+
+/// Drains checkpoint jobs, always encoding only the newest pending epoch
+/// (checkpoints are cumulative — an older queued job is superseded). The two
+/// slow halves — encoding the image and writing/fsyncing it to a temp file —
+/// run without any lock; the store is held only for the rename-and-prune
+/// commit, so epoch publishes never wait on checkpoint I/O.
+fn checkpointer_main(
+    store: &Mutex<Store>,
+    store_dir: &std::path::Path,
+    jobs: &mpsc::Receiver<CheckpointJob>,
+) {
+    while let Ok(first) = jobs.recv() {
+        // Jobs are sent outside the masters lock, so queue order is not epoch
+        // order: pick the max epoch, not the last queued.
+        let job = jobs
+            .try_iter()
+            .fold(first, |best, next| if next.epoch > best.epoch { next } else { best });
+        let encoded = Store::encode_checkpoint(job.epoch, &job.graph, &job.index);
+        let result = Store::stage_checkpoint(store_dir, &encoded)
+            .and_then(|staged| store.lock().commit_staged_checkpoint(staged));
+        if let Err(e) = result {
+            // The log still holds every batch, so losing a checkpoint only
+            // costs recovery time; report and keep serving.
+            eprintln!("ksp-serve: background checkpoint at epoch {} failed: {e}", job.epoch);
+        }
     }
 }
 
 impl Drop for QueryService {
     fn drop(&mut self) {
+        if let Some(p) = &mut self.persistence {
+            // Closing the job channel ends the checkpointer after it finishes
+            // any in-flight commit; logged batches need no flushing (appends
+            // are durable when apply_batch returns).
+            p.jobs.take();
+            if let Some(checkpointer) = p.checkpointer.take() {
+                let _ = checkpointer.join();
+            }
+        }
         for shard in &self.shards {
             shard.queue.close();
         }
@@ -499,6 +742,123 @@ mod tests {
         for (a, b) in q.paths.iter().zip(want.iter()) {
             assert!(a.distance().approx_eq(b.distance()));
         }
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ksp-serve-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn apply_batch_returns_the_epoch_id_the_batch_produced() {
+        let (service, graph) = service(150, 2, 41);
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.4, 0.4), 5);
+        for expected in 1..=3u64 {
+            let epoch = service.apply_batch(&traffic.next_snapshot()).unwrap();
+            assert_eq!(epoch, expected, "apply_batch must report the produced epoch");
+            assert_eq!(service.current_epoch(), epoch);
+            // Answers carry the same epoch id.
+            let response = service.query(VertexId(0), VertexId(60), 1).unwrap();
+            assert_eq!(response.epoch, epoch);
+        }
+    }
+
+    #[test]
+    fn persistent_service_recovers_with_identical_answers() {
+        let dir = temp_store_dir("recover");
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(160))
+            .generate(23)
+            .unwrap()
+            .graph;
+        let config = ServiceConfig::new(2, DtlpConfig::new(16, 2));
+        let store_config = StoreConfig {
+            checkpoint_interval: 2,
+            sync: ksp_store::SyncPolicy::Never,
+            ..StoreConfig::default()
+        };
+        let service =
+            QueryService::start_with_store(graph.clone(), config, &dir, store_config).unwrap();
+        assert!(service.is_persistent());
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.5, 0.5), 9);
+        for _ in 0..3 {
+            service.apply_batch(&traffic.next_snapshot()).unwrap();
+        }
+        let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(8, 2), 3);
+        let live: Vec<_> =
+            workload.iter().map(|q| service.query(q.source, q.target, q.k).unwrap()).collect();
+        drop(service); // crash/stop: recovery must rely only on the store
+
+        let (recovered, report) = QueryService::open(&dir, config, store_config).unwrap();
+        assert_eq!(recovered.current_epoch(), 3);
+        assert!(report.checkpoint_epoch + report.batches_replayed as u64 >= 3);
+        for (q, before) in workload.iter().zip(live.iter()) {
+            let after = recovered.query(q.source, q.target, q.k).unwrap();
+            assert_eq!(after.epoch, before.epoch);
+            assert_eq!(after.paths.len(), before.paths.len());
+            for (a, b) in after.paths.iter().zip(before.paths.iter()) {
+                assert_eq!(a.vertices(), b.vertices());
+                // Byte-identical, not merely approximately equal.
+                assert_eq!(a.distance().value().to_bits(), b.distance().value().to_bits());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_service_keeps_publishing_and_checkpointing() {
+        let dir = temp_store_dir("continue");
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(120))
+            .generate(29)
+            .unwrap()
+            .graph;
+        let config = ServiceConfig::new(1, DtlpConfig::new(14, 2));
+        let store_config = StoreConfig {
+            checkpoint_interval: 0, // only explicit checkpoints
+            sync: ksp_store::SyncPolicy::Never,
+            ..StoreConfig::default()
+        };
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.4, 0.5), 2);
+        {
+            let service =
+                QueryService::start_with_store(graph.clone(), config, &dir, store_config).unwrap();
+            service.apply_batch(&traffic.next_snapshot()).unwrap();
+            assert_eq!(service.checkpoint_now().unwrap(), Some(1));
+            assert_eq!(service.last_checkpoint_epoch(), Some(1));
+        }
+        // Second life: recover, publish two more epochs, stop.
+        {
+            let (service, report) = QueryService::open(&dir, config, store_config).unwrap();
+            assert_eq!(report.checkpoint_epoch, 1);
+            assert_eq!(report.batches_replayed, 0);
+            assert_eq!(service.apply_batch(&traffic.next_snapshot()).unwrap(), 2);
+            assert_eq!(service.apply_batch(&traffic.next_snapshot()).unwrap(), 3);
+        }
+        // Third life: both post-checkpoint epochs replay from the log.
+        let (service, report) = QueryService::open(&dir, config, store_config).unwrap();
+        assert_eq!(report.batches_replayed, 2);
+        assert_eq!(service.current_epoch(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn start_with_store_refuses_an_existing_store() {
+        let dir = temp_store_dir("exists");
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(80))
+            .generate(3)
+            .unwrap()
+            .graph;
+        let config = ServiceConfig::new(1, DtlpConfig::new(12, 1));
+        let store_config =
+            StoreConfig { sync: ksp_store::SyncPolicy::Never, ..StoreConfig::default() };
+        let first =
+            QueryService::start_with_store(graph.clone(), config, &dir, store_config).unwrap();
+        drop(first);
+        assert!(matches!(
+            QueryService::start_with_store(graph, config, &dir, store_config),
+            Err(PublishError::Store(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Error types of the storage subsystem.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Why a decode failed. Every variant means the bytes cannot be interpreted as
+/// the value that was asked for; the store treats any of them as corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// A length or count field exceeds what the surrounding input could hold.
+    LengthOutOfBounds {
+        /// The declared length.
+        declared: u64,
+        /// The number of bytes actually available.
+        available: usize,
+    },
+    /// A tag byte does not name a known variant.
+    InvalidTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The unrecognised tag value.
+        tag: u8,
+    },
+    /// A decoded value violates an invariant of the type it belongs to
+    /// (e.g. a negative edge weight, a vertex id out of range).
+    InvalidValue(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+            }
+            CodecError::LengthOutOfBounds { declared, available } => {
+                write!(f, "declared length {declared} exceeds available {available} bytes")
+            }
+            CodecError::InvalidTag { what, tag } => {
+                write!(f, "invalid tag {tag} while decoding {what}")
+            }
+            CodecError::InvalidValue(what) => write!(f, "decoded value violates invariant: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure (open, read, write, fsync, rename).
+    Io {
+        /// What the store was doing.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A file's content is not a valid checkpoint or log segment.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// No usable checkpoint exists in the directory.
+    NoCheckpoint {
+        /// The directory that was searched.
+        dir: PathBuf,
+    },
+    /// A batch was logged with an epoch that does not extend the log.
+    EpochOutOfOrder {
+        /// The epoch the caller tried to append.
+        epoch: u64,
+        /// The epoch the log expected next.
+        expected: u64,
+    },
+    /// A decode error while reading a checkpoint or log record.
+    Codec(CodecError),
+}
+
+impl StoreError {
+    pub(crate) fn io(context: impl Into<String>, source: io::Error) -> Self {
+        StoreError::Io { context: context.into(), source }
+    }
+
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt { path: path.into(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt store file {}: {detail}", path.display())
+            }
+            StoreError::NoCheckpoint { dir } => {
+                write!(f, "no valid checkpoint found in {}", dir.display())
+            }
+            StoreError::EpochOutOfOrder { epoch, expected } => {
+                write!(f, "epoch {epoch} logged out of order (log expected {expected})")
+            }
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}

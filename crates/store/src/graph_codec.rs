@@ -1,0 +1,244 @@
+//! [`StoreCodec`] implementations for the `ksp-graph` types a checkpoint or
+//! delta-log record carries.
+//!
+//! A [`DynamicGraph`] is persisted as its edge-record table (which determines
+//! structure, initial weights and current weights) plus the vertex count and
+//! version counter; decode rebuilds adjacency through
+//! [`DynamicGraph::restore`], so derived lookup structures never hit the disk.
+
+use crate::codec::{encode_slice, Reader, StoreCodec, Writer};
+use crate::error::CodecError;
+use ksp_graph::subgraph::SubgraphEdge;
+use ksp_graph::{
+    DynamicGraph, EdgeId, EdgeRecord, Subgraph, SubgraphId, UpdateBatch, VertexId, Weight,
+    WeightUpdate,
+};
+
+impl StoreCodec for VertexId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(VertexId(r.get_u32()?))
+    }
+}
+
+impl StoreCodec for EdgeId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(EdgeId(r.get_u32()?))
+    }
+}
+
+impl StoreCodec for SubgraphId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SubgraphId(r.get_u32()?))
+    }
+}
+
+impl StoreCodec for Weight {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.value());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let value = r.get_f64()?;
+        if value.is_nan() || value < 0.0 {
+            return Err(CodecError::InvalidValue("weights must be non-negative and not NaN"));
+        }
+        Ok(Weight::new(value))
+    }
+}
+
+impl StoreCodec for WeightUpdate {
+    fn encode(&self, w: &mut Writer) {
+        self.edge.encode(w);
+        self.new_weight.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WeightUpdate { edge: EdgeId::decode(r)?, new_weight: Weight::decode(r)? })
+    }
+}
+
+impl StoreCodec for UpdateBatch {
+    fn encode(&self, w: &mut Writer) {
+        self.updates.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(UpdateBatch { updates: Vec::decode(r)? })
+    }
+}
+
+impl StoreCodec for EdgeRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.u.encode(w);
+        self.v.encode(w);
+        w.put_u32(self.initial_weight);
+        self.current_weight.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(EdgeRecord {
+            u: VertexId::decode(r)?,
+            v: VertexId::decode(r)?,
+            initial_weight: r.get_u32()?,
+            current_weight: Weight::decode(r)?,
+        })
+    }
+}
+
+impl StoreCodec for DynamicGraph {
+    fn encode(&self, w: &mut Writer) {
+        (self.is_directed()).encode(w);
+        w.put_u64(self.num_vertices() as u64);
+        w.put_u64(self.version());
+        w.put_u64(self.num_edges() as u64);
+        for (_, record) in self.edges() {
+            record.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let directed = bool::decode(r)?;
+        let num_vertices = r.get_u64()? as usize;
+        let version = r.get_u64()?;
+        let num_edges = r.get_count(17)?; // minimum encoded EdgeRecord size
+        let mut edges = Vec::with_capacity(num_edges);
+        for _ in 0..num_edges {
+            edges.push(EdgeRecord::decode(r)?);
+        }
+        DynamicGraph::restore(directed, num_vertices, edges, version)
+            .map_err(|_| CodecError::InvalidValue("edge table inconsistent with vertex count"))
+    }
+}
+
+impl StoreCodec for SubgraphEdge {
+    fn encode(&self, w: &mut Writer) {
+        self.global_id.encode(w);
+        self.u.encode(w);
+        self.v.encode(w);
+        w.put_u32(self.initial_weight);
+        self.current_weight.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SubgraphEdge {
+            global_id: EdgeId::decode(r)?,
+            u: VertexId::decode(r)?,
+            v: VertexId::decode(r)?,
+            initial_weight: r.get_u32()?,
+            current_weight: Weight::decode(r)?,
+        })
+    }
+}
+
+impl StoreCodec for Subgraph {
+    fn encode(&self, w: &mut Writer) {
+        self.id().encode(w);
+        self.is_directed().encode(w);
+        encode_slice(self.vertices(), w);
+        encode_slice(self.edges(), w);
+        encode_slice(self.boundary_vertices(), w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let id = SubgraphId::decode(r)?;
+        let directed = bool::decode(r)?;
+        let vertices = Vec::<VertexId>::decode(r)?;
+        let edges = Vec::<SubgraphEdge>::decode(r)?;
+        let boundary = Vec::<VertexId>::decode(r)?;
+        let vertex_set: std::collections::HashSet<VertexId> = vertices.iter().copied().collect();
+        for e in &edges {
+            if !vertex_set.contains(&e.u) || !vertex_set.contains(&e.v) {
+                return Err(CodecError::InvalidValue("subgraph edge endpoint not in vertex set"));
+            }
+        }
+        Ok(Subgraph::restore(id, directed, vertices, edges, boundary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_graph::GraphBuilder;
+
+    fn sample_graph() -> DynamicGraph {
+        let mut b = GraphBuilder::undirected(5);
+        b.edge(0, 1, 2).edge(1, 2, 3).edge(2, 3, 1).edge(3, 4, 4).edge(0, 4, 7);
+        let mut g = b.build().unwrap();
+        let batch = UpdateBatch::new(vec![
+            WeightUpdate::new(EdgeId(0), Weight::new(2.75)),
+            WeightUpdate::new(EdgeId(3), Weight::new(0.125)),
+        ]);
+        g.apply_batch(&batch).unwrap();
+        g
+    }
+
+    #[test]
+    fn graph_round_trip_is_byte_identical() {
+        let g = sample_graph();
+        let bytes = g.to_bytes();
+        let decoded = DynamicGraph::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.num_vertices(), g.num_vertices());
+        assert_eq!(decoded.num_edges(), g.num_edges());
+        assert_eq!(decoded.version(), g.version());
+        for (id, record) in g.edges() {
+            assert_eq!(decoded.edge(id), record);
+        }
+        // Re-encoding the decoded graph reproduces the original bytes.
+        assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn update_batch_round_trips() {
+        let batch = UpdateBatch::new(vec![
+            WeightUpdate::new(EdgeId(3), Weight::new(1.5)),
+            WeightUpdate::new(EdgeId(0), Weight::new(0.0)),
+        ]);
+        assert_eq!(UpdateBatch::from_bytes(&batch.to_bytes()).unwrap(), batch);
+    }
+
+    #[test]
+    fn negative_weight_bits_are_rejected() {
+        let mut w = Writer::new();
+        w.put_f64(-1.0);
+        let err = Weight::from_bytes(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, CodecError::InvalidValue(_)));
+    }
+
+    #[test]
+    fn subgraph_round_trip_preserves_boundary_and_weights() {
+        use ksp_graph::{PartitionConfig, Partitioner};
+        let g = sample_graph();
+        let partitioning =
+            Partitioner::new(PartitionConfig::with_max_vertices(3)).partition(&g).unwrap();
+        for sg in partitioning.subgraphs() {
+            let decoded = Subgraph::from_bytes(&sg.to_bytes()).unwrap();
+            assert_eq!(decoded.id(), sg.id());
+            assert_eq!(decoded.vertices(), sg.vertices());
+            assert_eq!(decoded.edges(), sg.edges());
+            assert_eq!(decoded.boundary_vertices(), sg.boundary_vertices());
+        }
+    }
+
+    #[test]
+    fn inconsistent_subgraph_edges_are_rejected() {
+        // An edge table referencing a vertex outside the vertex set must fail
+        // decoding instead of panicking inside Subgraph construction.
+        let mut w = Writer::new();
+        SubgraphId(0).encode(&mut w);
+        false.encode(&mut w);
+        vec![VertexId(0), VertexId(1)].encode(&mut w);
+        vec![SubgraphEdge {
+            global_id: EdgeId(0),
+            u: VertexId(0),
+            v: VertexId(9),
+            initial_weight: 1,
+            current_weight: Weight::new(1.0),
+        }]
+        .encode(&mut w);
+        Vec::<VertexId>::new().encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(Subgraph::from_bytes(&bytes), Err(CodecError::InvalidValue(_))));
+    }
+}

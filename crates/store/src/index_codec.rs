@@ -1,0 +1,253 @@
+//! [`StoreCodec`] implementations for the DTLP index.
+//!
+//! Only the *primary* state of the index is persisted: the per-subgraph
+//! subgraphs (with live weights), the bounding-path sets with their
+//! accumulated `current_distance` values, the last lower bound reported per
+//! pair, the vertex/edge ownership tables and the configuration. Everything
+//! else — the edge → paths backend, the unit-weight multisets, the skeleton
+//! graph — is a deterministic function of that state and is rebuilt on decode
+//! via [`SubgraphIndex::restore`] and [`DtlpIndex::assemble`]. Persisting the
+//! accumulated floats (rather than recomputing distances from weights) is what
+//! makes a recovered index answer queries bit-identically to the one that was
+//! checkpointed: incremental maintenance applies deltas, and replaying those
+//! deltas from a recomputed baseline could drift in the last ulp.
+
+use crate::codec::{encode_slice, Reader, StoreCodec, Writer};
+use crate::error::CodecError;
+use ksp_core::dtlp::{
+    BackendKind, BoundingPath, BoundingPathSet, DtlpConfig, DtlpIndex, SubgraphIndex,
+};
+use ksp_graph::{Subgraph, SubgraphId, VertexId, Weight};
+use std::collections::HashMap;
+
+impl StoreCodec for BackendKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            BackendKind::EpIndex => 0,
+            BackendKind::MfpTree => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(BackendKind::EpIndex),
+            1 => Ok(BackendKind::MfpTree),
+            tag => Err(CodecError::InvalidTag { what: "BackendKind", tag }),
+        }
+    }
+}
+
+impl StoreCodec for DtlpConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.max_subgraph_vertices as u64);
+        w.put_u64(self.xi as u64);
+        w.put_u64(self.max_enumerated_per_pair as u64);
+        self.backend.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DtlpConfig {
+            max_subgraph_vertices: r.get_u64()? as usize,
+            xi: r.get_u64()? as usize,
+            max_enumerated_per_pair: r.get_u64()? as usize,
+            backend: BackendKind::decode(r)?,
+        })
+    }
+}
+
+impl StoreCodec for BoundingPath {
+    fn encode(&self, w: &mut Writer) {
+        self.vertices.encode(w);
+        w.put_u64(self.vfrags);
+        self.current_distance.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let vertices = Vec::<VertexId>::decode(r)?;
+        if vertices.len() < 2 {
+            return Err(CodecError::InvalidValue("a bounding path joins two distinct vertices"));
+        }
+        let vfrags = r.get_u64()?;
+        let current_distance = Weight::decode(r)?;
+        Ok(BoundingPath { vertices, vfrags, current_distance })
+    }
+}
+
+impl StoreCodec for BoundingPathSet {
+    fn encode(&self, w: &mut Writer) {
+        self.a.encode(w);
+        self.b.encode(w);
+        self.paths.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(BoundingPathSet {
+            a: VertexId::decode(r)?,
+            b: VertexId::decode(r)?,
+            paths: Vec::decode(r)?,
+        })
+    }
+}
+
+impl StoreCodec for SubgraphIndex {
+    fn encode(&self, w: &mut Writer) {
+        self.subgraph().encode(w);
+        encode_slice(self.pairs(), w);
+        encode_slice(self.last_lower_bounds(), w);
+        self.backend_kind().encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let subgraph = Subgraph::decode(r)?;
+        let pairs = Vec::<BoundingPathSet>::decode(r)?;
+        let last_lbd = Vec::<Weight>::decode(r)?;
+        let backend = BackendKind::decode(r)?;
+        if pairs.len() != last_lbd.len() {
+            return Err(CodecError::InvalidValue("pair table and lower-bound table disagree"));
+        }
+        Ok(SubgraphIndex::restore(subgraph, pairs, last_lbd, backend))
+    }
+}
+
+impl StoreCodec for DtlpIndex {
+    fn encode(&self, w: &mut Writer) {
+        self.config().encode(w);
+        self.is_directed().encode(w);
+        encode_slice(self.subgraph_indexes(), w);
+        // Vertex memberships, sorted by vertex id for a canonical encoding
+        // (the map iterates in hash order). Per-vertex membership order is
+        // preserved verbatim: it determines refine-step candidate order.
+        let mut memberships: Vec<(VertexId, &[SubgraphId])> = self.vertex_memberships().collect();
+        memberships.sort_unstable_by_key(|(v, _)| *v);
+        w.put_u64(memberships.len() as u64);
+        for (v, sgs) in &memberships {
+            v.encode(w);
+            encode_slice(sgs, w);
+        }
+        encode_slice(self.edge_owners(), w);
+        encode_slice(self.boundary_vertices(), w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let config = DtlpConfig::decode(r)?;
+        let directed = bool::decode(r)?;
+        let subgraph_indexes = Vec::<SubgraphIndex>::decode(r)?;
+        let num_memberships = r.get_count(12)?; // vertex id + empty-list length
+        let mut vertex_subgraphs = HashMap::with_capacity(num_memberships);
+        for _ in 0..num_memberships {
+            let v = VertexId::decode(r)?;
+            let sgs = Vec::<SubgraphId>::decode(r)?;
+            vertex_subgraphs.insert(v, sgs);
+        }
+        let edge_owner = Vec::<SubgraphId>::decode(r)?;
+        let boundary = Vec::<VertexId>::decode(r)?;
+        let num_subgraphs = subgraph_indexes.len() as u32;
+        if edge_owner.iter().any(|sg| sg.0 >= num_subgraphs) {
+            return Err(CodecError::InvalidValue("edge owner references unknown subgraph"));
+        }
+        Ok(DtlpIndex::assemble(
+            config,
+            directed,
+            subgraph_indexes,
+            vertex_subgraphs,
+            edge_owner,
+            boundary,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_graph::{DynamicGraph, GraphBuilder, UpdateBatch, WeightUpdate};
+
+    fn grid_graph(n: usize) -> DynamicGraph {
+        // An n x n grid with varied initial weights: enough structure for a
+        // multi-subgraph partition without workload-crate dependencies here.
+        let side = n as u32;
+        let mut b = GraphBuilder::undirected(n * n);
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    b.edge(v, v + 1, 1 + (v % 4));
+                }
+                if r + 1 < side {
+                    b.edge(v, v + side, 1 + ((v + 1) % 3));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn perturb(graph: &mut DynamicGraph, index: &mut DtlpIndex, seed: u64) {
+        let updates: Vec<WeightUpdate> = graph
+            .edge_ids()
+            .filter(|e| (e.0 as u64 + seed).is_multiple_of(3))
+            .map(|e| {
+                let w = graph.initial_weight(e) as f64;
+                WeightUpdate::new(e, ksp_graph::Weight::new(w * (0.25 + (seed as f64 % 3.0))))
+            })
+            .collect();
+        let batch = UpdateBatch::new(updates);
+        graph.apply_batch(&batch).unwrap();
+        index.apply_batch(&batch).unwrap();
+    }
+
+    #[test]
+    fn index_round_trip_is_byte_identical_after_updates() {
+        let mut graph = grid_graph(8);
+        let mut index = DtlpIndex::build(&graph, DtlpConfig::new(12, 2)).unwrap();
+        for seed in 1..4 {
+            perturb(&mut graph, &mut index, seed);
+        }
+        let bytes = index.to_bytes();
+        let decoded = DtlpIndex::from_bytes(&bytes).unwrap();
+        // The canonical encoding of the restored index equals the original's.
+        assert_eq!(decoded.to_bytes(), bytes);
+        // Structural agreement.
+        assert_eq!(decoded.num_subgraphs(), index.num_subgraphs());
+        assert_eq!(decoded.boundary_vertices(), index.boundary_vertices());
+        assert_eq!(decoded.edge_owners(), index.edge_owners());
+        assert_eq!(decoded.skeleton().num_skeleton_edges(), index.skeleton().num_skeleton_edges());
+        // Skeleton weights agree exactly (not just within epsilon).
+        for e in index.skeleton().edges() {
+            let restored = decoded.skeleton().skeleton_edge_weight(e.a, e.b).unwrap();
+            assert_eq!(restored.value().to_bits(), e.weight().value().to_bits());
+        }
+    }
+
+    #[test]
+    fn restored_index_continues_maintenance_identically() {
+        let mut graph = grid_graph(6);
+        let mut index = DtlpIndex::build(&graph, DtlpConfig::new(10, 2)).unwrap();
+        perturb(&mut graph, &mut index, 1);
+
+        let mut restored = DtlpIndex::from_bytes(&index.to_bytes()).unwrap();
+        // Apply the same follow-up batch to both and compare encodings again:
+        // maintenance from the restored state must not diverge.
+        let mut graph2 = graph.clone();
+        perturb(&mut graph, &mut index, 2);
+        perturb(&mut graph2, &mut restored, 2);
+        assert_eq!(restored.to_bytes(), index.to_bytes());
+    }
+
+    #[test]
+    fn mfp_backend_round_trips_too() {
+        let graph = grid_graph(5);
+        let index = DtlpIndex::build(&graph, DtlpConfig::new(8, 2).with_mfp_backend()).unwrap();
+        let decoded = DtlpIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(decoded.config().backend, BackendKind::MfpTree);
+        assert_eq!(decoded.to_bytes(), index.to_bytes());
+    }
+
+    #[test]
+    fn corrupt_edge_owner_is_rejected() {
+        let graph = grid_graph(4);
+        let index = DtlpIndex::build(&graph, DtlpConfig::new(6, 1)).unwrap();
+        let mut bytes = index.to_bytes();
+        // The boundary list is the final field: u64 count + 4 bytes per entry.
+        // The 4 bytes just before it hold the last edge-owner id; blast them.
+        let boundary_bytes = 8 + index.boundary_vertices().len() * 4;
+        let owner_end = bytes.len() - boundary_bytes;
+        bytes[owner_end - 4..owner_end].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            DtlpIndex::from_bytes(&bytes),
+            Err(CodecError::InvalidValue("edge owner references unknown subgraph"))
+        ));
+    }
+}

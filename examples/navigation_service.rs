@@ -9,27 +9,35 @@
 //! result cache, and the run ends with the latency/throughput/cache summary a
 //! service operator would watch.
 //!
+//! The service is **durable**: epochs are logged to a store directory and the
+//! index is checkpointed, so a second run recovers from disk (checkpoint +
+//! delta-log replay) instead of paying the full index build again — run the
+//! example twice and compare the reported cold-start times.
+//!
 //! ```text
 //! cargo run --release --example navigation_service
+//! KSP_STORE_DIR=/tmp/nav-store cargo run --release --example navigation_service
 //! ```
 
 use ksp_dg::core::dtlp::DtlpConfig;
 use ksp_dg::serve::{run_closed_loop, LoadDriverConfig, QueryService, ServiceConfig};
+use ksp_dg::store::{Store, StoreConfig};
 use ksp_dg::workload::datasets::DatasetScale;
 use ksp_dg::workload::{
     DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
 };
-use std::time::Duration;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 fn main() {
     // The NY-like preset. Tiny keeps the demo interactive (single KSP-DG
     // queries on the Small scale take around a second each, which is a
     // benchmark, not a demo); set KSP_EXAMPLE_SCALE=small for serving numbers
     // on the benchmark-sized network.
-    let scale = match std::env::var("KSP_EXAMPLE_SCALE").as_deref() {
-        Ok("small") => DatasetScale::Small,
-        Ok("medium") => DatasetScale::Medium,
-        _ => DatasetScale::Tiny,
+    let (scale, scale_name) = match std::env::var("KSP_EXAMPLE_SCALE").as_deref() {
+        Ok("small") => (DatasetScale::Small, "small"),
+        Ok("medium") => (DatasetScale::Medium, "medium"),
+        _ => (DatasetScale::Tiny, "tiny"),
     };
     let spec = DatasetPreset::NewYork.spec(scale);
     let net = spec.generate().expect("dataset generation");
@@ -42,14 +50,58 @@ fn main() {
         spec.default_z
     );
 
-    // A 4-shard service with the paper's default DTLP parameters.
+    // A 4-shard service with the paper's default DTLP parameters, persisting
+    // epochs into a store directory: recover it when it exists, initialise it
+    // otherwise. Checkpoint every 16 epochs keeps the delta log bounded.
     let config = ServiceConfig::new(4, DtlpConfig::new(spec.default_z, 3));
-    let service = QueryService::start(graph.clone(), config).expect("service start");
+    // The scale is part of the directory name: a store holds one specific
+    // graph, and recovering it under a differently-scaled workload would
+    // fail on the first out-of-range edge update.
+    let store_dir = std::env::var_os("KSP_STORE_DIR").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("ksp-navigation-store-{}-{scale_name}", spec.preset.short_name()))
+    });
+    let store_config = StoreConfig { checkpoint_interval: 16, ..StoreConfig::default() };
+    let cold_start = Instant::now();
+    let service = if Store::exists(&store_dir).expect("store probe") {
+        let (service, report) =
+            QueryService::open(&store_dir, config, store_config).expect("store recovery");
+        // The recovered graph must be the one this run's workload targets
+        // (someone may have pointed KSP_STORE_DIR at a store for a
+        // different network).
+        let recovered = service.snapshot();
+        assert_eq!(
+            (recovered.graph().num_vertices(), recovered.graph().num_edges()),
+            (graph.num_vertices(), graph.num_edges()),
+            "store at {} holds a different graph than this scale/preset generates",
+            store_dir.display(),
+        );
+        println!(
+            "recovered store {}: checkpoint epoch {}, {} logged batch(es) replayed{} ({:.0} ms)",
+            store_dir.display(),
+            report.checkpoint_epoch,
+            report.batches_replayed,
+            if report.torn_bytes_dropped > 0 { " after torn-tail truncation" } else { "" },
+            cold_start.elapsed().as_secs_f64() * 1e3,
+        );
+        service
+    } else {
+        let service =
+            QueryService::start_with_store(graph.clone(), config, &store_dir, store_config)
+                .expect("service start");
+        println!(
+            "initialised store {} with a fresh index build ({:.0} ms)",
+            store_dir.display(),
+            cold_start.elapsed().as_secs_f64() * 1e3,
+        );
+        service
+    };
     println!(
-        "query service up: {} shards, cache {} entries/shard, queue depth {}",
+        "query service up: {} shards, cache {} entries/shard, queue depth {}, epoch {}",
         service.num_shards(),
         config.cache_capacity,
-        config.admission.max_queue_depth
+        config.admission.max_queue_depth,
+        service.current_epoch(),
     );
 
     // Traffic evolves with the paper's default parameters (α = 35 %, τ = 30 %)
@@ -91,10 +143,17 @@ fn main() {
         report.metrics.cache_misses
     );
     println!(
-        "epochs: {} published during the run (service now at epoch {})",
+        "epochs: {} published during the run (service now at epoch {}), all logged durably",
         report.epochs_published,
         service.current_epoch()
     );
+    // A controlled shutdown checkpoints the final epoch, so the next run
+    // recovers without replaying this run's log.
+    match service.checkpoint_now() {
+        Ok(Some(epoch)) => println!("shutdown checkpoint written at epoch {epoch}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("shutdown checkpoint failed: {e}"),
+    }
     println!(
         "shard balance: busy spread {:.1} % over {} shards (simulated makespan {:.1} ms)",
         report.metrics.load_balance.busy_spread * 100.0,

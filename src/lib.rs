@@ -14,6 +14,9 @@
 //! * [`serve`] — the concurrent query-serving subsystem: epoch snapshots,
 //!   sharded workers, admission control and an epoch-keyed result cache
 //!   ([`ksp_serve`]).
+//! * [`store`] — durable checkpoints and the epoch delta log with crash
+//!   recovery: cold starts load a checkpoint and replay the log instead of
+//!   rebuilding the index ([`ksp_store`]).
 //!
 //! # Quickstart
 //!
@@ -40,4 +43,5 @@ pub use ksp_cluster as cluster;
 pub use ksp_core as core;
 pub use ksp_graph as graph;
 pub use ksp_serve as serve;
+pub use ksp_store as store;
 pub use ksp_workload as workload;
