@@ -125,11 +125,12 @@ mod tests {
             .edge(3, 4, 2); // duplicate guard (v17-v18 2) -- first entry wins
         let g = b.build().unwrap();
         // Single subgraph covering everything.
-        Partitioner::new(PartitionConfig::with_max_vertices(100))
+        let sg = Partitioner::new(PartitionConfig::with_max_vertices(100))
             .partition(&g)
             .unwrap()
             .into_subgraphs()
-            .remove(0)
+            .remove(0);
+        std::sync::Arc::try_unwrap(sg).expect("sole handle")
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Criterion bench: epoch publication cost — copy-on-write vs clone-the-world.
+//!
+//! The number the COW refactor exists for: staging the next epoch's
+//! `(graph, index)` pair for a *small* batch on a *large* graph. The COW path
+//! (`DtlpIndex::clone` + `apply_batch`, as `QueryService::apply_batch` runs
+//! it) deep-copies only the subgraph indexes the batch dirties; the baseline
+//! (`DtlpIndex::deep_clone`, the pre-refactor behaviour) copies the whole
+//! index every epoch. Publish cost should scale with the batch, not the
+//! index: the small-batch COW arm must beat the full-clone arm by a wide
+//! margin (the acceptance bar is 5x; in practice it is far larger), and the
+//! large-batch COW arm shows the cost growing with the delta.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
+use ksp_graph::{DynamicGraph, SubgraphId, UpdateBatch, Weight, WeightUpdate};
+use ksp_workload::{RoadNetworkConfig, RoadNetworkGenerator};
+
+/// A batch updating `edges_per_subgraph` edges in each of the first
+/// `num_subgraphs` subgraphs, so the dirty set size is known exactly.
+fn batch_dirtying(
+    graph: &DynamicGraph,
+    index: &DtlpIndex,
+    num_subgraphs: usize,
+    edges_per_subgraph: usize,
+) -> UpdateBatch {
+    let mut updates = Vec::new();
+    for target in 0..num_subgraphs {
+        let target = SubgraphId(target as u32);
+        let mut taken = 0;
+        for e in graph.edge_ids() {
+            if index.owner_of_edge(e) == target {
+                let w = graph.initial_weight(e) as f64 * (1.5 + 0.1 * taken as f64);
+                updates.push(WeightUpdate::new(e, Weight::new(w)));
+                taken += 1;
+                if taken == edges_per_subgraph {
+                    break;
+                }
+            }
+        }
+    }
+    UpdateBatch::new(updates)
+}
+
+fn bench_epoch_publish(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(1500))
+        .generate(0xE9_0C)
+        .expect("network generation");
+    let graph = net.graph;
+    let dtlp = DtlpConfig::new(40, 2);
+    let index = DtlpIndex::build(&graph, dtlp).expect("index build");
+    let total_subgraphs = index.num_subgraphs();
+
+    let small = batch_dirtying(&graph, &index, 1, 4);
+    let large = batch_dirtying(&graph, &index, total_subgraphs.min(24), 4);
+    eprintln!(
+        "epoch_publish: {} subgraphs, small batch dirties 1, large batch dirties {}",
+        total_subgraphs,
+        total_subgraphs.min(24)
+    );
+
+    let mut group = c.benchmark_group("epoch_publish");
+    group.sample_size(20);
+    // The serving path: COW fork of graph + index, then apply the batch.
+    group.bench_function("cow_small_batch", |b| {
+        b.iter(|| {
+            let next_graph = graph.with_batch(&small).expect("graph fork");
+            let mut next_index = index.clone();
+            next_index.apply_batch(&small).expect("index maintenance");
+            std::hint::black_box((next_graph, next_index));
+        });
+    });
+    group.bench_function("cow_large_batch", |b| {
+        b.iter(|| {
+            let next_graph = graph.with_batch(&large).expect("graph fork");
+            let mut next_index = index.clone();
+            next_index.apply_batch(&large).expect("index maintenance");
+            std::hint::black_box((next_graph, next_index));
+        });
+    });
+    // The pre-refactor baseline: every epoch pays a deep copy of the index.
+    group.bench_function("full_clone_small_batch", |b| {
+        b.iter(|| {
+            let next_graph = graph.with_batch(&small).expect("graph fork");
+            let mut next_index = index.deep_clone();
+            next_index.apply_batch(&small).expect("index maintenance");
+            std::hint::black_box((next_graph, next_index));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch_publish);
+criterion_main!(benches);

@@ -42,7 +42,10 @@ pub fn persistence(scale: Scale) -> Vec<Table> {
             "recover_ms",
             "speedup",
             "replayed",
+            "partials",
             "ckpt_epoch",
+            "full_img_kib",
+            "part_img_kib",
             "disk_kib",
             "verify",
         ],
@@ -66,17 +69,41 @@ pub fn persistence(scale: Scale) -> Vec<Table> {
         };
         let mut store = Store::create(&dir, store_config, 0, &graph, &index).expect("store create");
 
-        // Publish a run of logged epochs; the interval leaves a log suffix to
-        // replay, so recovery exercises both the checkpoint and the log path.
+        // Publish a run of logged epochs with periodic image commits under
+        // the rebase policy, exactly as the service's background checkpointer
+        // does: incremental images while the chain is short, a full rebase
+        // when it is not. The run leaves a log suffix to replay, so recovery
+        // exercises the checkpoint, the image chain and the log path.
         let num_epochs = 6u64;
         let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 0xD15C);
+        let mut dirty = Vec::new();
+        let (mut full_image_bytes, mut partial_image_bytes) = (0u64, 0u64);
         for _ in 0..num_epochs {
             let batch = traffic.next_snapshot();
             let epoch = graph.apply_batch(&batch).expect("graph update");
-            index.apply_batch(&batch).expect("index maintenance");
+            let stats = index.apply_batch(&batch).expect("index maintenance");
+            dirty.extend(stats.dirty_subgraphs);
             store.log_batch(epoch, &batch).expect("log append");
             if store_config.is_checkpoint_epoch(epoch) {
-                store.checkpoint(epoch, &graph, &index).expect("checkpoint");
+                let encoded = if store.next_image_must_be_full() {
+                    Store::encode_checkpoint(epoch, &graph, &index)
+                } else {
+                    Store::encode_partial_checkpoint(
+                        epoch,
+                        store.last_image_epoch(),
+                        &graph,
+                        &index,
+                        &dirty,
+                    )
+                };
+                match encoded.kind {
+                    ksp_store::ImageKind::Full => full_image_bytes += encoded.len() as u64,
+                    ksp_store::ImageKind::Partial { .. } => {
+                        partial_image_bytes += encoded.len() as u64
+                    }
+                }
+                store.commit_checkpoint(&encoded).expect("image commit");
+                dirty.clear();
             }
         }
         drop(store);
@@ -96,7 +123,10 @@ pub fn persistence(scale: Scale) -> Vec<Table> {
             f2(recover_time.as_secs_f64() * 1e3),
             f2(build_time.as_secs_f64() / recover_time.as_secs_f64().max(1e-9)),
             recovered.report.batches_replayed.to_string(),
+            recovered.report.partial_images_applied.to_string(),
             recovered.report.checkpoint_epoch.to_string(),
+            (full_image_bytes / 1024).to_string(),
+            (partial_image_bytes / 1024).to_string(),
             (dir_size_bytes(&dir) / 1024).to_string(),
             if verify.recoverable { "ok".to_string() } else { "DAMAGED".to_string() },
         ]);

@@ -44,6 +44,7 @@ pub fn serve_throughput(scale: Scale) -> Vec<Table> {
             "p99_ms",
             "hit_rate",
             "epochs",
+            "q_high_water",
         ],
     );
 
@@ -74,6 +75,8 @@ pub fn serve_throughput(scale: Scale) -> Vec<Table> {
             f2(report.metrics.p99.as_secs_f64() * 1e3),
             f2(report.metrics.cache_hit_rate()),
             report.epochs_published.to_string(),
+            // Deepest backlog any shard saw: the admission-control signal.
+            service.queue_gauges().iter().map(|g| g.high_water).max().unwrap_or(0).to_string(),
         ]);
     }
     vec![table]

@@ -37,7 +37,9 @@ pub struct CandsQueryResult {
 /// The CANDS index over one dynamic graph.
 #[derive(Debug, Clone)]
 pub struct CandsIndex {
-    subgraphs: Vec<Subgraph>,
+    /// Shared handles from the partitioner; weight maintenance unshares a
+    /// subgraph copy-on-write before mutating it.
+    subgraphs: Vec<std::sync::Arc<Subgraph>>,
     vertex_subgraphs: HashMap<VertexId, Vec<SubgraphId>>,
     edge_owner: Vec<SubgraphId>,
     boundary: Vec<VertexId>,
@@ -181,7 +183,7 @@ impl CandsIndex {
                 edge: u.edge,
                 num_edges: self.edge_owner.len(),
             })?;
-            self.subgraphs[owner.index()].apply_update(u)?;
+            std::sync::Arc::make_mut(&mut self.subgraphs[owner.index()]).apply_update(u)?;
             dirty[owner.index()] = true;
         }
         let mut stats =

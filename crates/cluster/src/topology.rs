@@ -116,7 +116,7 @@ impl StormTopology {
 
         // Build the per-subgraph indexes on the owning workers (in parallel) and
         // collect their lower bounds to assemble the skeleton on the master.
-        let mut per_worker_subgraphs: Vec<Vec<ksp_graph::Subgraph>> =
+        let mut per_worker_subgraphs: Vec<Vec<std::sync::Arc<ksp_graph::Subgraph>>> =
             (0..config.num_workers).map(|_| Vec::new()).collect();
         for (i, sg) in subgraphs.into_iter().enumerate() {
             per_worker_subgraphs[subgraph_worker[i]].push(sg);

@@ -149,11 +149,12 @@ mod tests {
             b.edge(u, w, wt);
         }
         let g = b.build().unwrap();
-        Partitioner::new(PartitionConfig::with_max_vertices(100))
+        let sg = Partitioner::new(PartitionConfig::with_max_vertices(100))
             .partition(&g)
             .unwrap()
             .into_subgraphs()
-            .remove(0)
+            .remove(0);
+        std::sync::Arc::try_unwrap(sg).expect("sole handle")
     }
 
     /// Edge list of Figure 6a (all weights 1).

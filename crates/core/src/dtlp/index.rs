@@ -7,6 +7,7 @@ use ksp_graph::{
     VertexId,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use crate::dtlp::subgraph_index::BackendKind as PathStorageBackend;
@@ -83,18 +84,33 @@ pub struct MaintenanceStats {
     pub pairs_changed: usize,
     /// Number of skeleton edges whose weight changed as a result.
     pub skeleton_edges_changed: usize,
+    /// The subgraphs that received at least one update from this batch —
+    /// exactly the per-subgraph indexes the copy-on-write maintenance path
+    /// unshared. Sorted ascending. Everything *not* listed here still shares
+    /// its allocation with the pre-batch index, and the storage layer writes
+    /// incremental checkpoints covering only these ids.
+    pub dirty_subgraphs: Vec<SubgraphId>,
 }
 
 /// The Distributed Two-Level Path index over one graph.
+///
+/// The index is a copy-on-write persistent structure: every per-subgraph index
+/// sits behind its own `Arc`, and the (immutable after build) membership,
+/// ownership and boundary tables behind shared ones. `clone()` is therefore a
+/// handle copy — O(#subgraphs) reference-count bumps — and
+/// [`DtlpIndex::apply_batch`] on the clone deep-copies *only* the subgraph
+/// indexes the batch routes updates into, leaving every other entry
+/// pointer-shared with the original. This is what makes epoch publication in
+/// the serving layer proportional to the update batch instead of the index.
 #[derive(Debug, Clone)]
 pub struct DtlpIndex {
     config: DtlpConfig,
     directed: bool,
-    subgraph_indexes: Vec<SubgraphIndex>,
-    vertex_subgraphs: HashMap<VertexId, Vec<SubgraphId>>,
-    edge_owner: Vec<SubgraphId>,
-    boundary: Vec<VertexId>,
-    skeleton: SkeletonGraph,
+    subgraph_indexes: Vec<Arc<SubgraphIndex>>,
+    vertex_subgraphs: Arc<HashMap<VertexId, Vec<SubgraphId>>>,
+    edge_owner: Arc<Vec<SubgraphId>>,
+    boundary: Arc<Vec<VertexId>>,
+    skeleton: Arc<SkeletonGraph>,
     build_stats: BuildStats,
 }
 
@@ -150,11 +166,56 @@ impl DtlpIndex {
         edge_owner: Vec<SubgraphId>,
         boundary: Vec<VertexId>,
     ) -> Self {
+        Self::assemble_shared(
+            config,
+            directed,
+            subgraph_indexes.into_iter().map(Arc::new).collect(),
+            vertex_subgraphs,
+            edge_owner,
+            boundary,
+        )
+    }
+
+    /// Like [`DtlpIndex::assemble`], but takes already-shared per-subgraph
+    /// handles so callers that hold `Arc`s (the storage layer's checkpoint
+    /// decode, the incremental-image apply path) assemble without copying.
+    pub fn assemble_shared(
+        config: DtlpConfig,
+        directed: bool,
+        subgraph_indexes: Vec<Arc<SubgraphIndex>>,
+        vertex_subgraphs: HashMap<VertexId, Vec<SubgraphId>>,
+        edge_owner: Vec<SubgraphId>,
+        boundary: Vec<VertexId>,
+    ) -> Self {
+        let (skeleton, build_stats) =
+            Self::derive_from_parts(directed, &subgraph_indexes, &boundary);
+        DtlpIndex {
+            config,
+            directed,
+            subgraph_indexes,
+            vertex_subgraphs: Arc::new(vertex_subgraphs),
+            edge_owner: Arc::new(edge_owner),
+            boundary: Arc::new(boundary),
+            skeleton: Arc::new(skeleton),
+            build_stats,
+        }
+    }
+
+    /// Rebuilds the skeleton graph and the assembly-time statistics from the
+    /// per-subgraph indexes. The skeleton is a deterministic function of the
+    /// `last_lbd` state every [`SubgraphIndex`] carries, so assembling it from
+    /// a mixture of retained and replaced subgraph indexes (the incremental
+    /// checkpoint recovery path) reproduces the live skeleton exactly.
+    fn derive_from_parts(
+        directed: bool,
+        subgraph_indexes: &[Arc<SubgraphIndex>],
+        boundary: &[VertexId],
+    ) -> (SkeletonGraph, BuildStats) {
         let mut skeleton = SkeletonGraph::new(directed);
         let mut num_pairs = 0;
         let mut num_bounding_paths = 0;
         let mut level1_memory_bytes = 0;
-        for idx in &subgraph_indexes {
+        for idx in subgraph_indexes {
             num_pairs += idx.num_pairs();
             num_bounding_paths += idx.num_bounding_paths();
             level1_memory_bytes += idx.index_memory_bytes();
@@ -173,15 +234,65 @@ impl DtlpIndex {
             level1_memory_bytes,
             skeleton_memory_bytes: skeleton.memory_bytes(),
         };
-        DtlpIndex {
-            config,
-            directed,
+        (skeleton, build_stats)
+    }
+
+    /// A new index sharing everything with `self` except the given per-subgraph
+    /// indexes, which replace the entries with matching ids; the skeleton graph
+    /// and assembly statistics are re-derived. This is the apply primitive for
+    /// incremental checkpoints: recovery slots the dirty subgraph images from a
+    /// partial image into the index recovered so far.
+    ///
+    /// Fails if a replacement's id is outside the index's subgraph range.
+    pub fn with_replaced_subgraphs(
+        &self,
+        replacements: Vec<Arc<SubgraphIndex>>,
+    ) -> Result<Self, GraphError> {
+        let mut subgraph_indexes = self.subgraph_indexes.clone();
+        for replacement in replacements {
+            let slot = replacement.id().index();
+            if slot >= subgraph_indexes.len() {
+                return Err(GraphError::SubgraphOutOfRange {
+                    subgraph: replacement.id(),
+                    num_subgraphs: subgraph_indexes.len(),
+                });
+            }
+            subgraph_indexes[slot] = replacement;
+        }
+        let (skeleton, mut build_stats) =
+            Self::derive_from_parts(self.directed, &subgraph_indexes, &self.boundary);
+        build_stats.num_subgraphs_boundary_over_5 = self.build_stats.num_subgraphs_boundary_over_5;
+        Ok(DtlpIndex {
+            config: self.config,
+            directed: self.directed,
             subgraph_indexes,
-            vertex_subgraphs,
-            edge_owner,
-            boundary,
-            skeleton,
+            vertex_subgraphs: Arc::clone(&self.vertex_subgraphs),
+            edge_owner: Arc::clone(&self.edge_owner),
+            boundary: Arc::clone(&self.boundary),
+            skeleton: Arc::new(skeleton),
             build_stats,
+        })
+    }
+
+    /// A clone that shares no allocation with `self`: every per-subgraph index
+    /// and every shared table is duplicated. This is exactly the
+    /// clone-the-world publish cost the copy-on-write representation removed;
+    /// the `epoch_publish` benchmark uses it as the baseline, and sharing
+    /// tests use it as a guaranteed-unshared control.
+    pub fn deep_clone(&self) -> Self {
+        DtlpIndex {
+            config: self.config,
+            directed: self.directed,
+            subgraph_indexes: self
+                .subgraph_indexes
+                .iter()
+                .map(|idx| Arc::new(idx.deep_clone()))
+                .collect(),
+            vertex_subgraphs: Arc::new((*self.vertex_subgraphs).clone()),
+            edge_owner: Arc::new((*self.edge_owner).clone()),
+            boundary: Arc::new((*self.boundary).clone()),
+            skeleton: Arc::new((*self.skeleton).clone()),
+            build_stats: self.build_stats.clone(),
         }
     }
 
@@ -205,13 +316,27 @@ impl DtlpIndex {
         &self.skeleton
     }
 
-    /// The per-subgraph indexes (indexed by [`SubgraphId`]).
-    pub fn subgraph_indexes(&self) -> &[SubgraphIndex] {
+    /// The shared handle to the skeleton graph. Epochs between which no lower
+    /// bound moved return pointer-equal handles.
+    pub fn skeleton_handle(&self) -> &Arc<SkeletonGraph> {
+        &self.skeleton
+    }
+
+    /// The per-subgraph indexes (indexed by [`SubgraphId`]), as the shared
+    /// handles the copy-on-write clone path bumps. Pointer-equal handles
+    /// across two indexes mean the subgraph state is structurally shared.
+    pub fn subgraph_indexes(&self) -> &[Arc<SubgraphIndex>] {
         &self.subgraph_indexes
     }
 
     /// The index of one subgraph.
     pub fn subgraph_index(&self, id: SubgraphId) -> &SubgraphIndex {
+        &self.subgraph_indexes[id.index()]
+    }
+
+    /// The shared handle of one subgraph's index. `Arc::ptr_eq` over handles
+    /// from two epochs tells whether publication shared or copied the entry.
+    pub fn subgraph_index_handle(&self, id: SubgraphId) -> &Arc<SubgraphIndex> {
         &self.subgraph_indexes[id.index()]
     }
 
@@ -287,16 +412,21 @@ impl DtlpIndex {
         sg_id: SubgraphId,
         updates: &[ksp_graph::WeightUpdate],
     ) -> Result<MaintenanceStats, GraphError> {
-        let idx = &mut self.subgraph_indexes[sg_id.index()];
+        // Copy-on-write: unshare this subgraph's index (and only this one) if
+        // another epoch still references it.
+        let idx = Arc::make_mut(&mut self.subgraph_indexes[sg_id.index()]);
         let (changes, touched) = idx.apply_updates(updates)?;
         let mut stats = MaintenanceStats {
             updates_applied: updates.len(),
             paths_touched: touched,
             pairs_changed: changes.len(),
             skeleton_edges_changed: 0,
+            dirty_subgraphs: if updates.is_empty() { Vec::new() } else { vec![sg_id] },
         };
         for c in changes {
-            if self.skeleton.set_contribution(c.a, c.b, sg_id, c.new_lbd) {
+            // The skeleton unshares lazily too: epochs whose batches move no
+            // lower bound keep sharing the previous skeleton allocation.
+            if Arc::make_mut(&mut self.skeleton).set_contribution(c.a, c.b, sg_id, c.new_lbd) {
                 stats.skeleton_edges_changed += 1;
             }
         }
@@ -315,7 +445,9 @@ impl DtlpIndex {
             stats.paths_touched += part.paths_touched;
             stats.pairs_changed += part.pairs_changed;
             stats.skeleton_edges_changed += part.skeleton_edges_changed;
+            stats.dirty_subgraphs.extend(part.dirty_subgraphs);
         }
+        stats.dirty_subgraphs.sort_unstable();
         Ok(stats)
     }
 
@@ -540,6 +672,91 @@ mod tests {
         assert!(stats.pairs_changed > 0);
         assert!(stats.skeleton_edges_changed > 0);
         assert!(stats.skeleton_edges_changed <= stats.pairs_changed);
+    }
+
+    #[test]
+    fn cloned_index_shares_untouched_subgraphs_and_copies_dirty_ones() {
+        let g = road_network(300, 17);
+        let base = DtlpIndex::build(&g, DtlpConfig::new(20, 2)).unwrap();
+        assert!(base.num_subgraphs() > 3, "test needs several subgraphs");
+
+        // Dirty exactly one subgraph: update a single edge.
+        let edge = EdgeId(0);
+        let owner = base.owner_of_edge(edge);
+        let batch = UpdateBatch::new(vec![ksp_graph::WeightUpdate::new(edge, Weight::new(77.0))]);
+
+        let mut next = base.clone();
+        let stats = next.apply_batch(&batch).unwrap();
+        assert_eq!(stats.dirty_subgraphs, vec![owner]);
+
+        for id in 0..base.num_subgraphs() {
+            let id = ksp_graph::SubgraphId(id as u32);
+            let shared = std::sync::Arc::ptr_eq(
+                base.subgraph_index_handle(id),
+                next.subgraph_index_handle(id),
+            );
+            if id == owner {
+                assert!(!shared, "the dirtied subgraph must be unshared");
+                // Even the unshared copy still shares its immutable backend.
+                assert_eq!(
+                    next.subgraph_index(id).subgraph().edge(edge).unwrap().current_weight,
+                    Weight::new(77.0)
+                );
+            } else {
+                assert!(shared, "untouched subgraph {id} was deep-copied");
+            }
+        }
+        // The original is untouched.
+        assert_eq!(
+            base.subgraph_index(owner).subgraph().edge(edge).unwrap().current_weight,
+            g.weight(edge)
+        );
+        // The auxiliary tables are shared wholesale.
+        assert_eq!(base.boundary_vertices(), next.boundary_vertices());
+
+        // A deep clone shares nothing.
+        let deep = next.deep_clone();
+        for id in 0..next.num_subgraphs() {
+            let id = ksp_graph::SubgraphId(id as u32);
+            assert!(!std::sync::Arc::ptr_eq(
+                next.subgraph_index_handle(id),
+                deep.subgraph_index_handle(id)
+            ));
+        }
+    }
+
+    #[test]
+    fn replaced_subgraphs_reproduce_incremental_maintenance_exactly() {
+        let g = road_network(250, 23);
+        let mut live = DtlpIndex::build(&g, DtlpConfig::new(18, 2)).unwrap();
+        let baseline = live.clone();
+        let mut traffic = TrafficModel::new(&g, TrafficConfig::new(0.4, 0.5), 7);
+        let mut dirty = std::collections::BTreeSet::new();
+        for _ in 0..3 {
+            let stats = live.apply_batch(&traffic.next_snapshot()).unwrap();
+            dirty.extend(stats.dirty_subgraphs);
+        }
+        // Rebuild "recovery style": take the pre-update index and slot in only
+        // the dirty subgraph indexes from the live one.
+        let replacements: Vec<_> =
+            dirty.iter().map(|&id| std::sync::Arc::clone(live.subgraph_index_handle(id))).collect();
+        let rebuilt = baseline.with_replaced_subgraphs(replacements).unwrap();
+        // The skeleton derived from the mixed set matches the live skeleton
+        // edge for edge, bit for bit.
+        assert_eq!(rebuilt.skeleton().num_skeleton_edges(), live.skeleton().num_skeleton_edges());
+        for e in live.skeleton().edges() {
+            let w = rebuilt.skeleton().skeleton_edge_weight(e.a, e.b).unwrap();
+            assert_eq!(w.value().to_bits(), e.weight().value().to_bits());
+        }
+        // A replacement whose id exceeds the target index's range is rejected.
+        let coarse = DtlpIndex::build(&g, DtlpConfig::new(200, 1)).unwrap();
+        assert!(coarse.num_subgraphs() < live.num_subgraphs());
+        let out_of_range = live.num_subgraphs() - 1;
+        assert!(coarse
+            .with_replaced_subgraphs(vec![std::sync::Arc::clone(
+                live.subgraph_index_handle(SubgraphId(out_of_range as u32))
+            )])
+            .is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::dtlp::unit_weights::UnitWeightMultiset;
 use ksp_algo::{fewest_vfrag_paths, Path};
 use ksp_graph::{EdgeId, GraphError, Subgraph, SubgraphId, VertexId, Weight, WeightUpdate};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which structure stores the edge → bounding-paths mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,13 +60,21 @@ pub struct LowerBoundChange {
 }
 
 /// The level-one DTLP index of a single subgraph.
+///
+/// The subgraph and the edge → bounding-paths backend are held behind `Arc`s:
+/// the subgraph so that the partitioner's allocation is referenced rather than
+/// copied at build time, and the backend because it is immutable after
+/// construction (it maps edges to path *slots*, not distances). Cloning a
+/// `SubgraphIndex` therefore copies only the mutable bound state (`pairs`,
+/// `last_lbd`, the unit-weight multiset); a clone that is then mutated
+/// unshares its subgraph copy-on-write via `Arc::make_mut`.
 #[derive(Debug, Clone)]
 pub struct SubgraphIndex {
-    subgraph: Subgraph,
+    subgraph: Arc<Subgraph>,
     pairs: Vec<BoundingPathSet>,
     /// Last lower bound distance reported for each pair, to detect changes.
     last_lbd: Vec<Weight>,
-    backend: BackendStore,
+    backend: Arc<BackendStore>,
     unit_weights: UnitWeightMultiset,
     /// Total number of bounding paths across all pairs.
     num_bounding_paths: usize,
@@ -78,11 +87,12 @@ impl SubgraphIndex {
     /// `max_enumerated` caps the path enumeration per pair (see
     /// [`ksp_algo::fewest_vfrag_paths`] for why truncation is safe).
     pub fn build(
-        subgraph: Subgraph,
+        subgraph: impl Into<Arc<Subgraph>>,
         xi: usize,
         max_enumerated: usize,
         backend: BackendKind,
     ) -> Self {
+        let subgraph: Arc<Subgraph> = subgraph.into();
         let directed = subgraph.is_directed();
         let boundary: Vec<VertexId> = subgraph.boundary_vertices().to_vec();
 
@@ -107,7 +117,7 @@ impl SubgraphIndex {
             }
         }
 
-        let backend = build_backend(&subgraph, &pairs, backend);
+        let backend = Arc::new(build_backend(&subgraph, &pairs, backend));
         let unit_weights = UnitWeightMultiset::from_subgraph(&subgraph);
         let num_bounding_paths = pairs.iter().map(|p| p.len()).sum();
         let last_lbd = pairs.iter().map(|p| p.lower_bound_distance(&unit_weights)).collect();
@@ -124,13 +134,14 @@ impl SubgraphIndex {
     /// unit-weight multiset are derived data and are rebuilt here (both are
     /// deterministic functions of `subgraph` and `pairs`).
     pub fn restore(
-        subgraph: Subgraph,
+        subgraph: impl Into<Arc<Subgraph>>,
         pairs: Vec<BoundingPathSet>,
         last_lbd: Vec<Weight>,
         backend: BackendKind,
     ) -> Self {
+        let subgraph: Arc<Subgraph> = subgraph.into();
         assert_eq!(pairs.len(), last_lbd.len(), "one stored lower bound per boundary pair");
-        let backend = build_backend(&subgraph, &pairs, backend);
+        let backend = Arc::new(build_backend(&subgraph, &pairs, backend));
         let unit_weights = UnitWeightMultiset::from_subgraph(&subgraph);
         let num_bounding_paths = pairs.iter().map(|p| p.len()).sum();
         SubgraphIndex { subgraph, pairs, last_lbd, backend, unit_weights, num_bounding_paths }
@@ -139,6 +150,24 @@ impl SubgraphIndex {
     /// The subgraph this index covers (with live weights).
     pub fn subgraph(&self) -> &Subgraph {
         &self.subgraph
+    }
+
+    /// The shared handle to the subgraph. Two indexes (or two epochs of the
+    /// same index) that return pointer-equal handles share one allocation.
+    pub fn subgraph_handle(&self) -> &Arc<Subgraph> {
+        &self.subgraph
+    }
+
+    /// A clone that shares nothing with `self`: every `Arc`'d component is
+    /// reallocated. This is the "clone the whole index per epoch" behaviour
+    /// the copy-on-write publish path replaced; it exists as the baseline for
+    /// the `epoch_publish` benchmark and for tests that must rule out
+    /// accidental sharing.
+    pub fn deep_clone(&self) -> Self {
+        let mut copy = self.clone();
+        copy.subgraph = Arc::new((*self.subgraph).clone());
+        copy.backend = Arc::new((*self.backend).clone());
+        copy
     }
 
     /// The bounding-path sets, one per indexed boundary pair.
@@ -155,7 +184,7 @@ impl SubgraphIndex {
 
     /// Which backend kind stores the edge → bounding-paths mapping.
     pub fn backend_kind(&self) -> BackendKind {
-        match self.backend {
+        match *self.backend {
             BackendStore::Ep(_) => BackendKind::EpIndex,
             BackendStore::Mfp(_) => BackendKind::MfpTree,
         }
@@ -199,8 +228,10 @@ impl SubgraphIndex {
         }
         let mut paths_touched = 0usize;
         let mut refs: Vec<PathRef> = Vec::new();
+        // Copy-on-write: the first update of a batch unshares the subgraph if
+        // a previous epoch still holds it; later updates mutate in place.
         for update in updates {
-            let delta = self.subgraph.apply_update(update)?;
+            let delta = Arc::make_mut(&mut self.subgraph).apply_update(update)?;
             if delta == 0.0 {
                 continue;
             }

@@ -103,6 +103,7 @@ mod tests {
             .unwrap()
             .into_subgraphs()
             .remove(0);
+        let sg = std::sync::Arc::try_unwrap(sg).expect("sole handle");
         (g, sg)
     }
 

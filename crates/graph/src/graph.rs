@@ -7,6 +7,7 @@ use crate::update::{UpdateBatch, WeightUpdate};
 use crate::view::GraphView;
 use crate::weight::Weight;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A single edge of the graph together with its evolving weight.
 ///
@@ -49,21 +50,37 @@ impl EdgeRecord {
     }
 }
 
+/// The structural (weight-independent) part of a [`DynamicGraph`]: adjacency
+/// and the endpoint-pair lookup. Weight updates never touch it, so epoch
+/// publication shares one allocation across every derived graph copy.
+#[derive(Debug, Clone)]
+struct Topology {
+    directed: bool,
+    /// Out-adjacency. For undirected graphs each edge appears in both endpoint lists.
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+    /// Lookup from endpoint pair to edge id. Keys are canonicalised (min, max) for
+    /// undirected graphs and kept as (tail, head) for directed graphs.
+    edge_lookup: HashMap<(u32, u32), EdgeId>,
+}
+
 /// An in-memory dynamic weighted graph.
 ///
 /// The graph is either undirected (the road-network default in the paper) or directed
 /// (Section 5.3 discusses the directed extension). Edge weights can be updated in
 /// batches via [`DynamicGraph::apply_batch`]; every batch advances the graph version,
 /// which models the `Gcurr` snapshot buffer of Section 2.
+///
+/// Cloning is copy-on-write with respect to structure: the adjacency lists and
+/// endpoint lookup live behind an `Arc` shared by every clone, and only the
+/// edge-record table (the evolving weights) is copied. Structural mutation
+/// ([`DynamicGraph::add_edge`]) unshares the topology on demand, so building a
+/// graph is unaffected while [`DynamicGraph::with_batch`] — the epoch publish
+/// primitive — costs one flat `memcpy` of the weight table instead of
+/// reallocating per-vertex adjacency.
 #[derive(Debug, Clone)]
 pub struct DynamicGraph {
-    directed: bool,
-    /// Out-adjacency. For undirected graphs each edge appears in both endpoint lists.
-    adj: Vec<Vec<(VertexId, EdgeId)>>,
+    topology: Arc<Topology>,
     edges: Vec<EdgeRecord>,
-    /// Lookup from endpoint pair to edge id. Keys are canonicalised (min, max) for
-    /// undirected graphs and kept as (tail, head) for directed graphs.
-    edge_lookup: HashMap<(u32, u32), EdgeId>,
     version: u64,
 }
 
@@ -71,10 +88,12 @@ impl DynamicGraph {
     /// Creates an empty graph with `num_vertices` vertices and no edges.
     pub fn new(num_vertices: usize, directed: bool) -> Self {
         DynamicGraph {
-            directed,
-            adj: vec![Vec::new(); num_vertices],
+            topology: Arc::new(Topology {
+                directed,
+                adj: vec![Vec::new(); num_vertices],
+                edge_lookup: HashMap::new(),
+            }),
             edges: Vec::new(),
-            edge_lookup: HashMap::new(),
             version: 0,
         }
     }
@@ -82,7 +101,7 @@ impl DynamicGraph {
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.adj.len()
+        self.topology.adj.len()
     }
 
     /// Number of edges. For undirected graphs each undirected edge counts once.
@@ -94,7 +113,15 @@ impl DynamicGraph {
     /// Whether the graph is directed.
     #[inline]
     pub fn is_directed(&self) -> bool {
-        self.directed
+        self.topology.directed
+    }
+
+    /// Whether `self` and `other` share one structural (adjacency + lookup)
+    /// allocation. Diagnostic for the copy-on-write publish path: a graph
+    /// derived via [`DynamicGraph::with_batch`] must share its parent's
+    /// topology, never deep-copy it.
+    pub fn shares_topology_with(&self, other: &DynamicGraph) -> bool {
+        Arc::ptr_eq(&self.topology, &other.topology)
     }
 
     /// Current version of the graph; incremented by every applied update batch.
@@ -105,7 +132,7 @@ impl DynamicGraph {
 
     /// Iterator over all vertex ids.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.adj.len() as u32).map(VertexId)
+        (0..self.topology.adj.len() as u32).map(VertexId)
     }
 
     /// Iterator over all edge ids.
@@ -132,19 +159,19 @@ impl DynamicGraph {
     ///
     /// For directed graphs this looks up the edge from `u` to `v` only.
     pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
-        self.edge_lookup.get(&self.lookup_key(u, v)).copied()
+        self.topology.edge_lookup.get(&self.lookup_key(u, v)).copied()
     }
 
     /// Out-degree of a vertex (degree for undirected graphs).
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj[v.index()].len()
+        self.topology.adj[v.index()].len()
     }
 
     /// Returns the adjacency list of `v`: pairs of (neighbour, edge id).
     #[inline]
     pub fn adjacency(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
-        &self.adj[v.index()]
+        &self.topology.adj[v.index()]
     }
 
     /// Validates a vertex id against this graph.
@@ -175,7 +202,7 @@ impl DynamicGraph {
             return Err(GraphError::ZeroInitialWeight { u, v });
         }
         let key = self.lookup_key(u, v);
-        if self.edge_lookup.contains_key(&key) {
+        if self.topology.edge_lookup.contains_key(&key) {
             return Err(GraphError::DuplicateEdge { u, v });
         }
         let id = EdgeId(self.edges.len() as u32);
@@ -185,10 +212,13 @@ impl DynamicGraph {
             initial_weight,
             current_weight: Weight::from(initial_weight),
         });
-        self.edge_lookup.insert(key, id);
-        self.adj[u.index()].push((v, id));
-        if !self.directed {
-            self.adj[v.index()].push((u, id));
+        // Structural mutation unshares the topology; during graph construction
+        // the Arc is unique and this mutates in place.
+        let topology = Arc::make_mut(&mut self.topology);
+        topology.edge_lookup.insert(key, id);
+        topology.adj[u.index()].push((v, id));
+        if !topology.directed {
+            topology.adj[v.index()].push((u, id));
         }
         Ok(id)
     }
@@ -252,11 +282,34 @@ impl DynamicGraph {
         Ok(graph)
     }
 
+    /// Overwrites the current weights of the given edges and jumps the version
+    /// counter to `version`, without advancing it per batch.
+    ///
+    /// This is a storage-layer restore primitive, not an update path: applying
+    /// an incremental checkpoint patches exactly the edges whose owning
+    /// subgraphs were dirtied since the base image and then fast-forwards the
+    /// version to the epoch the image captured. Weights are absolute (the
+    /// checkpointed bits), so the result is bit-identical to the graph that
+    /// was imaged regardless of how many epochs the patch spans.
+    pub fn restore_weights(
+        &mut self,
+        weights: impl IntoIterator<Item = (EdgeId, Weight)>,
+        version: u64,
+    ) -> Result<(), GraphError> {
+        for (e, w) in weights {
+            self.set_weight(e, w)?;
+        }
+        self.version = version;
+        Ok(())
+    }
+
     /// Copy-on-write batch application: returns a new graph with `batch` applied and
     /// the version advanced, leaving `self` untouched.
     ///
     /// This is the publish primitive of the serving subsystem: the updater derives the
-    /// next epoch's graph without ever mutating the one concurrent readers hold.
+    /// next epoch's graph without ever mutating the one concurrent readers hold. The
+    /// returned graph shares `self`'s topology allocation (see the type-level
+    /// docs), so the cost is one copy of the edge-record table plus the batch.
     pub fn with_batch(&self, batch: &UpdateBatch) -> Result<DynamicGraph, GraphError> {
         let mut next = self.clone();
         next.apply_batch(batch)?;
@@ -282,7 +335,7 @@ impl DynamicGraph {
 
     #[inline]
     fn lookup_key(&self, u: VertexId, v: VertexId) -> (u32, u32) {
-        if self.directed || u.0 <= v.0 {
+        if self.topology.directed || u.0 <= v.0 {
             (u.0, v.0)
         } else {
             (v.0, u.0)
@@ -292,15 +345,15 @@ impl DynamicGraph {
 
 impl GraphView for DynamicGraph {
     fn num_vertices(&self) -> usize {
-        self.adj.len()
+        self.topology.adj.len()
     }
 
     fn contains_vertex(&self, v: VertexId) -> bool {
-        v.index() < self.adj.len()
+        v.index() < self.topology.adj.len()
     }
 
     fn for_each_neighbor(&self, v: VertexId, mut f: impl FnMut(VertexId, Weight)) {
-        for &(to, e) in &self.adj[v.index()] {
+        for &(to, e) in &self.topology.adj[v.index()] {
             f(to, self.edges[e.index()].current_weight);
         }
     }
@@ -436,5 +489,45 @@ mod tests {
     fn total_weight_sums_current_weights() {
         let g = triangle();
         assert_eq!(g.total_weight(), Weight::new(12.0));
+    }
+
+    #[test]
+    fn with_batch_shares_topology_with_the_parent() {
+        let g = triangle();
+        let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        let batch = UpdateBatch::new(vec![WeightUpdate::new(e, Weight::new(4.0))]);
+        let next = g.with_batch(&batch).unwrap();
+        assert!(next.shares_topology_with(&g), "weight updates must not copy structure");
+        assert_eq!(next.weight(e), Weight::new(4.0));
+        assert_eq!(g.weight(e), Weight::new(2.0), "the parent graph is untouched");
+
+        // Structural mutation unshares on demand: adding an edge to a clone
+        // leaves the original's adjacency untouched.
+        let mut grown = next.clone();
+        assert!(grown.shares_topology_with(&next));
+        grown.add_edge(VertexId(1), VertexId(2), 1).unwrap_err(); // duplicate: no unshare
+        assert!(grown.shares_topology_with(&next));
+        let mut wider = DynamicGraph::new(4, false);
+        wider.add_edge(VertexId(0), VertexId(1), 1).unwrap();
+        let shared = wider.clone();
+        assert!(shared.shares_topology_with(&wider));
+        let mut mutated = shared.clone();
+        mutated.add_edge(VertexId(2), VertexId(3), 1).unwrap();
+        assert!(!mutated.shares_topology_with(&wider), "add_edge must unshare");
+        assert_eq!(wider.num_edges(), 1);
+        assert_eq!(wider.degree(VertexId(2)), 0, "the shared parent is untouched");
+    }
+
+    #[test]
+    fn restore_weights_sets_absolute_weights_and_version() {
+        let mut g = triangle();
+        let e0 = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        let e1 = g.edge_between(VertexId(1), VertexId(2)).unwrap();
+        g.restore_weights([(e0, Weight::new(9.5)), (e1, Weight::new(0.25))], 7).unwrap();
+        assert_eq!(g.version(), 7);
+        assert_eq!(g.weight(e0), Weight::new(9.5));
+        assert_eq!(g.weight(e1), Weight::new(0.25));
+        // An out-of-range edge is rejected.
+        assert!(g.restore_weights([(EdgeId(99), Weight::new(1.0))], 8).is_err());
     }
 }

@@ -17,6 +17,7 @@ use crate::graph::DynamicGraph;
 use crate::ids::{EdgeId, SubgraphId, VertexId};
 use crate::subgraph::{Subgraph, SubgraphEdge};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// Configuration of the partitioner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,9 +46,14 @@ pub struct Partitioner {
 }
 
 /// The result of partitioning a graph.
+///
+/// Subgraphs are held behind `Arc`s: the partitioning is the birthplace of the
+/// per-subgraph state that the DTLP index, the serving layer and the store all
+/// share structurally, so handing out shared handles here means an index build
+/// never copies a subgraph it can reference.
 #[derive(Debug, Clone)]
 pub struct Partitioning {
-    subgraphs: Vec<Subgraph>,
+    subgraphs: Vec<Arc<Subgraph>>,
     /// All boundary vertices of the graph, sorted.
     boundary: Vec<VertexId>,
     /// For every vertex, the subgraphs it belongs to.
@@ -194,6 +200,8 @@ impl Partitioner {
             sg.set_boundary(boundary.clone());
         }
 
+        // Freeze the finished subgraphs behind shared handles.
+        let subgraphs = subgraphs.into_iter().map(Arc::new).collect();
         Ok(Partitioning { subgraphs, boundary, vertex_subgraphs, edge_owner })
     }
 }
@@ -205,15 +213,11 @@ fn incident_count(graph: &DynamicGraph, v: VertexId) -> u32 {
 }
 
 impl Partitioning {
-    /// The subgraphs, indexed by [`SubgraphId`].
-    pub fn subgraphs(&self) -> &[Subgraph] {
+    /// The subgraphs, indexed by [`SubgraphId`], as shared handles. An index
+    /// built over them references the partitioner's allocations instead of
+    /// copying them.
+    pub fn subgraphs(&self) -> &[Arc<Subgraph>] {
         &self.subgraphs
-    }
-
-    /// Mutable access to the subgraphs (used by the distributed runtime to apply
-    /// weight updates to the owning subgraph).
-    pub fn subgraphs_mut(&mut self) -> &mut [Subgraph] {
-        &mut self.subgraphs
     }
 
     /// Number of subgraphs.
@@ -260,8 +264,8 @@ impl Partitioning {
         self.subgraphs.iter().filter(|sg| sg.boundary_vertices().len() > threshold).count()
     }
 
-    /// Consumes the partitioning and returns the subgraphs.
-    pub fn into_subgraphs(self) -> Vec<Subgraph> {
+    /// Consumes the partitioning and returns the subgraph handles.
+    pub fn into_subgraphs(self) -> Vec<Arc<Subgraph>> {
         self.subgraphs
     }
 }
@@ -342,7 +346,9 @@ mod tests {
         for sg in partitioning.subgraphs() {
             covered.extend(sg.vertices().iter().copied());
             // 3. Vertex budget respected (isolated-vertex subgraphs have one vertex).
-            assert!(sg.num_vertices() <= z, "subgraph exceeds z={z}");
+            // Deref to the inherent method: through the Arc handle, GraphView's
+            // num_vertices (a global-id upper bound) would shadow it.
+            assert!(sg.as_ref().num_vertices() <= z, "subgraph exceeds z={z}");
         }
         assert_eq!(covered.len(), graph.num_vertices());
 

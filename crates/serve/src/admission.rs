@@ -44,6 +44,10 @@ pub struct QueueFull {
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Deepest the queue has ever been; the backlog gauge adaptive admission
+    /// control will key off (a depth that *reached* the cap tells the operator
+    /// the configured depth, not the default, is the binding constraint).
+    high_water: usize,
 }
 
 /// A bounded MPSC queue: many submitting clients, one draining worker.
@@ -58,7 +62,7 @@ impl<T> BoundedQueue<T> {
     pub fn new(max_depth: usize) -> Self {
         assert!(max_depth >= 1, "queue depth must be at least 1");
         BoundedQueue {
-            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false, high_water: 0 }),
             ready: Condvar::new(),
             max_depth,
         }
@@ -67,6 +71,11 @@ impl<T> BoundedQueue<T> {
     /// Number of currently queued items.
     pub fn depth(&self) -> usize {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+    }
+
+    /// The deepest the queue has ever been (admitted items waiting at once).
+    pub fn high_water(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).high_water
     }
 
     /// Admits `item`, or rejects it if the queue is full or closed.
@@ -79,6 +88,7 @@ impl<T> BoundedQueue<T> {
             return Err((item, QueueFull { depth: self.max_depth }));
         }
         state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
         drop(state);
         self.ready.notify_one();
         Ok(())
@@ -122,6 +132,22 @@ mod tests {
         assert_eq!(item, 3);
         assert_eq!(err.depth, 2);
         assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_the_deepest_backlog() {
+        let q = BoundedQueue::new(8);
+        assert_eq!(q.high_water(), 0);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        q.submit(3).unwrap();
+        assert_eq!(q.high_water(), 3);
+        // Draining lowers the depth but never the high-water mark.
+        assert_eq!(q.pop_batch(2), Some(vec![1, 2]));
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.high_water(), 3);
+        q.submit(4).unwrap();
+        assert_eq!(q.high_water(), 3, "2 queued now; the mark stays at 3");
     }
 
     #[test]

@@ -163,6 +163,35 @@ impl ServiceMetrics {
             max: self.latency.max(),
             load_balance: LoadBalanceReport::from_loads(&per_shard),
             per_shard,
+            queue_gauges: Vec::new(),
+        }
+    }
+}
+
+/// Point-in-time backlog gauges of one shard's request queue.
+///
+/// Groundwork for adaptive admission control: the current depth is the
+/// instantaneous queueing-delay signal, and the high-water mark tells the
+/// operator how close the shard has come to its configured rejection depth
+/// since the service started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardQueueGauge {
+    /// Requests admitted and waiting right now.
+    pub depth: usize,
+    /// Deepest the queue has ever been.
+    pub high_water: usize,
+    /// The configured depth at which submissions are rejected.
+    pub max_depth: usize,
+}
+
+impl ShardQueueGauge {
+    /// High-water backlog as a fraction of the configured depth, in `[0, 1]`.
+    /// A value near 1 means admission control has been the binding constraint.
+    pub fn saturation(&self) -> f64 {
+        if self.max_depth == 0 {
+            0.0
+        } else {
+            self.high_water as f64 / self.max_depth as f64
         }
     }
 }
@@ -194,6 +223,10 @@ pub struct MetricsReport {
     pub per_shard: Vec<ServerLoad>,
     /// Shard load balance through the cluster crate's accounting.
     pub load_balance: LoadBalanceReport,
+    /// Per-shard queue backlog gauges (empty when the report was produced
+    /// directly from [`ServiceMetrics::report`], which cannot see the queues;
+    /// [`crate::QueryService::metrics`] fills them in).
+    pub queue_gauges: Vec<ShardQueueGauge>,
 }
 
 impl MetricsReport {
@@ -247,5 +280,12 @@ mod tests {
         assert_eq!(report.per_shard[1].items_processed, 1);
         assert_eq!(report.load_balance.num_servers, 3);
         assert!(report.p50 > Duration::ZERO);
+    }
+
+    #[test]
+    fn queue_gauge_saturation_is_a_fraction_of_the_cap() {
+        let gauge = ShardQueueGauge { depth: 3, high_water: 48, max_depth: 64 };
+        assert!((gauge.saturation() - 0.75).abs() < 1e-9);
+        assert_eq!(ShardQueueGauge::default().saturation(), 0.0);
     }
 }

@@ -19,13 +19,14 @@
 use crate::admission::{AdmissionConfig, BoundedQueue};
 use crate::cache::{CacheKey, ResultCache};
 use crate::epoch::{EpochPointer, EpochSnapshot};
-use crate::metrics::{MetricsReport, ServiceMetrics};
+use crate::metrics::{MetricsReport, ServiceMetrics, ShardQueueGauge};
 use ksp_algo::Path;
 use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
 use ksp_core::kspdg::{KspDgConfig, QueryStats, SharedEngine};
-use ksp_graph::{DynamicGraph, GraphError, UpdateBatch, VertexId};
+use ksp_graph::{DynamicGraph, GraphError, SubgraphId, UpdateBatch, VertexId};
 use ksp_store::{RecoveryReport, Store, StoreConfig, StoreError};
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::path::Path as FsPath;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -178,14 +179,20 @@ struct Shard {
 struct Masters {
     graph: Arc<DynamicGraph>,
     index: Arc<DtlpIndex>,
+    /// Subgraphs dirtied by batches published since the last checkpoint job
+    /// was handed to the checkpointer. The next job takes the set, so an
+    /// incremental checkpoint covers exactly the epochs between two images.
+    dirty_since_job: HashSet<SubgraphId>,
 }
 
 /// One background-checkpoint request: `Arc`'d snapshots of a just-published
-/// epoch, encoded off the publish path.
+/// epoch, encoded off the publish path, plus the subgraphs dirtied since the
+/// previous job (the candidate payload of an incremental image).
 struct CheckpointJob {
     epoch: u64,
     graph: Arc<DynamicGraph>,
     index: Arc<DtlpIndex>,
+    dirty: HashSet<SubgraphId>,
 }
 
 /// The durable side of a persistent service.
@@ -274,7 +281,12 @@ impl QueryService {
         let report = recovered.report;
         let graph = Arc::new(recovered.graph);
         let index = Arc::new(recovered.index);
-        Ok((Self::boot(graph, index, config, Some(store)), report))
+        // Epochs replayed from the log are durable but not covered by any
+        // on-disk image: their dirty subgraphs must ride into the next
+        // incremental image, or a post-restart chain would silently
+        // under-cover them and a later recovery would lose their updates.
+        let replayed_dirty: HashSet<SubgraphId> = recovered.replayed_dirty.into_iter().collect();
+        Ok((Self::boot_with_dirty(graph, index, config, Some(store), replayed_dirty), report))
     }
 
     /// Publishes the initial epoch, starts the shard workers and (when a
@@ -284,6 +296,18 @@ impl QueryService {
         index: Arc<DtlpIndex>,
         config: ServiceConfig,
         store: Option<Store>,
+    ) -> Self {
+        Self::boot_with_dirty(graph, index, config, store, HashSet::new())
+    }
+
+    /// [`QueryService::boot`] with an initial not-yet-imaged dirty set (the
+    /// subgraphs recovery replayed from the log past the newest image).
+    fn boot_with_dirty(
+        graph: Arc<DynamicGraph>,
+        index: Arc<DtlpIndex>,
+        config: ServiceConfig,
+        store: Option<Store>,
+        dirty_since_job: HashSet<SubgraphId>,
     ) -> Self {
         let initial = EpochSnapshot::new(graph.version(), graph.clone(), index.clone());
         let epoch = Arc::new(EpochPointer::new(initial));
@@ -345,7 +369,7 @@ impl QueryService {
             shards,
             epoch,
             metrics,
-            masters: Mutex::new(Masters { graph, index }),
+            masters: Mutex::new(Masters { graph, index, dirty_since_job }),
             persistence,
         }
     }
@@ -370,14 +394,30 @@ impl QueryService {
         self.epoch.load()
     }
 
-    /// A point-in-time metrics summary.
+    /// A point-in-time metrics summary, including per-shard queue gauges.
     pub fn metrics(&self) -> MetricsReport {
-        self.metrics.report()
+        let mut report = self.metrics.report();
+        report.queue_gauges = self.queue_gauges();
+        report
     }
 
     /// Current depth of every shard queue.
     pub fn queue_depths(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.queue.depth()).collect()
+    }
+
+    /// Current depth and all-time high-water mark of every shard queue — the
+    /// backlog signals adaptive admission control will key off.
+    pub fn queue_gauges(&self) -> Vec<ShardQueueGauge> {
+        let max_depth = self.config.admission.max_queue_depth;
+        self.shards
+            .iter()
+            .map(|s| ShardQueueGauge {
+                depth: s.queue.depth(),
+                high_water: s.queue.high_water(),
+                max_depth,
+            })
+            .collect()
     }
 
     /// Submits a query and blocks until its shard answers.
@@ -418,10 +458,14 @@ impl QueryService {
     /// produced, so callers can correlate answers (`QueryResponse::epoch`) and
     /// log records with the batch that caused them.
     ///
-    /// The update is staged on copies and committed only when both the graph
-    /// and the index accepted the whole batch: a failing batch (e.g. an
-    /// out-of-range edge id) leaves the masters — and therefore every future
-    /// epoch — exactly as they were. For a persistent service the batch is
+    /// The update is staged on copy-on-write forks and committed only when
+    /// both the graph and the index accepted the whole batch: a failing batch
+    /// (e.g. an out-of-range edge id) leaves the masters — and therefore every
+    /// future epoch — exactly as they were. Staging is proportional to the
+    /// *batch*, not the index: the graph fork shares its topology allocation
+    /// with the previous epoch, and the index fork deep-copies only the
+    /// subgraph indexes the batch routes updates into (everything else stays
+    /// pointer-shared across epochs). For a persistent service the batch is
     /// additionally appended to the delta log (fsync-on-commit) *before* the
     /// epoch becomes visible: an epoch a reader can observe is always an
     /// epoch recovery can reproduce.
@@ -429,7 +473,7 @@ impl QueryService {
         let mut masters = self.masters.lock();
         let next_graph = Arc::new(masters.graph.with_batch(batch)?);
         let mut staged_index = (*masters.index).clone();
-        staged_index.apply_batch(batch)?;
+        let maintenance = staged_index.apply_batch(batch)?;
         let next_index = Arc::new(staged_index);
         let epoch = next_graph.version();
         // Durability before visibility: a batch that cannot be logged
@@ -437,23 +481,37 @@ impl QueryService {
         if let Some(p) = &self.persistence {
             p.store.lock().log_batch(epoch, batch)?;
         }
-        masters.graph = next_graph.clone();
-        masters.index = next_index.clone();
+        masters.dirty_since_job.extend(maintenance.dirty_subgraphs);
+        // The published snapshot and the masters share one (graph, index)
+        // `Arc` pair; the only extra handles taken here are for a checkpoint
+        // job, when this epoch needs one.
+        let checkpoint_job = self.persistence.as_ref().and_then(|p| {
+            p.store_config.is_checkpoint_epoch(epoch).then(|| CheckpointJob {
+                epoch,
+                graph: Arc::clone(&next_graph),
+                index: Arc::clone(&next_index),
+                dirty: std::mem::take(&mut masters.dirty_since_job),
+            })
+        });
         // Publish before releasing the masters lock so epochs appear in order.
-        self.epoch.publish(EpochSnapshot::new(epoch, next_graph.clone(), next_index.clone()));
+        self.epoch.publish(EpochSnapshot::new(
+            epoch,
+            Arc::clone(&next_graph),
+            Arc::clone(&next_index),
+        ));
+        masters.graph = next_graph;
+        masters.index = next_index;
         for shard in &self.shards {
             shard.cache.lock().clear();
         }
         drop(masters);
         self.metrics.epochs_published.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        if let Some(p) = &self.persistence {
-            if p.store_config.is_checkpoint_epoch(epoch) {
-                let job = CheckpointJob { epoch, graph: next_graph, index: next_index };
-                // A full or closed channel only delays the checkpoint; the
-                // log still holds every batch.
-                if let Some(jobs) = &p.jobs {
-                    let _ = jobs.send(job);
-                }
+        if let Some(job) = checkpoint_job {
+            // A full or closed channel only delays the checkpoint; the log
+            // still holds every batch, and the dirty set rides along with the
+            // job so nothing is lost if it is coalesced with a later one.
+            if let Some(jobs) = &self.persistence.as_ref().expect("job implies store").jobs {
+                let _ = jobs.send(job);
             }
         }
         Ok(epoch)
@@ -489,28 +547,64 @@ impl QueryService {
 }
 
 /// Drains checkpoint jobs, always encoding only the newest pending epoch
-/// (checkpoints are cumulative — an older queued job is superseded). The two
-/// slow halves — encoding the image and writing/fsyncing it to a temp file —
-/// run without any lock; the store is held only for the rename-and-prune
-/// commit, so epoch publishes never wait on checkpoint I/O.
+/// (checkpoints are cumulative — an older queued job is superseded, but its
+/// dirty set is folded in so an incremental image still covers every epoch
+/// since the previous image). The two slow halves — encoding the image and
+/// writing/fsyncing it to a temp file — run without any lock; the store is
+/// held only for the rename-and-prune commit, so epoch publishes never wait
+/// on checkpoint I/O.
+///
+/// Whether the image is a full checkpoint or an incremental one follows the
+/// store's rebase policy ([`ksp_store::StoreConfig::full_rebase_interval`]):
+/// runs of incremental images keep the interval cost proportional to the
+/// subgraphs dirtied since the last image, and the periodic full rebase
+/// bounds the chain recovery must walk. `pending_dirty` accumulates across
+/// failed or rejected commits, so a retried incremental image can only
+/// over-cover, never miss a dirtied subgraph.
 fn checkpointer_main(
     store: &Mutex<Store>,
     store_dir: &std::path::Path,
     jobs: &mpsc::Receiver<CheckpointJob>,
 ) {
+    let mut pending_dirty: HashSet<SubgraphId> = HashSet::new();
     while let Ok(first) = jobs.recv() {
         // Jobs are sent outside the masters lock, so queue order is not epoch
         // order: pick the max epoch, not the last queued.
-        let job = jobs
-            .try_iter()
-            .fold(first, |best, next| if next.epoch > best.epoch { next } else { best });
-        let encoded = Store::encode_checkpoint(job.epoch, &job.graph, &job.index);
+        let mut job = jobs.try_iter().fold(first, |best, mut next| {
+            if next.epoch > best.epoch {
+                next.dirty.extend(best.dirty);
+                next
+            } else {
+                let mut best = best;
+                best.dirty.extend(next.dirty);
+                best
+            }
+        });
+        pending_dirty.extend(job.dirty.drain());
+
+        let (base_epoch, must_be_full) = {
+            let store = store.lock();
+            (store.last_image_epoch(), store.next_image_must_be_full())
+        };
+        let encoded = if must_be_full || base_epoch >= job.epoch {
+            Store::encode_checkpoint(job.epoch, &job.graph, &job.index)
+        } else {
+            let mut dirty: Vec<SubgraphId> = pending_dirty.iter().copied().collect();
+            dirty.sort_unstable();
+            Store::encode_partial_checkpoint(job.epoch, base_epoch, &job.graph, &job.index, &dirty)
+        };
         let result = Store::stage_checkpoint(store_dir, &encoded)
             .and_then(|staged| store.lock().commit_staged_checkpoint(staged));
-        if let Err(e) = result {
-            // The log still holds every batch, so losing a checkpoint only
-            // costs recovery time; report and keep serving.
-            eprintln!("ksp-serve: background checkpoint at epoch {} failed: {e}", job.epoch);
+        match result {
+            // Any committed image (full or partial) covers everything dirtied
+            // up to its epoch.
+            Ok(()) => pending_dirty.clear(),
+            Err(e) => {
+                // The log still holds every batch, so losing a checkpoint only
+                // costs recovery time; report, keep the dirty set, keep
+                // serving.
+                eprintln!("ksp-serve: background checkpoint at epoch {} failed: {e}", job.epoch);
+            }
         }
     }
 }
@@ -791,7 +885,12 @@ mod tests {
 
         let (recovered, report) = QueryService::open(&dir, config, store_config).unwrap();
         assert_eq!(recovered.current_epoch(), 3);
-        assert!(report.checkpoint_epoch + report.batches_replayed as u64 >= 3);
+        // The background checkpointer imaged epoch 2 (an incremental image
+        // over the initial full checkpoint under the default rebase policy),
+        // so recovery must not replay all three batches from the log.
+        assert_eq!(report.checkpoint_epoch, 0);
+        assert_eq!(report.partial_images_applied, 1);
+        assert_eq!(report.batches_replayed, 1);
         for (q, before) in workload.iter().zip(live.iter()) {
             let after = recovered.query(q.source, q.target, q.k).unwrap();
             assert_eq!(after.epoch, before.epoch);
@@ -859,6 +958,61 @@ mod tests {
             Err(PublishError::Store(_))
         ));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn publish_shares_untouched_state_across_epochs() {
+        use ksp_graph::{EdgeId, Weight, WeightUpdate};
+        let (service, graph) = service(300, 2, 43);
+        let before = service.snapshot();
+        // One-edge batch: exactly one subgraph index may be copied.
+        let batch =
+            ksp_graph::UpdateBatch::new(vec![WeightUpdate::new(EdgeId(0), Weight::new(42.0))]);
+        service.apply_batch(&batch).unwrap();
+        let after = service.snapshot();
+
+        assert!(after.graph().shares_topology_with(before.graph()), "graph structure is shared");
+        let owner = before.index().owner_of_edge(EdgeId(0));
+        let total = before.index().num_subgraphs();
+        let shared = (0..total)
+            .filter(|&i| {
+                let id = ksp_graph::SubgraphId(i as u32);
+                Arc::ptr_eq(
+                    before.index().subgraph_index_handle(id),
+                    after.index().subgraph_index_handle(id),
+                )
+            })
+            .count();
+        assert_eq!(shared, total - 1, "only the dirtied subgraph may be copied");
+        assert!(!Arc::ptr_eq(
+            before.index().subgraph_index_handle(owner),
+            after.index().subgraph_index_handle(owner)
+        ));
+        // The published snapshot and the masters share one Arc pair: applying
+        // the next batch forks off the published epoch, not a private copy.
+        let masters_snapshot = service.snapshot();
+        assert!(Arc::ptr_eq(after.graph(), masters_snapshot.graph()));
+        assert!(Arc::ptr_eq(after.index(), masters_snapshot.index()));
+        drop(graph);
+    }
+
+    #[test]
+    fn metrics_report_carries_per_shard_queue_gauges() {
+        let (service, graph) = service(120, 3, 47);
+        let t = VertexId(graph.num_vertices() as u32 - 1);
+        for s in 0..6u32 {
+            service.query(VertexId(s), t, 1).unwrap();
+        }
+        let report = service.metrics();
+        assert_eq!(report.queue_gauges.len(), 3);
+        for gauge in &report.queue_gauges {
+            assert_eq!(gauge.max_depth, service.config().admission.max_queue_depth);
+            assert!(gauge.high_water <= gauge.max_depth);
+            assert!(gauge.depth <= gauge.high_water.max(1));
+            assert!(gauge.saturation() <= 1.0);
+        }
+        // At least one request sat in some queue at some point.
+        assert!(report.queue_gauges.iter().any(|g| g.high_water >= 1));
     }
 
     #[test]

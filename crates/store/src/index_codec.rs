@@ -19,6 +19,18 @@ use ksp_core::dtlp::{
 };
 use ksp_graph::{Subgraph, SubgraphId, VertexId, Weight};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The index holds its per-subgraph entries as shared COW handles; on disk a
+/// handle is just its pointee (decode re-wraps, sharing nothing with anyone).
+impl StoreCodec for Arc<SubgraphIndex> {
+    fn encode(&self, w: &mut Writer) {
+        (**self).encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Arc::new(SubgraphIndex::decode(r)?))
+    }
+}
 
 impl StoreCodec for BackendKind {
     fn encode(&self, w: &mut Writer) {
@@ -125,7 +137,7 @@ impl StoreCodec for DtlpIndex {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let config = DtlpConfig::decode(r)?;
         let directed = bool::decode(r)?;
-        let subgraph_indexes = Vec::<SubgraphIndex>::decode(r)?;
+        let subgraph_indexes = Vec::<Arc<SubgraphIndex>>::decode(r)?;
         let num_memberships = r.get_count(12)?; // vertex id + empty-list length
         let mut vertex_subgraphs = HashMap::with_capacity(num_memberships);
         for _ in 0..num_memberships {
@@ -139,7 +151,7 @@ impl StoreCodec for DtlpIndex {
         if edge_owner.iter().any(|sg| sg.0 >= num_subgraphs) {
             return Err(CodecError::InvalidValue("edge owner references unknown subgraph"));
         }
-        Ok(DtlpIndex::assemble(
+        Ok(DtlpIndex::assemble_shared(
             config,
             directed,
             subgraph_indexes,

@@ -13,16 +13,22 @@
 //!   their accumulated distances, subgraph weights, ownership tables) while
 //!   derived structures (EP-Index/MFP backends, unit-weight multisets, the
 //!   skeleton graph) are rebuilt deterministically on load.
-//! * [`checkpoint`] — atomic whole-pair snapshots (`checkpoint-<epoch>.ckpt`):
-//!   write-temp, fsync, rename, fsync-dir; a CRC-32 footer rejects partial or
+//! * [`checkpoint`] — atomic whole-pair snapshots (`checkpoint-<epoch>.ckpt`)
+//!   and *incremental* images (`partial-<epoch>.pckpt`) carrying only the
+//!   subgraphs dirtied since the previous image, with a periodic full rebase
+//!   ([`StoreConfig::full_rebase_interval`]) bounding the chain: write-temp,
+//!   fsync, rename, fsync-dir; a CRC-32 footer rejects half-written or
 //!   bit-rotted files.
 //! * [`wal`] — the append-only epoch delta log (`wal-<start>.log`): one
 //!   length-prefixed, CRC-guarded record per published batch, fsync-on-commit,
 //!   segment rotation, and torn-tail truncation on recovery.
 //! * [`store`] — [`Store`] ties them together: `create` → `log_batch` per
-//!   publish → periodic `checkpoint` (rotating and pruning the log) →
-//!   [`Store::recover`], which loads the newest valid checkpoint, replays the
-//!   records after it and hands back the exact state the service held.
+//!   publish → periodic image commits (rotating and pruning the log) →
+//!   [`Store::recover`], which loads the newest valid full checkpoint,
+//!   applies the partial-image chain rooted at it, replays the records after
+//!   the last applied image and hands back the exact state the service held.
+//!   A damaged partial image only ends the chain early — the log is pruned
+//!   against retained full checkpoints, so replay always reaches the tip.
 //!   [`Store::verify`] is the read-only integrity check for operators.
 //!
 //! Recovery is *bit-exact*: the DTLP maintenance path applies floating-point
@@ -72,7 +78,7 @@ pub mod index_codec;
 pub mod store;
 pub mod wal;
 
-pub use checkpoint::{Checkpoint, EncodedCheckpoint};
+pub use checkpoint::{Checkpoint, EncodedCheckpoint, ImageKind, PartialCheckpoint};
 pub use codec::{crc32, Reader, StoreCodec, Writer};
 pub use error::{CodecError, StoreError};
 pub use store::{Recovered, RecoveryReport, Store, StoreConfig, VerifyReport};

@@ -58,9 +58,16 @@ fn recovered_service_answers_byte_identically_to_a_never_persisted_one() {
 
     let (recovered, report) = QueryService::open(&dir, config, store_config(2)).unwrap();
     assert_eq!(recovered.current_epoch(), reference.current_epoch());
+    // The background checkpointer imaged epoch 2 — as an incremental image
+    // under the default rebase policy — so recovery is checkpoint(0) + one
+    // partial image (epochs 1-2) + one replayed batch (epoch 3).
     assert!(
-        report.checkpoint_epoch + report.batches_replayed as u64 == 3,
-        "checkpoint + replay must reach the final epoch (got {report:?})"
+        report.partial_images_applied > 0,
+        "the interval-2 checkpoint must be an incremental image (got {report:?})"
+    );
+    assert_eq!(
+        report.batches_replayed, 1,
+        "the image chain must cover every epoch before the last (got {report:?})"
     );
 
     let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(25, 3), 7);
@@ -141,6 +148,141 @@ fn torn_log_write_loses_only_the_tail() {
     let epoch = graph.apply_batch(&batch).unwrap();
     assert_eq!(epoch, 3);
     store.log_batch(epoch, &batch).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An incremental-image *chain* (full checkpoint + several partial images,
+/// then a full rebase) recovers byte-identically at every stage. This is the
+/// acceptance test for the incremental checkpoint format.
+#[test]
+fn incremental_checkpoint_chain_recovers_byte_identically() {
+    use ksp_dg::store::StoreCodec;
+    let dir = temp_dir("chain");
+    let graph = road_network(180, 91);
+    let config = ServiceConfig::new(1, DtlpConfig::new(18, 2));
+    // Checkpoint every epoch; rebase to a full image after 3 partials.
+    let store_config = StoreConfig {
+        checkpoint_interval: 1,
+        full_rebase_interval: 3,
+        sync: SyncPolicy::Never,
+        ..StoreConfig::default()
+    };
+
+    let reference = QueryService::start(graph.clone(), config).unwrap();
+    let mut traffic_a = TrafficModel::new(&graph, TrafficConfig::new(0.5, 0.5), 29);
+    let mut traffic_b = TrafficModel::new(&graph, TrafficConfig::new(0.5, 0.5), 29);
+    {
+        let persistent =
+            QueryService::start_with_store(graph.clone(), config, &dir, store_config).unwrap();
+        // 5 epochs, each checkpointed: full(0) <- P1 <- P2 <- P3 <- full(4) <- P5.
+        for _ in 0..5 {
+            let batch = traffic_a.next_snapshot();
+            reference.apply_batch(&batch).unwrap();
+            persistent.apply_batch(&batch).unwrap();
+        }
+    }
+    // Recover, compare answers bit-for-bit, publish one more epoch, crash
+    // again, recover again: the chain keeps extending across lives.
+    for life in 0..2u64 {
+        let (recovered, _report) = QueryService::open(&dir, config, store_config).unwrap();
+        assert_eq!(recovered.current_epoch(), reference.current_epoch());
+        let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(15, 2), 3 + life);
+        for q in workload.iter() {
+            let want = reference.query(q.source, q.target, q.k).unwrap();
+            let got = recovered.query(q.source, q.target, q.k).unwrap();
+            assert_eq!(got.paths.len(), want.paths.len());
+            for (a, b) in got.paths.iter().zip(want.paths.iter()) {
+                assert_eq!(a.vertices(), b.vertices());
+                assert_eq!(a.distance().value().to_bits(), b.distance().value().to_bits());
+            }
+        }
+        let batch = traffic_a.next_snapshot();
+        reference.apply_batch(&batch).unwrap();
+        recovered.apply_batch(&batch).unwrap();
+    }
+    // Sanity: both traffic models were driven identically.
+    for _ in 0..7 {
+        traffic_b.next_snapshot();
+    }
+    assert_eq!(traffic_a.next_snapshot(), traffic_b.next_snapshot());
+
+    // The final recovered state equals the reference masters byte-for-byte.
+    let (final_service, _) = QueryService::open(&dir, config, store_config).unwrap();
+    let snapshot = final_service.snapshot();
+    let reference_snapshot = reference.snapshot();
+    assert_eq!(snapshot.graph().to_bytes(), reference_snapshot.graph().to_bytes());
+    assert_eq!(snapshot.index().to_bytes(), reference_snapshot.index().to_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression test: epochs replayed from the log during recovery are not
+/// covered by any on-disk image, so the *next* incremental image after a
+/// restart must include their dirty subgraphs. A resumed checkpointer that
+/// forgot them would commit a chain that silently drops those updates at the
+/// following recovery.
+#[test]
+fn post_restart_incremental_image_covers_log_replayed_epochs() {
+    use ksp_dg::graph::{UpdateBatch, Weight, WeightUpdate};
+    let dir = temp_dir("replay-dirty");
+    let graph = road_network(200, 57);
+    let config = ServiceConfig::new(1, DtlpConfig::new(16, 2));
+    let store_config = StoreConfig {
+        checkpoint_interval: 2,
+        full_rebase_interval: 10,
+        sync: SyncPolicy::Never,
+        ..StoreConfig::default()
+    };
+
+    // Three edges owned by three different subgraphs, so each single-edge
+    // batch dirties a different subgraph.
+    let index = ksp_dg::core::dtlp::DtlpIndex::build(&graph, DtlpConfig::new(16, 2)).unwrap();
+    let mut picked = Vec::new();
+    let mut seen_owners = Vec::new();
+    for e in graph.edge_ids() {
+        let owner = index.owner_of_edge(e);
+        if !seen_owners.contains(&owner) {
+            seen_owners.push(owner);
+            picked.push(e);
+            if picked.len() == 4 {
+                break;
+            }
+        }
+    }
+    assert_eq!(picked.len(), 4, "need four edges in distinct subgraphs");
+    let batch_for = |i: usize| {
+        UpdateBatch::new(vec![WeightUpdate::new(picked[i], Weight::new(5.5 + i as f64))])
+    };
+
+    let reference = QueryService::start(graph.clone(), config).unwrap();
+    {
+        // Life 1: epochs 1 and 2 (incremental image at 2 covers them), then
+        // epoch 3 — durable in the log only — and crash.
+        let service =
+            QueryService::start_with_store(graph.clone(), config, &dir, store_config).unwrap();
+        for i in 0..3 {
+            reference.apply_batch(&batch_for(i)).unwrap();
+            service.apply_batch(&batch_for(i)).unwrap();
+        }
+    }
+    {
+        // Life 2: recovery replays epoch 3 (dirtying a subgraph no image
+        // covers), then epoch 4 triggers the next incremental image, whose
+        // base is the epoch-2 image: it must carry epoch 3's subgraph too.
+        let (service, report) = QueryService::open(&dir, config, store_config).unwrap();
+        assert_eq!(report.batches_replayed, 1);
+        reference.apply_batch(&batch_for(3)).unwrap();
+        service.apply_batch(&batch_for(3)).unwrap();
+    }
+    // Life 3: if the epoch-4 image under-covered, this recovery silently
+    // resurrects the pre-epoch-3 weight; byte equality catches it.
+    let (final_service, report) = QueryService::open(&dir, config, store_config).unwrap();
+    assert_eq!(report.batches_replayed, 0, "the epoch-4 image must cover epochs 3 and 4");
+    assert_eq!(final_service.current_epoch(), 4);
+    use ksp_dg::store::StoreCodec;
+    let got = final_service.snapshot();
+    let want = reference.snapshot();
+    assert_eq!(got.graph().to_bytes(), want.graph().to_bytes());
+    assert_eq!(got.index().to_bytes(), want.index().to_bytes());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
