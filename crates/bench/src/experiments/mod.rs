@@ -48,6 +48,7 @@ pub fn catalogue() -> Vec<(&'static str, &'static str)> {
         ("loadbal", "Section 6.6: per-server CPU/memory load balance"),
         ("ablation", "Ablation: vfrags, xi, MFP-tree backend, partial-path cache"),
         ("serve", "Serving: closed-loop throughput/latency vs shards with live epochs"),
+        ("serve_tcp", "Serving: in-proc vs TCP transport, protocol wire-byte cost"),
         ("persistence", "Storage: cold-start-from-checkpoint vs full rebuild, store verify"),
     ]
 }
@@ -83,6 +84,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "loadbal" => scaling::load_balance(scale),
         "ablation" => ablation::run(scale),
         "serve" => serve::serve_throughput(scale),
+        "serve_tcp" => serve::serve_tcp(scale),
         "persistence" => persistence::persistence(scale),
         _ => return None,
     };

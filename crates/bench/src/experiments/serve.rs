@@ -1,6 +1,7 @@
-//! Serving-layer experiment: closed-loop throughput and tail latency of
+//! Serving-layer experiments: closed-loop throughput and tail latency of
 //! `ksp_serve::QueryService` as the shard count grows, with traffic epochs
-//! publishing concurrently.
+//! publishing concurrently — and the same closed loop run over the typed
+//! wire protocol, pricing the TCP transport against the in-process path.
 //!
 //! This is the serving-side companion of the batch scaling figures: instead of
 //! a batch makespan it reports what an online operator watches — queries per
@@ -9,10 +10,15 @@
 use crate::report::{f2, Table};
 use crate::Scale;
 use ksp_core::dtlp::DtlpConfig;
-use ksp_serve::{run_closed_loop, LoadDriverConfig, QueryService, ServiceConfig};
+use ksp_proto::{KspClient, TransportStats};
+use ksp_serve::{
+    run_closed_loop, run_closed_loop_over, InProcTransport, LoadDriverConfig, QueryService,
+    ServiceConfig, TcpServer, WireLoadReport,
+};
 use ksp_workload::{
     DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
 };
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Closed-loop serving throughput vs number of shards.
@@ -82,6 +88,107 @@ pub fn serve_throughput(scale: Scale) -> Vec<Table> {
     vec![table]
 }
 
+/// The same closed loop driven through `ksp-proto` transports: once over the
+/// zero-copy in-process transport, once over real loopback TCP connections.
+///
+/// Comparing the two rows prices the protocol itself: the throughput/latency
+/// delta is the serialisation + socket cost, and the wire columns report the
+/// physical bytes the TCP run moved (the in-process row moves none — that is
+/// its point).
+pub fn serve_tcp(scale: Scale) -> Vec<Table> {
+    let spec = DatasetPreset::NewYork.spec(scale.dataset_scale());
+    let net = spec.generate().expect("dataset generation");
+    let graph = net.graph;
+    let workload = QueryWorkload::generate(
+        &graph,
+        QueryWorkloadConfig::new(scale.default_num_queries(), 2),
+        0x7C9,
+    );
+    let shards = 4;
+    let clients = 8;
+    let requests_per_client = (workload.len() * 2 / clients).max(1);
+
+    let mut table = Table::new(
+        format!(
+            "serve_tcp: closed loop over in-proc vs TCP transport ({}, {} vertices, {} shards, {} clients)",
+            spec.preset.short_name(),
+            graph.num_vertices(),
+            shards,
+            clients
+        ),
+        &[
+            "transport",
+            "completed",
+            "rejected",
+            "qps",
+            "p50_ms",
+            "p99_ms",
+            "hit_rate",
+            "epochs",
+            "wire_kb",
+            "bytes_per_req",
+        ],
+    );
+
+    let run =
+        |transport: &str, service: &Arc<QueryService>| -> (WireLoadReport, Option<TcpServer>) {
+            let config = LoadDriverConfig::new(clients, requests_per_client)
+                .with_updates_every(Duration::from_millis(10));
+            let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 0xB7);
+            match transport {
+                "in-proc" => {
+                    let report = run_closed_loop_over(
+                        || KspClient::new(InProcTransport::new(service.clone())),
+                        &workload,
+                        Some(&mut traffic),
+                        config,
+                    );
+                    (report, None)
+                }
+                _ => {
+                    let server =
+                        TcpServer::bind(service.clone(), "127.0.0.1:0").expect("bind loopback");
+                    let addr = server.local_addr();
+                    let report = run_closed_loop_over(
+                        || KspClient::connect(addr).expect("connect").0,
+                        &workload,
+                        Some(&mut traffic),
+                        config,
+                    );
+                    (report, Some(server))
+                }
+            }
+        };
+
+    for transport in ["in-proc", "tcp"] {
+        // A fresh service per transport so cache warmth and epochs are
+        // comparable across rows.
+        let service = Arc::new(
+            QueryService::start(
+                graph.clone(),
+                ServiceConfig::new(shards, DtlpConfig::new(spec.default_z, 2)),
+            )
+            .expect("service start"),
+        );
+        let (report, server) = run(transport, &service);
+        let wire: TransportStats = report.wire;
+        table.row(vec![
+            transport.to_string(),
+            report.completed.to_string(),
+            report.rejected.to_string(),
+            f2(report.throughput_qps()),
+            f2(report.metrics.p50_micros as f64 / 1e3),
+            f2(report.metrics.p99_micros as f64 / 1e3),
+            f2(report.metrics.cache_hit_rate()),
+            report.epochs_published.to_string(),
+            f2((wire.bytes_sent + wire.bytes_received) as f64 / 1024.0),
+            f2(wire.bytes_per_request()),
+        ]);
+        drop(server);
+    }
+    vec![table]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +198,12 @@ mod tests {
         let tables = serve_throughput(Scale::Tiny);
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].num_rows(), 4);
+    }
+
+    #[test]
+    fn serve_tcp_reports_both_transports() {
+        let tables = serve_tcp(Scale::Tiny);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].num_rows(), 2);
     }
 }

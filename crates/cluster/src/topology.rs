@@ -24,6 +24,10 @@ use ksp_graph::{
     DynamicGraph, EdgeId, GraphError, PartitionConfig, Partitioner, SubgraphId, UpdateBatch,
     VertexId, Weight, WeightUpdate,
 };
+use ksp_proto::shard::{
+    apply_updates_frame_cost, endpoint_distances_reply_frame_cost, lower_bound_deltas_frame_cost,
+    partial_ksp_reply_frame_cost, partial_ksp_request_frame_cost, LowerBoundDelta, ShardTuple,
+};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
@@ -70,6 +74,31 @@ enum WorkerRequest {
     Shutdown,
 }
 
+impl WorkerRequest {
+    /// The bytes this tuple would occupy as a `ksp-proto` shard frame — the
+    /// physical cost of sending it over a socket instead of a channel. The
+    /// reply channels are transport artifacts and carry no wire bytes; reply
+    /// *payloads* are priced separately when they arrive. Variable-size
+    /// payloads are priced through the borrowed-slice helpers, so accounting
+    /// never clones them.
+    fn wire_cost(&self) -> usize {
+        match self {
+            WorkerRequest::ApplyUpdates { updates, .. } => apply_updates_frame_cost(updates),
+            WorkerRequest::PartialKsp { pairs, k, reply: _ } => {
+                partial_ksp_request_frame_cost(pairs, *k as u64)
+            }
+            WorkerRequest::EndpointDistances { vertex, reverse, reply: _ } => {
+                ShardTuple::EndpointDistancesRequest { vertex: *vertex, reverse: *reverse }
+                    .frame_cost()
+            }
+            WorkerRequest::WithinSubgraph { source, target, reply: _ } => {
+                ShardTuple::WithinSubgraphRequest { source: *source, target: *target }.frame_cost()
+            }
+            WorkerRequest::Shutdown => ShardTuple::Shutdown.frame_cost(),
+        }
+    }
+}
+
 /// One worker thread and its request channel.
 struct WorkerHandle {
     sender: Sender<WorkerRequest>,
@@ -90,6 +119,12 @@ pub struct StormTopology {
     directed: bool,
     /// Messages (tuples) sent from master to workers, for communication accounting.
     tuples_sent: std::cell::Cell<usize>,
+    /// Physical wire bytes the master→worker tuples would occupy as
+    /// `ksp-proto` shard frames (header + encoded payload).
+    wire_bytes_sent: std::cell::Cell<usize>,
+    /// Physical wire bytes of the worker→master reply payloads, priced the
+    /// same way.
+    wire_bytes_received: std::cell::Cell<usize>,
 }
 
 impl StormTopology {
@@ -174,6 +209,8 @@ impl StormTopology {
             boundary,
             directed: graph.is_directed(),
             tuples_sent: std::cell::Cell::new(0),
+            wire_bytes_sent: std::cell::Cell::new(0),
+            wire_bytes_received: std::cell::Cell::new(0),
         })
     }
 
@@ -192,6 +229,25 @@ impl StormTopology {
         self.tuples_sent.get()
     }
 
+    /// Physical wire bytes the master→worker tuples sent so far would occupy
+    /// as `ksp-proto` shard frames. Channels move them for free in process;
+    /// this is what the same traffic costs once workers live behind sockets,
+    /// which makes the paper's communication-cost accounting (Section 5.6.1)
+    /// physical instead of abstract.
+    pub fn wire_bytes_sent(&self) -> usize {
+        self.wire_bytes_sent.get()
+    }
+
+    /// Physical wire bytes of the worker→master replies received so far,
+    /// priced as `ksp-proto` shard frames.
+    pub fn wire_bytes_received(&self) -> usize {
+        self.wire_bytes_received.get()
+    }
+
+    fn price_reply(&self, frame_cost: usize) {
+        self.wire_bytes_received.set(self.wire_bytes_received.get() + frame_cost);
+    }
+
     /// Whether `v` is a boundary vertex.
     pub fn is_boundary(&self, v: VertexId) -> bool {
         self.boundary.binary_search(&v).is_ok()
@@ -199,6 +255,7 @@ impl StormTopology {
 
     fn send(&self, worker: usize, request: WorkerRequest) {
         self.tuples_sent.set(self.tuples_sent.get() + 1);
+        self.wire_bytes_sent.set(self.wire_bytes_sent.get() + request.wire_cost());
         self.workers[worker].sender.send(request).expect("worker thread terminated unexpectedly");
     }
 
@@ -226,6 +283,9 @@ impl StormTopology {
         drop(reply_tx);
         for _ in 0..outstanding {
             let changes = reply_rx.recv().expect("worker dropped its reply channel");
+            self.price_reply(lower_bound_deltas_frame_cost(changes.iter().map(
+                |&(subgraph, a, b, lower_bound)| LowerBoundDelta { subgraph, a, b, lower_bound },
+            )));
             for (sg, a, b, lbd) in changes {
                 self.skeleton.set_contribution(a, b, sg, lbd);
             }
@@ -358,7 +418,9 @@ impl StormTopology {
         drop(tx);
         let mut best: HashMap<VertexId, Weight> = HashMap::new();
         for _ in 0..self.workers.len() {
-            for (b, d) in rx.recv().expect("worker reply lost") {
+            let distances = rx.recv().expect("worker reply lost");
+            self.price_reply(endpoint_distances_reply_frame_cost(&distances));
+            for (b, d) in distances {
                 best.entry(b).and_modify(|w| *w = (*w).min(d)).or_insert(d);
             }
         }
@@ -373,7 +435,9 @@ impl StormTopology {
         drop(tx);
         let mut best: Option<Weight> = None;
         for _ in 0..self.workers.len() {
-            if let Some(d) = rx.recv().expect("worker reply lost") {
+            let distance = rx.recv().expect("worker reply lost");
+            self.price_reply(ShardTuple::WithinSubgraphReply { distance }.frame_cost());
+            if let Some(d) = distance {
                 best = Some(best.map_or(d, |b| b.min(d)));
             }
         }
@@ -392,7 +456,11 @@ impl StormTopology {
         drop(tx);
         let mut merged: HashMap<(VertexId, VertexId), Vec<Path>> = HashMap::new();
         for _ in 0..self.workers.len() {
-            for (pair, paths) in rx.recv().expect("worker reply lost") {
+            let reply = rx.recv().expect("worker reply lost");
+            self.price_reply(partial_ksp_reply_frame_cost(
+                reply.iter().map(|(&(source, target), paths)| (source, target, paths.as_slice())),
+            ));
+            for (pair, paths) in reply {
                 merged.entry(pair).or_default().extend(paths);
             }
         }
@@ -518,6 +586,28 @@ mod tests {
             }
         }
         assert!(topology.tuples_sent() > 0);
+        // Every tuple is priced in physical frame bytes: at least one frame
+        // header per tuple sent, and the partial-KSP replies cost bytes too.
+        assert!(topology.wire_bytes_sent() >= topology.tuples_sent() * ksp_proto::FRAME_HEADER_LEN);
+        assert!(topology.wire_bytes_received() > 0);
+    }
+
+    #[test]
+    fn wire_byte_accounting_scales_with_the_update_batch() {
+        let g = network(200, 21);
+        let dtlp = DtlpConfig::new(15, 2);
+        let mut topology = StormTopology::build(&g, TopologyConfig::new(2, dtlp)).unwrap();
+        let mut traffic = TrafficModel::new(&g, TrafficConfig::new(0.2, 0.4), 3);
+        let small = traffic.next_snapshot();
+        topology.apply_batch(&small).unwrap();
+        let after_small = topology.wire_bytes_sent();
+        let mut heavy = TrafficModel::new(&g, TrafficConfig::new(0.9, 0.4), 5);
+        let large = heavy.next_snapshot();
+        assert!(large.len() > small.len());
+        topology.apply_batch(&large).unwrap();
+        let after_large = topology.wire_bytes_sent();
+        // A bigger batch ships more update payload: the increment grows.
+        assert!(after_large - after_small > after_small);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! [`KspClient`]: the typed handle applications hold on a serving endpoint.
+//!
+//! A client wraps any [`Transport`] — the TCP transport for a remote shard,
+//! `ksp-serve`'s `InProcTransport` for the same-process path — behind the
+//! operations the protocol offers: single queries, pipelined multi-query
+//! batches, epoch publication, metrics and checkpointing. Server-side
+//! failures arrive as typed [`ErrorReply`] values inside
+//! [`ClientError::Server`]; a client never needs to parse error strings to
+//! tell backpressure from a bad request.
+
+use crate::message::{
+    ErrorReply, QueryAnswer, QueryKey, Request, Response, WireMetrics, PROTOCOL_VERSION,
+};
+use crate::transport::{TcpTransport, Transport, TransportError, TransportStats};
+use ksp_graph::{UpdateBatch, VertexId};
+use std::net::ToSocketAddrs;
+
+/// What the server reported during the `Ping` handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandshakeInfo {
+    /// The protocol version the server speaks (equals
+    /// [`PROTOCOL_VERSION`] — a mismatch fails the handshake instead).
+    pub protocol_version: u32,
+    /// The epoch the server was publishing at handshake time.
+    pub epoch: u64,
+    /// Number of shard workers behind the endpoint.
+    pub num_shards: u64,
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport could not complete the round trip.
+    Transport(TransportError),
+    /// The server answered with a typed error.
+    Server(ErrorReply),
+    /// The server answered with a response of the wrong kind (protocol
+    /// violation).
+    UnexpectedResponse {
+        /// The response kind that was expected.
+        expected: &'static str,
+    },
+}
+
+impl ClientError {
+    /// Whether this is the admission-control backpressure signal — the one
+    /// error a load generator treats as "slow down", not "fail".
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ClientError::Server(e) if e.is_overloaded())
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport failed: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedResponse { expected } => {
+                write!(f, "server sent the wrong response kind (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Transport(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            ClientError::UnexpectedResponse { .. } => None,
+        }
+    }
+}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+/// A blocking client for the KSP serving protocol, generic over its
+/// [`Transport`].
+pub struct KspClient<T: Transport> {
+    transport: T,
+}
+
+impl KspClient<TcpTransport> {
+    /// Connects over TCP and performs the `Ping` version handshake.
+    ///
+    /// A version disagreement always fails typed, through one of two shapes:
+    /// when the server rejects the *announced* version it answers
+    /// [`ErrorReply::UnsupportedVersion`] (surfaced as
+    /// [`ClientError::Server`]); when the peers' *frame-level* versions
+    /// differ, each side detects the foreign header locally as a
+    /// [`FrameError::VersionMismatch`](crate::FrameError::VersionMismatch)
+    /// before touching the payload — the frozen header layout is what makes
+    /// that possible without decoding bytes of an unknown format.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<(Self, HandshakeInfo), ClientError> {
+        let transport = TcpTransport::connect(addr)
+            .map_err(|e| ClientError::Transport(TransportError::Io(e)))?;
+        Self::handshake(transport)
+    }
+}
+
+impl<T: Transport> KspClient<T> {
+    /// Wraps a transport without a handshake. Useful for in-process
+    /// transports, where both ends are the same build by construction.
+    pub fn new(transport: T) -> Self {
+        KspClient { transport }
+    }
+
+    /// Wraps a transport and performs the `Ping` version handshake.
+    pub fn handshake(transport: T) -> Result<(Self, HandshakeInfo), ClientError> {
+        let mut client = KspClient { transport };
+        let info = client.ping()?;
+        Ok((client, info))
+    }
+
+    /// Sends a `Ping`, returning the server's version and current epoch.
+    pub fn ping(&mut self) -> Result<HandshakeInfo, ClientError> {
+        match self.call(Request::Ping { protocol_version: PROTOCOL_VERSION })? {
+            Response::Pong { protocol_version, epoch, num_shards } => {
+                Ok(HandshakeInfo { protocol_version, epoch, num_shards })
+            }
+            _ => Err(ClientError::UnexpectedResponse { expected: "Pong" }),
+        }
+    }
+
+    /// Answers one KSP query.
+    pub fn query(
+        &mut self,
+        source: VertexId,
+        target: VertexId,
+        k: usize,
+    ) -> Result<QueryAnswer, ClientError> {
+        match self.call(Request::Query(QueryKey::new(source, target, k)))? {
+            Response::Query(answer) => Ok(answer),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Query" }),
+        }
+    }
+
+    /// Answers a batch of queries with one request frame; each query
+    /// succeeds or fails independently, in request order.
+    pub fn query_batch(
+        &mut self,
+        keys: &[QueryKey],
+    ) -> Result<Vec<Result<QueryAnswer, ErrorReply>>, ClientError> {
+        match self.call(Request::QueryBatch(keys.to_vec()))? {
+            Response::QueryBatch(outcomes) => {
+                if outcomes.len() != keys.len() {
+                    return Err(ClientError::UnexpectedResponse {
+                        expected: "one outcome per batched query",
+                    });
+                }
+                Ok(outcomes.into_iter().map(|o| o.into_result()).collect())
+            }
+            _ => Err(ClientError::UnexpectedResponse { expected: "QueryBatch" }),
+        }
+    }
+
+    /// Issues many single-query requests *pipelined*: every request frame is
+    /// written before the first response is read, so the batch costs one
+    /// round trip of latency instead of one per query.
+    pub fn query_pipelined(
+        &mut self,
+        keys: &[QueryKey],
+    ) -> Result<Vec<Result<QueryAnswer, ErrorReply>>, ClientError> {
+        let requests = keys.iter().map(|&key| Request::Query(key)).collect();
+        let responses = self.transport.pipeline(requests)?;
+        responses
+            .into_iter()
+            .map(|response| match response {
+                Response::Query(answer) => Ok(Ok(answer)),
+                Response::Error(e) => Ok(Err(e)),
+                _ => Err(ClientError::UnexpectedResponse { expected: "Query" }),
+            })
+            .collect()
+    }
+
+    /// Applies one weight-update batch, returning the epoch it published.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<u64, ClientError> {
+        match self.call(Request::ApplyBatch(batch.clone()))? {
+            Response::ApplyBatch { epoch } => Ok(epoch),
+            _ => Err(ClientError::UnexpectedResponse { expected: "ApplyBatch" }),
+        }
+    }
+
+    /// Fetches a point-in-time metrics snapshot.
+    pub fn metrics(&mut self) -> Result<WireMetrics, ClientError> {
+        match self.call(Request::Metrics)? {
+            Response::Metrics(metrics) => Ok(metrics),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Metrics" }),
+        }
+    }
+
+    /// Synchronously checkpoints the current epoch. `Ok(None)` means the
+    /// service has no store attached.
+    pub fn checkpoint_now(&mut self) -> Result<Option<u64>, ClientError> {
+        match self.call(Request::CheckpointNow)? {
+            Response::CheckpointNow { epoch } => Ok(epoch),
+            _ => Err(ClientError::UnexpectedResponse { expected: "CheckpointNow" }),
+        }
+    }
+
+    /// Physical communication cost so far (zero for in-process transports).
+    pub fn stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Consumes the client, returning its transport.
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    fn call(&mut self, request: Request) -> Result<Response, ClientError> {
+        match self.transport.roundtrip(request)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            response => Ok(response),
+        }
+    }
+}

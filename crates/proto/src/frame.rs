@@ -1,0 +1,352 @@
+//! Length-prefixed, CRC-guarded, versioned framing.
+//!
+//! Every protocol message travels as exactly one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "KSPF"
+//! 4       4     protocol version (u32 LE)
+//! 8       1     frame kind (0 = request, 1 = response)
+//! 9       4     payload length in bytes (u32 LE)
+//! 13      4     CRC-32 (ISO-HDLC) of the payload
+//! 17      n     payload (StoreCodec-encoded message)
+//! ```
+//!
+//! This is the delta log's record discipline lifted onto a socket: the length
+//! bounds the read, the CRC rejects bit rot and torn writes, and the version
+//! field — validated *before* the payload is decoded — lets a server answer a
+//! foreign-version client with a typed error instead of misparsing its bytes.
+//! The header layout is frozen across protocol versions for exactly that
+//! reason.
+//!
+//! [`read_frame`] distinguishes the three ways a stream can end: a clean
+//! disconnect at a frame boundary (`Ok(None)`), a tear mid-frame
+//! ([`FrameError::Truncated`]), and corrupt bytes ([`FrameError::BadMagic`],
+//! [`FrameError::CrcMismatch`], …). None of them panic, and none of them can
+//! make the reader allocate more than [`MAX_FRAME_PAYLOAD`] bytes.
+
+use crate::message::PROTOCOL_VERSION;
+use ksp_store::{crc32, CodecError};
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"KSPF";
+
+/// Size of the fixed frame header in bytes.
+pub const FRAME_HEADER_LEN: usize = 17;
+
+/// Upper bound on a frame payload (64 MiB). A header declaring more is
+/// rejected before any allocation — a corrupt or hostile length cannot make
+/// the receiver reserve unbounded memory.
+pub const MAX_FRAME_PAYLOAD: u32 = 64 << 20;
+
+/// What a frame carries. On a connection, clients send request frames and
+/// servers send response frames; anything else is a protocol violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// The payload is a [`crate::Request`].
+    Request,
+    /// The payload is a [`crate::Response`].
+    Response,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Response => 1,
+        }
+    }
+
+    fn from_u8(tag: u8) -> Option<FrameKind> {
+        match tag {
+            0 => Some(FrameKind::Request),
+            1 => Some(FrameKind::Response),
+            _ => None,
+        }
+    }
+}
+
+/// Why a frame could not be read or its payload could not be decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The stream ended in the middle of a frame (torn header or payload).
+    Truncated {
+        /// What was being read when the stream ended.
+        while_reading: &'static str,
+    },
+    /// The first four bytes are not [`FRAME_MAGIC`]; the peer is not speaking
+    /// this protocol (or stream synchronisation was lost).
+    BadMagic {
+        /// The bytes actually read.
+        found: [u8; 4],
+    },
+    /// The frame was produced by a different protocol version.
+    VersionMismatch {
+        /// The version this build speaks.
+        ours: u32,
+        /// The version in the frame header.
+        theirs: u32,
+    },
+    /// The frame kind byte is not a known [`FrameKind`].
+    BadKind(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// The declared length.
+        declared: u32,
+    },
+    /// The payload bytes do not match the CRC in the header.
+    CrcMismatch {
+        /// CRC carried in the header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// The payload did not decode as a protocol message.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Truncated { while_reading } => {
+                write!(f, "stream ended mid-frame (reading {while_reading})")
+            }
+            FrameError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?} (expected {FRAME_MAGIC:02x?})")
+            }
+            FrameError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours v{ours}, frame carries v{theirs}")
+            }
+            FrameError::BadKind(tag) => write!(f, "unknown frame kind {tag}"),
+            FrameError::Oversized { declared } => {
+                write!(f, "payload of {declared} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap")
+            }
+            FrameError::CrcMismatch { expected, actual } => {
+                write!(f, "payload CRC mismatch: header says {expected:#010x}, got {actual:#010x}")
+            }
+            FrameError::Codec(e) => write!(f, "payload decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<CodecError> for FrameError {
+    fn from(e: CodecError) -> Self {
+        FrameError::Codec(e)
+    }
+}
+
+/// Total size on the wire of a frame carrying `payload_len` payload bytes.
+pub fn frame_len(payload_len: usize) -> usize {
+    FRAME_HEADER_LEN + payload_len
+}
+
+/// Writes one frame. Does not flush — callers batch frames and flush once
+/// (that is what makes pipelined multi-query a single syscall).
+///
+/// A payload larger than [`MAX_FRAME_PAYLOAD`] is refused with an
+/// [`io::ErrorKind::InvalidInput`] error *before any byte reaches the
+/// stream*: the frame sequence stays intact, so the caller can report the
+/// failure (e.g. as a typed [`crate::ErrorReply`]) on the same connection.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_PAYLOAD as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap",
+                payload.len()
+            ),
+        ));
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[0..4].copy_from_slice(&FRAME_MAGIC);
+    header[4..8].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    header[8] = kind.to_u8();
+    header[9..13].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[13..17].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+/// Reads from `r` until `buf` is full. Distinguishes a clean end-of-stream
+/// before the first byte (`Ok(false)`) from a tear partway through
+/// ([`FrameError::Truncated`]).
+fn read_exact_or_eof(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<bool, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(FrameError::Truncated { while_reading: what });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, returning its kind and payload.
+///
+/// Returns `Ok(None)` when the stream ends cleanly at a frame boundary (the
+/// peer closed the connection). Every other irregularity is a typed
+/// [`FrameError`]; the header is validated field by field (magic, version,
+/// kind, length cap) before the payload is read, and the payload CRC before
+/// the bytes are handed to the caller.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(FrameKind, Vec<u8>)>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_exact_or_eof(r, &mut header, "frame header")? {
+        return Ok(None);
+    }
+    if header[0..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { found: header[0..4].try_into().expect("4 bytes") });
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: version });
+    }
+    let kind = FrameKind::from_u8(header[8]).ok_or(FrameError::BadKind(header[8]))?;
+    let declared = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes"));
+    if declared > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized { declared });
+    }
+    let expected_crc = u32::from_le_bytes(header[13..17].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; declared as usize];
+    if !read_exact_or_eof(r, &mut payload, "frame payload")? && declared > 0 {
+        return Err(FrameError::Truncated { while_reading: "frame payload" });
+    }
+    let actual_crc = crc32(&payload);
+    if actual_crc != expected_crc {
+        return Err(FrameError::CrcMismatch { expected: expected_crc, actual: actual_crc });
+    }
+    Ok(Some((kind, payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(kind: FrameKind, payload: &[u8]) -> (FrameKind, Vec<u8>) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind, payload).unwrap();
+        assert_eq!(buf.len(), frame_len(payload.len()));
+        read_frame(&mut Cursor::new(buf)).unwrap().unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let (kind, payload) = roundtrip(FrameKind::Request, b"hello frame");
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(payload, b"hello frame");
+        let (kind, payload) = roundtrip(FrameKind::Response, &[]);
+        assert_eq!(kind, FrameKind::Response);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_none_torn_header_is_truncated() {
+        assert!(read_frame(&mut Cursor::new(Vec::new())).unwrap().is_none());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"abc").unwrap();
+        for cut in 1..FRAME_HEADER_LEN {
+            let result = read_frame(&mut Cursor::new(buf[..cut].to_vec()));
+            assert!(
+                matches!(result, Err(FrameError::Truncated { while_reading: "frame header" })),
+                "cut at {cut} must be a header tear"
+            );
+        }
+        // A cut inside the payload is a payload tear.
+        let result = read_frame(&mut Cursor::new(buf[..FRAME_HEADER_LEN + 1].to_vec()));
+        assert!(matches!(result, Err(FrameError::Truncated { while_reading: "frame payload" })));
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"abc").unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn foreign_version_is_detected_before_payload_decode() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"abc").unwrap();
+        buf[4..8].copy_from_slice(&0xDEAD_u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: 0xDEAD })
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_the_crc() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Response, b"payload bytes").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn oversized_and_bad_kind_headers_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"x").unwrap();
+        let mut oversized = buf.clone();
+        oversized[9..13].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(oversized)),
+            Err(FrameError::Oversized { .. })
+        ));
+        let mut bad_kind = buf;
+        bad_kind[8] = 9;
+        assert!(matches!(read_frame(&mut Cursor::new(bad_kind)), Err(FrameError::BadKind(9))));
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_before_any_byte_is_written() {
+        let payload = vec![0u8; MAX_FRAME_PAYLOAD as usize + 1];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, FrameKind::Response, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "a refused frame must not tear the stream");
+    }
+
+    #[test]
+    fn back_to_back_frames_read_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"first").unwrap();
+        write_frame(&mut buf, FrameKind::Response, b"second").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap().1, b"first");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap().1, b"second");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+}

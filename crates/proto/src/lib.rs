@@ -1,0 +1,67 @@
+//! `ksp-proto`: the typed wire protocol and transport abstraction for KSP-DG
+//! serving.
+//!
+//! The paper's deployment (Section 6.1) puts clients, the query coordinator
+//! and the subgraph workers on opposite sides of a network; this crate is the
+//! contract they speak. It has three layers, each usable on its own:
+//!
+//! * [`message`] — the **operator surface** as data: [`Request`] / [`Response`]
+//!   enums covering single queries, pipelined multi-query batches, epoch
+//!   publication (`ApplyBatch`), metrics scraping, checkpointing and the
+//!   `Ping` version handshake. Payloads are encoded with the same
+//!   [`StoreCodec`](ksp_store::StoreCodec) discipline as the on-disk
+//!   checkpoint format: little-endian, length-validated counts, floats as raw
+//!   IEEE-754 bits so a path distance survives the wire bit-for-bit.
+//! * [`frame`] — the **framing**: every message travels as one
+//!   length-prefixed, CRC-32-guarded, version-stamped frame. A corrupt,
+//!   truncated or foreign-version frame is detected *before* payload decoding
+//!   and surfaces as a typed [`FrameError`], never a panic or a garbage
+//!   message.
+//! * [`transport`] / [`client`] — the **pluggable transport**: the
+//!   [`Transport`] trait abstracts "send a request, get a response" with
+//!   physical byte accounting ([`TransportStats`]), [`TcpTransport`] is the
+//!   blocking-socket implementation (with true pipelining for batches), and
+//!   [`KspClient`] is the typed handle applications hold. The in-process
+//!   zero-copy implementation lives in `ksp-serve` (`InProcTransport`), next
+//!   to the service it short-circuits into.
+//!
+//! [`shard`] carries the frame types reserved for *shard-to-shard* traffic —
+//! the tuples the Storm-style topology in `ksp-cluster` exchanges between the
+//! entrance spout and the subgraph workers — so the communication-cost
+//! accounting of the distributed experiments can price tuples in physical
+//! wire bytes today, and a future multi-process topology can reuse the exact
+//! same encoding.
+//!
+//! # Wire format
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "KSPF"
+//! 4       4     protocol version (u32 LE, currently 1)
+//! 8       1     frame kind (0 = request, 1 = response)
+//! 9       4     payload length in bytes (u32 LE)
+//! 13      4     CRC-32 (ISO-HDLC) of the payload
+//! 17      n     payload: one StoreCodec-encoded Request or Response
+//! ```
+//!
+//! The header layout is frozen across protocol versions: a server can always
+//! parse the header of a newer client's frame, reject it with a typed
+//! [`ErrorReply::UnsupportedVersion`] response and close the connection
+//! cleanly instead of reading garbage.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod message;
+pub mod shard;
+pub mod transport;
+
+pub use client::{ClientError, HandshakeInfo, KspClient};
+pub use frame::{FrameError, FrameKind, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
+pub use message::{
+    ErrorReply, QueryAnswer, QueryKey, QueryOutcome, Request, Response, WireMetrics, WirePath,
+    WireQueryStats, WireQueueGauge, PROTOCOL_VERSION,
+};
+pub use shard::{LowerBoundDelta, PairPaths, ShardTuple};
+pub use transport::{TcpTransport, Transport, TransportError, TransportStats};

@@ -1,0 +1,797 @@
+//! The typed request/response surface of the serving protocol.
+//!
+//! Every message is encoded with the store's [`StoreCodec`] discipline —
+//! little-endian integers, `u64` length prefixes validated against the bytes
+//! actually available, floats as raw IEEE-754 bits — so answers survive the
+//! wire bit-identically to the in-process path, and a hostile payload fails
+//! with a typed [`CodecError`] before it can allocate unbounded memory.
+//!
+//! Enum variants carry a leading `u8` tag. Tags are part of the protocol
+//! version: removing or renumbering one requires bumping
+//! [`PROTOCOL_VERSION`]; appending new tags is backwards-compatible because an
+//! old server answers an unknown tag with a typed
+//! [`ErrorReply::Malformed`] instead of panicking.
+
+use ksp_algo::Path;
+use ksp_core::kspdg::QueryStats;
+use ksp_graph::{UpdateBatch, VertexId, Weight};
+use ksp_store::{CodecError, Reader, StoreCodec, Writer};
+
+/// The protocol version this build speaks. Carried in every frame header and
+/// echoed through the [`Request::Ping`] handshake.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+fn encode_str(s: &str, w: &mut Writer) {
+    w.put_u64(s.len() as u64);
+    w.put_bytes(s.as_bytes());
+}
+
+fn decode_string(r: &mut Reader<'_>) -> Result<String, CodecError> {
+    let len = r.get_count(1)?;
+    let bytes = r.get_bytes(len)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| CodecError::InvalidValue("string payload is not valid UTF-8"))
+}
+
+/// The identity of one KSP query: find the `k` shortest paths from `source`
+/// to `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryKey {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Target vertex.
+    pub target: VertexId,
+    /// Number of shortest paths requested (must be at least 1).
+    pub k: usize,
+}
+
+impl QueryKey {
+    /// Creates a query key.
+    pub fn new(source: VertexId, target: VertexId, k: usize) -> Self {
+        QueryKey { source, target, k }
+    }
+}
+
+impl StoreCodec for QueryKey {
+    fn encode(&self, w: &mut Writer) {
+        self.source.encode(w);
+        self.target.encode(w);
+        w.put_u64(self.k as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let source = VertexId::decode(r)?;
+        let target = VertexId::decode(r)?;
+        let k = r.get_u64()?;
+        let k = usize::try_from(k).map_err(|_| CodecError::InvalidValue("k does not fit usize"))?;
+        Ok(QueryKey { source, target, k })
+    }
+}
+
+/// A request frame's payload: everything an operator or client can ask of a
+/// serving shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version handshake and liveness probe. The server answers
+    /// [`Response::Pong`] when the versions agree and
+    /// [`ErrorReply::UnsupportedVersion`] otherwise.
+    Ping {
+        /// The protocol version the client speaks.
+        protocol_version: u32,
+    },
+    /// One KSP query.
+    Query(QueryKey),
+    /// A batch of queries answered in order with one frame round trip.
+    QueryBatch(Vec<QueryKey>),
+    /// Apply one weight-update batch and publish the next epoch.
+    ApplyBatch(UpdateBatch),
+    /// A point-in-time metrics snapshot.
+    Metrics,
+    /// Synchronously checkpoint the current epoch (persistent services only).
+    CheckpointNow,
+}
+
+const REQ_PING: u8 = 0;
+const REQ_QUERY: u8 = 1;
+const REQ_QUERY_BATCH: u8 = 2;
+const REQ_APPLY_BATCH: u8 = 3;
+const REQ_METRICS: u8 = 4;
+const REQ_CHECKPOINT_NOW: u8 = 5;
+
+impl StoreCodec for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::Ping { protocol_version } => {
+                w.put_u8(REQ_PING);
+                w.put_u32(*protocol_version);
+            }
+            Request::Query(key) => {
+                w.put_u8(REQ_QUERY);
+                key.encode(w);
+            }
+            Request::QueryBatch(keys) => {
+                w.put_u8(REQ_QUERY_BATCH);
+                keys.encode(w);
+            }
+            Request::ApplyBatch(batch) => {
+                w.put_u8(REQ_APPLY_BATCH);
+                batch.encode(w);
+            }
+            Request::Metrics => w.put_u8(REQ_METRICS),
+            Request::CheckpointNow => w.put_u8(REQ_CHECKPOINT_NOW),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            REQ_PING => Ok(Request::Ping { protocol_version: r.get_u32()? }),
+            REQ_QUERY => Ok(Request::Query(QueryKey::decode(r)?)),
+            REQ_QUERY_BATCH => Ok(Request::QueryBatch(Vec::decode(r)?)),
+            REQ_APPLY_BATCH => Ok(Request::ApplyBatch(UpdateBatch::decode(r)?)),
+            REQ_METRICS => Ok(Request::Metrics),
+            REQ_CHECKPOINT_NOW => Ok(Request::CheckpointNow),
+            tag => Err(CodecError::InvalidTag { what: "Request", tag }),
+        }
+    }
+}
+
+/// A path as it travels on the wire: the vertex sequence plus the distance as
+/// raw IEEE-754 bits. Conversion back into a [`Path`] validates simplicity, so
+/// a hostile peer cannot smuggle a looping path into the engine's invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePath {
+    /// The vertex sequence.
+    pub vertices: Vec<VertexId>,
+    /// The distance, exact for the epoch the answer was computed at.
+    pub distance: Weight,
+}
+
+impl WirePath {
+    /// Converts a computed path to its wire form.
+    pub fn from_path(path: &Path) -> Self {
+        WirePath { vertices: path.vertices().to_vec(), distance: path.distance() }
+    }
+
+    /// Validates and converts the wire form back into a [`Path`].
+    pub fn into_path(self) -> Result<Path, CodecError> {
+        if self.vertices.is_empty() {
+            return Err(CodecError::InvalidValue("a path must contain at least one vertex"));
+        }
+        if !Path::is_simple(&self.vertices) {
+            return Err(CodecError::InvalidValue("paths on the wire must be simple"));
+        }
+        Ok(Path::new(self.vertices, self.distance))
+    }
+}
+
+impl StoreCodec for WirePath {
+    fn encode(&self, w: &mut Writer) {
+        self.vertices.encode(w);
+        self.distance.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WirePath { vertices: Vec::decode(r)?, distance: Weight::decode(r)? })
+    }
+}
+
+/// Engine statistics of one answered query, flattened for the wire
+/// (mirrors [`QueryStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireQueryStats {
+    /// Filter/refine iterations executed.
+    pub iterations: u64,
+    /// Partial-KSP computations performed (cache misses).
+    pub partial_computations: u64,
+    /// Partial-KSP computations answered from the per-query cache.
+    pub partial_cache_hits: u64,
+    /// (subgraph, pair) combinations examined.
+    pub subgraphs_examined: u64,
+    /// Candidate complete paths generated.
+    pub candidates_generated: u64,
+    /// Communication cost in vertex units (Section 5.6.1 of the paper).
+    pub vertices_transferred: u64,
+}
+
+impl From<&QueryStats> for WireQueryStats {
+    fn from(s: &QueryStats) -> Self {
+        WireQueryStats {
+            iterations: s.iterations as u64,
+            partial_computations: s.partial_computations as u64,
+            partial_cache_hits: s.partial_cache_hits as u64,
+            subgraphs_examined: s.subgraphs_examined as u64,
+            candidates_generated: s.candidates_generated as u64,
+            vertices_transferred: s.vertices_transferred as u64,
+        }
+    }
+}
+
+impl StoreCodec for WireQueryStats {
+    fn encode(&self, w: &mut Writer) {
+        for v in [
+            self.iterations,
+            self.partial_computations,
+            self.partial_cache_hits,
+            self.subgraphs_examined,
+            self.candidates_generated,
+            self.vertices_transferred,
+        ] {
+            w.put_u64(v);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireQueryStats {
+            iterations: r.get_u64()?,
+            partial_computations: r.get_u64()?,
+            partial_cache_hits: r.get_u64()?,
+            subgraphs_examined: r.get_u64()?,
+            candidates_generated: r.get_u64()?,
+            vertices_transferred: r.get_u64()?,
+        })
+    }
+}
+
+/// The answer to one query, as carried on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// The k shortest paths, ascending by distance. Distances are bit-exact:
+    /// they decode to the same `f64` the serving shard computed.
+    pub paths: Vec<Path>,
+    /// The epoch the answer is exact for.
+    pub epoch: u64,
+    /// Whether the answer came from the shard's result cache.
+    pub cache_hit: bool,
+    /// Server-side end-to-end latency (submission to completion) in
+    /// microseconds.
+    pub latency_micros: u64,
+    /// Engine statistics (zeroed for cache hits).
+    pub stats: WireQueryStats,
+}
+
+impl StoreCodec for QueryAnswer {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.paths.len() as u64);
+        for path in &self.paths {
+            WirePath::from_path(path).encode(w);
+        }
+        w.put_u64(self.epoch);
+        self.cache_hit.encode(w);
+        w.put_u64(self.latency_micros);
+        self.stats.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let count = r.get_count(1)?;
+        let mut paths = Vec::with_capacity(count);
+        for _ in 0..count {
+            paths.push(WirePath::decode(r)?.into_path()?);
+        }
+        Ok(QueryAnswer {
+            paths,
+            epoch: r.get_u64()?,
+            cache_hit: bool::decode(r)?,
+            latency_micros: r.get_u64()?,
+            stats: WireQueryStats::decode(r)?,
+        })
+    }
+}
+
+/// Why the server could not satisfy a request — the wire form of the serving
+/// layer's error types plus the protocol-level failures only a remote peer
+/// can observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorReply {
+    /// The target shard's queue is at its configured depth; retry later.
+    Overloaded {
+        /// The queue depth that was reached.
+        depth: u64,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+    /// A query endpoint does not exist in the current graph.
+    InvalidQuery(String),
+    /// `k` must be at least 1.
+    InvalidK,
+    /// The update batch was rejected by the data layer; nothing was published.
+    InvalidBatch(String),
+    /// The storage layer could not make the request durable.
+    Storage(String),
+    /// The request is not supported by this server (e.g. `CheckpointNow` on a
+    /// service without a store would be a no-op, or a future request kind).
+    Unsupported(String),
+    /// The peer speaks a different protocol version; the connection closes
+    /// after this reply.
+    UnsupportedVersion {
+        /// The version the server speaks.
+        server: u32,
+        /// The version the client announced.
+        client: u32,
+    },
+    /// The peer sent bytes that do not parse as a frame or message; the
+    /// connection closes after this reply (stream synchronisation is lost).
+    Malformed(String),
+}
+
+impl ErrorReply {
+    /// Whether this error is the admission-control backpressure signal.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ErrorReply::Overloaded { .. })
+    }
+}
+
+impl std::fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorReply::Overloaded { depth } => {
+                write!(f, "shard queue full (depth {depth}); request rejected")
+            }
+            ErrorReply::ShuttingDown => write!(f, "service is shutting down"),
+            ErrorReply::InvalidQuery(detail) => write!(f, "invalid query: {detail}"),
+            ErrorReply::InvalidK => write!(f, "k must be at least 1"),
+            ErrorReply::InvalidBatch(detail) => write!(f, "invalid update batch: {detail}"),
+            ErrorReply::Storage(detail) => write!(f, "storage error: {detail}"),
+            ErrorReply::Unsupported(detail) => write!(f, "unsupported request: {detail}"),
+            ErrorReply::UnsupportedVersion { server, client } => {
+                write!(f, "protocol version mismatch: server speaks v{server}, client v{client}")
+            }
+            ErrorReply::Malformed(detail) => write!(f, "malformed frame: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ErrorReply {}
+
+const ERR_OVERLOADED: u8 = 0;
+const ERR_SHUTTING_DOWN: u8 = 1;
+const ERR_INVALID_QUERY: u8 = 2;
+const ERR_INVALID_K: u8 = 3;
+const ERR_INVALID_BATCH: u8 = 4;
+const ERR_STORAGE: u8 = 5;
+const ERR_UNSUPPORTED: u8 = 6;
+const ERR_UNSUPPORTED_VERSION: u8 = 7;
+const ERR_MALFORMED: u8 = 8;
+
+impl StoreCodec for ErrorReply {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ErrorReply::Overloaded { depth } => {
+                w.put_u8(ERR_OVERLOADED);
+                w.put_u64(*depth);
+            }
+            ErrorReply::ShuttingDown => w.put_u8(ERR_SHUTTING_DOWN),
+            ErrorReply::InvalidQuery(detail) => {
+                w.put_u8(ERR_INVALID_QUERY);
+                encode_str(detail, w);
+            }
+            ErrorReply::InvalidK => w.put_u8(ERR_INVALID_K),
+            ErrorReply::InvalidBatch(detail) => {
+                w.put_u8(ERR_INVALID_BATCH);
+                encode_str(detail, w);
+            }
+            ErrorReply::Storage(detail) => {
+                w.put_u8(ERR_STORAGE);
+                encode_str(detail, w);
+            }
+            ErrorReply::Unsupported(detail) => {
+                w.put_u8(ERR_UNSUPPORTED);
+                encode_str(detail, w);
+            }
+            ErrorReply::UnsupportedVersion { server, client } => {
+                w.put_u8(ERR_UNSUPPORTED_VERSION);
+                w.put_u32(*server);
+                w.put_u32(*client);
+            }
+            ErrorReply::Malformed(detail) => {
+                w.put_u8(ERR_MALFORMED);
+                encode_str(detail, w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            ERR_OVERLOADED => Ok(ErrorReply::Overloaded { depth: r.get_u64()? }),
+            ERR_SHUTTING_DOWN => Ok(ErrorReply::ShuttingDown),
+            ERR_INVALID_QUERY => Ok(ErrorReply::InvalidQuery(decode_string(r)?)),
+            ERR_INVALID_K => Ok(ErrorReply::InvalidK),
+            ERR_INVALID_BATCH => Ok(ErrorReply::InvalidBatch(decode_string(r)?)),
+            ERR_STORAGE => Ok(ErrorReply::Storage(decode_string(r)?)),
+            ERR_UNSUPPORTED => Ok(ErrorReply::Unsupported(decode_string(r)?)),
+            ERR_UNSUPPORTED_VERSION => {
+                Ok(ErrorReply::UnsupportedVersion { server: r.get_u32()?, client: r.get_u32()? })
+            }
+            ERR_MALFORMED => Ok(ErrorReply::Malformed(decode_string(r)?)),
+            tag => Err(CodecError::InvalidTag { what: "ErrorReply", tag }),
+        }
+    }
+}
+
+/// One element of a [`Response::QueryBatch`]: each query in the batch
+/// succeeds or fails independently.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// The query was answered.
+    Answer(QueryAnswer),
+    /// The query failed (e.g. an invalid endpoint); the rest of the batch is
+    /// unaffected.
+    Error(ErrorReply),
+}
+
+impl QueryOutcome {
+    /// Converts into a standard `Result`.
+    pub fn into_result(self) -> Result<QueryAnswer, ErrorReply> {
+        match self {
+            QueryOutcome::Answer(a) => Ok(a),
+            QueryOutcome::Error(e) => Err(e),
+        }
+    }
+}
+
+impl StoreCodec for QueryOutcome {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            QueryOutcome::Answer(a) => {
+                w.put_u8(0);
+                a.encode(w);
+            }
+            QueryOutcome::Error(e) => {
+                w.put_u8(1);
+                e.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(QueryOutcome::Answer(QueryAnswer::decode(r)?)),
+            1 => Ok(QueryOutcome::Error(ErrorReply::decode(r)?)),
+            tag => Err(CodecError::InvalidTag { what: "QueryOutcome", tag }),
+        }
+    }
+}
+
+/// Point-in-time backlog gauges of one shard queue, as carried on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireQueueGauge {
+    /// Requests admitted and waiting right now.
+    pub depth: u64,
+    /// Deepest the queue has ever been.
+    pub high_water: u64,
+    /// The configured depth at which submissions are rejected.
+    pub max_depth: u64,
+}
+
+impl StoreCodec for WireQueueGauge {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.depth);
+        w.put_u64(self.high_water);
+        w.put_u64(self.max_depth);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireQueueGauge {
+            depth: r.get_u64()?,
+            high_water: r.get_u64()?,
+            max_depth: r.get_u64()?,
+        })
+    }
+}
+
+/// A service metrics snapshot, flattened for the wire. Latency quantiles are
+/// carried in microseconds.
+///
+/// This is the full overload-observability surface: `rejected` counts every
+/// request turned away by admission control, and `queue_gauges` carries each
+/// shard's current depth and high-water mark so a remote operator sees
+/// backpressure building before requests start failing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests served from the result cache.
+    pub cache_hits: u64,
+    /// Requests that ran the engine.
+    pub cache_misses: u64,
+    /// Epochs published since the service started.
+    pub epochs_published: u64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_micros: u64,
+    /// 95th-percentile end-to-end latency, microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_micros: u64,
+    /// Mean end-to-end latency, microseconds.
+    pub mean_micros: u64,
+    /// Worst observed end-to-end latency, microseconds.
+    pub max_micros: u64,
+    /// Per-shard queue backlog gauges.
+    pub queue_gauges: Vec<WireQueueGauge>,
+}
+
+impl WireMetrics {
+    /// Fraction of completed requests answered from the cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let denom = self.cache_hits + self.cache_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / denom as f64
+        }
+    }
+}
+
+impl StoreCodec for WireMetrics {
+    fn encode(&self, w: &mut Writer) {
+        for v in [
+            self.completed,
+            self.rejected,
+            self.cache_hits,
+            self.cache_misses,
+            self.epochs_published,
+            self.p50_micros,
+            self.p95_micros,
+            self.p99_micros,
+            self.mean_micros,
+            self.max_micros,
+        ] {
+            w.put_u64(v);
+        }
+        self.queue_gauges.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireMetrics {
+            completed: r.get_u64()?,
+            rejected: r.get_u64()?,
+            cache_hits: r.get_u64()?,
+            cache_misses: r.get_u64()?,
+            epochs_published: r.get_u64()?,
+            p50_micros: r.get_u64()?,
+            p95_micros: r.get_u64()?,
+            p99_micros: r.get_u64()?,
+            mean_micros: r.get_u64()?,
+            max_micros: r.get_u64()?,
+            queue_gauges: Vec::decode(r)?,
+        })
+    }
+}
+
+/// A response frame's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful handshake.
+    Pong {
+        /// The protocol version the server speaks.
+        protocol_version: u32,
+        /// The epoch the server is currently publishing.
+        epoch: u64,
+        /// Number of shard workers behind this endpoint.
+        num_shards: u64,
+    },
+    /// The answer to a [`Request::Query`].
+    Query(QueryAnswer),
+    /// The per-query outcomes of a [`Request::QueryBatch`], in request order.
+    QueryBatch(Vec<QueryOutcome>),
+    /// The epoch a [`Request::ApplyBatch`] published.
+    ApplyBatch {
+        /// The epoch id the batch produced.
+        epoch: u64,
+    },
+    /// The metrics snapshot answering a [`Request::Metrics`].
+    Metrics(WireMetrics),
+    /// Outcome of a [`Request::CheckpointNow`]: `Some(epoch)` after a
+    /// successful checkpoint, `None` for an in-memory service.
+    CheckpointNow {
+        /// The checkpointed epoch, when the service persists one.
+        epoch: Option<u64>,
+    },
+    /// The request failed; see the carried [`ErrorReply`].
+    Error(ErrorReply),
+}
+
+const RESP_PONG: u8 = 0;
+const RESP_QUERY: u8 = 1;
+const RESP_QUERY_BATCH: u8 = 2;
+const RESP_APPLY_BATCH: u8 = 3;
+const RESP_METRICS: u8 = 4;
+const RESP_CHECKPOINT_NOW: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+impl StoreCodec for Response {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Response::Pong { protocol_version, epoch, num_shards } => {
+                w.put_u8(RESP_PONG);
+                w.put_u32(*protocol_version);
+                w.put_u64(*epoch);
+                w.put_u64(*num_shards);
+            }
+            Response::Query(answer) => {
+                w.put_u8(RESP_QUERY);
+                answer.encode(w);
+            }
+            Response::QueryBatch(outcomes) => {
+                w.put_u8(RESP_QUERY_BATCH);
+                outcomes.encode(w);
+            }
+            Response::ApplyBatch { epoch } => {
+                w.put_u8(RESP_APPLY_BATCH);
+                w.put_u64(*epoch);
+            }
+            Response::Metrics(metrics) => {
+                w.put_u8(RESP_METRICS);
+                metrics.encode(w);
+            }
+            Response::CheckpointNow { epoch } => {
+                w.put_u8(RESP_CHECKPOINT_NOW);
+                match epoch {
+                    Some(e) => {
+                        w.put_u8(1);
+                        w.put_u64(*e);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            Response::Error(e) => {
+                w.put_u8(RESP_ERROR);
+                e.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            RESP_PONG => Ok(Response::Pong {
+                protocol_version: r.get_u32()?,
+                epoch: r.get_u64()?,
+                num_shards: r.get_u64()?,
+            }),
+            RESP_QUERY => Ok(Response::Query(QueryAnswer::decode(r)?)),
+            RESP_QUERY_BATCH => Ok(Response::QueryBatch(Vec::decode(r)?)),
+            RESP_APPLY_BATCH => Ok(Response::ApplyBatch { epoch: r.get_u64()? }),
+            RESP_METRICS => Ok(Response::Metrics(WireMetrics::decode(r)?)),
+            RESP_CHECKPOINT_NOW => {
+                let epoch = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_u64()?),
+                    tag => return Err(CodecError::InvalidTag { what: "Option<u64>", tag }),
+                };
+                Ok(Response::CheckpointNow { epoch })
+            }
+            RESP_ERROR => Ok(Response::Error(ErrorReply::decode(r)?)),
+            tag => Err(CodecError::InvalidTag { what: "Response", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_graph::{EdgeId, WeightUpdate};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Ping { protocol_version: PROTOCOL_VERSION },
+            Request::Query(QueryKey::new(v(3), v(9), 4)),
+            Request::QueryBatch(vec![QueryKey::new(v(0), v(1), 1), QueryKey::new(v(5), v(2), 8)]),
+            Request::ApplyBatch(UpdateBatch::new(vec![
+                WeightUpdate::new(EdgeId(7), Weight::new(2.5)),
+                WeightUpdate::new(EdgeId(0), Weight::new(0.125)),
+            ])),
+            Request::Metrics,
+            Request::CheckpointNow,
+        ];
+        for request in requests {
+            let decoded = Request::from_bytes(&request.to_bytes()).unwrap();
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let path = Path::new(vec![v(1), v(4), v(2)], Weight::new(0.1 + 0.2));
+        let answer = QueryAnswer {
+            paths: vec![path.clone()],
+            epoch: 42,
+            cache_hit: true,
+            latency_micros: 1234,
+            stats: WireQueryStats { iterations: 3, ..Default::default() },
+        };
+        let responses = vec![
+            Response::Pong { protocol_version: 1, epoch: 7, num_shards: 4 },
+            Response::Query(answer.clone()),
+            Response::QueryBatch(vec![
+                QueryOutcome::Answer(answer),
+                QueryOutcome::Error(ErrorReply::InvalidK),
+            ]),
+            Response::ApplyBatch { epoch: 9 },
+            Response::Metrics(WireMetrics {
+                completed: 10,
+                rejected: 3,
+                queue_gauges: vec![WireQueueGauge { depth: 1, high_water: 5, max_depth: 64 }],
+                ..Default::default()
+            }),
+            Response::CheckpointNow { epoch: Some(12) },
+            Response::CheckpointNow { epoch: None },
+            Response::Error(ErrorReply::UnsupportedVersion { server: 1, client: 99 }),
+        ];
+        for response in responses {
+            let decoded = Response::from_bytes(&response.to_bytes()).unwrap();
+            assert_eq!(decoded, response);
+        }
+        // Distances survive bit-for-bit, not merely approximately.
+        let encoded = Response::Query(QueryAnswer {
+            paths: vec![path.clone()],
+            epoch: 0,
+            cache_hit: false,
+            latency_micros: 0,
+            stats: WireQueryStats::default(),
+        })
+        .to_bytes();
+        let Response::Query(decoded) = Response::from_bytes(&encoded).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(
+            decoded.paths[0].distance().value().to_bits(),
+            path.distance().value().to_bits()
+        );
+    }
+
+    #[test]
+    fn error_replies_round_trip() {
+        let errors = vec![
+            ErrorReply::Overloaded { depth: 64 },
+            ErrorReply::ShuttingDown,
+            ErrorReply::InvalidQuery("vertex v99 out of range".to_string()),
+            ErrorReply::InvalidK,
+            ErrorReply::InvalidBatch("edge e7 out of range".to_string()),
+            ErrorReply::Storage("disk full".to_string()),
+            ErrorReply::Unsupported("no store attached".to_string()),
+            ErrorReply::UnsupportedVersion { server: 1, client: 2 },
+            ErrorReply::Malformed("bad magic".to_string()),
+        ];
+        for e in errors {
+            assert_eq!(ErrorReply::from_bytes(&e.to_bytes()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn non_simple_wire_paths_are_rejected() {
+        let looping = WirePath { vertices: vec![v(1), v(2), v(1)], distance: Weight::new(3.0) };
+        assert!(looping.into_path().is_err());
+        let empty = WirePath { vertices: vec![], distance: Weight::ZERO };
+        assert!(empty.into_path().is_err());
+    }
+
+    #[test]
+    fn unknown_tags_fail_typed() {
+        assert!(matches!(
+            Request::from_bytes(&[200]),
+            Err(CodecError::InvalidTag { what: "Request", tag: 200 })
+        ));
+        assert!(matches!(
+            Response::from_bytes(&[200]),
+            Err(CodecError::InvalidTag { what: "Response", tag: 200 })
+        ));
+    }
+
+    #[test]
+    fn truncated_messages_fail_typed() {
+        let bytes = Request::Query(QueryKey::new(v(1), v(2), 3)).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Request::from_bytes(&bytes[..cut]).is_err(),
+                "a {cut}-byte prefix must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_batch_count_fails_before_allocation() {
+        // A QueryBatch claiming u64::MAX entries with a tiny payload must be
+        // rejected by the count validation, not by the allocator.
+        let mut w = Writer::new();
+        w.put_u8(2); // REQ_QUERY_BATCH
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(matches!(Request::from_bytes(&bytes), Err(CodecError::LengthOutOfBounds { .. })));
+    }
+}

@@ -1,0 +1,229 @@
+//! The pluggable transport underneath [`crate::KspClient`].
+//!
+//! A [`Transport`] moves one [`Request`] to a serving endpoint and brings one
+//! [`Response`] back. Two implementations exist:
+//!
+//! * [`TcpTransport`] (here) — blocking sockets with the [`crate::frame`]
+//!   codec; [`Transport::pipeline`] writes every request frame before reading
+//!   the first response, so a multi-query batch costs one flush instead of a
+//!   round trip per query.
+//! * `InProcTransport` (in `ksp-serve`, next to the service it wraps) — the
+//!   zero-copy in-process path: requests are dispatched directly, nothing is
+//!   serialised, and [`TransportStats`] stays at zero bytes — which is
+//!   exactly the baseline the communication-cost accounting compares against.
+
+use crate::frame::{read_frame, write_frame, FrameError, FrameKind};
+use crate::message::{Request, Response};
+use ksp_store::StoreCodec;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Physical communication cost accounting of one transport.
+///
+/// For a TCP transport these are real wire bytes (headers + payloads); for
+/// the in-process transport they stay zero — comparing the two prices the
+/// protocol itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Requests sent.
+    pub requests: u64,
+    /// Responses received.
+    pub responses: u64,
+    /// Bytes written to the wire (zero for in-process transports).
+    pub bytes_sent: u64,
+    /// Bytes read from the wire (zero for in-process transports).
+    pub bytes_received: u64,
+}
+
+impl TransportStats {
+    /// Adds another transport's counters to this one (e.g. folding per-client
+    /// stats into a run total).
+    pub fn absorb(&mut self, other: &TransportStats) {
+        self.requests += other.requests;
+        self.responses += other.responses;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+
+    /// Mean wire bytes per request (sent + received), or zero for an
+    /// in-process transport.
+    pub fn bytes_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.bytes_sent + self.bytes_received) as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Why a transport could not complete a round trip.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Framing or payload decoding failed (corrupt, truncated or
+    /// foreign-version bytes).
+    Frame(FrameError),
+    /// The underlying connection failed.
+    Io(io::Error),
+    /// The peer closed the connection before answering.
+    Disconnected,
+    /// The peer sent a frame that is not a response (protocol violation).
+    UnexpectedFrame,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Frame(e) => write!(f, "frame error: {e}"),
+            TransportError::Io(e) => write!(f, "connection error: {e}"),
+            TransportError::Disconnected => write!(f, "server closed the connection"),
+            TransportError::UnexpectedFrame => write!(f, "peer sent a non-response frame"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Frame(e) => Some(e),
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => TransportError::Io(io),
+            other => TransportError::Frame(other),
+        }
+    }
+}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// Moves requests to a serving endpoint and responses back.
+///
+/// Implementations are blocking and owned by one client at a time (`&mut
+/// self`); concurrency comes from opening one transport per client thread,
+/// which is also how connections behave.
+pub trait Transport: Send {
+    /// Sends one request and blocks for its response.
+    fn roundtrip(&mut self, request: Request) -> Result<Response, TransportError>;
+
+    /// Sends every request before reading any response, then returns the
+    /// responses in request order. The default implementation degrades to
+    /// sequential round trips; socket transports override it with true
+    /// pipelining.
+    fn pipeline(&mut self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
+        requests.into_iter().map(|r| self.roundtrip(r)).collect()
+    }
+
+    /// Physical communication cost so far.
+    fn stats(&self) -> TransportStats;
+}
+
+/// The blocking TCP transport: one connection, the [`crate::frame`] codec,
+/// buffered reads and writes, pipelined batches.
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    stats: TransportStats,
+}
+
+impl TcpTransport {
+    /// Connects to a serving endpoint.
+    ///
+    /// This performs no handshake; [`crate::KspClient::connect`] layers the
+    /// `Ping` version negotiation on top.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            stats: TransportStats::default(),
+        })
+    }
+
+    /// Bounds how long a blocked read waits for the server, `None` for
+    /// forever. Useful in tests that must never hang on a dead peer.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), TransportError> {
+        let payload = request.to_bytes();
+        write_frame(&mut self.writer, FrameKind::Request, &payload)?;
+        self.stats.requests += 1;
+        self.stats.bytes_sent += crate::frame::frame_len(payload.len()) as u64;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, TransportError> {
+        match read_frame(&mut self.reader)? {
+            None => Err(TransportError::Disconnected),
+            Some((FrameKind::Response, payload)) => {
+                self.stats.responses += 1;
+                self.stats.bytes_received += crate::frame::frame_len(payload.len()) as u64;
+                Ok(Response::from_bytes(&payload).map_err(FrameError::Codec)?)
+            }
+            Some((FrameKind::Request, _)) => Err(TransportError::UnexpectedFrame),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn roundtrip(&mut self, request: Request) -> Result<Response, TransportError> {
+        self.send(&request)?;
+        self.writer.flush()?;
+        self.recv()
+    }
+
+    fn pipeline(&mut self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
+        let n = requests.len();
+        for request in &requests {
+            self.send(request)?;
+        }
+        self.writer.flush()?;
+        let mut responses = Vec::with_capacity(n);
+        for _ in 0..n {
+            responses.push(self.recv()?);
+        }
+        Ok(responses)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_fold_and_average() {
+        let mut total = TransportStats::default();
+        total.absorb(&TransportStats {
+            requests: 2,
+            responses: 2,
+            bytes_sent: 100,
+            bytes_received: 300,
+        });
+        total.absorb(&TransportStats {
+            requests: 2,
+            responses: 2,
+            bytes_sent: 60,
+            bytes_received: 40,
+        });
+        assert_eq!(total.requests, 4);
+        assert_eq!(total.bytes_sent, 160);
+        assert!((total.bytes_per_request() - 125.0).abs() < 1e-9);
+        assert_eq!(TransportStats::default().bytes_per_request(), 0.0);
+    }
+}

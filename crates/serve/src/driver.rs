@@ -1,5 +1,5 @@
-//! Closed-loop load driver: replays a [`QueryWorkload`] against a
-//! [`QueryService`] from many client threads while a [`TrafficModel`] keeps
+//! Closed-loop load driver: replays a [`QueryWorkload`] against a serving
+//! endpoint from many client threads while a [`TrafficModel`] keeps
 //! publishing weight-update epochs.
 //!
 //! Each client owns one in-flight request at a time (closed loop), cycling
@@ -8,9 +8,20 @@
 //! a fixed cadence, which is exactly the paper's serving regime: queries and
 //! update batches interleave and every answer must be exact for some published
 //! epoch.
+//!
+//! The driver comes in two forms:
+//!
+//! * [`run_closed_loop`] — the original in-process path, calling
+//!   [`QueryService::query`] directly.
+//! * [`run_closed_loop_over`] — generic over any [`Transport`] via
+//!   [`KspClient`]: the *same* closed loop drives the in-process transport
+//!   and a TCP connection interchangeably, and the returned
+//!   [`WireLoadReport`] carries the transport's physical byte counters — so
+//!   an experiment can price the protocol by running both and diffing.
 
 use crate::metrics::MetricsReport;
 use crate::service::{QueryService, ServiceError};
+use ksp_proto::{KspClient, Transport, TransportStats, WireMetrics};
 use ksp_workload::{QueryWorkload, TrafficModel};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -178,9 +189,175 @@ pub fn run_closed_loop(
     }
 }
 
+/// Outcome of a closed-loop run over a [`Transport`].
+#[derive(Debug, Clone)]
+pub struct WireLoadReport {
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests rejected by admission control.
+    pub rejected: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Epochs published during the run (observed through the wire metrics).
+    pub epochs_published: u64,
+    /// Physical communication cost summed over every client (and the
+    /// updater), as counted by the transport. Zero for in-process transports.
+    pub wire: TransportStats,
+    /// Server metrics snapshot fetched over the transport at the end of the
+    /// run.
+    pub metrics: WireMetrics,
+}
+
+impl WireLoadReport {
+    /// Completed requests per second of wall-clock time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Runs the closed loop of [`run_closed_loop`] through [`KspClient`] handles
+/// instead of direct service calls, making the driver generic over the
+/// transport: hand it a factory producing in-process clients and it measures
+/// the zero-copy path; hand it one producing TCP connections and the same
+/// loop measures the wire — including its physical byte cost.
+///
+/// `make_client` is called `config.num_clients` times for the query clients,
+/// once more for the updater when `config.update_every` is set, and once for
+/// the control client that scrapes metrics. Each client runs on its own
+/// thread with its own connection, which is how real clients behave.
+///
+/// Requests failing with the admission-control backpressure signal are
+/// counted as rejected; any other error fails the run (panics), matching the
+/// in-process driver's contract.
+pub fn run_closed_loop_over<T, F>(
+    mut make_client: F,
+    workload: &QueryWorkload,
+    traffic: Option<&mut TrafficModel>,
+    config: LoadDriverConfig,
+) -> WireLoadReport
+where
+    T: Transport,
+    F: FnMut() -> KspClient<T>,
+{
+    assert!(config.num_clients >= 1, "need at least one client");
+    assert!(!workload.is_empty(), "workload must not be empty");
+    if config.update_every.is_some() {
+        assert!(traffic.is_some(), "update cadence set but no traffic model provided");
+    }
+
+    let mut control = make_client();
+    let epochs_before = control.metrics().expect("metrics before the run").epochs_published;
+    let mut clients: Vec<KspClient<T>> = (0..config.num_clients).map(|_| make_client()).collect();
+    let mut updater_client = config.update_every.map(|_| make_client());
+
+    let completed = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    // As in `run_closed_loop`: count unexpected failures instead of panicking
+    // inside the scope, so the watcher's termination condition always fires.
+    let failed = AtomicUsize::new(0);
+    let first_failure: Mutex<Option<String>> = Mutex::new(None);
+    let done = AtomicBool::new(false);
+    let started = Instant::now();
+
+    let mut wire = TransportStats::default();
+    std::thread::scope(|scope| {
+        let mut client_threads = Vec::with_capacity(config.num_clients);
+        for (client_id, mut client) in clients.drain(..).enumerate() {
+            let completed = &completed;
+            let rejected = &rejected;
+            let failed = &failed;
+            let first_failure = &first_failure;
+            client_threads.push(scope.spawn(move || {
+                let stride = (workload.len() / config.num_clients.max(1)).max(1);
+                let replay = workload.cycle_from(client_id * stride);
+                for q in replay.take(config.requests_per_client) {
+                    match client.query(q.source, q.target, q.k) {
+                        Ok(_) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if e.is_overloaded() => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            std::thread::yield_now();
+                        }
+                        Err(other) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            first_failure.lock().get_or_insert_with(|| other.to_string());
+                        }
+                    }
+                }
+                client.stats()
+            }));
+        }
+
+        let updater_thread = match (config.update_every, traffic, updater_client.take()) {
+            (Some(cadence), Some(traffic), Some(mut client)) => {
+                let done = &done;
+                Some(scope.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        std::thread::sleep(cadence);
+                        if done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let batch = traffic.next_snapshot();
+                        client.apply_batch(&batch).expect("epoch publish over transport failed");
+                    }
+                    client.stats()
+                }))
+            }
+            _ => None,
+        };
+
+        let total = config.num_clients * config.requests_per_client;
+        let completed = &completed;
+        let rejected = &rejected;
+        let failed = &failed;
+        let done = &done;
+        scope.spawn(move || {
+            while completed.load(Ordering::Relaxed)
+                + rejected.load(Ordering::Relaxed)
+                + failed.load(Ordering::Relaxed)
+                < total
+            {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+
+        for thread in client_threads {
+            wire.absorb(&thread.join().expect("client thread panicked"));
+        }
+        if let Some(thread) = updater_thread {
+            wire.absorb(&thread.join().expect("updater thread panicked"));
+        }
+    });
+
+    let failures = failed.into_inner();
+    if failures > 0 {
+        let detail = first_failure.into_inner().unwrap_or_default();
+        panic!("{failures} request(s) failed with unexpected errors; first: {detail}");
+    }
+
+    let elapsed = started.elapsed();
+    let metrics = control.metrics().expect("metrics after the run");
+    wire.absorb(&control.stats());
+    WireLoadReport {
+        completed: completed.into_inner(),
+        rejected: rejected.into_inner(),
+        elapsed,
+        epochs_published: metrics.epochs_published - epochs_before,
+        wire,
+        metrics,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rpc::InProcTransport;
     use crate::service::ServiceConfig;
     use ksp_core::dtlp::DtlpConfig;
     use ksp_workload::{
@@ -228,6 +405,37 @@ mod tests {
         );
         assert_eq!(report.completed + report.rejected, 100);
         assert!(report.epochs_published >= 1, "updater must have published");
+        assert_eq!(service.current_epoch(), report.epochs_published);
+    }
+
+    #[test]
+    fn wire_driver_over_the_in_process_transport_matches_the_direct_path() {
+        use std::sync::Arc;
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(150))
+            .generate(31)
+            .unwrap()
+            .graph;
+        let service = Arc::new(
+            QueryService::start(graph.clone(), ServiceConfig::new(2, DtlpConfig::new(15, 2)))
+                .unwrap(),
+        );
+        let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(10, 2), 13);
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.4, 0.4), 7);
+        let report = run_closed_loop_over(
+            || KspClient::new(InProcTransport::new(service.clone())),
+            &workload,
+            Some(&mut traffic),
+            LoadDriverConfig::new(3, 10).with_updates_every(Duration::from_millis(5)),
+        );
+        assert_eq!(report.completed + report.rejected, 30);
+        assert!(report.completed > 0);
+        assert!(report.throughput_qps() > 0.0);
+        // The in-process transport moves no bytes — that is the baseline the
+        // TCP path is compared against.
+        assert_eq!(report.wire.bytes_sent, 0);
+        assert_eq!(report.wire.bytes_received, 0);
+        assert!(report.wire.requests >= 30, "every query plus metrics/publish calls");
+        assert_eq!(report.metrics.completed, report.completed as u64);
         assert_eq!(service.current_epoch(), report.epochs_published);
     }
 }

@@ -24,7 +24,15 @@
 //!   reporting applies to service shards.
 //! * [`driver`] — a **closed-loop load driver** replaying a
 //!   [`QueryWorkload`](ksp_workload::QueryWorkload) from many client threads
-//!   while a [`TrafficModel`](ksp_workload::TrafficModel) publishes epochs.
+//!   while a [`TrafficModel`](ksp_workload::TrafficModel) publishes epochs;
+//!   [`run_closed_loop_over`] is the same loop generalised over any
+//!   `ksp-proto` [`Transport`](ksp_proto::Transport), reporting physical wire
+//!   bytes alongside throughput.
+//! * [`rpc`] — the **protocol endpoint**: [`QueryService::handle`] dispatches
+//!   `ksp-proto`'s typed [`Request`](ksp_proto::Request)s, the zero-copy
+//!   [`InProcTransport`] serves same-process clients, and [`TcpServer`] puts
+//!   the service behind a socket (one acceptor, one worker per connection,
+//!   typed errors for malformed/foreign-version frames, graceful shutdown).
 //!
 //! A service can also be **persistent**: started with
 //! [`QueryService::start_with_store`], every published batch is appended to
@@ -67,11 +75,15 @@ pub mod cache;
 pub mod driver;
 pub mod epoch;
 pub mod metrics;
+pub mod rpc;
 pub mod service;
 
 pub use admission::{AdmissionConfig, QueueFull};
 pub use cache::{CacheKey, ResultCache};
-pub use driver::{run_closed_loop, LoadDriverConfig, LoadReport};
+pub use driver::{
+    run_closed_loop, run_closed_loop_over, LoadDriverConfig, LoadReport, WireLoadReport,
+};
 pub use epoch::{EpochPointer, EpochSnapshot};
 pub use metrics::{LatencyHistogram, MetricsReport, ServiceMetrics, ShardQueueGauge};
+pub use rpc::{wire_metrics, InProcTransport, TcpServer};
 pub use service::{PublishError, QueryResponse, QueryService, ServiceConfig, ServiceError};

@@ -283,6 +283,17 @@ mod tests {
     }
 
     #[test]
+    fn report_surfaces_the_rejected_admission_counter() {
+        // Regression guard: overload must stay observable — the `rejected`
+        // counter the admission path increments has to reach the report (and
+        // from there the wire `Metrics` response) unchanged.
+        let m = ServiceMetrics::new(1);
+        m.rejected.fetch_add(5, Ordering::Relaxed);
+        m.completed.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(m.report().rejected, 5);
+    }
+
+    #[test]
     fn queue_gauge_saturation_is_a_fraction_of_the_cap() {
         let gauge = ShardQueueGauge { depth: 3, high_water: 48, max_depth: 64 };
         assert!((gauge.saturation() - 0.75).abs() < 1e-9);

@@ -1,0 +1,532 @@
+//! The protocol endpoint of a [`QueryService`]: request dispatch, the
+//! in-process transport and the TCP server.
+//!
+//! [`QueryService::handle`] turns any protocol [`Request`] into a
+//! [`Response`] — it is the single dispatch both transports funnel into, so a
+//! query answered over a socket runs exactly the code path (and produces the
+//! bit-identical answer) of a query answered in process:
+//!
+//! * [`InProcTransport`] hands the request straight to `handle` — nothing is
+//!   serialised, paths move by pointer, and the transport's byte counters
+//!   stay at zero (the baseline the communication-cost experiments compare
+//!   the wire against).
+//! * [`TcpServer`] runs one acceptor thread plus one worker thread per
+//!   connection. Each worker reads length-prefixed CRC-guarded frames,
+//!   decodes, dispatches to `handle`, and writes the response frame back.
+//!   Malformed, truncated, corrupt or foreign-version frames are answered
+//!   with a typed [`ErrorReply`] and a clean disconnect — never a panic, and
+//!   never a hung client.
+//!
+//! Shutdown is graceful: dropping (or explicitly shutting down) the server
+//! stops the acceptor, half-closes every live connection so its worker
+//! observes end-of-stream, and joins all threads before returning.
+
+use crate::metrics::MetricsReport;
+use crate::service::{PublishError, QueryResponse, QueryService, ServiceError};
+use ksp_proto::frame::{read_frame, write_frame, FrameError, FrameKind};
+use ksp_proto::message::{
+    ErrorReply, QueryAnswer, QueryOutcome, Request, Response, WireMetrics, WireQueueGauge,
+    PROTOCOL_VERSION,
+};
+use ksp_proto::transport::{Transport, TransportError, TransportStats};
+use ksp_store::StoreCodec;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+impl From<ServiceError> for ErrorReply {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::Overloaded { depth } => ErrorReply::Overloaded { depth: depth as u64 },
+            ServiceError::ShuttingDown => ErrorReply::ShuttingDown,
+            ServiceError::InvalidQuery(g) => ErrorReply::InvalidQuery(g.to_string()),
+            ServiceError::InvalidK => ErrorReply::InvalidK,
+        }
+    }
+}
+
+impl From<PublishError> for ErrorReply {
+    fn from(e: PublishError) -> Self {
+        match e {
+            PublishError::Graph(g) => ErrorReply::InvalidBatch(g.to_string()),
+            PublishError::Store(s) => ErrorReply::Storage(s.to_string()),
+        }
+    }
+}
+
+fn answer_from(response: QueryResponse) -> QueryAnswer {
+    QueryAnswer {
+        epoch: response.epoch,
+        cache_hit: response.cache_hit,
+        latency_micros: response.latency.as_micros().min(u64::MAX as u128) as u64,
+        stats: (&response.stats).into(),
+        paths: response.paths,
+    }
+}
+
+/// Flattens a [`MetricsReport`] into its wire form — including the
+/// `rejected` admission counter and the per-shard queue gauges, so overload
+/// is observable through a remote `Metrics` request exactly as it is in
+/// process.
+pub fn wire_metrics(report: &MetricsReport) -> WireMetrics {
+    let micros = |d: std::time::Duration| d.as_micros().min(u64::MAX as u128) as u64;
+    WireMetrics {
+        completed: report.completed,
+        rejected: report.rejected,
+        cache_hits: report.cache_hits,
+        cache_misses: report.cache_misses,
+        epochs_published: report.epochs_published,
+        p50_micros: micros(report.p50),
+        p95_micros: micros(report.p95),
+        p99_micros: micros(report.p99),
+        mean_micros: micros(report.mean),
+        max_micros: micros(report.max),
+        queue_gauges: report
+            .queue_gauges
+            .iter()
+            .map(|g| WireQueueGauge {
+                depth: g.depth as u64,
+                high_water: g.high_water as u64,
+                max_depth: g.max_depth as u64,
+            })
+            .collect(),
+    }
+}
+
+impl QueryService {
+    /// Answers one protocol request. This is the generic dispatch both
+    /// transports call into; [`QueryService::query`] and
+    /// [`QueryService::apply_batch`] are the typed fast paths it routes
+    /// through, so in-process and remote callers observe identical behaviour.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Ping { protocol_version } => {
+                if protocol_version != PROTOCOL_VERSION {
+                    Response::Error(ErrorReply::UnsupportedVersion {
+                        server: PROTOCOL_VERSION,
+                        client: protocol_version,
+                    })
+                } else {
+                    Response::Pong {
+                        protocol_version: PROTOCOL_VERSION,
+                        epoch: self.current_epoch(),
+                        num_shards: self.num_shards() as u64,
+                    }
+                }
+            }
+            Request::Query(key) => match self.query(key.source, key.target, key.k) {
+                Ok(response) => Response::Query(answer_from(response)),
+                Err(e) => Response::Error(e.into()),
+            },
+            Request::QueryBatch(keys) => Response::QueryBatch(
+                keys.into_iter()
+                    .map(|key| match self.query(key.source, key.target, key.k) {
+                        Ok(response) => QueryOutcome::Answer(answer_from(response)),
+                        Err(e) => QueryOutcome::Error(e.into()),
+                    })
+                    .collect(),
+            ),
+            Request::ApplyBatch(batch) => match self.apply_batch(&batch) {
+                Ok(epoch) => Response::ApplyBatch { epoch },
+                Err(e) => Response::Error(e.into()),
+            },
+            Request::Metrics => Response::Metrics(wire_metrics(&self.metrics())),
+            Request::CheckpointNow => match self.checkpoint_now() {
+                Ok(epoch) => Response::CheckpointNow { epoch },
+                Err(e) => Response::Error(e.into()),
+            },
+        }
+    }
+}
+
+/// The zero-copy in-process transport: requests are dispatched straight into
+/// [`QueryService::handle`] on the caller's thread. No bytes are produced, so
+/// [`TransportStats`] reports zero wire cost — by design, as the baseline the
+/// TCP path is priced against.
+pub struct InProcTransport {
+    service: Arc<QueryService>,
+    stats: TransportStats,
+}
+
+impl InProcTransport {
+    /// Wraps a shared service handle.
+    pub fn new(service: Arc<QueryService>) -> Self {
+        InProcTransport { service, stats: TransportStats::default() }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn roundtrip(&mut self, request: Request) -> Result<Response, TransportError> {
+        self.stats.requests += 1;
+        let response = self.service.handle(request);
+        self.stats.responses += 1;
+        Ok(response)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+struct ServerShared {
+    service: Arc<QueryService>,
+    shutting_down: AtomicBool,
+    /// Live connections by id, half-closed at shutdown so blocked worker
+    /// reads observe end-of-stream. A worker deregisters its entry on exit —
+    /// the registry tracks live connections only, and a socket closes the
+    /// moment its worker is done with it.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A TCP serving endpoint over a [`QueryService`]: one acceptor thread, one
+/// worker thread per connection, graceful shutdown on drop.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
+    /// connections for `service`.
+    pub fn bind(service: Arc<QueryService>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            service,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        });
+        let acceptor = std::thread::Builder::new()
+            .name("ksp-serve-acceptor".to_string())
+            .spawn({
+                let shared = shared.clone();
+                move || acceptor_main(&listener, &shared)
+            })
+            .expect("failed to spawn acceptor");
+        Ok(TcpServer { local_addr, shared, acceptor: Some(acceptor) })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, disconnects every live connection and joins all
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor: a throwaway connection makes `accept` return,
+        // after which the acceptor observes the flag and exits.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Half-close every live connection; blocked worker reads observe EOF
+        // and the workers exit cleanly.
+        for (_, conn) in self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()).drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let workers: Vec<_> =
+            self.shared.workers.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_main(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent accept error (classically EMFILE when the fd
+                // limit is hit) must not peg a core in a tight retry loop.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(registered) = stream.try_clone() {
+            shared.conns.lock().unwrap_or_else(|e| e.into_inner()).insert(conn_id, registered);
+        }
+        let worker = std::thread::Builder::new().name("ksp-serve-conn".to_string()).spawn({
+            let shared = shared.clone();
+            move || connection_main(conn_id, stream, &shared)
+        });
+        match worker {
+            Ok(handle) => {
+                let mut workers = shared.workers.lock().unwrap_or_else(|e| e.into_inner());
+                // Drop handles of connections that already finished (a
+                // detached finished thread needs no join), so the registry
+                // tracks live workers instead of growing per connection ever
+                // accepted.
+                workers.retain(|h| !h.is_finished());
+                workers.push(handle);
+            }
+            Err(e) => {
+                eprintln!("ksp-serve: failed to spawn connection worker: {e}");
+                // The spawn consumed (and dropped) the accepted stream, but
+                // the registry clone would keep the socket open with nobody
+                // serving it — deregister and close so the peer sees EOF
+                // instead of a hang.
+                if let Some(conn) =
+                    shared.conns.lock().unwrap_or_else(|e| e.into_inner()).remove(&conn_id)
+                {
+                    let _ = conn.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+    }
+}
+
+/// Serves one connection until the peer disconnects, sends unrecoverable
+/// bytes, or the server shuts down. Protocol failures are answered with a
+/// typed [`ErrorReply`] before the connection closes; once framing is lost
+/// the stream cannot be resynchronised, so the close is part of the
+/// contract.
+fn connection_main(conn_id: u64, stream: TcpStream, shared: &ServerShared) {
+    if let Ok(read_half) = stream.try_clone() {
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        serve_connection(&mut reader, &mut writer, shared);
+        // Close the socket *now*: the registry may still hold a clone (until
+        // the deregistration below), and a clean disconnect after an error
+        // reply is part of the protocol contract.
+        let _ = writer.flush();
+        let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+    } else {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    shared.conns.lock().unwrap_or_else(|e| e.into_inner()).remove(&conn_id);
+}
+
+fn serve_connection(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    shared: &ServerShared,
+) {
+    let send = |writer: &mut BufWriter<TcpStream>, response: &Response| {
+        match write_frame(writer, FrameKind::Response, &response.to_bytes()) {
+            Ok(()) => writer.flush().is_ok(),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+                // The response exceeds the frame cap. write_frame refused it
+                // before any byte reached the stream, so framing is intact:
+                // answer typed and keep the connection alive.
+                let reply = Response::Error(ErrorReply::Unsupported(format!(
+                    "response does not fit one frame ({e}); split the request"
+                )));
+                write_frame(writer, FrameKind::Response, &reply.to_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_ok()
+            }
+            Err(_) => false,
+        }
+    };
+    loop {
+        match read_frame(reader) {
+            Ok(None) => return, // clean disconnect at a frame boundary
+            Ok(Some((FrameKind::Request, payload))) => match Request::from_bytes(&payload) {
+                Ok(request) => {
+                    let response = shared.service.handle(request);
+                    let disconnect =
+                        matches!(response, Response::Error(ErrorReply::UnsupportedVersion { .. }));
+                    if !send(writer, &response) || disconnect {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    let reply = Response::Error(ErrorReply::Malformed(format!(
+                        "request payload did not decode: {e}"
+                    )));
+                    send(writer, &reply);
+                    return;
+                }
+            },
+            Ok(Some((FrameKind::Response, _))) => {
+                let reply = Response::Error(ErrorReply::Malformed(
+                    "clients must send request frames".to_string(),
+                ));
+                send(writer, &reply);
+                return;
+            }
+            Err(FrameError::VersionMismatch { ours, theirs }) => {
+                let reply = Response::Error(ErrorReply::UnsupportedVersion {
+                    server: ours,
+                    client: theirs,
+                });
+                send(writer, &reply);
+                return;
+            }
+            Err(FrameError::Io(_)) => return, // peer is gone; nothing to tell it
+            Err(e) => {
+                // BadMagic / CRC mismatch / truncation / oversized length:
+                // answer typed, then close — frame synchronisation is lost.
+                let reply = Response::Error(ErrorReply::Malformed(e.to_string()));
+                send(writer, &reply);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use ksp_core::dtlp::DtlpConfig;
+    use ksp_graph::{VertexId, WeightUpdate};
+    use ksp_proto::message::QueryKey;
+    use ksp_proto::KspClient;
+    use ksp_workload::{RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig, TrafficModel};
+
+    fn service(n: usize, shards: usize, seed: u64) -> (Arc<QueryService>, ksp_graph::DynamicGraph) {
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n))
+            .generate(seed)
+            .unwrap()
+            .graph;
+        let config = ServiceConfig::new(shards, DtlpConfig::new(16, 2));
+        let service = Arc::new(QueryService::start(graph.clone(), config).unwrap());
+        (service, graph)
+    }
+
+    #[test]
+    fn handle_dispatches_the_full_operator_surface() {
+        let (service, graph) = service(150, 2, 3);
+        let last = VertexId(graph.num_vertices() as u32 - 1);
+
+        // Ping: agreeing versions get a Pong, foreign versions a typed error.
+        let pong = service.handle(Request::Ping { protocol_version: PROTOCOL_VERSION });
+        assert_eq!(
+            pong,
+            Response::Pong { protocol_version: PROTOCOL_VERSION, epoch: 0, num_shards: 2 }
+        );
+        assert!(matches!(
+            service.handle(Request::Ping { protocol_version: 999 }),
+            Response::Error(ErrorReply::UnsupportedVersion { client: 999, .. })
+        ));
+
+        // Query: answers equal the direct path bit for bit.
+        let direct = service.query(VertexId(0), last, 2).unwrap();
+        let Response::Query(answer) =
+            service.handle(Request::Query(QueryKey::new(VertexId(0), last, 2)))
+        else {
+            panic!("expected a Query response");
+        };
+        assert_eq!(answer.epoch, direct.epoch);
+        assert_eq!(answer.paths.len(), direct.paths.len());
+        for (a, b) in answer.paths.iter().zip(direct.paths.iter()) {
+            assert_eq!(a.vertices(), b.vertices());
+            assert_eq!(a.distance().value().to_bits(), b.distance().value().to_bits());
+        }
+
+        // QueryBatch: per-query outcomes, failures isolated.
+        let bad = VertexId(graph.num_vertices() as u32 + 9);
+        let Response::QueryBatch(outcomes) = service.handle(Request::QueryBatch(vec![
+            QueryKey::new(VertexId(0), last, 1),
+            QueryKey::new(bad, last, 1),
+            QueryKey::new(VertexId(0), last, 0),
+        ])) else {
+            panic!("expected a QueryBatch response");
+        };
+        assert_eq!(outcomes.len(), 3);
+        assert!(matches!(outcomes[0], QueryOutcome::Answer(_)));
+        assert!(matches!(outcomes[1], QueryOutcome::Error(ErrorReply::InvalidQuery(_))));
+        assert!(matches!(outcomes[2], QueryOutcome::Error(ErrorReply::InvalidK)));
+
+        // ApplyBatch publishes; the epoch is visible to later requests.
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.4, 0.4), 5);
+        let Response::ApplyBatch { epoch } =
+            service.handle(Request::ApplyBatch(traffic.next_snapshot()))
+        else {
+            panic!("expected an ApplyBatch response");
+        };
+        assert_eq!(epoch, 1);
+        assert_eq!(service.current_epoch(), 1);
+
+        // An invalid batch fails typed and publishes nothing.
+        let bogus = ksp_graph::UpdateBatch::new(vec![WeightUpdate::new(
+            ksp_graph::EdgeId(graph.num_edges() as u32 + 7),
+            ksp_graph::Weight::new(1.0),
+        )]);
+        assert!(matches!(
+            service.handle(Request::ApplyBatch(bogus)),
+            Response::Error(ErrorReply::InvalidBatch(_))
+        ));
+        assert_eq!(service.current_epoch(), 1);
+
+        // Metrics carries the rejected counter and per-shard gauges.
+        let Response::Metrics(metrics) = service.handle(Request::Metrics) else {
+            panic!("expected a Metrics response");
+        };
+        assert_eq!(metrics.epochs_published, 1);
+        assert_eq!(metrics.rejected, 0);
+        assert_eq!(metrics.queue_gauges.len(), 2);
+
+        // CheckpointNow on an in-memory service is a typed no-op.
+        assert_eq!(service.handle(Request::CheckpointNow), Response::CheckpointNow { epoch: None });
+    }
+
+    #[test]
+    fn in_proc_transport_is_zero_copy_and_counts_requests() {
+        let (service, graph) = service(120, 1, 11);
+        let last = VertexId(graph.num_vertices() as u32 - 1);
+        let (mut client, info) =
+            KspClient::handshake(InProcTransport::new(service.clone())).unwrap();
+        assert_eq!(info.protocol_version, PROTOCOL_VERSION);
+        assert_eq!(info.num_shards, 1);
+        let answer = client.query(VertexId(0), last, 2).unwrap();
+        assert_eq!(answer.epoch, 0);
+        assert!(!answer.paths.is_empty());
+        let stats = client.stats();
+        assert_eq!(stats.requests, 2); // ping + query
+        assert_eq!(stats.bytes_sent, 0, "in-process moves no bytes");
+        assert_eq!(stats.bytes_received, 0);
+    }
+
+    #[test]
+    fn tcp_server_round_trips_and_shuts_down_gracefully() {
+        let (service, graph) = service(130, 2, 17);
+        let last = VertexId(graph.num_vertices() as u32 - 1);
+        let mut server = TcpServer::bind(service.clone(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let (mut client, info) = KspClient::connect(addr).unwrap();
+        assert_eq!(info.protocol_version, PROTOCOL_VERSION);
+        let over_wire = client.query(VertexId(0), last, 2).unwrap();
+        let direct = service.query(VertexId(0), last, 2).unwrap();
+        assert_eq!(over_wire.paths.len(), direct.paths.len());
+        for (a, b) in over_wire.paths.iter().zip(direct.paths.iter()) {
+            assert_eq!(a.vertices(), b.vertices());
+            assert_eq!(a.distance().value().to_bits(), b.distance().value().to_bits());
+        }
+        let stats = client.stats();
+        assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
+
+        // Graceful shutdown: the held connection is closed, not leaked.
+        server.shutdown();
+        assert!(client.ping().is_err(), "connection must be closed after shutdown");
+    }
+}

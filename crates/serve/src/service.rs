@@ -401,13 +401,10 @@ impl QueryService {
         report
     }
 
-    /// Current depth of every shard queue.
-    pub fn queue_depths(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.queue.depth()).collect()
-    }
-
     /// Current depth and all-time high-water mark of every shard queue — the
-    /// backlog signals adaptive admission control will key off.
+    /// backlog signals adaptive admission control will key off. (This is the
+    /// single queue-observability accessor; the old `queue_depths()` returned
+    /// a strict subset of it and was folded in.)
     pub fn queue_gauges(&self) -> Vec<ShardQueueGauge> {
         let max_depth = self.config.admission.max_queue_depth;
         self.shards

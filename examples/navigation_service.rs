@@ -14,19 +14,27 @@
 //! delta-log replay) instead of paying the full index build again — run the
 //! example twice and compare the reported cold-start times.
 //!
+//! It is also **network-ready**: after the closed-loop run the example binds
+//! the same service to a loopback TCP port and talks to it through
+//! `KspClient` — version handshake, pipelined queries, a metrics scrape and a
+//! checkpoint request over the typed wire protocol — reporting the physical
+//! bytes the protocol moved.
+//!
 //! ```text
 //! cargo run --release --example navigation_service
 //! KSP_STORE_DIR=/tmp/nav-store cargo run --release --example navigation_service
 //! ```
 
 use ksp_dg::core::dtlp::DtlpConfig;
-use ksp_dg::serve::{run_closed_loop, LoadDriverConfig, QueryService, ServiceConfig};
+use ksp_dg::proto::{KspClient, QueryKey};
+use ksp_dg::serve::{run_closed_loop, LoadDriverConfig, QueryService, ServiceConfig, TcpServer};
 use ksp_dg::store::{Store, StoreConfig};
 use ksp_dg::workload::datasets::DatasetScale;
 use ksp_dg::workload::{
     DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
 };
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -63,7 +71,7 @@ fn main() {
     });
     let store_config = StoreConfig { checkpoint_interval: 16, ..StoreConfig::default() };
     let cold_start = Instant::now();
-    let service = if Store::exists(&store_dir).expect("store probe") {
+    let service: Arc<QueryService> = if Store::exists(&store_dir).expect("store probe") {
         let (service, report) =
             QueryService::open(&store_dir, config, store_config).expect("store recovery");
         // The recovered graph must be the one this run's workload targets
@@ -84,7 +92,7 @@ fn main() {
             if report.torn_bytes_dropped > 0 { " after torn-tail truncation" } else { "" },
             cold_start.elapsed().as_secs_f64() * 1e3,
         );
-        service
+        Arc::new(service)
     } else {
         let service =
             QueryService::start_with_store(graph.clone(), config, &store_dir, store_config)
@@ -94,7 +102,7 @@ fn main() {
             store_dir.display(),
             cold_start.elapsed().as_secs_f64() * 1e3,
         );
-        service
+        Arc::new(service)
     };
     println!(
         "query service up: {} shards, cache {} entries/shard, queue depth {}, epoch {}",
@@ -147,13 +155,6 @@ fn main() {
         report.epochs_published,
         service.current_epoch()
     );
-    // A controlled shutdown checkpoints the final epoch, so the next run
-    // recovers without replaying this run's log.
-    match service.checkpoint_now() {
-        Ok(Some(epoch)) => println!("shutdown checkpoint written at epoch {epoch}"),
-        Ok(None) => {}
-        Err(e) => eprintln!("shutdown checkpoint failed: {e}"),
-    }
     println!(
         "shard balance: busy spread {:.1} % over {} shards (simulated makespan {:.1} ms)",
         report.metrics.load_balance.busy_spread * 100.0,
@@ -167,5 +168,49 @@ fn main() {
             shard.busy_time.as_secs_f64() * 1e3
         );
     }
+
+    // The same service, this time across a socket: bind a loopback TCP
+    // endpoint and drive it through the typed wire protocol — the path a
+    // remote navigation client or operator console would use.
+    println!();
+    println!("== wire protocol showcase (loopback TCP) ==");
+    let server = TcpServer::bind(service.clone(), "127.0.0.1:0").expect("bind loopback");
+    let (mut client, hello) = KspClient::connect(server.local_addr()).expect("connect");
+    println!(
+        "connected to {} — protocol v{}, epoch {}, {} shards",
+        server.local_addr(),
+        hello.protocol_version,
+        hello.epoch,
+        hello.num_shards
+    );
+    let keys: Vec<QueryKey> =
+        workload.iter().take(10).map(|q| QueryKey::new(q.source, q.target, q.k)).collect();
+    let answers = client.query_pipelined(&keys).expect("pipelined queries");
+    let answered = answers.iter().filter(|a| a.is_ok()).count();
+    println!("pipelined {} queries in one round trip: {answered} answered", keys.len());
+    let remote_metrics = client.metrics().expect("metrics over the wire");
+    println!(
+        "remote metrics: {} completed, {} rejected by admission control, {:.1} % cache hits",
+        remote_metrics.completed,
+        remote_metrics.rejected,
+        remote_metrics.cache_hit_rate() * 100.0
+    );
+    // A controlled shutdown checkpoints the final epoch — requested over the
+    // wire, so the next run recovers without replaying this run's log.
+    match client.checkpoint_now() {
+        Ok(Some(epoch)) => println!("shutdown checkpoint written at epoch {epoch} (via TCP)"),
+        Ok(None) => {}
+        Err(e) => eprintln!("shutdown checkpoint failed: {e}"),
+    }
+    let wire = client.stats();
+    println!(
+        "wire cost: {} requests, {} B sent, {} B received ({:.0} B/request)",
+        wire.requests,
+        wire.bytes_sent,
+        wire.bytes_received,
+        wire.bytes_per_request()
+    );
+    drop(client);
+    drop(server); // graceful: stops the acceptor and joins connection workers
     println!("navigation service example finished");
 }

@@ -17,6 +17,11 @@
 //! * [`store`] — durable checkpoints and the epoch delta log with crash
 //!   recovery: cold starts load a checkpoint and replay the log instead of
 //!   rebuilding the index ([`ksp_store`]).
+//! * [`proto`] — the typed request/response wire protocol (CRC-guarded,
+//!   versioned frames) and the pluggable [`Transport`](ksp_proto::Transport)
+//!   with its TCP implementation and [`KspClient`](ksp_proto::KspClient)
+//!   handle ([`ksp_proto`]); the matching server lives in
+//!   [`serve::rpc`](ksp_serve::rpc).
 //!
 //! # Quickstart
 //!
@@ -42,6 +47,7 @@ pub use ksp_cands as cands;
 pub use ksp_cluster as cluster;
 pub use ksp_core as core;
 pub use ksp_graph as graph;
+pub use ksp_proto as proto;
 pub use ksp_serve as serve;
 pub use ksp_store as store;
 pub use ksp_workload as workload;

@@ -1,0 +1,347 @@
+//! Integration tests for the typed wire protocol over real TCP: a
+//! `QueryService` behind `TcpServer` on a loopback port, exercised by
+//! `KspClient` connections and by raw sockets sending hostile bytes.
+//!
+//! Three contracts are proven here:
+//!
+//! 1. **Bit-exactness across the wire** — answers fetched over TCP by
+//!    concurrent clients equal the in-process answers byte for byte, at the
+//!    same epoch.
+//! 2. **Epoch publication over the wire** — an `ApplyBatch` sent by one
+//!    connection publishes an epoch every other connection observes.
+//! 3. **Robustness** — malformed frames, truncated frames, CRC corruption,
+//!    oversized lengths and foreign protocol versions are answered with a
+//!    typed `ErrorReply` and a clean disconnect: no panic, no hang, and the
+//!    server keeps serving well-formed clients afterwards.
+
+use ksp_dg::core::dtlp::DtlpConfig;
+use ksp_dg::graph::{DynamicGraph, VertexId};
+use ksp_dg::proto::frame::{read_frame, write_frame, FrameKind, MAX_FRAME_PAYLOAD};
+use ksp_dg::proto::message::{ErrorReply, QueryKey, Request, Response, PROTOCOL_VERSION};
+use ksp_dg::proto::KspClient;
+use ksp_dg::serve::{QueryService, ServiceConfig, TcpServer};
+use ksp_dg::store::StoreCodec;
+use ksp_dg::workload::{
+    QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+    TrafficModel,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(
+    n: usize,
+    shards: usize,
+    seed: u64,
+) -> (TcpServer, Arc<QueryService>, DynamicGraph) {
+    let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n))
+        .generate(seed)
+        .unwrap()
+        .graph;
+    let config = ServiceConfig::new(shards, DtlpConfig::new(16, 2));
+    let service = Arc::new(QueryService::start(graph.clone(), config).unwrap());
+    let server = TcpServer::bind(service.clone(), "127.0.0.1:0").unwrap();
+    (server, service, graph)
+}
+
+/// A raw loopback connection with a read timeout, so a server bug can fail a
+/// test instead of hanging it.
+fn raw_conn(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+}
+
+/// Reads one response frame from a raw socket and decodes it.
+fn read_response(stream: &mut TcpStream) -> Option<Response> {
+    match read_frame(stream) {
+        Ok(Some((FrameKind::Response, payload))) => {
+            Some(Response::from_bytes(&payload).expect("server responses must decode"))
+        }
+        Ok(None) => None,
+        other => panic!("expected a response frame or clean EOF, got {other:?}"),
+    }
+}
+
+/// Asserts the stream is at end-of-file (the server disconnected cleanly).
+fn assert_disconnected(stream: &mut TcpStream) {
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(0) => {}
+        other => panic!("expected a clean disconnect, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_tcp_answers_are_byte_identical_to_in_proc() {
+    let (server, service, graph) = start_server(200, 3, 41);
+    let addr = server.local_addr();
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(12, 3), 7);
+
+    // In-process reference answers at epoch 0.
+    let reference: Vec<_> =
+        workload.iter().map(|q| service.query(q.source, q.target, q.k).unwrap()).collect();
+
+    std::thread::scope(|scope| {
+        for client_id in 0..3 {
+            let workload = &workload;
+            let reference = &reference;
+            scope.spawn(move || {
+                let (mut client, info) = KspClient::connect(addr).unwrap();
+                assert_eq!(info.protocol_version, PROTOCOL_VERSION);
+                assert_eq!(info.num_shards, 3);
+                // Interleave single, batched and pipelined calls across clients.
+                match client_id {
+                    0 => {
+                        for (q, want) in workload.iter().zip(reference.iter()) {
+                            let got = client.query(q.source, q.target, q.k).unwrap();
+                            assert_answers_match(&got.paths, &want.paths, got.epoch, want.epoch);
+                        }
+                    }
+                    1 => {
+                        let keys: Vec<QueryKey> = workload
+                            .iter()
+                            .map(|q| QueryKey::new(q.source, q.target, q.k))
+                            .collect();
+                        for (got, want) in
+                            client.query_batch(&keys).unwrap().into_iter().zip(reference.iter())
+                        {
+                            let got = got.unwrap();
+                            assert_answers_match(&got.paths, &want.paths, got.epoch, want.epoch);
+                        }
+                    }
+                    _ => {
+                        let keys: Vec<QueryKey> = workload
+                            .iter()
+                            .map(|q| QueryKey::new(q.source, q.target, q.k))
+                            .collect();
+                        for (got, want) in
+                            client.query_pipelined(&keys).unwrap().into_iter().zip(reference.iter())
+                        {
+                            let got = got.unwrap();
+                            assert_answers_match(&got.paths, &want.paths, got.epoch, want.epoch);
+                        }
+                    }
+                }
+                assert!(client.stats().bytes_sent > 0, "TCP moves real bytes");
+            });
+        }
+    });
+
+    // The metrics surface (including the rejected counter) is visible over
+    // the wire.
+    let (mut client, _) = KspClient::connect(addr).unwrap();
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.completed >= 3 * workload.len() as u64);
+    assert_eq!(metrics.rejected, 0);
+    assert_eq!(metrics.queue_gauges.len(), 3);
+}
+
+fn assert_answers_match(
+    got: &[ksp_dg::algo::Path],
+    want: &[ksp_dg::algo::Path],
+    got_epoch: u64,
+    want_epoch: u64,
+) {
+    assert_eq!(got_epoch, want_epoch, "answers must come from the same epoch");
+    assert_eq!(got.len(), want.len());
+    for (a, b) in got.iter().zip(want.iter()) {
+        assert_eq!(a.vertices(), b.vertices());
+        // Byte-identical, not merely approximately equal.
+        assert_eq!(a.distance().value().to_bits(), b.distance().value().to_bits());
+    }
+}
+
+#[test]
+fn apply_batch_over_the_wire_publishes_for_every_connection() {
+    let (server, service, graph) = start_server(160, 2, 23);
+    let addr = server.local_addr();
+    let (mut writer_conn, _) = KspClient::connect(addr).unwrap();
+    let (mut reader_conn, info) = KspClient::connect(addr).unwrap();
+    assert_eq!(info.epoch, 0);
+
+    // Publish two epochs through the first connection.
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.5, 0.4), 19);
+    let live = {
+        let mut live = graph.clone();
+        for expected in 1..=2u64 {
+            let batch = traffic.next_snapshot();
+            live.apply_batch(&batch).unwrap();
+            assert_eq!(writer_conn.apply_batch(&batch).unwrap(), expected);
+        }
+        live
+    };
+
+    // The other connection (and the in-process view) observe the new epoch...
+    assert_eq!(reader_conn.ping().unwrap().epoch, 2);
+    assert_eq!(service.current_epoch(), 2);
+
+    // ...and answers over it match an in-process query on the updated graph,
+    // byte for byte.
+    let last = VertexId(graph.num_vertices() as u32 - 1);
+    let over_wire = reader_conn.query(VertexId(0), last, 3).unwrap();
+    assert_eq!(over_wire.epoch, 2);
+    let direct = service.query(VertexId(0), last, 3).unwrap();
+    assert_answers_match(&over_wire.paths, &direct.paths, over_wire.epoch, direct.epoch);
+
+    // An invalid batch is rejected typed over the wire and publishes nothing.
+    use ksp_dg::graph::{EdgeId, UpdateBatch, Weight, WeightUpdate};
+    let bogus = UpdateBatch::new(vec![WeightUpdate::new(
+        EdgeId(graph.num_edges() as u32 + 50),
+        Weight::new(1.0),
+    )]);
+    match writer_conn.apply_batch(&bogus) {
+        Err(e) => assert!(
+            matches!(e, ksp_dg::proto::ClientError::Server(ErrorReply::InvalidBatch(_))),
+            "unexpected error: {e}"
+        ),
+        Ok(epoch) => panic!("invalid batch must not publish (got epoch {epoch})"),
+    }
+    assert_eq!(service.current_epoch(), 2);
+    drop(live);
+}
+
+#[test]
+fn malformed_frames_fail_typed_and_the_server_survives() {
+    let (server, _service, graph) = start_server(120, 2, 43);
+    let addr = server.local_addr();
+    let last = VertexId(graph.num_vertices() as u32 - 1);
+
+    // (a) Garbage bytes: not even the magic matches.
+    {
+        let mut conn = raw_conn(addr);
+        conn.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        conn.flush().unwrap();
+        match read_response(&mut conn) {
+            Some(Response::Error(ErrorReply::Malformed(detail))) => {
+                assert!(detail.contains("magic"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected a typed Malformed reply, got {other:?}"),
+        }
+        assert_disconnected(&mut conn);
+    }
+
+    // (b) CRC mismatch: a valid frame whose payload was corrupted in flight.
+    {
+        let mut frame = Vec::new();
+        let payload = Request::Query(QueryKey::new(VertexId(0), last, 2)).to_bytes();
+        write_frame(&mut frame, FrameKind::Request, &payload).unwrap();
+        let end = frame.len() - 1;
+        frame[end] ^= 0x01;
+        let mut conn = raw_conn(addr);
+        conn.write_all(&frame).unwrap();
+        conn.flush().unwrap();
+        match read_response(&mut conn) {
+            Some(Response::Error(ErrorReply::Malformed(detail))) => {
+                assert!(detail.contains("CRC"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected a typed CRC failure, got {other:?}"),
+        }
+        assert_disconnected(&mut conn);
+    }
+
+    // (c) Truncated frame: the header promises more payload than ever
+    // arrives. The server answers typed (or at minimum disconnects cleanly)
+    // instead of hanging the client.
+    {
+        let mut frame = Vec::new();
+        let payload = Request::Metrics.to_bytes();
+        write_frame(&mut frame, FrameKind::Request, &payload).unwrap();
+        let mut conn = raw_conn(addr);
+        conn.write_all(&frame[..frame.len() - 1]).unwrap();
+        conn.flush().unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        match read_response(&mut conn) {
+            Some(Response::Error(ErrorReply::Malformed(detail))) => {
+                assert!(detail.contains("mid-frame"), "unexpected detail: {detail}")
+            }
+            None => {} // a clean disconnect is also within contract
+            other => panic!("expected a typed truncation failure, got {other:?}"),
+        }
+        assert_disconnected(&mut conn);
+    }
+
+    // (d) Foreign protocol version: rejected typed, before payload decoding.
+    {
+        let mut frame = Vec::new();
+        let payload = Request::Ping { protocol_version: 999 }.to_bytes();
+        write_frame(&mut frame, FrameKind::Request, &payload).unwrap();
+        frame[4..8].copy_from_slice(&999u32.to_le_bytes());
+        let mut conn = raw_conn(addr);
+        conn.write_all(&frame).unwrap();
+        conn.flush().unwrap();
+        match read_response(&mut conn) {
+            Some(Response::Error(ErrorReply::UnsupportedVersion { server, client })) => {
+                assert_eq!(server, PROTOCOL_VERSION);
+                assert_eq!(client, 999);
+            }
+            other => panic!("expected a typed version rejection, got {other:?}"),
+        }
+        assert_disconnected(&mut conn);
+    }
+
+    // (e) Oversized length: rejected before any allocation.
+    {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, FrameKind::Request, &Request::Metrics.to_bytes()).unwrap();
+        frame[9..13].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        let mut conn = raw_conn(addr);
+        conn.write_all(&frame).unwrap();
+        conn.flush().unwrap();
+        match read_response(&mut conn) {
+            Some(Response::Error(ErrorReply::Malformed(detail))) => {
+                assert!(detail.contains("exceeds"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected a typed oversize rejection, got {other:?}"),
+        }
+        assert_disconnected(&mut conn);
+    }
+
+    // (f) A frame that parses but whose payload is not a valid Request.
+    {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, FrameKind::Request, &[250, 1, 2, 3]).unwrap();
+        let mut conn = raw_conn(addr);
+        conn.write_all(&frame).unwrap();
+        conn.flush().unwrap();
+        match read_response(&mut conn) {
+            Some(Response::Error(ErrorReply::Malformed(detail))) => {
+                assert!(detail.contains("decode"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected a typed decode failure, got {other:?}"),
+        }
+        assert_disconnected(&mut conn);
+    }
+
+    // After all of that abuse, a well-formed client is still served.
+    let (mut client, info) = KspClient::connect(addr).unwrap();
+    assert_eq!(info.protocol_version, PROTOCOL_VERSION);
+    let answer = client.query(VertexId(0), last, 2).unwrap();
+    assert!(!answer.paths.is_empty(), "server must keep serving after hostile clients");
+}
+
+#[test]
+fn foreign_version_handshake_fails_typed_on_the_client_too() {
+    let (server, _service, _graph) = start_server(100, 1, 47);
+    // A client whose *frames* carry the right version but whose Ping
+    // announces a different one gets the typed UnsupportedVersion reply.
+    let (mut client, _) = KspClient::connect(server.local_addr()).unwrap();
+    // Craft the mismatched ping by hand over a raw socket.
+    let mut conn = raw_conn(server.local_addr());
+    let payload = Request::Ping { protocol_version: 2 }.to_bytes();
+    let mut frame = Vec::new();
+    write_frame(&mut frame, FrameKind::Request, &payload).unwrap();
+    conn.write_all(&frame).unwrap();
+    conn.flush().unwrap();
+    match read_response(&mut conn) {
+        Some(Response::Error(ErrorReply::UnsupportedVersion { server: s, client: c })) => {
+            assert_eq!(s, PROTOCOL_VERSION);
+            assert_eq!(c, 2);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    assert_disconnected(&mut conn);
+    // The well-versioned connection opened earlier still works.
+    assert!(client.ping().is_ok());
+}
