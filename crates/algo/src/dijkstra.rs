@@ -109,6 +109,60 @@ pub fn dijkstra_path_with_bans<G: GraphView>(
     map.path_to(target)
 }
 
+/// Settles vertices outward from `source` until the next vertex would be at
+/// distance `bound` or more, returning every vertex settled — i.e. exactly the
+/// set `{v : dist(source, v) < bound}`.
+///
+/// This is the *survival sweep* of the query-trace machinery: after a KSP
+/// query finishes with a k-th answer distance `T`, sweeping the skeleton
+/// overlay to `T` enumerates every skeleton vertex through which a path
+/// shorter than `T` could possibly route. Any region outside the sweep is
+/// provably too far to ever change the answer, which is what lets a cached
+/// result survive epoch publishes that only dirty far-away subgraphs.
+pub fn dijkstra_settled_within<G: GraphView>(
+    view: &G,
+    source: VertexId,
+    bound: Weight,
+) -> Vec<VertexId> {
+    let mut settled_list = Vec::new();
+    if !view.contains_vertex(source) || Weight::ZERO >= bound {
+        return settled_list;
+    }
+    let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+    let mut dist: HashMap<VertexId, Weight> = HashMap::new();
+    let mut settled: HashSet<VertexId> = HashSet::new();
+    dist.insert(source, Weight::ZERO);
+    heap.push(Reverse(HeapEntry { dist: Weight::ZERO, vertex: source }));
+    while let Some(Reverse(HeapEntry { dist: d, vertex })) = heap.pop() {
+        if settled.contains(&vertex) {
+            continue;
+        }
+        if d >= bound {
+            break;
+        }
+        settled.insert(vertex);
+        settled_list.push(vertex);
+        view.for_each_neighbor(vertex, |to, w| {
+            if settled.contains(&to) {
+                return;
+            }
+            let candidate = d + w;
+            if candidate >= bound {
+                return;
+            }
+            let better = match dist.get(&to) {
+                Some(&existing) => candidate < existing,
+                None => true,
+            };
+            if better {
+                dist.insert(to, candidate);
+                heap.push(Reverse(HeapEntry { dist: candidate, vertex: to }));
+            }
+        });
+    }
+    settled_list
+}
+
 fn dijkstra_internal<G: GraphView>(
     view: &G,
     source: VertexId,
@@ -279,6 +333,25 @@ mod tests {
         for (vertex, d) in map.iter() {
             assert_eq!(d, full.distance(vertex));
         }
+    }
+
+    #[test]
+    fn settled_within_returns_exactly_the_strictly_closer_ball() {
+        let g = weighted_graph();
+        let full = dijkstra_all(&g, v(0));
+        for bound in [0.0, 5.0, 9.0, 11.5, 25.0] {
+            let bound = Weight::new(bound);
+            let mut swept = dijkstra_settled_within(&g, v(0), bound);
+            swept.sort();
+            let mut expected: Vec<VertexId> =
+                full.iter().filter(|&(_, d)| d < bound).map(|(vertex, _)| vertex).collect();
+            expected.sort();
+            assert_eq!(swept, expected, "sweep mismatch at bound {bound}");
+        }
+        // An infinite bound sweeps the whole reachable component.
+        assert_eq!(dijkstra_settled_within(&g, v(0), Weight::INFINITY).len(), 6);
+        // A missing source sweeps nothing.
+        assert!(dijkstra_settled_within(&g, VertexId(99), Weight::new(5.0)).is_empty());
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub mod path;
 pub mod vfrag;
 pub mod yen;
 
-pub use dijkstra::{dijkstra_all, dijkstra_path, dijkstra_path_with_bans, DistanceMap};
+pub use dijkstra::{
+    dijkstra_all, dijkstra_path, dijkstra_path_with_bans, dijkstra_settled_within, DistanceMap,
+};
 pub use findksp::{find_ksp, FindKsp};
 pub use path::Path;
 pub use vfrag::{fewest_vfrag_paths, VfragView};

@@ -1,0 +1,127 @@
+//! Criterion bench: the serving hot path under mixed query/update traffic —
+//! dirty-set cache retention vs the wholesale-clear baseline.
+//!
+//! The number the trace machinery exists for: with updates arriving as small
+//! batches (one dirtied subgraph each), a wholesale-clearing cache collapses
+//! to a ~0% hit rate — every publish throws every entry away — while the
+//! dirty-set-retaining cache keeps serving every query whose trace the batch
+//! missed. Each bench iteration publishes one small epoch and then replays a
+//! fixed query workload through the service; the retained arm should be
+//! markedly faster (most queries are hits) and its reported hit rate and p95
+//! far better. The summary lines printed at the end report both, in the
+//! `epoch_publish` style.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksp_core::dtlp::DtlpConfig;
+use ksp_graph::{DynamicGraph, SubgraphId, UpdateBatch, VertexId, Weight, WeightUpdate};
+use ksp_serve::{QueryService, ServiceConfig};
+use ksp_workload::{KspQuery, QueryWorkload, RoadNetworkConfig, RoadNetworkGenerator, Xoshiro256};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A navigation-style workload: origins and destinations a few grid units
+/// apart, like the short-to-medium trips that dominate real request streams.
+/// Local queries have local subgraph traces, which is what dirty-set
+/// retention converts into post-publish hits.
+fn local_workload(coordinates: &[(f64, f64)], count: usize, seed: u64) -> QueryWorkload {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let n = coordinates.len() as u64;
+    let mut queries = Vec::with_capacity(count);
+    while queries.len() < count {
+        let s = rng.next_bounded(n) as usize;
+        let (sx, sy) = coordinates[s];
+        let t = rng.next_bounded(n) as usize;
+        let (tx, ty) = coordinates[t];
+        let dist2 = (sx - tx) * (sx - tx) + (sy - ty) * (sy - ty);
+        if s != t && (2.0..=36.0).contains(&dist2) {
+            queries.push(KspQuery::new(VertexId(s as u32), VertexId(t as u32), 2));
+        }
+    }
+    QueryWorkload { queries }
+}
+
+/// Batches that each dirty exactly one subgraph, cycling through distinct
+/// subgraphs so successive publishes hit different parts of the index — the
+/// paper's "maintenance proportional to what changed" regime.
+fn small_batches(graph: &DynamicGraph, service: &QueryService, count: usize) -> Vec<UpdateBatch> {
+    let index = service.snapshot().index().clone();
+    let num_subgraphs = index.num_subgraphs();
+    (0..count)
+        .map(|i| {
+            let target = SubgraphId((i % num_subgraphs) as u32);
+            let updates: Vec<WeightUpdate> = graph
+                .edge_ids()
+                .filter(|&e| index.owner_of_edge(e) == target)
+                .take(4)
+                .enumerate()
+                .map(|(j, e)| {
+                    let factor = 0.6 + 0.2 * ((i + j) % 7) as f64;
+                    WeightUpdate::new(e, Weight::new(graph.initial_weight(e) as f64 * factor))
+                })
+                .collect();
+            UpdateBatch::new(updates)
+        })
+        .filter(|b| !b.is_empty())
+        .collect()
+}
+
+fn bench_cache_survival(c: &mut Criterion) {
+    let net = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(900))
+        .generate(0xCAC4E)
+        .expect("network generation");
+    let workload = local_workload(&net.coordinates, 48, 0xFEED);
+    let graph = net.graph;
+
+    let mut group = c.benchmark_group("cache_survival");
+    group.sample_size(10);
+
+    let mut summaries: Vec<String> = Vec::new();
+    for (name, survival) in [("dirty_set_retention", true), ("wholesale_clear", false)] {
+        let mut config = ServiceConfig::new(2, DtlpConfig::new(40, 2));
+        config.cache_survival = survival;
+        let service = QueryService::start(graph.clone(), config).expect("service start");
+        let batches = small_batches(&graph, &service, 64);
+        assert!(!batches.is_empty());
+        // Warm the cache once so the first measured iteration starts from the
+        // same state as every later one: a full cache hit by a publish.
+        for q in workload.iter() {
+            service.query(q.source, q.target, q.k).expect("warm query");
+        }
+        let round = AtomicUsize::new(0);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // One small epoch publish, then several passes over the query
+                // workload: the serving steady state of churn + repeat
+                // traffic (each query repeats ~PASSES times per epoch).
+                const PASSES: usize = 12;
+                let i = round.fetch_add(1, Ordering::Relaxed);
+                service.apply_batch(&batches[i % batches.len()]).expect("publish");
+                for _ in 0..PASSES {
+                    for q in workload.iter() {
+                        std::hint::black_box(
+                            service.query(q.source, q.target, q.k).expect("query"),
+                        );
+                    }
+                }
+            });
+        });
+        let m = service.metrics();
+        summaries.push(format!(
+            "cache_survival/{name}: hit_rate {:.3}, p50 {:.3} ms, p95 {:.3} ms, \
+             recomputes/epoch {:.1}, retained {}, evicted {}, epochs {}",
+            m.cache_hit_rate(),
+            m.p50.as_secs_f64() * 1e3,
+            m.p95.as_secs_f64() * 1e3,
+            m.cache_misses as f64 / m.epochs_published.max(1) as f64,
+            m.cache_retained,
+            m.cache_evicted,
+            m.epochs_published,
+        ));
+    }
+    group.finish();
+    for line in &summaries {
+        eprintln!("{line}");
+    }
+}
+
+criterion_group!(benches, bench_cache_survival);
+criterion_main!(benches);

@@ -12,8 +12,8 @@ use crate::Scale;
 use ksp_core::dtlp::DtlpConfig;
 use ksp_proto::{KspClient, TransportStats};
 use ksp_serve::{
-    run_closed_loop, run_closed_loop_over, InProcTransport, LoadDriverConfig, QueryService,
-    ServiceConfig, TcpServer, WireLoadReport,
+    route_shard, run_closed_loop, run_closed_loop_over, InProcTransport, LoadDriverConfig,
+    QueryService, ServiceConfig, TcpServer, WireLoadReport,
 };
 use ksp_workload::{
     DatasetPreset, QueryWorkload, QueryWorkloadConfig, TrafficConfig, TrafficModel,
@@ -85,7 +85,73 @@ pub fn serve_throughput(scale: Scale) -> Vec<Table> {
             service.queue_gauges().iter().map(|g| g.high_water).max().unwrap_or(0).to_string(),
         ]);
     }
-    vec![table]
+    vec![table, serve_skewed(scale)]
+}
+
+/// The same closed loop over a *skewed* workload: every query hash-routes to
+/// shard 0, the worst case for pure affinity routing. The two rows compare
+/// the static-routing baseline (`work_stealing = false` — one shard does all
+/// the work, the busy spread pins near 1) against the work-stealing
+/// scheduler, which should show nonzero steals, a smaller busy spread and a
+/// better tail.
+fn serve_skewed(scale: Scale) -> Table {
+    let spec = DatasetPreset::NewYork.spec(scale.dataset_scale());
+    let net = spec.generate().expect("dataset generation");
+    let graph = net.graph;
+    let shards = 4usize;
+    let clients = 8usize;
+
+    // Draw a large uniform pool, keep only the queries shard 0 owns: a
+    // deterministic, maximally skewed request stream of *distinct* queries
+    // (distinct so the hot shard keeps computing instead of serving hits).
+    let pool = QueryWorkload::generate(
+        &graph,
+        QueryWorkloadConfig::new(scale.default_num_queries() * 8, 2),
+        0xD00D,
+    );
+    let queries: Vec<_> = pool
+        .queries
+        .into_iter()
+        .filter(|q| route_shard(q.source, q.target, q.k, shards) == 0)
+        .collect();
+    let workload = QueryWorkload { queries };
+    let requests_per_client = (workload.len() * 2 / clients).max(1);
+
+    let mut table = Table::new(
+        format!(
+            "serve: skewed workload (all queries route to shard 0 of {shards}; {} distinct, {} clients)",
+            workload.len(),
+            clients
+        ),
+        &["stealing", "completed", "rejected", "qps", "p95_ms", "p99_ms", "busy_spread", "steals"],
+    );
+    for stealing in [false, true] {
+        let mut config = ServiceConfig::new(shards, DtlpConfig::new(spec.default_z, 2));
+        config.work_stealing = stealing;
+        // A small cache keeps the hot shard compute-bound under churn, which
+        // is the regime stealing exists for.
+        config.cache_capacity = 32;
+        let service = QueryService::start(graph.clone(), config).expect("service start");
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 0xA1);
+        let report = run_closed_loop(
+            &service,
+            &workload,
+            Some(&mut traffic),
+            LoadDriverConfig::new(clients, requests_per_client)
+                .with_updates_every(Duration::from_millis(10)),
+        );
+        table.row(vec![
+            if stealing { "on" } else { "off" }.to_string(),
+            report.completed.to_string(),
+            report.rejected.to_string(),
+            f2(report.throughput_qps()),
+            f2(report.metrics.p95.as_secs_f64() * 1e3),
+            f2(report.metrics.p99.as_secs_f64() * 1e3),
+            f2(report.metrics.load_balance.busy_spread),
+            report.metrics.steals.to_string(),
+        ]);
+    }
+    table
 }
 
 /// The same closed loop driven through `ksp-proto` transports: once over the
@@ -196,8 +262,10 @@ mod tests {
     #[test]
     fn serve_throughput_reports_all_shard_counts() {
         let tables = serve_throughput(Scale::Tiny);
-        assert_eq!(tables.len(), 1);
+        assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].num_rows(), 4);
+        // The skewed table compares stealing off vs on.
+        assert_eq!(tables[1].num_rows(), 2);
     }
 
     #[test]

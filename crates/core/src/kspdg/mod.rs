@@ -16,6 +16,6 @@ pub mod query;
 pub mod refine;
 pub mod variants;
 
-pub use query::{KspDgConfig, KspDgEngine, QueryResult, QueryStats, SharedEngine};
+pub use query::{KspDgConfig, KspDgEngine, QueryResult, QueryStats, QueryTrace, SharedEngine};
 pub use refine::{candidate_ksp, PartialPathCache};
 pub use variants::path_similarity;

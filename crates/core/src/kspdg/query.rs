@@ -3,8 +3,8 @@
 use crate::dtlp::{DtlpIndex, OverlayView};
 use crate::kspdg::refine::{candidate_ksp, PartialPathCache};
 use ksp_algo::path::keep_k_shortest;
-use ksp_algo::{KspEnumerator, Path};
-use ksp_graph::{VertexId, Weight};
+use ksp_algo::{dijkstra_settled_within, KspEnumerator, Path};
+use ksp_graph::{SubgraphSet, VertexId, Weight};
 
 /// Configuration of the query engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,11 +17,28 @@ pub struct KspDgConfig {
     /// query (the `candidateKSP` optimisation of Section 5.2). Disabling it is only
     /// useful for the ablation benchmarks.
     pub cache_partials: bool,
+    /// Whether queries produce a *certified* [`QueryTrace`] — i.e. run the
+    /// survival sweep after the answer is found. Off by default: the sweep
+    /// costs one extra bounded Dijkstra over the skeleton overlay, which only
+    /// pays for itself when something consumes the certificate (the serving
+    /// layer's cache-survival machinery turns it on). With it off, the cheap
+    /// level-one recording still happens but `QueryTrace::complete` stays
+    /// `false`, so nothing downstream can mistake the trace for a
+    /// certificate.
+    pub collect_trace: bool,
 }
 
 impl Default for KspDgConfig {
     fn default() -> Self {
-        KspDgConfig { max_iterations: 10_000, cache_partials: true }
+        KspDgConfig { max_iterations: 10_000, cache_partials: true, collect_trace: false }
+    }
+}
+
+impl KspDgConfig {
+    /// Returns a copy with certified trace collection enabled.
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
     }
 }
 
@@ -44,6 +61,43 @@ pub struct QueryStats {
     pub vertices_transferred: usize,
 }
 
+/// The set of subgraphs a query's answer depended on, plus whether that set is
+/// a *complete* dependency certificate.
+///
+/// The trace has two parts, collected on the fly:
+///
+/// * **Level-one lookups** — every subgraph examined while attaching the
+///   endpoints to the skeleton and while computing partial k shortest paths in
+///   the refine steps. The answer paths' edges all live in these subgraphs,
+///   so their distances are a function of exactly this set.
+/// * **The survival sweep** — after the filter/refine loop terminates with a
+///   k-th answer distance `T`, one bounded Dijkstra sweeps the skeleton
+///   overlay from the source out to distance `T` and records the subgraphs of
+///   every settled vertex. Any subgraph outside the sweep is provably too far
+///   for *any* weight change inside it — increase or decrease — to produce a
+///   new path shorter than `T`: a path entering such a subgraph first touches
+///   one of its boundary vertices, whose overlay distance from the source
+///   already lower-bounds the path at `T` or more.
+///
+/// Together: if a later update batch dirties no subgraph in a complete trace,
+/// the answer is *bit-identical* on the new epoch — which is what lets the
+/// serving layer's result cache survive epoch publishes selectively instead
+/// of clearing wholesale.
+///
+/// `complete` is `false` when certified tracing is disabled
+/// ([`KspDgConfig::collect_trace`], the default — the sweep is pure overhead
+/// for callers that never consume the certificate) or when the query loop was
+/// cut short by the [`KspDgConfig::max_iterations`] safety cap, in which case
+/// the answer is not certified exact and a cached copy must not outlive its
+/// epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The subgraphs the answer depends on.
+    pub subgraphs: SubgraphSet,
+    /// Whether the trace certifies the answer (see the type-level docs).
+    pub complete: bool,
+}
+
 /// The answer to one KSP query.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -52,6 +106,8 @@ pub struct QueryResult {
     pub paths: Vec<Path>,
     /// Execution statistics.
     pub stats: QueryStats,
+    /// The subgraph dependency set of the answer.
+    pub trace: QueryTrace,
 }
 
 impl QueryResult {
@@ -88,22 +144,28 @@ impl<'a> KspDgEngine<'a> {
     pub fn query(&self, source: VertexId, target: VertexId, k: usize) -> QueryResult {
         assert!(k >= 1, "k must be at least 1");
         let mut stats = QueryStats::default();
+        let mut trace = QueryTrace::default();
 
         if source == target {
-            return QueryResult { paths: vec![Path::trivial(source)], stats };
+            // The trivial path has no edges: it depends on no subgraph at all,
+            // so the empty trace is trivially complete.
+            trace.complete = true;
+            return QueryResult { paths: vec![Path::trivial(source)], stats, trace };
         }
 
         // Filter-step search structure: the skeleton graph with the query endpoints
         // attached (Section 5.3 / Step 1 of the Storm deployment).
-        let overlay = self.build_overlay(source, target);
+        let overlay = self.build_overlay(source, target, &mut trace.subgraphs);
 
         let mut reference_paths = KspEnumerator::new(&overlay, source, target);
         let mut cache = PartialPathCache::new(k);
         let mut results: Vec<Path> = Vec::new();
+        let mut capped = false;
 
         let mut next_reference = reference_paths.next_path();
         while let Some(reference) = next_reference {
             if stats.iterations >= self.config.max_iterations {
+                capped = true;
                 break;
             }
             stats.iterations += 1;
@@ -118,6 +180,7 @@ impl<'a> KspDgEngine<'a> {
                     &mut cache,
                     &mut stats.vertices_transferred,
                     &mut stats.subgraphs_examined,
+                    &mut trace.subgraphs,
                 )
             } else {
                 let mut fresh = PartialPathCache::new(k);
@@ -128,6 +191,7 @@ impl<'a> KspDgEngine<'a> {
                     &mut fresh,
                     &mut stats.vertices_transferred,
                     &mut stats.subgraphs_examined,
+                    &mut trace.subgraphs,
                 );
                 stats.partial_computations += fresh.misses();
                 out
@@ -152,11 +216,38 @@ impl<'a> KspDgEngine<'a> {
             stats.partial_computations = cache.misses();
             stats.partial_cache_hits = cache.hits();
         }
-        QueryResult { paths: results, stats }
+
+        if self.config.collect_trace && !capped {
+            // Survival sweep (see [`QueryTrace`]): with a full answer, record
+            // every subgraph whose boundary lies within the k-th distance of
+            // the source — outside that ball no weight change can produce a
+            // path short enough to alter the answer. With fewer than k paths
+            // the enumeration was exhaustive: every simple s→t path is already
+            // in the answer (and traced through its refine subgraphs), and
+            // weight updates cannot create new simple paths, so no sweep is
+            // needed.
+            if results.len() >= k {
+                let bound = results[k - 1].distance();
+                for v in dijkstra_settled_within(&overlay, source, bound) {
+                    trace.subgraphs.extend(self.index.subgraphs_of_vertex(v).iter().copied());
+                }
+            }
+            trace.complete = true;
+        }
+        QueryResult { paths: results, stats, trace }
     }
 
-    /// Builds the overlay view attaching non-boundary endpoints to the skeleton.
-    fn build_overlay(&self, source: VertexId, target: VertexId) -> OverlayView<'_> {
+    /// Builds the overlay view attaching non-boundary endpoints to the skeleton,
+    /// recording the subgraphs whose level-one data the overlay edges are
+    /// derived from.
+    fn build_overlay(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        trace: &mut SubgraphSet,
+    ) -> OverlayView<'_> {
+        trace.extend(self.index.subgraphs_of_vertex(source).iter().copied());
+        trace.extend(self.index.subgraphs_of_vertex(target).iter().copied());
         let skeleton = self.index.skeleton();
         let directed = self.index.is_directed();
         let mut overlay = skeleton.overlay();
@@ -493,6 +584,94 @@ mod tests {
                 assert!(x.distance().approx_eq(y.distance()));
             }
         }
+    }
+
+    #[test]
+    fn trace_covers_answer_paths_and_is_complete() {
+        let net =
+            RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(250)).generate(91).unwrap();
+        let index = DtlpIndex::build(&net.graph, DtlpConfig::new(18, 2)).unwrap();
+        let engine = KspDgEngine::with_config(&index, KspDgConfig::default().with_trace());
+        let workload = QueryWorkload::generate(&net.graph, QueryWorkloadConfig::new(10, 3), 17);
+        for q in workload.iter() {
+            let result = engine.query(q.source, q.target, q.k);
+            assert!(result.trace.complete, "uncapped queries must certify their trace");
+            assert!(!result.trace.subgraphs.is_empty());
+            // Every edge of every answer path is owned by a traced subgraph —
+            // the invariant that makes trace-disjoint updates unable to move
+            // any answer distance.
+            for path in &result.paths {
+                for (u, v) in path.edges() {
+                    let e = net
+                        .graph
+                        .edge_ids()
+                        .find(|&e| {
+                            let rec = net.graph.edge(e);
+                            (rec.u == u && rec.v == v) || (rec.u == v && rec.v == u)
+                        })
+                        .expect("answer edge exists in the graph");
+                    assert!(
+                        result.trace.subgraphs.contains(index.owner_of_edge(e)),
+                        "answer edge {u}->{v} owned by an untraced subgraph"
+                    );
+                }
+            }
+        }
+        // The trivial query depends on nothing and says so.
+        let trivial = engine.query(VertexId(3), VertexId(3), 2);
+        assert!(trivial.trace.complete);
+        assert!(trivial.trace.subgraphs.is_empty());
+    }
+
+    #[test]
+    fn trace_disjoint_updates_leave_the_answer_bit_identical() {
+        // The survival certificate end to end at the engine level: apply a
+        // batch touching only subgraphs *outside* a query's trace, and the
+        // answer recomputed from scratch on the updated index must be
+        // bit-identical to the pre-update answer — increase or decrease.
+        let net =
+            RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(300)).generate(97).unwrap();
+        let index = DtlpIndex::build(&net.graph, DtlpConfig::new(16, 2)).unwrap();
+        let engine = KspDgEngine::with_config(&index, KspDgConfig::default().with_trace());
+        let workload = QueryWorkload::generate(&net.graph, QueryWorkloadConfig::new(12, 2), 23);
+        let mut exercised = 0;
+        for q in workload.iter() {
+            let before = engine.query(q.source, q.target, q.k);
+            assert!(before.trace.complete);
+            // Perturb every edge owned by untraced subgraphs, halving half of
+            // them (decreases are the dangerous direction: they could open new
+            // shortcuts if the trace under-covered).
+            let updates: Vec<ksp_graph::WeightUpdate> = net
+                .graph
+                .edge_ids()
+                .filter(|&e| !before.trace.subgraphs.contains(index.owner_of_edge(e)))
+                .enumerate()
+                .map(|(i, e)| {
+                    let factor = if i % 2 == 0 { 0.5 } else { 1.7 };
+                    ksp_graph::WeightUpdate::new(
+                        e,
+                        Weight::new(net.graph.weight(e).value() * factor),
+                    )
+                })
+                .collect();
+            if updates.is_empty() {
+                continue;
+            }
+            exercised += 1;
+            let mut updated = index.clone();
+            updated.apply_batch(&ksp_graph::UpdateBatch::new(updates)).unwrap();
+            let after = KspDgEngine::new(&updated).query(q.source, q.target, q.k);
+            assert_eq!(before.paths.len(), after.paths.len(), "{q:?} answer size changed");
+            for (a, b) in before.paths.iter().zip(after.paths.iter()) {
+                assert_eq!(a.vertices(), b.vertices(), "{q:?} answer route changed");
+                assert_eq!(
+                    a.distance().value().to_bits(),
+                    b.distance().value().to_bits(),
+                    "{q:?} answer distance changed"
+                );
+            }
+        }
+        assert!(exercised > 0, "at least one query must have untraced subgraphs to perturb");
     }
 
     #[test]

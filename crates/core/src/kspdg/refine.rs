@@ -3,7 +3,7 @@
 use crate::dtlp::DtlpIndex;
 use ksp_algo::path::keep_k_shortest;
 use ksp_algo::{yen_ksp, Path};
-use ksp_graph::VertexId;
+use ksp_graph::{SubgraphSet, VertexId};
 use std::collections::HashMap;
 
 /// Cache of partial k-shortest-path computations, keyed by the (ordered) vertex pair.
@@ -48,7 +48,8 @@ impl PartialPathCache {
     /// algorithm inside each (Algorithm 4, line 6), merges the results and keeps the
     /// `k` shortest (line 8). Appends the number of newly computed path-vertices to
     /// `transferred_vertices`, modelling the tuples a SubgraphBolt would send back to
-    /// the QueryBolt.
+    /// the QueryBolt, and records every examined subgraph in `trace` — the
+    /// level-one half of the query's dependency set.
     pub fn partial_ksp(
         &mut self,
         index: &DtlpIndex,
@@ -56,6 +57,7 @@ impl PartialPathCache {
         v: VertexId,
         transferred_vertices: &mut usize,
         subgraphs_examined: &mut usize,
+        trace: &mut SubgraphSet,
     ) -> Vec<Path> {
         if let Some(cached) = self.entries.get(&(u, v)) {
             self.hits += 1;
@@ -65,6 +67,7 @@ impl PartialPathCache {
         let mut merged: Vec<Path> = Vec::new();
         for sg_id in index.subgraphs_containing_pair(u, v) {
             *subgraphs_examined += 1;
+            trace.insert(sg_id);
             let sg = index.subgraph_index(sg_id).subgraph();
             let paths = yen_ksp(sg, u, v, self.k);
             merged.extend(paths);
@@ -90,13 +93,20 @@ pub fn candidate_ksp(
     cache: &mut PartialPathCache,
     transferred_vertices: &mut usize,
     subgraphs_examined: &mut usize,
+    trace: &mut SubgraphSet,
 ) -> Vec<Path> {
     assert!(k >= 1, "k must be at least 1");
     assert!(!reference.is_empty(), "reference path must contain at least one vertex");
     let mut combined: Vec<Path> = vec![Path::trivial(reference[0])];
     for pair in reference.windows(2) {
-        let partials =
-            cache.partial_ksp(index, pair[0], pair[1], transferred_vertices, subgraphs_examined);
+        let partials = cache.partial_ksp(
+            index,
+            pair[0],
+            pair[1],
+            transferred_vertices,
+            subgraphs_examined,
+            trace,
+        );
         if partials.is_empty() {
             return Vec::new();
         }
@@ -172,6 +182,7 @@ mod tests {
         let mut cache = PartialPathCache::new(2);
         let mut transferred = 0;
         let mut examined = 0;
+        let mut trace = SubgraphSet::new();
         // Pick two boundary vertices that share a subgraph.
         let pair = index
             .boundary_vertices()
@@ -179,7 +190,8 @@ mod tests {
             .flat_map(|&a| index.boundary_vertices().iter().map(move |&b| (a, b)))
             .find(|&(a, b)| a != b && !index.subgraphs_containing_pair(a, b).is_empty())
             .expect("some boundary pair shares a subgraph");
-        let partials = cache.partial_ksp(&index, pair.0, pair.1, &mut transferred, &mut examined);
+        let partials =
+            cache.partial_ksp(&index, pair.0, pair.1, &mut transferred, &mut examined, &mut trace);
         assert!(!partials.is_empty());
         // The best partial equals the best single-subgraph shortest path.
         let best_direct = index
@@ -200,10 +212,11 @@ mod tests {
         let mut cache = PartialPathCache::new(2);
         let mut transferred = 0;
         let mut examined = 0;
+        let mut trace = SubgraphSet::new();
         let (a, b) = (index.boundary_vertices()[0], index.boundary_vertices()[1]);
-        let first = cache.partial_ksp(&index, a, b, &mut transferred, &mut examined);
+        let first = cache.partial_ksp(&index, a, b, &mut transferred, &mut examined, &mut trace);
         let t_after_first = transferred;
-        let second = cache.partial_ksp(&index, a, b, &mut transferred, &mut examined);
+        let second = cache.partial_ksp(&index, a, b, &mut transferred, &mut examined, &mut trace);
         assert_eq!(first.len(), second.len());
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -223,9 +236,17 @@ mod tests {
         let mut cache = PartialPathCache::new(2);
         let mut transferred = 0;
         let mut examined = 0;
+        let mut trace = SubgraphSet::new();
         let reference = [v(3), v(5), v(8), v(12)]; // v4, v6, v9, v13 (0-based ids)
-        let candidates =
-            candidate_ksp(&index, &reference, 2, &mut cache, &mut transferred, &mut examined);
+        let candidates = candidate_ksp(
+            &index,
+            &reference,
+            2,
+            &mut cache,
+            &mut transferred,
+            &mut examined,
+            &mut trace,
+        );
         assert_eq!(candidates.len(), 2);
         assert!(candidates[0].distance() <= candidates[1].distance());
         for c in &candidates {
@@ -252,9 +273,17 @@ mod tests {
         let mut cache = PartialPathCache::new(3);
         let mut transferred = 0;
         let mut examined = 0;
+        let mut trace = SubgraphSet::new();
         let reference = [v(3), v(5), v(8), v(12)];
-        let candidates =
-            candidate_ksp(&index, &reference, 3, &mut cache, &mut transferred, &mut examined);
+        let candidates = candidate_ksp(
+            &index,
+            &reference,
+            3,
+            &mut cache,
+            &mut transferred,
+            &mut examined,
+            &mut trace,
+        );
         for c in &candidates {
             assert!(Path::is_simple(c.vertices()));
             assert_eq!(c.source(), v(3));
@@ -281,6 +310,7 @@ mod tests {
         let mut cache = PartialPathCache::new(2);
         let mut transferred = 0;
         let mut examined = 0;
+        let mut trace = SubgraphSet::new();
         // v1 (id 0) and v19 (id 18) never share a subgraph in this partitioning, so the
         // partial computation finds no subgraph and yields nothing.
         if index.subgraphs_containing_pair(v(0), v(18)).is_empty() {
@@ -291,6 +321,7 @@ mod tests {
                 &mut cache,
                 &mut transferred,
                 &mut examined,
+                &mut trace,
             );
             assert!(candidates.is_empty());
         }
@@ -302,8 +333,16 @@ mod tests {
         let mut cache = PartialPathCache::new(2);
         let mut transferred = 0;
         let mut examined = 0;
-        let candidates =
-            candidate_ksp(&index, &[v(3)], 2, &mut cache, &mut transferred, &mut examined);
+        let mut trace = SubgraphSet::new();
+        let candidates = candidate_ksp(
+            &index,
+            &[v(3)],
+            2,
+            &mut cache,
+            &mut transferred,
+            &mut examined,
+            &mut trace,
+        );
         assert_eq!(candidates.len(), 1);
         assert_eq!(candidates[0].num_edges(), 0);
     }

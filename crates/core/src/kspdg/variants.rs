@@ -10,7 +10,7 @@
 //! Both are implemented by composing ordinary KSP-DG queries, so they automatically
 //! benefit from the DTLP index and stay correct under weight updates.
 
-use crate::kspdg::query::{KspDgEngine, QueryResult, QueryStats};
+use crate::kspdg::query::{KspDgEngine, QueryResult, QueryStats, QueryTrace};
 use ksp_algo::path::keep_k_shortest;
 use ksp_algo::Path;
 use ksp_graph::VertexId;
@@ -59,11 +59,17 @@ impl KspDgEngine<'_> {
 
         let mut combined: Vec<Path> = vec![Path::trivial(source)];
         let mut stats = QueryStats::default();
+        // The composed answer depends on the union of the legs' dependencies,
+        // and is certified only if every leg is. (The composition itself adds
+        // no subgraph reads: joining is pure path arithmetic.)
+        let mut trace = QueryTrace { subgraphs: Default::default(), complete: true };
         for leg in stops.windows(2) {
             let result = self.query(leg[0], leg[1], k);
             accumulate(&mut stats, &result.stats);
+            trace.subgraphs.union_with(&result.trace.subgraphs);
+            trace.complete &= result.trace.complete;
             if result.paths.is_empty() {
-                return QueryResult { paths: Vec::new(), stats };
+                return QueryResult { paths: Vec::new(), stats, trace };
             }
             let mut next = Vec::with_capacity(combined.len() * result.paths.len());
             for left in &combined {
@@ -75,11 +81,11 @@ impl KspDgEngine<'_> {
             }
             keep_k_shortest(&mut next, k);
             if next.is_empty() {
-                return QueryResult { paths: Vec::new(), stats };
+                return QueryResult { paths: Vec::new(), stats, trace };
             }
             combined = next;
         }
-        QueryResult { paths: combined, stats }
+        QueryResult { paths: combined, stats, trace }
     }
 
     /// Diversity-limited KSP query: up to `k` paths from `source` to `target` such that
@@ -114,7 +120,7 @@ impl KspDgEngine<'_> {
                 selected.push(candidate.clone());
             }
         }
-        QueryResult { paths: selected, stats: base.stats }
+        QueryResult { paths: selected, stats: base.stats, trace: base.trace }
     }
 }
 

@@ -54,4 +54,4 @@ pub mod dtlp;
 pub mod kspdg;
 
 pub use dtlp::{DtlpConfig, DtlpIndex, PathStorageBackend};
-pub use kspdg::{KspDgEngine, QueryResult, QueryStats, SharedEngine};
+pub use kspdg::{KspDgEngine, QueryResult, QueryStats, QueryTrace, SharedEngine};

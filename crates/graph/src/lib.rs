@@ -26,6 +26,7 @@ pub mod ids;
 pub mod partition;
 pub mod snapshot;
 pub mod subgraph;
+pub mod subgraph_set;
 pub mod update;
 pub mod view;
 pub mod weight;
@@ -37,6 +38,7 @@ pub use ids::{EdgeId, SubgraphId, VertexId};
 pub use partition::{PartitionConfig, Partitioner, Partitioning};
 pub use snapshot::GraphSnapshot;
 pub use subgraph::Subgraph;
+pub use subgraph_set::SubgraphSet;
 pub use update::{UpdateBatch, WeightUpdate};
 pub use view::GraphView;
 pub use weight::Weight;

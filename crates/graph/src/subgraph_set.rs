@@ -1,0 +1,160 @@
+//! A compact set of [`SubgraphId`]s, used as the dependency trace of a query.
+//!
+//! The serving layer attaches one of these to every cached query answer: the
+//! set of subgraphs the answer depended on. At epoch publish the cache keeps
+//! exactly the entries whose trace is disjoint from the batch's dirty set, so
+//! the representation is optimised for the two hot operations — `insert`
+//! during the query and `intersects` during invalidation. Subgraph ids are
+//! dense and small (a partitioning of `n` vertices with subgraph size `z`
+//! produces about `n / z` of them), so a word-per-64-ids bitset is both
+//! smaller and faster to intersect than a hash set.
+
+use crate::ids::SubgraphId;
+
+/// A bitset over [`SubgraphId`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubgraphSet {
+    words: Vec<u64>,
+}
+
+impl SubgraphSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        SubgraphSet::default()
+    }
+
+    /// Creates an empty set pre-sized for ids below `num_subgraphs`.
+    pub fn with_capacity(num_subgraphs: usize) -> Self {
+        SubgraphSet { words: vec![0; num_subgraphs.div_ceil(64)] }
+    }
+
+    /// Inserts `id`; returns `true` if it was not already present.
+    pub fn insert(&mut self, id: SubgraphId) -> bool {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: SubgraphId) -> bool {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    /// Whether the two sets share at least one id. This is the epoch-publish
+    /// invalidation test, so it short-circuits on the first common word.
+    pub fn intersects(&self, other: &SubgraphSet) -> bool {
+        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+    }
+
+    /// Adds every id of `other` to `self`.
+    pub fn union_with(&mut self, other: &SubgraphSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (dst, src) in self.words.iter_mut().zip(other.words.iter()) {
+            *dst |= src;
+        }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = SubgraphId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64)
+                .filter(move |bit| word & (1u64 << bit) != 0)
+                .map(move |bit| SubgraphId((wi * 64 + bit) as u32))
+        })
+    }
+
+    /// Estimated heap memory of the set, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+impl FromIterator<SubgraphId> for SubgraphSet {
+    fn from_iter<I: IntoIterator<Item = SubgraphId>>(ids: I) -> Self {
+        let mut set = SubgraphSet::new();
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<SubgraphId> for SubgraphSet {
+    fn extend<I: IntoIterator<Item = SubgraphId>>(&mut self, ids: I) {
+        for id in ids {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sg(i: u32) -> SubgraphId {
+        SubgraphId(i)
+    }
+
+    #[test]
+    fn insert_contains_and_len() {
+        let mut set = SubgraphSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(sg(3)));
+        assert!(set.insert(sg(200)));
+        assert!(!set.insert(sg(3)), "re-insert reports not-fresh");
+        assert!(set.contains(sg(3)));
+        assert!(set.contains(sg(200)));
+        assert!(!set.contains(sg(4)));
+        assert!(!set.contains(sg(100_000)), "out-of-range probe is just absent");
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn intersects_ignores_length_mismatch() {
+        let small: SubgraphSet = [sg(1)].into_iter().collect();
+        let large: SubgraphSet = [sg(1), sg(500)].into_iter().collect();
+        assert!(small.intersects(&large));
+        assert!(large.intersects(&small));
+        let disjoint: SubgraphSet = [sg(2), sg(500)].into_iter().collect();
+        assert!(!small.intersects(&disjoint));
+        assert!(!SubgraphSet::new().intersects(&large));
+    }
+
+    #[test]
+    fn union_and_iter_are_consistent() {
+        let mut a: SubgraphSet = [sg(0), sg(63), sg(64)].into_iter().collect();
+        let b: SubgraphSet = [sg(64), sg(130)].into_iter().collect();
+        a.union_with(&b);
+        let ids: Vec<SubgraphId> = a.iter().collect();
+        assert_eq!(ids, vec![sg(0), sg(63), sg(64), sg(130)]);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn with_capacity_presizes_without_changing_semantics() {
+        let mut set = SubgraphSet::with_capacity(100);
+        assert!(set.is_empty());
+        set.insert(sg(99));
+        assert!(set.contains(sg(99)));
+        assert!(set.memory_bytes() >= 2 * std::mem::size_of::<u64>());
+    }
+}

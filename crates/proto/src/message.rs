@@ -501,6 +501,16 @@ pub struct WireMetrics {
     pub max_micros: u64,
     /// Per-shard queue backlog gauges.
     pub queue_gauges: Vec<WireQueueGauge>,
+    /// Requests answered by a worker that stole them from another shard's
+    /// queue (appended under `PROTOCOL_VERSION` 1; encoded after
+    /// `queue_gauges`, append-only — see the decode note below).
+    pub steals: u64,
+    /// Cache entries that survived epoch publishes via dirty-set retention
+    /// (appended under `PROTOCOL_VERSION` 1).
+    pub cache_retained: u64,
+    /// Cache entries dropped at epoch publishes (appended under
+    /// `PROTOCOL_VERSION` 1).
+    pub cache_evicted: u64,
 }
 
 impl WireMetrics {
@@ -532,9 +542,14 @@ impl StoreCodec for WireMetrics {
             w.put_u64(v);
         }
         self.queue_gauges.encode(w);
+        // Fields appended under PROTOCOL_VERSION 1: encode strictly after
+        // everything the version shipped with, never in the middle.
+        w.put_u64(self.steals);
+        w.put_u64(self.cache_retained);
+        w.put_u64(self.cache_evicted);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(WireMetrics {
+        let mut metrics = WireMetrics {
             completed: r.get_u64()?,
             rejected: r.get_u64()?,
             cache_hits: r.get_u64()?,
@@ -546,7 +561,22 @@ impl StoreCodec for WireMetrics {
             mean_micros: r.get_u64()?,
             max_micros: r.get_u64()?,
             queue_gauges: Vec::decode(r)?,
-        })
+            steals: 0,
+            cache_retained: 0,
+            cache_evicted: 0,
+        };
+        // Tolerant-tail decode of the appended counters: a payload from a v1
+        // build that predates them simply ends here, and the counters read as
+        // zero. (WireMetrics is always the final value of its enclosing
+        // message, so "no bytes left" is unambiguous.) The reverse direction
+        // — an old decoder rejecting the longer payload as trailing bytes —
+        // is what the v2 negotiation item on the roadmap exists for.
+        if !r.is_exhausted() {
+            metrics.steals = r.get_u64()?;
+            metrics.cache_retained = r.get_u64()?;
+            metrics.cache_evicted = r.get_u64()?;
+        }
+        Ok(metrics)
     }
 }
 
@@ -707,6 +737,9 @@ mod tests {
                 completed: 10,
                 rejected: 3,
                 queue_gauges: vec![WireQueueGauge { depth: 1, high_water: 5, max_depth: 64 }],
+                steals: 7,
+                cache_retained: 21,
+                cache_evicted: 4,
                 ..Default::default()
             }),
             Response::CheckpointNow { epoch: Some(12) },
@@ -750,6 +783,45 @@ mod tests {
         ];
         for e in errors {
             assert_eq!(ErrorReply::from_bytes(&e.to_bytes()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn appended_metrics_counters_round_trip() {
+        // The steal/retention counters were appended under PROTOCOL_VERSION 1
+        // (after `queue_gauges`, append-only): they must survive the wire
+        // exactly, including at the extremes and alongside populated gauges.
+        for (steals, retained, evicted) in [(0u64, 0u64, 0u64), (1, 2, 3), (u64::MAX, 7, u64::MAX)]
+        {
+            let metrics = WireMetrics {
+                completed: 100,
+                cache_hits: 40,
+                cache_misses: 60,
+                queue_gauges: vec![
+                    WireQueueGauge { depth: 2, high_water: 9, max_depth: 64 },
+                    WireQueueGauge { depth: 0, high_water: 1, max_depth: 64 },
+                ],
+                steals,
+                cache_retained: retained,
+                cache_evicted: evicted,
+                ..Default::default()
+            };
+            let decoded = WireMetrics::from_bytes(&metrics.to_bytes()).unwrap();
+            assert_eq!(decoded, metrics);
+            assert_eq!(decoded.steals, steals);
+            assert_eq!(decoded.cache_retained, retained);
+            assert_eq!(decoded.cache_evicted, evicted);
+
+            // A payload from a v1 build that predates the appended counters
+            // (the same bytes minus the 24-byte tail) must still decode, with
+            // the counters reading as zero.
+            let bytes = metrics.to_bytes();
+            let legacy = WireMetrics::from_bytes(&bytes[..bytes.len() - 24]).unwrap();
+            assert_eq!(legacy.completed, metrics.completed);
+            assert_eq!(legacy.queue_gauges, metrics.queue_gauges);
+            assert_eq!(legacy.steals, 0);
+            assert_eq!(legacy.cache_retained, 0);
+            assert_eq!(legacy.cache_evicted, 0);
         }
     }
 

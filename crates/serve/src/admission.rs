@@ -6,9 +6,17 @@
 //! worker drains requests in batches of up to `max_batch`, which lets it load
 //! the current epoch once (and take its cache lock once) per batch instead of
 //! per request.
+//!
+//! For the work-stealing scheduler the queue additionally supports a timed
+//! drain ([`BoundedQueue::pop_batch_timeout`]) — an idle worker wakes after
+//! the timeout to look for a victim — and a non-blocking
+//! [`BoundedQueue::steal_batch`] that removes the *oldest* queued requests, so
+//! a thief always relieves the requests that have waited longest (the ones
+//! driving the victim's tail latency).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Admission-control settings for every shard queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +47,17 @@ impl AdmissionConfig {
 pub struct QueueFull {
     /// The configured depth that was reached.
     pub depth: usize,
+}
+
+/// Outcome of a [`BoundedQueue::pop_batch_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TimedPop<T> {
+    /// At least one item arrived within the timeout.
+    Items(Vec<T>),
+    /// The queue stayed empty for the whole timeout; the caller may steal.
+    TimedOut,
+    /// The queue is closed and drained; the worker should exit.
+    Closed,
 }
 
 struct QueueState<T> {
@@ -110,6 +129,49 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Like [`BoundedQueue::pop_batch`], but waits at most `timeout` for an
+    /// item. [`TimedPop::TimedOut`] tells an idle worker it is free to go
+    /// looking for steal victims; [`TimedPop::Closed`] is terminal.
+    pub fn pop_batch_timeout(&self, max_batch: usize, timeout: Duration) -> TimedPop<T> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if !state.items.is_empty() {
+                let take = state.items.len().min(max_batch.max(1));
+                return TimedPop::Items(state.items.drain(..take).collect());
+            }
+            if state.closed {
+                return TimedPop::Closed;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return TimedPop::TimedOut;
+            }
+            let (next, wait) =
+                self.ready.wait_timeout(state, deadline - now).unwrap_or_else(|e| e.into_inner());
+            state = next;
+            if wait.timed_out() && state.items.is_empty() && !state.closed {
+                return TimedPop::TimedOut;
+            }
+        }
+    }
+
+    /// Steals up to `max` of the *oldest* queued items without blocking.
+    /// Returns `None` when there is nothing to steal. Closed queues can still
+    /// be stolen from: draining a dead shard's backlog is exactly what the
+    /// thief is for during shutdown races.
+    pub fn steal_batch(&self, max: usize) -> Option<Vec<T>> {
+        if max == 0 {
+            return None;
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.items.is_empty() {
+            return None;
+        }
+        let take = state.items.len().min(max);
+        Some(state.items.drain(..take).collect())
+    }
+
     /// Closes the queue: further submissions are rejected and the worker drains
     /// what remains, then observes the shutdown.
     pub fn close(&self) {
@@ -172,6 +234,50 @@ mod tests {
         q.close();
         assert_eq!(worker.join().unwrap(), None);
         assert!(q.submit(1).is_err());
+    }
+
+    #[test]
+    fn timed_pop_returns_items_timeout_and_closed() {
+        let q = BoundedQueue::new(4);
+        q.submit(1).unwrap();
+        assert_eq!(
+            q.pop_batch_timeout(4, std::time::Duration::from_millis(1)),
+            TimedPop::Items(vec![1])
+        );
+        assert_eq!(q.pop_batch_timeout(4, std::time::Duration::from_millis(1)), TimedPop::TimedOut);
+        q.close();
+        assert_eq!(q.pop_batch_timeout(4, std::time::Duration::from_millis(1)), TimedPop::Closed);
+    }
+
+    #[test]
+    fn timed_pop_wakes_on_late_submission() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop_batch_timeout(4, std::time::Duration::from_secs(5)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit(9).unwrap();
+        assert_eq!(worker.join().unwrap(), TimedPop::Items(vec![9]));
+    }
+
+    #[test]
+    fn steal_takes_the_oldest_items_first() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.submit(i).unwrap();
+        }
+        assert_eq!(q.steal_batch(2), Some(vec![0, 1]));
+        assert_eq!(q.depth(), 3);
+        // The owner still drains FIFO after the theft.
+        assert_eq!(q.pop_batch(8), Some(vec![2, 3, 4]));
+        assert_eq!(q.steal_batch(2), None, "empty queue has nothing to steal");
+        assert_eq!(q.steal_batch(0), None, "zero-sized steals are refused");
+        // A closed queue's backlog is still stealable.
+        let q = BoundedQueue::new(8);
+        q.submit(7).unwrap();
+        q.close();
+        assert_eq!(q.steal_batch(4), Some(vec![7]));
     }
 
     #[test]

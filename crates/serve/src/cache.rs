@@ -1,21 +1,29 @@
-//! Epoch-keyed LRU cache of query results.
+//! Epoch-stamped LRU cache of query results with dirty-set-aware survival.
 //!
 //! The paper observes that weight updates arrive in periodic batches
 //! (Section 6.2), so between two epochs the answer to a repeated
-//! `(source, target, k)` request is bit-identical. The cache key therefore
-//! includes the epoch: entries for a superseded epoch can never be returned,
-//! and the service clears the cache wholesale at every publish to release the
-//! memory immediately rather than waiting for LRU churn.
+//! `(source, target, k)` request is bit-identical. Entries are therefore
+//! stamped with the epoch they are exact for — but unlike the original
+//! wholesale-clear design, an epoch publish no longer empties the cache.
+//! Every entry carries the [`QueryTrace`] of its answer: the set of subgraphs
+//! the answer depended on (level-one lookups plus the skeleton survival
+//! sweep). [`ResultCache::retain_for_publish`] evicts exactly the entries
+//! whose trace intersects the batch's dirty set and *re-stamps* the rest to
+//! the new epoch, so under steady small-batch churn the hit rate tracks the
+//! locality of the updates instead of collapsing to zero at every publish —
+//! the read-path counterpart of maintenance cost scaling with what changed.
 //!
 //! The implementation is a classic O(1) LRU: a `HashMap` from key to a slot in
 //! a slab of doubly linked entries, with the most recently used entry at the
 //! head of the list.
 
 use ksp_algo::Path;
-use ksp_graph::VertexId;
+use ksp_core::kspdg::QueryTrace;
+use ksp_graph::{SubgraphSet, VertexId};
 use std::collections::HashMap;
 
-/// Cache key: the full query identity plus the epoch it was answered against.
+/// Cache key: the full query identity. The epoch an entry is exact for is
+/// stored *in* the entry (and advanced by survival), not in the key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Query source vertex.
@@ -24,8 +32,17 @@ pub struct CacheKey {
     pub target: VertexId,
     /// Number of paths requested.
     pub k: usize,
-    /// Epoch the cached answer is exact for.
-    pub epoch: u64,
+}
+
+/// What [`ResultCache::retain_for_publish`] did to the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheRetention {
+    /// Entries whose trace was disjoint from the dirty set: re-stamped to the
+    /// new epoch and still servable.
+    pub retained: usize,
+    /// Entries evicted because their trace intersected the dirty set, their
+    /// trace was incomplete, or they lagged more than one epoch behind.
+    pub evicted: usize,
 }
 
 const NIL: usize = usize::MAX;
@@ -34,6 +51,13 @@ const NIL: usize = usize::MAX;
 struct Entry {
     key: CacheKey,
     value: Vec<Path>,
+    /// The epoch the cached answer is exact for.
+    epoch: u64,
+    /// The answer's subgraph dependency set.
+    trace: SubgraphSet,
+    /// Whether `trace` certifies the answer (see [`QueryTrace::complete`]);
+    /// uncertified entries never survive a publish.
+    complete: bool,
     prev: usize,
     next: usize,
 }
@@ -78,19 +102,30 @@ impl ResultCache {
         self.map.is_empty()
     }
 
-    /// Looks up `key`, marking the entry as most recently used on a hit.
-    pub fn get(&mut self, key: &CacheKey) -> Option<&[Path]> {
+    /// Looks up `key`, returning the paths only if the entry is exact for
+    /// `epoch`; a hit marks the entry as most recently used. A stale entry
+    /// (one that did not survive into `epoch`) is left in place to be
+    /// overwritten by the recomputed answer or aged out by LRU churn.
+    pub fn get(&mut self, key: &CacheKey, epoch: u64) -> Option<&[Path]> {
         let slot = *self.map.get(key)?;
+        if self.slab[slot].epoch != epoch {
+            return None;
+        }
         self.detach(slot);
         self.attach_front(slot);
         Some(&self.slab[slot].value)
     }
 
-    /// Inserts or replaces the entry for `key`, evicting the least recently
+    /// Inserts or replaces the entry for `key` with an answer exact for
+    /// `epoch` carrying dependency set `trace`, evicting the least recently
     /// used entry if the cache is full.
-    pub fn insert(&mut self, key: CacheKey, value: Vec<Path>) {
+    pub fn insert(&mut self, key: CacheKey, epoch: u64, trace: QueryTrace, value: Vec<Path>) {
         if let Some(&slot) = self.map.get(&key) {
-            self.slab[slot].value = value;
+            let entry = &mut self.slab[slot];
+            entry.value = value;
+            entry.epoch = epoch;
+            entry.complete = trace.complete;
+            entry.trace = trace.subgraphs;
             self.detach(slot);
             self.attach_front(slot);
             return;
@@ -102,13 +137,22 @@ impl ResultCache {
             self.map.remove(&self.slab[lru].key);
             self.free.push(lru);
         }
+        let entry = Entry {
+            key,
+            value,
+            epoch,
+            complete: trace.complete,
+            trace: trace.subgraphs,
+            prev: NIL,
+            next: NIL,
+        };
         let slot = match self.free.pop() {
             Some(slot) => {
-                self.slab[slot] = Entry { key, value, prev: NIL, next: NIL };
+                self.slab[slot] = entry;
                 slot
             }
             None => {
-                self.slab.push(Entry { key, value, prev: NIL, next: NIL });
+                self.slab.push(entry);
                 self.slab.len() - 1
             }
         };
@@ -116,7 +160,56 @@ impl ResultCache {
         self.attach_front(slot);
     }
 
-    /// Drops every entry (the wholesale invalidation at epoch publish).
+    /// Applies one epoch publish (`prev_epoch` → `new_epoch`, dirtying
+    /// `dirty`) to the cache: entries stamped `prev_epoch` whose trace is
+    /// complete and disjoint from `dirty` are re-stamped to `new_epoch`;
+    /// every other `prev_epoch`-or-older entry is evicted. Entries already
+    /// stamped `new_epoch` (inserted by a worker that loaded the new snapshot
+    /// before this walk ran) are kept untouched.
+    ///
+    /// The per-epoch dirty-set check is why entries may only survive one
+    /// publish at a time: an entry lagging more than one epoch would need the
+    /// union of every intervening dirty set, which this cache does not keep.
+    pub fn retain_for_publish(
+        &mut self,
+        prev_epoch: u64,
+        new_epoch: u64,
+        dirty: &SubgraphSet,
+    ) -> CacheRetention {
+        let mut outcome = CacheRetention::default();
+        let mut evict: Vec<usize> = Vec::new();
+        for &slot in self.map.values() {
+            let entry = &self.slab[slot];
+            if entry.epoch == new_epoch {
+                continue;
+            }
+            if entry.epoch == prev_epoch && entry.complete && !entry.trace.intersects(dirty) {
+                outcome.retained += 1;
+            } else {
+                evict.push(slot);
+            }
+        }
+        for slot in evict {
+            self.detach(slot);
+            self.map.remove(&self.slab[slot].key);
+            self.slab[slot].value = Vec::new();
+            self.free.push(slot);
+            outcome.evicted += 1;
+        }
+        // Re-stamp survivors after the eviction pass so the map iteration
+        // above never observes a half-updated cache.
+        for &slot in self.map.values() {
+            let entry = &mut self.slab[slot];
+            if entry.epoch == prev_epoch {
+                entry.epoch = new_epoch;
+            }
+        }
+        outcome
+    }
+
+    /// Drops every entry — the wholesale invalidation the survival path
+    /// replaced, kept as the baseline for benchmarks and for services
+    /// configured without cache survival.
     pub fn clear(&mut self) {
         self.map.clear();
         self.slab.clear();
@@ -157,47 +250,56 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ksp_graph::Weight;
+    use ksp_graph::{SubgraphId, Weight};
 
-    fn key(s: u32, t: u32, k: usize, epoch: u64) -> CacheKey {
-        CacheKey { source: VertexId(s), target: VertexId(t), k, epoch }
+    fn key(s: u32, t: u32, k: usize) -> CacheKey {
+        CacheKey { source: VertexId(s), target: VertexId(t), k }
     }
 
     fn path(len: f64) -> Vec<Path> {
         vec![Path::new(vec![VertexId(0), VertexId(1)], Weight::new(len))]
     }
 
+    fn trace(ids: &[u32]) -> QueryTrace {
+        QueryTrace { subgraphs: ids.iter().map(|&i| SubgraphId(i)).collect(), complete: true }
+    }
+
+    fn dirty(ids: &[u32]) -> SubgraphSet {
+        ids.iter().map(|&i| SubgraphId(i)).collect()
+    }
+
     #[test]
-    fn get_returns_inserted_value() {
+    fn get_returns_inserted_value_for_matching_epoch() {
         let mut cache = ResultCache::new(4);
-        cache.insert(key(0, 1, 2, 0), path(3.0));
-        let hit = cache.get(&key(0, 1, 2, 0)).expect("hit");
+        cache.insert(key(0, 1, 2), 0, trace(&[1]), path(3.0));
+        let hit = cache.get(&key(0, 1, 2), 0).expect("hit");
         assert_eq!(hit.len(), 1);
         assert!(hit[0].distance().approx_eq(Weight::new(3.0)));
-        assert!(cache.get(&key(0, 1, 2, 1)).is_none(), "different epoch must miss");
-        assert!(cache.get(&key(0, 1, 3, 0)).is_none(), "different k must miss");
+        assert!(cache.get(&key(0, 1, 2), 1).is_none(), "different epoch must miss");
+        assert!(cache.get(&key(0, 1, 3), 0).is_none(), "different k must miss");
     }
 
     #[test]
     fn evicts_least_recently_used() {
         let mut cache = ResultCache::new(2);
-        cache.insert(key(0, 1, 1, 0), path(1.0));
-        cache.insert(key(0, 2, 1, 0), path(2.0));
-        assert!(cache.get(&key(0, 1, 1, 0)).is_some()); // 0->1 now most recent
-        cache.insert(key(0, 3, 1, 0), path(3.0)); // evicts 0->2
-        assert!(cache.get(&key(0, 2, 1, 0)).is_none());
-        assert!(cache.get(&key(0, 1, 1, 0)).is_some());
-        assert!(cache.get(&key(0, 3, 1, 0)).is_some());
+        cache.insert(key(0, 1, 1), 0, trace(&[]), path(1.0));
+        cache.insert(key(0, 2, 1), 0, trace(&[]), path(2.0));
+        assert!(cache.get(&key(0, 1, 1), 0).is_some()); // 0->1 now most recent
+        cache.insert(key(0, 3, 1), 0, trace(&[]), path(3.0)); // evicts 0->2
+        assert!(cache.get(&key(0, 2, 1), 0).is_none());
+        assert!(cache.get(&key(0, 1, 1), 0).is_some());
+        assert!(cache.get(&key(0, 3, 1), 0).is_some());
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
-    fn reinsert_replaces_value_without_growth() {
+    fn reinsert_replaces_value_and_epoch_without_growth() {
         let mut cache = ResultCache::new(2);
-        cache.insert(key(0, 1, 1, 0), path(1.0));
-        cache.insert(key(0, 1, 1, 0), path(9.0));
+        cache.insert(key(0, 1, 1), 0, trace(&[1]), path(1.0));
+        cache.insert(key(0, 1, 1), 3, trace(&[2]), path(9.0));
         assert_eq!(cache.len(), 1);
-        let hit = cache.get(&key(0, 1, 1, 0)).unwrap();
+        assert!(cache.get(&key(0, 1, 1), 0).is_none(), "old epoch is gone");
+        let hit = cache.get(&key(0, 1, 1), 3).unwrap();
         assert!(hit[0].distance().approx_eq(Weight::new(9.0)));
     }
 
@@ -205,14 +307,86 @@ mod tests {
     fn clear_empties_the_cache() {
         let mut cache = ResultCache::new(8);
         for t in 1..5 {
-            cache.insert(key(0, t, 2, 0), path(t as f64));
+            cache.insert(key(0, t, 2), 0, trace(&[t]), path(t as f64));
         }
         assert_eq!(cache.len(), 4);
         cache.clear();
         assert!(cache.is_empty());
-        assert!(cache.get(&key(0, 1, 2, 0)).is_none());
-        cache.insert(key(0, 1, 2, 1), path(1.0));
+        assert!(cache.get(&key(0, 1, 2), 0).is_none());
+        cache.insert(key(0, 1, 2), 1, trace(&[1]), path(1.0));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn dirty_trace_intersection_always_evicts() {
+        // The invalidation contract: an entry whose trace intersects the
+        // publish's dirty set must never survive, no matter how it overlaps.
+        for overlap in [&[3u32][..], &[3, 9], &[0, 3, 200]] {
+            let mut cache = ResultCache::new(4);
+            cache.insert(key(0, 1, 2), 0, trace(&[3, 7]), path(1.0));
+            let outcome = cache.retain_for_publish(0, 1, &dirty(overlap));
+            assert_eq!(outcome, CacheRetention { retained: 0, evicted: 1 });
+            assert!(cache.get(&key(0, 1, 2), 1).is_none(), "dirty entry served after publish");
+            assert!(cache.is_empty());
+        }
+    }
+
+    #[test]
+    fn disjoint_trace_survives_and_is_restamped() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(key(0, 1, 2), 0, trace(&[3, 7]), path(1.0));
+        cache.insert(key(0, 2, 2), 0, trace(&[5]), path(2.0));
+        let outcome = cache.retain_for_publish(0, 1, &dirty(&[5, 8]));
+        assert_eq!(outcome, CacheRetention { retained: 1, evicted: 1 });
+        assert!(cache.get(&key(0, 1, 2), 1).is_some(), "disjoint entry must survive");
+        assert!(cache.get(&key(0, 1, 2), 0).is_none(), "survivor now carries the new epoch");
+        assert!(cache.get(&key(0, 2, 2), 1).is_none(), "dirtied entry must be gone");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn incomplete_traces_and_laggards_never_survive() {
+        let mut cache = ResultCache::new(4);
+        // Incomplete trace (iteration-capped answer): disjoint but uncertified.
+        cache.insert(
+            key(0, 1, 2),
+            0,
+            QueryTrace { subgraphs: dirty(&[1]), complete: false },
+            path(1.0),
+        );
+        // An entry stamped two epochs back: its intervening dirty sets are
+        // unknown, so it must not be re-stamped even with a disjoint trace.
+        cache.insert(key(0, 2, 2), 0, trace(&[2]), path(2.0));
+        let first = cache.retain_for_publish(0, 1, &dirty(&[9]));
+        assert_eq!(first.retained, 1, "only the complete entry survives epoch 1");
+        // Simulate the laggard: entry 0->2 now claims epoch 1; hand-publish
+        // epoch 2 -> 3 so prev_epoch skips it.
+        let second = cache.retain_for_publish(2, 3, &dirty(&[9]));
+        assert_eq!(second.retained, 0);
+        assert_eq!(second.evicted, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn entries_already_at_the_new_epoch_are_untouched() {
+        let mut cache = ResultCache::new(4);
+        // A worker that loaded the new snapshot inserted before the publish
+        // walk: the walk must keep it as-is, dirty trace or not.
+        cache.insert(key(0, 1, 2), 1, trace(&[3]), path(1.0));
+        let outcome = cache.retain_for_publish(0, 1, &dirty(&[3]));
+        assert_eq!(outcome, CacheRetention { retained: 0, evicted: 0 });
+        assert!(cache.get(&key(0, 1, 2), 1).is_some());
+    }
+
+    #[test]
+    fn survival_chains_across_many_publishes() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(key(0, 1, 2), 0, trace(&[3]), path(1.0));
+        for epoch in 0..50u64 {
+            let outcome = cache.retain_for_publish(epoch, epoch + 1, &dirty(&[4]));
+            assert_eq!(outcome.retained, 1, "entry must survive publish {epoch}");
+        }
+        assert!(cache.get(&key(0, 1, 2), 50).is_some());
     }
 
     #[test]
@@ -220,8 +394,11 @@ mod tests {
         let mut cache = ResultCache::new(8);
         for round in 0u64..200 {
             for t in 0..16u32 {
-                cache.insert(key(t, t + 1, 1, round % 3), path(t as f64));
-                let _ = cache.get(&key(t / 2, t / 2 + 1, 1, round % 3));
+                cache.insert(key(t, t + 1, 1), round % 3, trace(&[t % 5]), path(t as f64));
+                let _ = cache.get(&key(t / 2, t / 2 + 1, 1), round % 3);
+            }
+            if round % 7 == 0 {
+                cache.retain_for_publish(round % 3, round % 3 + 1, &dirty(&[round as u32 % 5]));
             }
         }
         assert_eq!(cache.len(), 8);

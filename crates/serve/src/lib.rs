@@ -14,14 +14,22 @@
 //!   epoch costs O(batch) rather than O(index) (the `epoch_publish` bench
 //!   measures the gap against the old clone-everything path).
 //! * [`service`] — the [`QueryService`]: a sharded pool of worker threads with
-//!   per-shard **bounded queues** (reject-with-backpressure admission control)
-//!   and request **batching** (one epoch load per drained batch).
+//!   per-shard **bounded queues** (reject-with-backpressure admission control),
+//!   request **batching** (one epoch load per drained batch), and **work
+//!   stealing**: hash routing keeps cache affinity, but an idle worker steals
+//!   the oldest requests from the deepest queue, so skewed workloads no
+//!   longer pin one shard while the rest idle.
 //! * [`cache`] — a per-shard **LRU result cache** keyed by
-//!   `(source, target, k, epoch)`, cleared wholesale at every epoch publish.
+//!   `(source, target, k)`, with entries stamped by epoch and carrying their
+//!   query's subgraph trace ([`QueryTrace`](ksp_core::kspdg::QueryTrace)).
+//!   An epoch publish evicts only the entries whose trace intersects the
+//!   batch's dirty set; everything else survives, re-stamped to the new
+//!   epoch — so under steady small-batch churn the hit rate tracks update
+//!   locality instead of collapsing to zero at every publish.
 //! * [`metrics`] — lock-free latency histograms (p50/p95/p99), cache hit rate,
-//!   and per-shard busy accounting exported through `ksp-cluster`'s
-//!   [`ServerLoad`](ksp_cluster::ServerLoad) so the Section 6.6 load-balance
-//!   reporting applies to service shards.
+//!   retention/steal counters, and per-shard busy accounting exported through
+//!   `ksp-cluster`'s [`ServerLoad`](ksp_cluster::ServerLoad) so the
+//!   Section 6.6 load-balance reporting applies to service shards.
 //! * [`driver`] — a **closed-loop load driver** replaying a
 //!   [`QueryWorkload`](ksp_workload::QueryWorkload) from many client threads
 //!   while a [`TrafficModel`](ksp_workload::TrafficModel) publishes epochs;
@@ -78,12 +86,14 @@ pub mod metrics;
 pub mod rpc;
 pub mod service;
 
-pub use admission::{AdmissionConfig, QueueFull};
-pub use cache::{CacheKey, ResultCache};
+pub use admission::{AdmissionConfig, QueueFull, TimedPop};
+pub use cache::{CacheKey, CacheRetention, ResultCache};
 pub use driver::{
     run_closed_loop, run_closed_loop_over, LoadDriverConfig, LoadReport, WireLoadReport,
 };
 pub use epoch::{EpochPointer, EpochSnapshot};
 pub use metrics::{LatencyHistogram, MetricsReport, ServiceMetrics, ShardQueueGauge};
 pub use rpc::{wire_metrics, InProcTransport, TcpServer};
-pub use service::{PublishError, QueryResponse, QueryService, ServiceConfig, ServiceError};
+pub use service::{
+    route_shard, PublishError, QueryResponse, QueryService, ServiceConfig, ServiceError,
+};

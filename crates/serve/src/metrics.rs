@@ -91,6 +91,7 @@ impl LatencyHistogram {
 pub struct ShardCounters {
     busy_nanos: AtomicU64,
     requests: AtomicU64,
+    steals: AtomicU64,
 }
 
 impl ShardCounters {
@@ -99,6 +100,17 @@ impl ShardCounters {
         self.busy_nanos
             .fetch_add(elapsed.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
         self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that this shard's worker stole `count` requests from another
+    /// shard's queue.
+    pub fn record_steals(&self, count: usize) {
+        self.steals.fetch_add(count as u64, Ordering::Relaxed);
+    }
+
+    /// Requests this shard's worker stole from other shards so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 
     /// Converts the counters into the cluster's per-server accounting record.
@@ -126,6 +138,12 @@ pub struct ServiceMetrics {
     pub cache_misses: AtomicU64,
     /// Epochs published (excluding the initial build).
     pub epochs_published: AtomicU64,
+    /// Cache entries re-stamped (kept servable) across epoch publishes by
+    /// dirty-set retention, summed over all shards.
+    pub cache_retained: AtomicU64,
+    /// Cache entries evicted at epoch publishes (dirty trace, incomplete
+    /// trace, or wholesale clears), summed over all shards.
+    pub cache_evicted: AtomicU64,
     /// Per-shard busy accounting.
     pub shards: Vec<ShardCounters>,
 }
@@ -140,6 +158,8 @@ impl ServiceMetrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             epochs_published: AtomicU64::new(0),
+            cache_retained: AtomicU64::new(0),
+            cache_evicted: AtomicU64::new(0),
             shards: (0..num_shards).map(|_| ShardCounters::default()).collect(),
         }
     }
@@ -147,6 +167,7 @@ impl ServiceMetrics {
     /// Folds the live counters into an immutable report.
     pub fn report(&self) -> MetricsReport {
         let per_shard: Vec<ServerLoad> = self.shards.iter().map(|s| s.as_server_load()).collect();
+        let per_shard_steals: Vec<u64> = self.shards.iter().map(|s| s.steals()).collect();
         let completed = self.completed.load(Ordering::Relaxed);
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -156,6 +177,10 @@ impl ServiceMetrics {
             cache_hits: hits,
             cache_misses: misses,
             epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            cache_retained: self.cache_retained.load(Ordering::Relaxed),
+            cache_evicted: self.cache_evicted.load(Ordering::Relaxed),
+            steals: per_shard_steals.iter().sum(),
+            per_shard_steals,
             p50: self.latency.quantile(0.50),
             p95: self.latency.quantile(0.95),
             p99: self.latency.quantile(0.99),
@@ -209,6 +234,15 @@ pub struct MetricsReport {
     pub cache_misses: u64,
     /// Epochs published since the service started.
     pub epochs_published: u64,
+    /// Cache entries that survived epoch publishes via dirty-set retention.
+    pub cache_retained: u64,
+    /// Cache entries dropped at epoch publishes.
+    pub cache_evicted: u64,
+    /// Requests answered by a worker that stole them from another shard's
+    /// queue, total.
+    pub steals: u64,
+    /// Steal counts attributed to the *thief* shard, indexed like `per_shard`.
+    pub per_shard_steals: Vec<u64>,
     /// Median end-to-end latency.
     pub p50: Duration,
     /// 95th-percentile end-to-end latency.
@@ -291,6 +325,23 @@ mod tests {
         m.rejected.fetch_add(5, Ordering::Relaxed);
         m.completed.fetch_add(2, Ordering::Relaxed);
         assert_eq!(m.report().rejected, 5);
+    }
+
+    #[test]
+    fn report_surfaces_steal_and_retention_counters() {
+        // Regression guard for the work-stealing + cache-survival telemetry:
+        // thief-side steal counts and publish-time retention totals must
+        // reach the report (and from there the wire `Metrics` response).
+        let m = ServiceMetrics::new(3);
+        m.shards[2].record_steals(4);
+        m.shards[0].record_steals(1);
+        m.cache_retained.fetch_add(17, Ordering::Relaxed);
+        m.cache_evicted.fetch_add(3, Ordering::Relaxed);
+        let report = m.report();
+        assert_eq!(report.steals, 5);
+        assert_eq!(report.per_shard_steals, vec![1, 0, 4]);
+        assert_eq!(report.cache_retained, 17);
+        assert_eq!(report.cache_evicted, 3);
     }
 
     #[test]

@@ -93,6 +93,9 @@ pub fn wire_metrics(report: &MetricsReport) -> WireMetrics {
                 max_depth: g.max_depth as u64,
             })
             .collect(),
+        steals: report.steals,
+        cache_retained: report.cache_retained,
+        cache_evicted: report.cache_evicted,
     }
 }
 

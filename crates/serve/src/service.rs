@@ -12,18 +12,26 @@
 //! * **Admission control.** Each shard's queue is bounded; a full queue rejects
 //!   the request immediately with [`ServiceError::Overloaded`] instead of
 //!   letting latency grow without bound.
-//! * **Caching.** Results are cached per shard under a key that includes the
-//!   epoch; publishing an epoch clears every shard cache wholesale (the paper's
-//!   periodic-batch update model makes finer invalidation pointless).
+//! * **Caching.** Results are cached per shard, stamped with the epoch they
+//!   are exact for and carrying the query's subgraph trace. Publishing an
+//!   epoch evicts only the entries whose trace intersects the batch's dirty
+//!   set ([`ksp_core::kspdg::QueryTrace`]); everything else is re-stamped to
+//!   the new epoch — the read path's analogue of maintenance cost scaling
+//!   with what changed, not with index size.
+//! * **Work stealing.** Requests are still hash-routed for cache affinity,
+//!   but a worker whose own queue stays empty for a beat steals the oldest
+//!   requests from the deepest backlog, so a skewed workload no longer pins
+//!   one shard while the others idle. Stolen answers are inserted into the
+//!   *home* shard's cache, preserving affinity for the next repeat.
 
-use crate::admission::{AdmissionConfig, BoundedQueue};
+use crate::admission::{AdmissionConfig, BoundedQueue, TimedPop};
 use crate::cache::{CacheKey, ResultCache};
 use crate::epoch::{EpochPointer, EpochSnapshot};
 use crate::metrics::{MetricsReport, ServiceMetrics, ShardQueueGauge};
 use ksp_algo::Path;
 use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
 use ksp_core::kspdg::{KspDgConfig, QueryStats, SharedEngine};
-use ksp_graph::{DynamicGraph, GraphError, SubgraphId, UpdateBatch, VertexId};
+use ksp_graph::{DynamicGraph, GraphError, SubgraphId, SubgraphSet, UpdateBatch, VertexId};
 use ksp_store::{RecoveryReport, Store, StoreConfig, StoreError};
 use parking_lot::Mutex;
 use std::collections::HashSet;
@@ -46,6 +54,19 @@ pub struct ServiceConfig {
     pub engine: KspDgConfig,
     /// DTLP index configuration (subgraph size `z`, bounding paths `ξ`).
     pub dtlp: DtlpConfig,
+    /// When `true` (the default), cached results survive epoch publishes
+    /// whose dirty set is disjoint from their subgraph trace. When `false`,
+    /// every publish clears every shard cache wholesale — the pre-trace
+    /// behaviour, kept as the benchmark baseline.
+    ///
+    /// The service forces [`KspDgConfig::collect_trace`] on its workers to
+    /// match this setting (the survival sweep is pure overhead without the
+    /// cache consuming its certificate, and vice versa), overriding whatever
+    /// the `engine` field says.
+    pub cache_survival: bool,
+    /// When `true` (the default), an idle shard worker steals the oldest
+    /// requests from the deepest shard queue instead of sleeping.
+    pub work_stealing: bool,
 }
 
 impl ServiceConfig {
@@ -58,6 +79,8 @@ impl ServiceConfig {
             admission: AdmissionConfig::default(),
             engine: KspDgConfig::default(),
             dtlp,
+            cache_survival: true,
+            work_stealing: true,
         }
     }
 
@@ -167,9 +190,16 @@ struct Request {
     reply: mpsc::Sender<Result<QueryResponse, ServiceError>>,
 }
 
+/// One shard's queue + result cache, shared with *every* worker: an idle
+/// worker steals from any queue, and a thief inserts its answers into the
+/// *home* shard's cache so repeats keep hitting where routing sends them.
+struct ShardResources {
+    queue: BoundedQueue<Request>,
+    cache: Mutex<ResultCache>,
+}
+
 struct Shard {
-    queue: Arc<BoundedQueue<Request>>,
-    cache: Arc<Mutex<ResultCache>>,
+    resources: Arc<ShardResources>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -305,41 +335,55 @@ impl QueryService {
     fn boot_with_dirty(
         graph: Arc<DynamicGraph>,
         index: Arc<DtlpIndex>,
-        config: ServiceConfig,
+        mut config: ServiceConfig,
         store: Option<Store>,
         dirty_since_job: HashSet<SubgraphId>,
     ) -> Self {
+        // Cache survival consumes the engine's trace certificate, so the two
+        // settings travel together: the survival sweep is pure overhead
+        // without the cache (and the cache keeps nothing without the sweep).
+        config.engine.collect_trace = config.cache_survival;
         let initial = EpochSnapshot::new(graph.version(), graph.clone(), index.clone());
         let epoch = Arc::new(EpochPointer::new(initial));
         let metrics = Arc::new(ServiceMetrics::new(config.num_shards));
 
+        // Every worker sees every shard's queue and cache: that is what makes
+        // stealing (and home-cache inserts for stolen work) possible.
+        let resources: Arc<Vec<Arc<ShardResources>>> = Arc::new(
+            (0..config.num_shards)
+                .map(|_| {
+                    Arc::new(ShardResources {
+                        queue: BoundedQueue::new(config.admission.max_queue_depth),
+                        cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+                    })
+                })
+                .collect(),
+        );
         let mut shards = Vec::with_capacity(config.num_shards);
         for shard_id in 0..config.num_shards {
-            let queue = Arc::new(BoundedQueue::new(config.admission.max_queue_depth));
-            let cache = Arc::new(Mutex::new(ResultCache::new(config.cache_capacity)));
             let worker = std::thread::Builder::new()
                 .name(format!("ksp-serve-shard-{shard_id}"))
                 .spawn({
-                    let queue = queue.clone();
-                    let cache = cache.clone();
+                    let resources = resources.clone();
                     let epoch = epoch.clone();
                     let metrics = metrics.clone();
                     let engine_config = config.engine;
                     let max_batch = config.admission.max_batch;
+                    let work_stealing = config.work_stealing;
                     move || {
                         shard_main(
                             shard_id,
-                            &queue,
-                            &cache,
+                            &resources,
                             &epoch,
                             &metrics,
                             engine_config,
                             max_batch,
+                            work_stealing,
                         )
                     }
                 })
                 .expect("failed to spawn shard worker");
-            shards.push(Shard { queue, cache, worker: Some(worker) });
+            shards.push(Shard { resources: resources[shard_id].clone(), worker: Some(worker) });
         }
 
         let persistence = store.map(|store| {
@@ -410,8 +454,8 @@ impl QueryService {
         self.shards
             .iter()
             .map(|s| ShardQueueGauge {
-                depth: s.queue.depth(),
-                high_water: s.queue.high_water(),
+                depth: s.resources.queue.depth(),
+                high_water: s.resources.queue.high_water(),
                 max_depth,
             })
             .collect()
@@ -437,10 +481,10 @@ impl QueryService {
         snapshot.graph().check_vertex(target).map_err(ServiceError::InvalidQuery)?;
         drop(snapshot);
 
-        let shard = &self.shards[route(source, target, k, self.shards.len())];
+        let shard = &self.shards[route_shard(source, target, k, self.shards.len())];
         let (reply, receiver) = mpsc::channel();
         let request = Request { source, target, k, submitted: Instant::now(), reply };
-        if shard.queue.submit(request).is_err() {
+        if shard.resources.queue.submit(request).is_err() {
             self.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Err(ServiceError::Overloaded { depth: self.config.admission.max_queue_depth });
         }
@@ -468,9 +512,11 @@ impl QueryService {
     /// epoch recovery can reproduce.
     pub fn apply_batch(&self, batch: &UpdateBatch) -> Result<u64, PublishError> {
         let mut masters = self.masters.lock();
+        let prev_epoch = masters.graph.version();
         let next_graph = Arc::new(masters.graph.with_batch(batch)?);
         let mut staged_index = (*masters.index).clone();
         let maintenance = staged_index.apply_batch(batch)?;
+        let dirty_set: SubgraphSet = maintenance.dirty_subgraphs.iter().copied().collect();
         let next_index = Arc::new(staged_index);
         let epoch = next_graph.version();
         // Durability before visibility: a batch that cannot be logged
@@ -498,10 +544,29 @@ impl QueryService {
         ));
         masters.graph = next_graph;
         masters.index = next_index;
+        // Selective invalidation: drop only the entries whose trace the batch
+        // dirtied; re-stamp the rest to the new epoch. Running under the
+        // masters lock keeps publishes (and therefore retention passes)
+        // strictly ordered, which the one-epoch-lag rule of
+        // `retain_for_publish` relies on.
+        let mut retained = 0u64;
+        let mut evicted = 0u64;
         for shard in &self.shards {
-            shard.cache.lock().clear();
+            if self.config.cache_survival {
+                let outcome =
+                    shard.resources.cache.lock().retain_for_publish(prev_epoch, epoch, &dirty_set);
+                retained += outcome.retained as u64;
+                evicted += outcome.evicted as u64;
+            } else {
+                let mut cache = shard.resources.cache.lock();
+                evicted += cache.len() as u64;
+                cache.clear();
+            }
         }
         drop(masters);
+        use std::sync::atomic::Ordering::Relaxed;
+        self.metrics.cache_retained.fetch_add(retained, Relaxed);
+        self.metrics.cache_evicted.fetch_add(evicted, Relaxed);
         self.metrics.epochs_published.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Some(job) = checkpoint_job {
             // A full or closed channel only delays the checkpoint; the log
@@ -618,7 +683,7 @@ impl Drop for QueryService {
             }
         }
         for shard in &self.shards {
-            shard.queue.close();
+            shard.resources.queue.close();
         }
         for shard in &mut self.shards {
             if let Some(worker) = shard.worker.take() {
@@ -629,7 +694,11 @@ impl Drop for QueryService {
 }
 
 /// FNV-1a over the request identity; stable routing keeps cache affinity.
-fn route(source: VertexId, target: VertexId, k: usize, num_shards: usize) -> usize {
+///
+/// Public so workload tooling (the skewed-workload experiment, stress tests)
+/// can *construct* skew — query sets that all hash to one shard — without
+/// depending on the hash's internals.
+pub fn route_shard(source: VertexId, target: VertexId, k: usize, num_shards: usize) -> usize {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for part in [source.0 as u64, target.0 as u64, k as u64] {
         h ^= part;
@@ -651,57 +720,132 @@ impl Drop for CloseQueueOnExit<'_> {
     }
 }
 
+/// How long a just-idled worker waits on its own queue before looking for a
+/// steal victim. Short enough that a skew-pinned backlog is relieved within a
+/// fraction of a typical query's service time; long enough that a loaded
+/// worker never pays it.
+const STEAL_POLL: Duration = Duration::from_micros(500);
+
+/// Ceiling of the idle backoff: a worker that keeps finding nothing to do or
+/// steal doubles its poll interval up to this, so a quiescent service costs a
+/// few wakeups per second per worker instead of thousands. Work arriving on
+/// the worker's *own* queue still wakes it immediately (condvar notify); the
+/// backoff only bounds how stale its view of *other* queues can get, and any
+/// successful pop or steal resets it to [`STEAL_POLL`].
+const STEAL_POLL_MAX: Duration = Duration::from_millis(20);
+
 fn shard_main(
     shard_id: usize,
-    queue: &BoundedQueue<Request>,
-    cache: &Mutex<ResultCache>,
+    shards: &[Arc<ShardResources>],
     epoch: &EpochPointer,
     metrics: &ServiceMetrics,
     engine_config: KspDgConfig,
     max_batch: usize,
+    work_stealing: bool,
+) {
+    let own = &shards[shard_id].queue;
+    let _guard = CloseQueueOnExit(own);
+    let mut poll = STEAL_POLL;
+    loop {
+        if !work_stealing {
+            match own.pop_batch(max_batch) {
+                Some(batch) => {
+                    run_batch(shard_id, shard_id, batch, shards, epoch, metrics, engine_config)
+                }
+                None => return,
+            }
+            continue;
+        }
+        match own.pop_batch_timeout(max_batch, poll) {
+            TimedPop::Items(batch) => {
+                poll = STEAL_POLL;
+                run_batch(shard_id, shard_id, batch, shards, epoch, metrics, engine_config)
+            }
+            TimedPop::Closed => return,
+            TimedPop::TimedOut => {
+                if let Some((victim, batch)) = steal_from_deepest(shards, shard_id, max_batch) {
+                    poll = STEAL_POLL;
+                    metrics.shards[shard_id].record_steals(batch.len());
+                    run_batch(shard_id, victim, batch, shards, epoch, metrics, engine_config);
+                } else {
+                    poll = (poll * 2).min(STEAL_POLL_MAX);
+                }
+            }
+        }
+    }
+}
+
+/// Picks the statistically deepest other shard queue — deepest current
+/// backlog, ties broken by the all-time high-water mark (the same signal the
+/// `queue_gauges` export) — and steals up to half of it, capped at one batch.
+/// Taking only half leaves the owner work on its own cache-warm shard instead
+/// of ping-ponging the whole backlog between workers.
+fn steal_from_deepest(
+    shards: &[Arc<ShardResources>],
+    thief: usize,
+    max_batch: usize,
+) -> Option<(usize, Vec<Request>)> {
+    let (victim, depth) = shards
+        .iter()
+        .enumerate()
+        .filter(|&(id, _)| id != thief)
+        .map(|(id, s)| (id, s.queue.depth()))
+        .max_by_key(|&(id, depth)| (depth, shards[id].queue.high_water()))?;
+    if depth == 0 {
+        return None;
+    }
+    let take = depth.div_ceil(2).min(max_batch.max(1));
+    let batch = shards[victim].queue.steal_batch(take)?;
+    Some((victim, batch))
+}
+
+/// Answers one drained batch. `home_shard` owns the queue the batch came from
+/// (and therefore the cache the answers belong in); `executing_shard` is the
+/// worker doing the computing — they differ exactly when the batch was
+/// stolen, and busy time is attributed to the worker that actually ran it.
+fn run_batch(
+    executing_shard: usize,
+    home_shard: usize,
+    batch: Vec<Request>,
+    shards: &[Arc<ShardResources>],
+    epoch: &EpochPointer,
+    metrics: &ServiceMetrics,
+    engine_config: KspDgConfig,
 ) {
     use std::sync::atomic::Ordering::Relaxed;
-    let _guard = CloseQueueOnExit(queue);
-    while let Some(batch) = queue.pop_batch(max_batch) {
-        // One epoch load per batch: every request in the batch is answered
-        // against the same consistent (graph, index) pair.
-        let snapshot = epoch.load();
-        let engine = SharedEngine::with_config(snapshot.index().clone(), engine_config);
-        for request in batch {
-            let started = Instant::now();
-            let key = CacheKey {
-                source: request.source,
-                target: request.target,
-                k: request.k,
-                epoch: snapshot.epoch(),
-            };
-            let cached = {
+    // One epoch load per batch: every request in the batch is answered
+    // against the same consistent (graph, index) pair.
+    let snapshot = epoch.load();
+    let engine = SharedEngine::with_config(snapshot.index().clone(), engine_config);
+    let cache = &shards[home_shard].cache;
+    for request in batch {
+        let started = Instant::now();
+        let key = CacheKey { source: request.source, target: request.target, k: request.k };
+        let cached = {
+            let mut cache = cache.lock();
+            cache.get(&key, snapshot.epoch()).map(<[Path]>::to_vec)
+        };
+        let (paths, stats, cache_hit) = match cached {
+            Some(paths) => (paths, QueryStats::default(), true),
+            None => {
+                let result = engine.query(request.source, request.target, request.k);
                 let mut cache = cache.lock();
-                cache.get(&key).map(<[Path]>::to_vec)
-            };
-            let (paths, stats, cache_hit) = match cached {
-                Some(paths) => (paths, QueryStats::default(), true),
-                None => {
-                    let result = engine.query(request.source, request.target, request.k);
-                    let mut cache = cache.lock();
-                    cache.insert(key, result.paths.clone());
-                    (result.paths, result.stats, false)
-                }
-            };
-            metrics.shards[shard_id].record(started.elapsed());
-            if cache_hit {
-                metrics.cache_hits.fetch_add(1, Relaxed);
-            } else {
-                metrics.cache_misses.fetch_add(1, Relaxed);
+                cache.insert(key, snapshot.epoch(), result.trace, result.paths.clone());
+                (result.paths, result.stats, false)
             }
-            let latency = request.submitted.elapsed();
-            metrics.latency.record(latency);
-            metrics.completed.fetch_add(1, Relaxed);
-            let response =
-                QueryResponse { paths, stats, epoch: snapshot.epoch(), cache_hit, latency };
-            // The client may have given up; a dropped receiver is not an error.
-            let _ = request.reply.send(Ok(response));
+        };
+        metrics.shards[executing_shard].record(started.elapsed());
+        if cache_hit {
+            metrics.cache_hits.fetch_add(1, Relaxed);
+        } else {
+            metrics.cache_misses.fetch_add(1, Relaxed);
         }
+        let latency = request.submitted.elapsed();
+        metrics.latency.record(latency);
+        metrics.completed.fetch_add(1, Relaxed);
+        let response = QueryResponse { paths, stats, epoch: snapshot.epoch(), cache_hit, latency };
+        // The client may have given up; a dropped receiver is not an error.
+        let _ = request.reply.send(Ok(response));
     }
 }
 
@@ -743,7 +887,7 @@ mod tests {
     }
 
     #[test]
-    fn repeated_queries_hit_the_cache_until_publish() {
+    fn repeated_queries_hit_the_cache() {
         let (service, graph) = service(150, 2, 7);
         let (s, t) = (VertexId(1), VertexId(graph.num_vertices() as u32 - 1));
         let cold = service.query(s, t, 2).unwrap();
@@ -755,16 +899,161 @@ mod tests {
             assert_eq!(a.vertices(), b.vertices());
             assert!(a.distance().approx_eq(b.distance()));
         }
+        assert!(service.metrics().cache_hit_rate() > 0.0);
+    }
 
-        // Publishing an epoch invalidates the cache.
-        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.5, 0.4), 11);
-        let epoch = service.apply_batch(&traffic.next_snapshot()).unwrap();
-        assert_eq!(epoch, 1);
+    /// The tentpole behaviour: a publish evicts exactly the entries whose
+    /// trace the batch dirtied. An entry whose answer the batch touched must
+    /// miss afterwards; an entry far away from the dirty set must keep
+    /// hitting, re-stamped to the new epoch.
+    #[test]
+    fn publish_evicts_dirty_entries_and_keeps_disjoint_ones() {
+        use ksp_graph::{Weight, WeightUpdate};
+        let (service, graph) = service(300, 2, 7);
+        let (s, t) = (VertexId(1), VertexId(8));
+        let cold = service.query(s, t, 2).unwrap();
+        assert!(!cold.cache_hit);
+
+        // A batch updating an edge *on* the answer path: its owner subgraph is
+        // necessarily in the query's trace, so the entry must be evicted.
+        let (u, v) = {
+            let verts = cold.paths[0].vertices();
+            (verts[0], verts[1])
+        };
+        let on_path_edge = graph
+            .edge_ids()
+            .find(|&e| {
+                let rec = graph.edge(e);
+                (rec.u == u && rec.v == v) || (rec.u == v && rec.v == u)
+            })
+            .expect("answer path edge exists");
+        let batch = ksp_graph::UpdateBatch::new(vec![WeightUpdate::new(
+            on_path_edge,
+            Weight::new(graph.weight(on_path_edge).value() * 3.0),
+        )]);
+        assert_eq!(service.apply_batch(&batch).unwrap(), 1);
         let after = service.query(s, t, 2).unwrap();
         assert_eq!(after.epoch, 1);
-        assert!(!after.cache_hit, "publish must invalidate cached results");
-        assert!(service.metrics().cache_hit_rate() > 0.0);
-        assert_eq!(service.metrics().epochs_published, 1);
+        assert!(!after.cache_hit, "an entry whose trace was dirtied must be evicted");
+
+        // A batch updating an edge owned by a subgraph outside the cached
+        // entry's trace: the entry must survive the publish and keep
+        // answering, now stamped with the new epoch. The trace of the cached
+        // (epoch-1) entry is recomputed here through the same deterministic
+        // engine the shard worker ran.
+        let snapshot = service.snapshot();
+        let trace = {
+            // Same engine configuration the shard workers run (tracing on).
+            let engine = ksp_core::kspdg::KspDgEngine::with_config(
+                snapshot.index(),
+                service.config().engine,
+            );
+            let result = engine.query(s, t, 2);
+            assert!(result.trace.complete);
+            result.trace.subgraphs
+        };
+        let far_edge = graph
+            .edge_ids()
+            .find(|&e| !trace.contains(snapshot.index().owner_of_edge(e)))
+            .expect("some edge is owned by an untraced subgraph");
+        let far_batch = ksp_graph::UpdateBatch::new(vec![WeightUpdate::new(
+            far_edge,
+            Weight::new(snapshot.graph().weight(far_edge).value() * 2.0),
+        )]);
+        assert_eq!(service.apply_batch(&far_batch).unwrap(), 2);
+        let survived = service.query(s, t, 2).unwrap();
+        assert_eq!(survived.epoch, 2);
+        assert!(survived.cache_hit, "a disjoint publish must not evict the entry");
+        for (a, b) in survived.paths.iter().zip(after.paths.iter()) {
+            assert_eq!(a.vertices(), b.vertices());
+            assert_eq!(a.distance().value().to_bits(), b.distance().value().to_bits());
+        }
+        let report = service.metrics();
+        assert!(report.cache_retained >= 1, "retention must be counted");
+        assert_eq!(report.epochs_published, 2);
+    }
+
+    /// With survival disabled the service behaves exactly like the old
+    /// wholesale-clear design: every publish empties every cache.
+    #[test]
+    fn survival_disabled_clears_wholesale_at_publish() {
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(150))
+            .generate(7)
+            .unwrap()
+            .graph;
+        let mut config = ServiceConfig::new(2, DtlpConfig::new(18, 2));
+        config.cache_survival = false;
+        let service = QueryService::start(graph.clone(), config).unwrap();
+        let (s, t) = (VertexId(1), VertexId(graph.num_vertices() as u32 - 1));
+        service.query(s, t, 2).unwrap();
+        assert!(service.query(s, t, 2).unwrap().cache_hit);
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.1, 0.2), 11);
+        service.apply_batch(&traffic.next_snapshot()).unwrap();
+        let after = service.query(s, t, 2).unwrap();
+        assert!(!after.cache_hit, "wholesale clear must drop every entry");
+        let report = service.metrics();
+        assert_eq!(report.cache_retained, 0);
+        assert!(report.cache_evicted >= 1);
+    }
+
+    /// A single hot (source, target, k) pins all load to one shard under pure
+    /// hash routing; with stealing enabled the idle workers must take some of
+    /// that queue, and the answers must stay correct.
+    #[test]
+    fn idle_shards_steal_from_a_skew_pinned_queue() {
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(250))
+            .generate(23)
+            .unwrap()
+            .graph;
+        let mut config = ServiceConfig::new(4, DtlpConfig::new(18, 2));
+        // A tiny cache forces recomputation, keeping the hot shard busy
+        // enough for its backlog (and therefore steals) to build up.
+        config.cache_capacity = 1;
+        let service = Arc::new(QueryService::start(graph.clone(), config).unwrap());
+
+        // Find a handful of queries that all route to shard 0.
+        let n = graph.num_vertices() as u32;
+        let mut hot: Vec<(VertexId, VertexId)> = Vec::new();
+        's: for a in 0..n {
+            for b in 0..n {
+                if a != b && route_shard(VertexId(a), VertexId(b), 3, 4) == 0 {
+                    hot.push((VertexId(a), VertexId(b)));
+                    if hot.len() == 4 {
+                        break 's;
+                    }
+                }
+            }
+        }
+        let expected: Vec<_> = hot.iter().map(|&(s, t)| yen_ksp(&graph, s, t, 3)).collect();
+
+        std::thread::scope(|scope| {
+            for client in 0..8usize {
+                let service = service.clone();
+                let hot = &hot;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for i in 0..30usize {
+                        let pick = (client + i) % hot.len();
+                        let (s, t) = hot[pick];
+                        let response = match service.query(s, t, 3) {
+                            Ok(r) => r,
+                            Err(ServiceError::Overloaded { .. }) => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        };
+                        assert_eq!(response.paths.len(), expected[pick].len());
+                        for (got, want) in response.paths.iter().zip(expected[pick].iter()) {
+                            assert!(got.distance().approx_eq(want.distance()));
+                        }
+                    }
+                });
+            }
+        });
+
+        let report = service.metrics();
+        assert!(report.steals > 0, "idle shards must have stolen from the hot queue");
+        assert_eq!(report.steals, report.per_shard_steals.iter().sum::<u64>());
+        // The hot shard never steals from itself; thieves are other shards.
+        assert!(report.per_shard_steals.iter().skip(1).any(|&s| s > 0));
     }
 
     #[test]
@@ -1017,8 +1306,8 @@ mod tests {
         for shards in [1usize, 2, 7, 16] {
             for s in 0..20u32 {
                 for t in 0..20u32 {
-                    let a = route(VertexId(s), VertexId(t), 3, shards);
-                    let b = route(VertexId(s), VertexId(t), 3, shards);
+                    let a = route_shard(VertexId(s), VertexId(t), 3, shards);
+                    let b = route_shard(VertexId(s), VertexId(t), 3, shards);
                     assert_eq!(a, b);
                     assert!(a < shards);
                 }
