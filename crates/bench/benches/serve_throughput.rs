@@ -81,6 +81,39 @@ fn bench_serve(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The observability overhead arms: the same closed loop with obs fully
+    // off (the baseline a latency-sensitive deployment would run), at the
+    // default config (spans + flight ring, no SLO triggers), and with an
+    // unmeetable SLO so every request also takes the breach-dump path. The
+    // acceptance bar is <3% qps regression for `disabled` vs `default`
+    // obs-off cost, and <10% with everything firing.
+    let mut group = c.benchmark_group("serve_obs_overhead");
+    group.sample_size(10);
+    type ConfigureArm = fn(&mut ServiceConfig);
+    let arms: [(&str, ConfigureArm); 3] = [
+        ("disabled", |config| config.observability = ksp_obs::ObsConfig::disabled()),
+        ("default", |_| {}),
+        ("slo_storm", |config| config.observability.slo_p99 = Duration::from_nanos(1)),
+    ];
+    for (name, configure) in arms {
+        group.bench_function(name, |b| {
+            let mut config = ServiceConfig::new(4, DtlpConfig::new(40, 2));
+            configure(&mut config);
+            let service = QueryService::start(graph.clone(), config).expect("service start");
+            let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 13);
+            b.iter(|| {
+                let report = run_closed_loop(
+                    &service,
+                    &workload,
+                    Some(&mut traffic),
+                    LoadDriverConfig::new(8, 8).with_updates_every(Duration::from_millis(10)),
+                );
+                std::hint::black_box(report);
+            });
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_serve);

@@ -9,6 +9,7 @@ pub mod ablation;
 pub mod baselines;
 pub mod dtlp;
 pub mod kspdg;
+pub mod obs;
 pub mod persistence;
 pub mod scaling;
 pub mod serve;
@@ -50,6 +51,7 @@ pub fn catalogue() -> Vec<(&'static str, &'static str)> {
         ("serve", "Serving: closed-loop throughput/latency vs shards with live epochs"),
         ("serve_tcp", "Serving: in-proc vs TCP transport, protocol wire-byte cost"),
         ("persistence", "Storage: cold-start-from-checkpoint vs full rebuild, store verify"),
+        ("obs", "Observability: per-stage latency decomposition, interval counters, scrape"),
     ]
 }
 
@@ -86,6 +88,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "serve" => serve::serve_throughput(scale),
         "serve_tcp" => serve::serve_tcp(scale),
         "persistence" => persistence::persistence(scale),
+        "obs" => obs::observability(scale),
         _ => return None,
     };
     Some(tables)

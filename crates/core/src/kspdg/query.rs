@@ -108,6 +108,11 @@ pub struct QueryResult {
     pub stats: QueryStats,
     /// The subgraph dependency set of the answer.
     pub trace: QueryTrace,
+    /// Wall time the engine spent in the survival sweep that certifies the
+    /// trace ([`Duration::ZERO`](std::time::Duration::ZERO) when tracing is
+    /// off or the sweep was skipped). The serving layer reports this as its
+    /// own span stage, separate from the filter/refine run.
+    pub sweep_time: std::time::Duration,
 }
 
 impl QueryResult {
@@ -150,7 +155,12 @@ impl<'a> KspDgEngine<'a> {
             // The trivial path has no edges: it depends on no subgraph at all,
             // so the empty trace is trivially complete.
             trace.complete = true;
-            return QueryResult { paths: vec![Path::trivial(source)], stats, trace };
+            return QueryResult {
+                paths: vec![Path::trivial(source)],
+                stats,
+                trace,
+                sweep_time: std::time::Duration::ZERO,
+            };
         }
 
         // Filter-step search structure: the skeleton graph with the query endpoints
@@ -217,6 +227,7 @@ impl<'a> KspDgEngine<'a> {
             stats.partial_cache_hits = cache.hits();
         }
 
+        let mut sweep_time = std::time::Duration::ZERO;
         if self.config.collect_trace && !capped {
             // Survival sweep (see [`QueryTrace`]): with a full answer, record
             // every subgraph whose boundary lies within the k-th distance of
@@ -227,14 +238,16 @@ impl<'a> KspDgEngine<'a> {
             // weight updates cannot create new simple paths, so no sweep is
             // needed.
             if results.len() >= k {
+                let sweep_started = std::time::Instant::now();
                 let bound = results[k - 1].distance();
                 for v in dijkstra_settled_within(&overlay, source, bound) {
                     trace.subgraphs.extend(self.index.subgraphs_of_vertex(v).iter().copied());
                 }
+                sweep_time = sweep_started.elapsed();
             }
             trace.complete = true;
         }
-        QueryResult { paths: results, stats, trace }
+        QueryResult { paths: results, stats, trace, sweep_time }
     }
 
     /// Builds the overlay view attaching non-boundary endpoints to the skeleton,

@@ -59,6 +59,7 @@ impl KspDgEngine<'_> {
 
         let mut combined: Vec<Path> = vec![Path::trivial(source)];
         let mut stats = QueryStats::default();
+        let mut sweep_time = std::time::Duration::ZERO;
         // The composed answer depends on the union of the legs' dependencies,
         // and is certified only if every leg is. (The composition itself adds
         // no subgraph reads: joining is pure path arithmetic.)
@@ -68,8 +69,9 @@ impl KspDgEngine<'_> {
             accumulate(&mut stats, &result.stats);
             trace.subgraphs.union_with(&result.trace.subgraphs);
             trace.complete &= result.trace.complete;
+            sweep_time += result.sweep_time;
             if result.paths.is_empty() {
-                return QueryResult { paths: Vec::new(), stats, trace };
+                return QueryResult { paths: Vec::new(), stats, trace, sweep_time };
             }
             let mut next = Vec::with_capacity(combined.len() * result.paths.len());
             for left in &combined {
@@ -81,11 +83,11 @@ impl KspDgEngine<'_> {
             }
             keep_k_shortest(&mut next, k);
             if next.is_empty() {
-                return QueryResult { paths: Vec::new(), stats, trace };
+                return QueryResult { paths: Vec::new(), stats, trace, sweep_time };
             }
             combined = next;
         }
-        QueryResult { paths: combined, stats, trace }
+        QueryResult { paths: combined, stats, trace, sweep_time }
     }
 
     /// Diversity-limited KSP query: up to `k` paths from `source` to `target` such that
@@ -120,7 +122,12 @@ impl KspDgEngine<'_> {
                 selected.push(candidate.clone());
             }
         }
-        QueryResult { paths: selected, stats: base.stats, trace: base.trace }
+        QueryResult {
+            paths: selected,
+            stats: base.stats,
+            trace: base.trace,
+            sweep_time: base.sweep_time,
+        }
     }
 }
 

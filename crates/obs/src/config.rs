@@ -1,0 +1,43 @@
+//! Observability configuration.
+
+use std::time::Duration;
+
+/// Knobs for the observability layer; lives inside the service configuration
+/// (and therefore stays `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record per-request span chains and per-stage histograms. When `false`,
+    /// requests carry a disabled span and every stage mark is a single
+    /// branch; the flight recorder still captures service-level events
+    /// (publishes, checkpoints, recovery), which are far off the per-request
+    /// hot path.
+    pub enabled: bool,
+    /// Capacity of the flight-recorder ring, in events. Memory is bounded by
+    /// `capacity` fixed-size slots regardless of event volume.
+    pub flight_capacity: usize,
+    /// Per-request latency SLO: a completed request slower than this triggers
+    /// a flight dump carrying the offending request's span chain.
+    /// [`Duration::ZERO`] disables the trigger.
+    pub slo_p99: Duration,
+    /// An epoch publish slower than this triggers a flight dump.
+    /// [`Duration::ZERO`] disables the trigger.
+    pub publish_stall: Duration,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            flight_capacity: 256,
+            slo_p99: Duration::ZERO,
+            publish_stall: Duration::from_millis(250),
+        }
+    }
+}
+
+impl ObsConfig {
+    /// A configuration with per-request instrumentation off.
+    pub fn disabled() -> Self {
+        ObsConfig { enabled: false, ..ObsConfig::default() }
+    }
+}

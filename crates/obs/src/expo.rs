@@ -1,0 +1,175 @@
+//! Prometheus text exposition format rendering for [`ObsSnapshot`].
+//!
+//! The output follows the text-based exposition format version 0.0.4:
+//! `# TYPE` comments, cumulative `_bucket{le=...}` histogram series with an
+//! explicit `+Inf` bucket, `_sum` in seconds, `_count`, and one sample per
+//! line. Latency histograms keep this crate's log₂-microsecond buckets,
+//! converted to seconds for the `le` bounds.
+
+use crate::histogram::bucket_upper_micros;
+use crate::snapshot::ObsSnapshot;
+use crate::HistogramSnapshot;
+use std::fmt::Write;
+
+/// The metric family per-stage histograms are rendered under, with a
+/// `stage="..."` label per stage.
+pub const STAGE_FAMILY: &str = "ksp_stage_duration_seconds";
+
+/// The metric family of the end-to-end latency histogram.
+pub const E2E_FAMILY: &str = "ksp_request_duration_seconds";
+
+/// Renders a snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &ObsSnapshot) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+
+    let mut last_family = "";
+    for c in &snapshot.counters {
+        if c.name != last_family {
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            last_family = &c.name;
+        }
+        let _ = writeln!(out, "{}{} {}", c.name, braced(&c.labels), c.value);
+    }
+    let mut last_family = "";
+    for g in &snapshot.gauges {
+        if g.name != last_family {
+            let _ = writeln!(out, "# TYPE {} gauge", g.name);
+            last_family = &g.name;
+        }
+        let _ = writeln!(out, "{}{} {}", g.name, braced(&g.labels), fmt_f64(g.value));
+    }
+
+    let _ = writeln!(out, "# TYPE {STAGE_FAMILY} histogram");
+    for s in &snapshot.stages {
+        let label = format!("stage=\"{}\"", s.stage.name());
+        render_histogram(&mut out, STAGE_FAMILY, &label, &s.histogram);
+    }
+    let _ = writeln!(out, "# TYPE {E2E_FAMILY} histogram");
+    render_histogram(&mut out, E2E_FAMILY, "", &snapshot.end_to_end);
+
+    out
+}
+
+/// Renders one histogram's `_bucket`/`_sum`/`_count` series. Buckets above
+/// the largest non-empty one are elided (they would repeat the same
+/// cumulative count the `+Inf` bucket already carries).
+fn render_histogram(out: &mut String, family: &str, labels: &str, h: &HistogramSnapshot) {
+    let last_used = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+    let mut cumulative = 0u64;
+    for (i, count) in h.buckets.iter().take(last_used).enumerate() {
+        cumulative += count;
+        let le = bucket_upper_micros(i) as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "{family}_bucket{} {cumulative}",
+            braced(&join(labels, &format!("le=\"{}\"", fmt_f64(le))))
+        );
+    }
+    let _ = writeln!(out, "{family}_bucket{} {}", braced(&join(labels, "le=\"+Inf\"")), h.count);
+    let _ =
+        writeln!(out, "{family}_sum{} {}", braced(labels), fmt_f64(h.total_micros as f64 / 1e6));
+    let _ = writeln!(out, "{family}_count{} {}", braced(labels), h.count);
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn join(a: &str, b: &str) -> String {
+    if a.is_empty() {
+        b.to_string()
+    } else {
+        format!("{a},{b}")
+    }
+}
+
+/// Prometheus floats: decimal, no exponent surprises for the magnitudes we
+/// emit, trailing zeros trimmed.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.9}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Counter, Gauge, StageSnapshot};
+    use crate::span::{SpanChain, StageHistograms};
+    use crate::Stage;
+
+    fn sample_snapshot() -> ObsSnapshot {
+        let stages = StageHistograms::new();
+        stages.record_chain(&SpanChain { micros: [1, 5, 0, 2, 900, 40, 1], stolen: false });
+        stages.record_chain(&SpanChain { micros: [2, 0, 9, 1, 0, 0, 1], stolen: true });
+        let e2e = crate::LatencyHistogram::default();
+        e2e.record_micros(949);
+        e2e.record_micros(13);
+        ObsSnapshot {
+            stages: stages
+                .snapshot()
+                .into_iter()
+                .map(|(stage, histogram)| StageSnapshot { stage, histogram })
+                .collect(),
+            end_to_end: e2e.snapshot(),
+            counters: vec![
+                Counter {
+                    name: "ksp_requests_completed_total".into(),
+                    labels: String::new(),
+                    value: 2,
+                },
+                Counter { name: "ksp_steals_total".into(), labels: "shard=\"1\"".into(), value: 1 },
+            ],
+            gauges: vec![Gauge {
+                name: "ksp_epoch_age_seconds".into(),
+                labels: String::new(),
+                value: 0.125,
+            }],
+            dump: None,
+        }
+    }
+
+    #[test]
+    fn renders_every_family_and_stage() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE ksp_requests_completed_total counter"));
+        assert!(text.contains("ksp_requests_completed_total 2"));
+        assert!(text.contains("ksp_steals_total{shard=\"1\"} 1"));
+        assert!(text.contains("# TYPE ksp_epoch_age_seconds gauge"));
+        assert!(text.contains("ksp_epoch_age_seconds 0.125"));
+        assert!(text.contains("# TYPE ksp_stage_duration_seconds histogram"));
+        for stage in Stage::ALL {
+            assert!(
+                text.contains(&format!("stage=\"{}\"", stage.name())),
+                "missing stage family for {}",
+                stage.name()
+            );
+        }
+        assert!(text.contains("ksp_request_duration_seconds_count 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_capped_by_inf() {
+        let text = render_prometheus(&sample_snapshot());
+        // The end-to-end histogram holds observations at 13 µs and 949 µs:
+        // the +Inf bucket must report both.
+        let inf = text
+            .lines()
+            .find(|l| l.starts_with("ksp_request_duration_seconds_bucket{le=\"+Inf\"}"))
+            .expect("+Inf bucket");
+        assert!(inf.ends_with(" 2"), "cumulative +Inf bucket: {inf}");
+        // Sum is in seconds.
+        let sum = text
+            .lines()
+            .find(|l| l.starts_with("ksp_request_duration_seconds_sum"))
+            .expect("sum line");
+        assert!(sum.ends_with("0.000962"), "sum in seconds: {sum}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-request span chains and their per-stage aggregation.
+//!
+//! A [`RequestSpan`] rides inside the service's request object and is stamped
+//! at each stage boundary with microseconds-since-submission from one
+//! monotonic origin. [`RequestSpan::finish`] turns the cumulative stamps into
+//! per-stage durations by differencing, so the durations *telescope*: their
+//! sum is exactly the final stamp, which the service also records as the
+//! request's end-to-end latency. Per-stage histogram totals therefore sum to
+//! the end-to-end histogram total to the microsecond.
+//!
+//! A disabled span is `None` inside: every mark is one branch, no clock
+//! reads, no allocation.
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::stage::Stage;
+use std::time::{Duration, Instant};
+
+/// Live stamp state of an enabled span. Stamps are cumulative microseconds
+/// since `origin`.
+#[derive(Debug, Clone, Copy)]
+struct SpanState {
+    origin: Instant,
+    enqueued: u64,
+    dequeued: u64,
+    cache_done: u64,
+    engine_done: u64,
+    sweep_micros: u64,
+    stolen: bool,
+}
+
+/// The per-request stage clock. Create one per request with
+/// [`RequestSpan::begin_at`]; mark stage boundaries as the request moves
+/// through the service; [`finish`](RequestSpan::finish) yields the
+/// [`SpanChain`].
+#[derive(Debug, Clone, Copy)]
+pub struct RequestSpan {
+    inner: Option<SpanState>,
+}
+
+impl RequestSpan {
+    /// A span that records nothing; every mark is a single branch.
+    pub fn disabled() -> RequestSpan {
+        RequestSpan { inner: None }
+    }
+
+    /// Starts a span whose stamps are measured from `origin` — pass the same
+    /// instant used for the request's end-to-end latency so the stage
+    /// durations telescope to it.
+    pub fn begin_at(origin: Instant, enabled: bool) -> RequestSpan {
+        RequestSpan {
+            inner: enabled.then_some(SpanState {
+                origin,
+                enqueued: 0,
+                dequeued: 0,
+                cache_done: 0,
+                engine_done: 0,
+                sweep_micros: 0,
+                stolen: false,
+            }),
+        }
+    }
+
+    /// Whether this span is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn stamp(origin: Instant) -> u64 {
+        origin.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Marks the end of admission: the request is about to enter its home
+    /// queue.
+    pub fn mark_enqueued(&mut self) {
+        if let Some(s) = &mut self.inner {
+            s.enqueued = Self::stamp(s.origin);
+        }
+    }
+
+    /// Marks the start of processing by a worker; `stolen` says whether the
+    /// executing worker drained it from another shard's queue.
+    pub fn mark_dequeued(&mut self, stolen: bool) {
+        if let Some(s) = &mut self.inner {
+            s.dequeued = Self::stamp(s.origin);
+            s.stolen = stolen;
+        }
+    }
+
+    /// Marks the end of the result-cache lookup.
+    pub fn mark_cache_done(&mut self) {
+        if let Some(s) = &mut self.inner {
+            s.cache_done = Self::stamp(s.origin);
+        }
+    }
+
+    /// Marks the end of the engine run; `sweep` is the portion the engine
+    /// spent in the survival sweep (zero on a cache hit).
+    pub fn mark_engine_done(&mut self, sweep: Duration) {
+        if let Some(s) = &mut self.inner {
+            s.engine_done = Self::stamp(s.origin);
+            s.sweep_micros = sweep.as_micros().min(u64::MAX as u128) as u64;
+        }
+    }
+
+    /// Takes the final stamp and converts the chain into per-stage durations.
+    /// Returns the chain plus the end-to-end duration (`== chain.total()`),
+    /// or `None` for a disabled span.
+    pub fn finish(&self) -> Option<(SpanChain, Duration)> {
+        let s = self.inner.as_ref()?;
+        let end = Self::stamp(s.origin);
+        // Clamp each boundary to be monotone, then difference. The sum of
+        // differences telescopes to `end` exactly.
+        let enqueued = s.enqueued.min(end);
+        let dequeued = s.dequeued.clamp(enqueued, end);
+        let cache_done = s.cache_done.clamp(dequeued, end);
+        let engine_done = s.engine_done.clamp(cache_done, end);
+        let mut micros = [0u64; Stage::COUNT];
+        micros[Stage::Admission.index()] = enqueued;
+        let wait = dequeued - enqueued;
+        if s.stolen {
+            micros[Stage::Steal.index()] = wait;
+        } else {
+            micros[Stage::Queue.index()] = wait;
+        }
+        micros[Stage::Cache.index()] = cache_done - dequeued;
+        let engine = engine_done - cache_done;
+        let sweep = s.sweep_micros.min(engine);
+        micros[Stage::Engine.index()] = engine - sweep;
+        micros[Stage::TraceSweep.index()] = sweep;
+        micros[Stage::Reply.index()] = end - engine_done;
+        Some((SpanChain { micros, stolen: s.stolen }, Duration::from_micros(end)))
+    }
+}
+
+/// A finished request's per-stage durations, in microseconds, indexed by
+/// [`Stage::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanChain {
+    /// Duration of each stage, microseconds.
+    pub micros: [u64; Stage::COUNT],
+    /// Whether the request was served by a thief worker.
+    pub stolen: bool,
+}
+
+impl SpanChain {
+    /// Total duration across all stages — the request's end-to-end latency in
+    /// microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.micros.iter().sum()
+    }
+
+    /// Duration of one stage.
+    pub fn stage(&self, stage: Stage) -> Duration {
+        Duration::from_micros(self.micros[stage.index()])
+    }
+}
+
+/// One [`LatencyHistogram`] per stage; the aggregation target of finished
+/// span chains.
+#[derive(Debug, Default)]
+pub struct StageHistograms {
+    hists: [LatencyHistogram; Stage::COUNT],
+}
+
+impl StageHistograms {
+    /// Creates empty per-stage histograms.
+    pub fn new() -> Self {
+        StageHistograms::default()
+    }
+
+    /// Folds one finished chain in. Every stage of the chain is recorded
+    /// except the unused member of the Queue/Steal pair, so
+    /// `count(queue) + count(steal) == count(admission)` and the steal
+    /// histogram's count equals the number of stolen requests.
+    pub fn record_chain(&self, chain: &SpanChain) {
+        for stage in Stage::ALL {
+            match stage {
+                Stage::Steal if !chain.stolen => continue,
+                Stage::Queue if chain.stolen => continue,
+                _ => {}
+            }
+            self.hists[stage.index()].record_micros(chain.micros[stage.index()]);
+        }
+    }
+
+    /// The live histogram of one stage.
+    pub fn stage(&self, stage: Stage) -> &LatencyHistogram {
+        &self.hists[stage.index()]
+    }
+
+    /// Snapshots every stage histogram, in [`Stage::ALL`] order.
+    pub fn snapshot(&self) -> Vec<(Stage, HistogramSnapshot)> {
+        Stage::ALL.iter().map(|&s| (s, self.hists[s.index()].snapshot())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let mut span = RequestSpan::disabled();
+        assert!(!span.is_enabled());
+        span.mark_enqueued();
+        span.mark_dequeued(false);
+        span.mark_cache_done();
+        span.mark_engine_done(Duration::from_micros(5));
+        assert!(span.finish().is_none());
+    }
+
+    #[test]
+    fn chain_telescopes_to_the_end_to_end_latency() {
+        let origin = Instant::now();
+        let mut span = RequestSpan::begin_at(origin, true);
+        span.mark_enqueued();
+        std::thread::sleep(Duration::from_millis(2));
+        span.mark_dequeued(false);
+        span.mark_cache_done();
+        std::thread::sleep(Duration::from_millis(1));
+        span.mark_engine_done(Duration::from_micros(200));
+        let (chain, total) = span.finish().expect("enabled span finishes");
+        assert_eq!(chain.total_micros(), total.as_micros() as u64);
+        assert!(chain.stage(Stage::Queue) >= Duration::from_millis(2));
+        assert_eq!(chain.micros[Stage::Steal.index()], 0);
+        assert_eq!(chain.stage(Stage::TraceSweep), Duration::from_micros(200));
+        assert!(chain.stage(Stage::Engine) >= Duration::from_micros(800));
+    }
+
+    #[test]
+    fn stolen_wait_lands_in_the_steal_stage() {
+        let origin = Instant::now();
+        let mut span = RequestSpan::begin_at(origin, true);
+        span.mark_enqueued();
+        std::thread::sleep(Duration::from_millis(1));
+        span.mark_dequeued(true);
+        span.mark_cache_done();
+        span.mark_engine_done(Duration::ZERO);
+        let (chain, _) = span.finish().unwrap();
+        assert!(chain.stolen);
+        assert_eq!(chain.micros[Stage::Queue.index()], 0);
+        assert!(chain.stage(Stage::Steal) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stage_histograms_partition_queue_and_steal_counts() {
+        let hists = StageHistograms::new();
+        let stolen = SpanChain { micros: [1, 0, 7, 2, 100, 10, 1], stolen: true };
+        let queued = SpanChain { micros: [1, 5, 0, 2, 100, 10, 1], stolen: false };
+        hists.record_chain(&stolen);
+        hists.record_chain(&queued);
+        hists.record_chain(&queued);
+        assert_eq!(hists.stage(Stage::Admission).count(), 3);
+        assert_eq!(hists.stage(Stage::Queue).count(), 2);
+        assert_eq!(hists.stage(Stage::Steal).count(), 1);
+        let snap = hists.snapshot();
+        assert_eq!(snap.len(), Stage::COUNT);
+        let total: u64 = snap.iter().map(|(_, h)| h.total_micros).sum();
+        assert_eq!(total, stolen.total_micros() + 2 * queued.total_micros());
+    }
+}

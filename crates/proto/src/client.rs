@@ -202,6 +202,26 @@ impl<T: Transport> KspClient<T> {
         }
     }
 
+    /// Fetches a full observability snapshot — per-stage latency histograms,
+    /// the end-to-end histogram, counters/gauges and the latest
+    /// flight-recorder dump — validated back into the `ksp-obs` types.
+    pub fn obs_snapshot(&mut self) -> Result<ksp_obs::ObsSnapshot, ClientError> {
+        match self.call(Request::ObsSnapshot)? {
+            Response::ObsSnapshot(wire) => wire.into_snapshot().map_err(|_| {
+                ClientError::UnexpectedResponse { expected: "a well-formed ObsSnapshot" }
+            }),
+            _ => Err(ClientError::UnexpectedResponse { expected: "ObsSnapshot" }),
+        }
+    }
+
+    /// Scrapes the server's metrics in the Prometheus text exposition format:
+    /// one `ObsSnapshot` round trip rendered client-side with
+    /// [`ksp_obs::render_prometheus`] — byte-identical to what the server
+    /// renders locally.
+    pub fn scrape_text(&mut self) -> Result<String, ClientError> {
+        Ok(ksp_obs::render_prometheus(&self.obs_snapshot()?))
+    }
+
     /// Physical communication cost so far (zero for in-process transports).
     pub fn stats(&self) -> TransportStats {
         self.transport.stats()

@@ -7,7 +7,9 @@
 //!
 //! * [`message`] — the **operator surface** as data: [`Request`] / [`Response`]
 //!   enums covering single queries, pipelined multi-query batches, epoch
-//!   publication (`ApplyBatch`), metrics scraping, checkpointing and the
+//!   publication (`ApplyBatch`), metrics scraping, observability snapshots
+//!   (`ObsSnapshot`, with [`obs`] carrying the wire mirrors of `ksp-obs`'s
+//!   per-stage histograms and flight dumps), checkpointing and the
 //!   `Ping` version handshake. Payloads are encoded with the same
 //!   [`StoreCodec`](ksp_store::StoreCodec) discipline as the on-disk
 //!   checkpoint format: little-endian, length-validated counts, floats as raw
@@ -54,6 +56,7 @@
 pub mod client;
 pub mod frame;
 pub mod message;
+pub mod obs;
 pub mod shard;
 pub mod transport;
 
@@ -62,6 +65,10 @@ pub use frame::{FrameError, FrameKind, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_
 pub use message::{
     ErrorReply, QueryAnswer, QueryKey, QueryOutcome, Request, Response, WireMetrics, WirePath,
     WireQueryStats, WireQueueGauge, PROTOCOL_VERSION,
+};
+pub use obs::{
+    WireCounter, WireFlightDump, WireGauge, WireHistogram, WireObsEvent, WireObsSnapshot,
+    WireSpanChain, WireStageHistogram,
 };
 pub use shard::{LowerBoundDelta, PairPaths, ShardTuple};
 pub use transport::{TcpTransport, Transport, TransportError, TransportStats};

@@ -88,6 +88,11 @@ pub enum Request {
     Metrics,
     /// Synchronously checkpoint the current epoch (persistent services only).
     CheckpointNow,
+    /// A full observability snapshot: per-stage latency histograms, counters,
+    /// gauges and the latest flight-recorder dump (appended under
+    /// `PROTOCOL_VERSION` 1; an older server answers with a typed
+    /// [`ErrorReply::Malformed`] for the unknown tag).
+    ObsSnapshot,
 }
 
 const REQ_PING: u8 = 0;
@@ -96,6 +101,7 @@ const REQ_QUERY_BATCH: u8 = 2;
 const REQ_APPLY_BATCH: u8 = 3;
 const REQ_METRICS: u8 = 4;
 const REQ_CHECKPOINT_NOW: u8 = 5;
+const REQ_OBS_SNAPSHOT: u8 = 6;
 
 impl StoreCodec for Request {
     fn encode(&self, w: &mut Writer) {
@@ -118,6 +124,7 @@ impl StoreCodec for Request {
             }
             Request::Metrics => w.put_u8(REQ_METRICS),
             Request::CheckpointNow => w.put_u8(REQ_CHECKPOINT_NOW),
+            Request::ObsSnapshot => w.put_u8(REQ_OBS_SNAPSHOT),
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -128,6 +135,7 @@ impl StoreCodec for Request {
             REQ_APPLY_BATCH => Ok(Request::ApplyBatch(UpdateBatch::decode(r)?)),
             REQ_METRICS => Ok(Request::Metrics),
             REQ_CHECKPOINT_NOW => Ok(Request::CheckpointNow),
+            REQ_OBS_SNAPSHOT => Ok(Request::ObsSnapshot),
             tag => Err(CodecError::InvalidTag { what: "Request", tag }),
         }
     }
@@ -511,6 +519,10 @@ pub struct WireMetrics {
     /// Cache entries dropped at epoch publishes (appended under
     /// `PROTOCOL_VERSION` 1).
     pub cache_evicted: u64,
+    /// Milliseconds since the last epoch publish when the snapshot was taken
+    /// — the staleness gauge a freshness SLO watches (appended under
+    /// `PROTOCOL_VERSION` 1, after `cache_evicted`).
+    pub epoch_age_ms: u64,
 }
 
 impl WireMetrics {
@@ -547,6 +559,7 @@ impl StoreCodec for WireMetrics {
         w.put_u64(self.steals);
         w.put_u64(self.cache_retained);
         w.put_u64(self.cache_evicted);
+        w.put_u64(self.epoch_age_ms);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let mut metrics = WireMetrics {
@@ -564,17 +577,26 @@ impl StoreCodec for WireMetrics {
             steals: 0,
             cache_retained: 0,
             cache_evicted: 0,
+            epoch_age_ms: 0,
         };
-        // Tolerant-tail decode of the appended counters: a payload from a v1
-        // build that predates them simply ends here, and the counters read as
+        // Tolerant-tail decode of the appended fields: each one is guarded
+        // individually, so a payload from a v1 build that predates *any*
+        // suffix of them simply ends there, and the missing fields read as
         // zero. (WireMetrics is always the final value of its enclosing
         // message, so "no bytes left" is unambiguous.) The reverse direction
         // — an old decoder rejecting the longer payload as trailing bytes —
         // is what the v2 negotiation item on the roadmap exists for.
         if !r.is_exhausted() {
             metrics.steals = r.get_u64()?;
+        }
+        if !r.is_exhausted() {
             metrics.cache_retained = r.get_u64()?;
+        }
+        if !r.is_exhausted() {
             metrics.cache_evicted = r.get_u64()?;
+        }
+        if !r.is_exhausted() {
+            metrics.epoch_age_ms = r.get_u64()?;
         }
         Ok(metrics)
     }
@@ -609,6 +631,9 @@ pub enum Response {
         /// The checkpointed epoch, when the service persists one.
         epoch: Option<u64>,
     },
+    /// The observability snapshot answering a [`Request::ObsSnapshot`]
+    /// (appended under `PROTOCOL_VERSION` 1).
+    ObsSnapshot(crate::obs::WireObsSnapshot),
     /// The request failed; see the carried [`ErrorReply`].
     Error(ErrorReply),
 }
@@ -620,6 +645,7 @@ const RESP_APPLY_BATCH: u8 = 3;
 const RESP_METRICS: u8 = 4;
 const RESP_CHECKPOINT_NOW: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_OBS_SNAPSHOT: u8 = 7;
 
 impl StoreCodec for Response {
     fn encode(&self, w: &mut Writer) {
@@ -656,6 +682,10 @@ impl StoreCodec for Response {
                     None => w.put_u8(0),
                 }
             }
+            Response::ObsSnapshot(snapshot) => {
+                w.put_u8(RESP_OBS_SNAPSHOT);
+                snapshot.encode(w);
+            }
             Response::Error(e) => {
                 w.put_u8(RESP_ERROR);
                 e.encode(w);
@@ -681,6 +711,7 @@ impl StoreCodec for Response {
                 };
                 Ok(Response::CheckpointNow { epoch })
             }
+            RESP_OBS_SNAPSHOT => Ok(Response::ObsSnapshot(crate::obs::WireObsSnapshot::decode(r)?)),
             RESP_ERROR => Ok(Response::Error(ErrorReply::decode(r)?)),
             tag => Err(CodecError::InvalidTag { what: "Response", tag }),
         }
@@ -708,6 +739,7 @@ mod tests {
             ])),
             Request::Metrics,
             Request::CheckpointNow,
+            Request::ObsSnapshot,
         ];
         for request in requests {
             let decoded = Request::from_bytes(&request.to_bytes()).unwrap();
@@ -740,10 +772,19 @@ mod tests {
                 steals: 7,
                 cache_retained: 21,
                 cache_evicted: 4,
+                epoch_age_ms: 350,
                 ..Default::default()
             }),
             Response::CheckpointNow { epoch: Some(12) },
             Response::CheckpointNow { epoch: None },
+            Response::ObsSnapshot(crate::obs::WireObsSnapshot {
+                counters: vec![crate::obs::WireCounter {
+                    name: "ksp_requests_completed_total".to_string(),
+                    labels: String::new(),
+                    value: 11,
+                }],
+                ..Default::default()
+            }),
             Response::Error(ErrorReply::UnsupportedVersion { server: 1, client: 99 }),
         ];
         for response in responses {
@@ -788,10 +829,12 @@ mod tests {
 
     #[test]
     fn appended_metrics_counters_round_trip() {
-        // The steal/retention counters were appended under PROTOCOL_VERSION 1
-        // (after `queue_gauges`, append-only): they must survive the wire
-        // exactly, including at the extremes and alongside populated gauges.
-        for (steals, retained, evicted) in [(0u64, 0u64, 0u64), (1, 2, 3), (u64::MAX, 7, u64::MAX)]
+        // The steal/retention counters and the epoch-age gauge were appended
+        // under PROTOCOL_VERSION 1 (after `queue_gauges`, append-only): they
+        // must survive the wire exactly, including at the extremes and
+        // alongside populated gauges.
+        for (steals, retained, evicted, age) in
+            [(0u64, 0u64, 0u64, 0u64), (1, 2, 3, 4), (u64::MAX, 7, u64::MAX, 12_000)]
         {
             let metrics = WireMetrics {
                 completed: 100,
@@ -804,6 +847,7 @@ mod tests {
                 steals,
                 cache_retained: retained,
                 cache_evicted: evicted,
+                epoch_age_ms: age,
                 ..Default::default()
             };
             let decoded = WireMetrics::from_bytes(&metrics.to_bytes()).unwrap();
@@ -811,17 +855,23 @@ mod tests {
             assert_eq!(decoded.steals, steals);
             assert_eq!(decoded.cache_retained, retained);
             assert_eq!(decoded.cache_evicted, evicted);
+            assert_eq!(decoded.epoch_age_ms, age);
 
-            // A payload from a v1 build that predates the appended counters
-            // (the same bytes minus the 24-byte tail) must still decode, with
-            // the counters reading as zero.
+            // Each appended field is guarded individually: a payload cut
+            // after any prefix of the tail still decodes, with the missing
+            // fields reading as zero. 0 fields cut = full tail; 4 = a payload
+            // from a v1 build that predates all of them.
             let bytes = metrics.to_bytes();
-            let legacy = WireMetrics::from_bytes(&bytes[..bytes.len() - 24]).unwrap();
-            assert_eq!(legacy.completed, metrics.completed);
-            assert_eq!(legacy.queue_gauges, metrics.queue_gauges);
-            assert_eq!(legacy.steals, 0);
-            assert_eq!(legacy.cache_retained, 0);
-            assert_eq!(legacy.cache_evicted, 0);
+            for fields_cut in 0..=4usize {
+                let cut = bytes.len() - 8 * fields_cut;
+                let legacy = WireMetrics::from_bytes(&bytes[..cut]).unwrap();
+                assert_eq!(legacy.completed, metrics.completed);
+                assert_eq!(legacy.queue_gauges, metrics.queue_gauges);
+                assert_eq!(legacy.steals, if fields_cut >= 4 { 0 } else { steals });
+                assert_eq!(legacy.cache_retained, if fields_cut >= 3 { 0 } else { retained });
+                assert_eq!(legacy.cache_evicted, if fields_cut >= 2 { 0 } else { evicted });
+                assert_eq!(legacy.epoch_age_ms, if fields_cut >= 1 { 0 } else { age });
+            }
         }
     }
 

@@ -19,7 +19,7 @@
 //!   [`WireLoadReport`] carries the transport's physical byte counters — so
 //!   an experiment can price the protocol by running both and diffing.
 
-use crate::metrics::MetricsReport;
+use crate::metrics::{MetricsDelta, MetricsReport};
 use crate::service::{QueryService, ServiceError};
 use ksp_proto::{KspClient, Transport, TransportStats, WireMetrics};
 use ksp_workload::{QueryWorkload, TrafficModel};
@@ -63,8 +63,14 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Epochs published during the run.
     pub epochs_published: u64,
-    /// Service metrics snapshot taken at the end of the run.
+    /// Service metrics snapshot taken at the end of the run. Counters are
+    /// cumulative since service boot, not since the run started — use
+    /// [`LoadReport::delta`] for what this run contributed.
     pub metrics: MetricsReport,
+    /// The counter increments attributable to this run: the end-of-run report
+    /// differenced against the start-of-run report with
+    /// [`MetricsReport::delta_since`].
+    pub delta: MetricsDelta,
 }
 
 impl LoadReport {
@@ -95,7 +101,7 @@ pub fn run_closed_loop(
         assert!(traffic.is_some(), "update cadence set but no traffic model provided");
     }
 
-    let epochs_before = service.metrics().epochs_published;
+    let before = service.metrics();
     let completed = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
     // Unexpected errors are counted (not panicked on inside the scope): a
@@ -180,12 +186,14 @@ pub fn run_closed_loop(
     }
 
     let metrics = service.metrics();
+    let delta = metrics.delta_since(&before);
     LoadReport {
         completed: completed.into_inner(),
         rejected: rejected.into_inner(),
         elapsed: started.elapsed(),
-        epochs_published: metrics.epochs_published - epochs_before,
+        epochs_published: delta.epochs_published,
         metrics,
+        delta,
     }
 }
 
@@ -348,7 +356,7 @@ where
         completed: completed.into_inner(),
         rejected: rejected.into_inner(),
         elapsed,
-        epochs_published: metrics.epochs_published - epochs_before,
+        epochs_published: metrics.epochs_published.saturating_sub(epochs_before),
         wire,
         metrics,
     }
@@ -384,6 +392,12 @@ mod tests {
             report.metrics.cache_hits + report.metrics.cache_misses,
             report.completed as u64
         );
+        // The run's delta matches the driver's own accounting: nothing else
+        // was loading the service, so the interval increments are the run.
+        assert_eq!(report.delta.completed, report.completed as u64);
+        assert_eq!(report.delta.rejected, report.rejected as u64);
+        assert_eq!(report.delta.epochs_published, 0);
+        assert_eq!(report.delta.cache_hits + report.delta.cache_misses, report.delta.completed);
     }
 
     #[test]

@@ -29,7 +29,20 @@
 //! * [`metrics`] — lock-free latency histograms (p50/p95/p99), cache hit rate,
 //!   retention/steal counters, and per-shard busy accounting exported through
 //!   `ksp-cluster`'s [`ServerLoad`](ksp_cluster::ServerLoad) so the
-//!   Section 6.6 load-balance reporting applies to service shards.
+//!   Section 6.6 load-balance reporting applies to service shards. All
+//!   counters are cumulative-monotonic; [`MetricsReport::delta_since`] turns
+//!   two reports into per-interval increments.
+//! * **observability** (via `ksp-obs`) — every request carries a
+//!   [`RequestSpan`](ksp_obs::RequestSpan) stamped at each stage boundary
+//!   (admission → queue/steal → cache → engine → trace-sweep → reply); the
+//!   finished chains aggregate into per-stage histograms that sum exactly to
+//!   the end-to-end one. A lock-free flight recorder
+//!   ([`FlightRecorder`](ksp_obs::FlightRecorder)) keeps the last N
+//!   structured events (publishes, checkpoints, steals, rejections, hostile
+//!   frames, recovery steps) and dumps itself on anomalies (SLO breach,
+//!   publish stall). [`QueryService::obs_snapshot`] exports the lot, and
+//!   [`QueryService::render_exposition`] renders it in the Prometheus text
+//!   format.
 //! * [`driver`] — a **closed-loop load driver** replaying a
 //!   [`QueryWorkload`](ksp_workload::QueryWorkload) from many client threads
 //!   while a [`TrafficModel`](ksp_workload::TrafficModel) publishes epochs;
@@ -92,8 +105,9 @@ pub use driver::{
     run_closed_loop, run_closed_loop_over, LoadDriverConfig, LoadReport, WireLoadReport,
 };
 pub use epoch::{EpochPointer, EpochSnapshot};
-pub use metrics::{LatencyHistogram, MetricsReport, ServiceMetrics, ShardQueueGauge};
+pub use metrics::{LatencyHistogram, MetricsDelta, MetricsReport, ServiceMetrics, ShardQueueGauge};
 pub use rpc::{wire_metrics, InProcTransport, TcpServer};
 pub use service::{
-    route_shard, PublishError, QueryResponse, QueryService, ServiceConfig, ServiceError,
+    route_shard, Observability, PublishError, QueryResponse, QueryService, ServiceConfig,
+    ServiceError, RECOVERY_STEP_COMPLETED,
 };

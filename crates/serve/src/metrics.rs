@@ -7,84 +7,24 @@
 //! rejections and epochs published. Per-shard busy time is exported through the
 //! measurement cluster's [`ServerLoad`] accounting so the same load-balance
 //! reporting used for the paper's Section 6.6 figures applies to service shards.
+//!
+//! The histogram type itself lives in `ksp-obs` (re-exported here), which also
+//! supplies the per-stage histograms ([`StageHistograms`]) that span chains
+//! aggregate into alongside the end-to-end one.
+//!
+//! **Counter semantics.** Every `u64` counter in [`MetricsReport`] —
+//! `completed`, `rejected`, `cache_hits`, `cache_misses`, `epochs_published`,
+//! `cache_retained`, `cache_evicted`, `steals` — is *cumulative-monotonic*
+//! over the service's lifetime: it only ever grows, and a report is a
+//! point-in-time snapshot of the running totals. Rates and per-interval
+//! figures are derived by differencing two reports with
+//! [`MetricsReport::delta_since`], never by resetting counters.
 
 use ksp_cluster::{LoadBalanceReport, ServerLoad};
+pub use ksp_obs::LatencyHistogram;
+use ksp_obs::StageHistograms;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-/// Number of histogram buckets: bucket `i` covers `[2^i, 2^(i+1))` microseconds,
-/// with the last bucket open-ended. 40 buckets cover ~1 µs to ~9 minutes.
-const BUCKETS: usize = 40;
-
-/// A lock-free log₂-bucketed latency histogram over microseconds.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    total_micros: AtomicU64,
-    max_micros: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0u64; BUCKETS].map(AtomicU64::new),
-            count: AtomicU64::new(0),
-            total_micros: AtomicU64::new(0),
-            max_micros: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn record(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    /// Number of observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile observation
-    /// (`q` in `[0, 1]`), or zero when empty. Log-bucketing bounds the error to
-    /// a factor of two, which is plenty for p50/p95/p99 reporting.
-    pub fn quantile(&self, q: f64) -> Duration {
-        let count = self.count();
-        if count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Duration::from_micros(1u64 << (i + 1).min(63));
-            }
-        }
-        Duration::from_micros(self.max_micros.load(Ordering::Relaxed))
-    }
-
-    /// Mean observed latency.
-    pub fn mean(&self) -> Duration {
-        let count = self.count();
-        if count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_micros(self.total_micros.load(Ordering::Relaxed) / count)
-    }
-
-    /// Largest observed latency.
-    pub fn max(&self) -> Duration {
-        Duration::from_micros(self.max_micros.load(Ordering::Relaxed))
-    }
-}
+use std::time::{Duration, Instant};
 
 /// Per-shard hot-path counters.
 #[derive(Debug, Default)]
@@ -128,6 +68,9 @@ impl ShardCounters {
 pub struct ServiceMetrics {
     /// End-to-end latency of completed requests (queueing + compute).
     pub latency: LatencyHistogram,
+    /// Per-stage latency histograms, populated from finished request span
+    /// chains when observability is enabled.
+    pub stages: StageHistograms,
     /// Completed requests.
     pub completed: AtomicU64,
     /// Requests rejected by admission control.
@@ -146,6 +89,12 @@ pub struct ServiceMetrics {
     pub cache_evicted: AtomicU64,
     /// Per-shard busy accounting.
     pub shards: Vec<ShardCounters>,
+    /// When these metrics were created (service boot).
+    started: Instant,
+    /// Microseconds after `started` at which the last epoch publish
+    /// completed; 0 until the first publish (the boot epoch counts as
+    /// published at boot).
+    last_publish_micros: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -153,6 +102,7 @@ impl ServiceMetrics {
     pub fn new(num_shards: usize) -> Self {
         ServiceMetrics {
             latency: LatencyHistogram::default(),
+            stages: StageHistograms::new(),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -161,7 +111,21 @@ impl ServiceMetrics {
             cache_retained: AtomicU64::new(0),
             cache_evicted: AtomicU64::new(0),
             shards: (0..num_shards).map(|_| ShardCounters::default()).collect(),
+            started: Instant::now(),
+            last_publish_micros: AtomicU64::new(0),
         }
+    }
+
+    /// Stamps "an epoch was just published" for the staleness gauge.
+    pub fn note_publish(&self) {
+        let now = self.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.last_publish_micros.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Time since the last epoch publish (since boot, before the first one).
+    pub fn epoch_age(&self) -> Duration {
+        let now = self.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        Duration::from_micros(now.saturating_sub(self.last_publish_micros.load(Ordering::Relaxed)))
     }
 
     /// Folds the live counters into an immutable report.
@@ -181,6 +145,7 @@ impl ServiceMetrics {
             cache_evicted: self.cache_evicted.load(Ordering::Relaxed),
             steals: per_shard_steals.iter().sum(),
             per_shard_steals,
+            epoch_age: self.epoch_age(),
             p50: self.latency.quantile(0.50),
             p95: self.latency.quantile(0.95),
             p99: self.latency.quantile(0.99),
@@ -221,7 +186,9 @@ impl ShardQueueGauge {
     }
 }
 
-/// A point-in-time summary of a service's metrics.
+/// A point-in-time summary of a service's metrics. All `u64` counters are
+/// cumulative-monotonic (see the module docs); difference two reports with
+/// [`MetricsReport::delta_since`] for per-interval figures.
 #[derive(Debug, Clone)]
 pub struct MetricsReport {
     /// Requests answered.
@@ -243,6 +210,10 @@ pub struct MetricsReport {
     pub steals: u64,
     /// Steal counts attributed to the *thief* shard, indexed like `per_shard`.
     pub per_shard_steals: Vec<u64>,
+    /// Time since the last epoch publish when the report was taken (time
+    /// since boot, before the first publish) — the staleness gauge a replica
+    /// or freshness SLO watches.
+    pub epoch_age: Duration,
     /// Median end-to-end latency.
     pub p50: Duration,
     /// 95th-percentile end-to-end latency.
@@ -263,8 +234,30 @@ pub struct MetricsReport {
     pub queue_gauges: Vec<ShardQueueGauge>,
 }
 
-impl MetricsReport {
-    /// Fraction of completed requests answered from the cache, in `[0, 1]`.
+/// The counter increments between two [`MetricsReport`]s — what happened
+/// *during* an interval, as opposed to since boot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsDelta {
+    /// Requests answered in the interval.
+    pub completed: u64,
+    /// Requests rejected in the interval.
+    pub rejected: u64,
+    /// Cache hits in the interval.
+    pub cache_hits: u64,
+    /// Cache misses in the interval.
+    pub cache_misses: u64,
+    /// Epochs published in the interval.
+    pub epochs_published: u64,
+    /// Cache entries retained across publishes in the interval.
+    pub cache_retained: u64,
+    /// Cache entries evicted at publishes in the interval.
+    pub cache_evicted: u64,
+    /// Requests served via work stealing in the interval.
+    pub steals: u64,
+}
+
+impl MetricsDelta {
+    /// Fraction of the interval's completed requests answered from the cache.
     pub fn cache_hit_rate(&self) -> f64 {
         let denom = self.cache_hits + self.cache_misses;
         if denom == 0 {
@@ -275,30 +268,37 @@ impl MetricsReport {
     }
 }
 
+impl MetricsReport {
+    /// Fraction of completed requests answered from the cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let denom = self.cache_hits + self.cache_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / denom as f64
+        }
+    }
+
+    /// The counter increments between `prev` (taken earlier on the same
+    /// service) and this report. Saturating: a mismatched pair (e.g. reports
+    /// from different services) yields zeros rather than wrap-around noise.
+    pub fn delta_since(&self, prev: &MetricsReport) -> MetricsDelta {
+        MetricsDelta {
+            completed: self.completed.saturating_sub(prev.completed),
+            rejected: self.rejected.saturating_sub(prev.rejected),
+            cache_hits: self.cache_hits.saturating_sub(prev.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(prev.cache_misses),
+            epochs_published: self.epochs_published.saturating_sub(prev.epochs_published),
+            cache_retained: self.cache_retained.saturating_sub(prev.cache_retained),
+            cache_evicted: self.cache_evicted.saturating_sub(prev.cache_evicted),
+            steals: self.steals.saturating_sub(prev.steals),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_orders_quantiles() {
-        let h = LatencyHistogram::default();
-        for micros in [10u64, 20, 40, 80, 160, 320, 640, 1280, 2560, 100_000] {
-            h.record(Duration::from_micros(micros));
-        }
-        assert_eq!(h.count(), 10);
-        assert!(h.quantile(0.5) <= h.quantile(0.95));
-        assert!(h.quantile(0.95) <= h.quantile(0.99));
-        assert!(h.quantile(0.99) >= Duration::from_micros(100_000 / 2));
-        assert!(h.mean() >= Duration::from_micros(10));
-        assert!(h.max() >= Duration::from_micros(100_000));
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
-        assert_eq!(h.mean(), Duration::ZERO);
-    }
 
     #[test]
     fn report_computes_hit_rate_and_shard_loads() {
@@ -342,6 +342,44 @@ mod tests {
         assert_eq!(report.per_shard_steals, vec![1, 0, 4]);
         assert_eq!(report.cache_retained, 17);
         assert_eq!(report.cache_evicted, 3);
+    }
+
+    #[test]
+    fn epoch_age_resets_on_publish() {
+        let m = ServiceMetrics::new(1);
+        std::thread::sleep(Duration::from_millis(5));
+        let before = m.epoch_age();
+        assert!(before >= Duration::from_millis(5), "age accrues from boot: {before:?}");
+        m.note_publish();
+        let after = m.epoch_age();
+        assert!(after < before, "publish resets the staleness gauge");
+        assert!(m.report().epoch_age >= after);
+    }
+
+    #[test]
+    fn delta_since_yields_interval_increments() {
+        let m = ServiceMetrics::new(2);
+        m.completed.fetch_add(10, Ordering::Relaxed);
+        m.cache_hits.fetch_add(4, Ordering::Relaxed);
+        m.cache_misses.fetch_add(6, Ordering::Relaxed);
+        m.epochs_published.fetch_add(2, Ordering::Relaxed);
+        let first = m.report();
+        m.completed.fetch_add(5, Ordering::Relaxed);
+        m.cache_hits.fetch_add(5, Ordering::Relaxed);
+        m.epochs_published.fetch_add(1, Ordering::Relaxed);
+        m.cache_retained.fetch_add(7, Ordering::Relaxed);
+        m.shards[0].record_steals(3);
+        let second = m.report();
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.completed, 5);
+        assert_eq!(delta.cache_hits, 5);
+        assert_eq!(delta.cache_misses, 0);
+        assert_eq!(delta.epochs_published, 1);
+        assert_eq!(delta.cache_retained, 7);
+        assert_eq!(delta.steals, 3);
+        assert_eq!(delta.cache_hit_rate(), 1.0);
+        // Reversed order saturates to zero instead of wrapping.
+        assert_eq!(first.delta_since(&second), MetricsDelta::default());
     }
 
     #[test]

@@ -23,11 +23,13 @@
 
 use crate::metrics::MetricsReport;
 use crate::service::{PublishError, QueryResponse, QueryService, ServiceError};
+use ksp_obs::EventKind;
 use ksp_proto::frame::{read_frame, write_frame, FrameError, FrameKind};
 use ksp_proto::message::{
     ErrorReply, QueryAnswer, QueryOutcome, Request, Response, WireMetrics, WireQueueGauge,
     PROTOCOL_VERSION,
 };
+use ksp_proto::obs::WireObsSnapshot;
 use ksp_proto::transport::{Transport, TransportError, TransportStats};
 use ksp_store::StoreCodec;
 use std::collections::HashMap;
@@ -96,6 +98,7 @@ pub fn wire_metrics(report: &MetricsReport) -> WireMetrics {
         steals: report.steals,
         cache_retained: report.cache_retained,
         cache_evicted: report.cache_evicted,
+        epoch_age_ms: report.epoch_age.as_millis().min(u64::MAX as u128) as u64,
     }
 }
 
@@ -141,6 +144,9 @@ impl QueryService {
                 Ok(epoch) => Response::CheckpointNow { epoch },
                 Err(e) => Response::Error(e.into()),
             },
+            Request::ObsSnapshot => {
+                Response::ObsSnapshot(WireObsSnapshot::from(&self.obs_snapshot()))
+            }
         }
     }
 }
@@ -305,11 +311,31 @@ fn acceptor_main(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
+/// Hostile-frame reason codes carried in the [`EventKind::HostileFrame`]
+/// flight events (payload word `a`).
+pub mod hostile_frame {
+    /// The frame parsed but its request payload did not decode.
+    pub const UNDECODABLE_PAYLOAD: u64 = 0;
+    /// The peer sent a response-kind frame to a server.
+    pub const RESPONSE_KIND_FRAME: u64 = 1;
+    /// The peer's frame header announced a foreign protocol version
+    /// (payload word `b` = the version it announced).
+    pub const VERSION_MISMATCH: u64 = 2;
+    /// Framing was lost: bad magic, CRC mismatch, truncation or an oversized
+    /// length.
+    pub const FRAMING_LOST: u64 = 3;
+}
+
 /// Serves one connection until the peer disconnects, sends unrecoverable
 /// bytes, or the server shuts down. Protocol failures are answered with a
 /// typed [`ErrorReply`] before the connection closes; once framing is lost
 /// the stream cannot be resynchronised, so the close is part of the
 /// contract.
+///
+/// Every hostile frame is also an anomaly trigger: the service's flight
+/// recorder captures a dump tagged with the [`hostile_frame`] reason code, so
+/// an operator scraping `ObsSnapshot` sees what the service was doing when a
+/// peer started speaking garbage.
 fn connection_main(conn_id: u64, stream: TcpStream, shared: &ServerShared) {
     if let Ok(read_half) = stream.try_clone() {
         let mut reader = BufReader::new(read_half);
@@ -361,6 +387,13 @@ fn serve_connection(
                     }
                 }
                 Err(e) => {
+                    shared.service.observability().trigger(
+                        EventKind::HostileFrame,
+                        hostile_frame::UNDECODABLE_PAYLOAD,
+                        0,
+                        0,
+                        None,
+                    );
                     let reply = Response::Error(ErrorReply::Malformed(format!(
                         "request payload did not decode: {e}"
                     )));
@@ -369,6 +402,13 @@ fn serve_connection(
                 }
             },
             Ok(Some((FrameKind::Response, _))) => {
+                shared.service.observability().trigger(
+                    EventKind::HostileFrame,
+                    hostile_frame::RESPONSE_KIND_FRAME,
+                    0,
+                    0,
+                    None,
+                );
                 let reply = Response::Error(ErrorReply::Malformed(
                     "clients must send request frames".to_string(),
                 ));
@@ -376,6 +416,13 @@ fn serve_connection(
                 return;
             }
             Err(FrameError::VersionMismatch { ours, theirs }) => {
+                shared.service.observability().trigger(
+                    EventKind::HostileFrame,
+                    hostile_frame::VERSION_MISMATCH,
+                    theirs as u64,
+                    0,
+                    None,
+                );
                 let reply = Response::Error(ErrorReply::UnsupportedVersion {
                     server: ours,
                     client: theirs,
@@ -387,6 +434,13 @@ fn serve_connection(
             Err(e) => {
                 // BadMagic / CRC mismatch / truncation / oversized length:
                 // answer typed, then close — frame synchronisation is lost.
+                shared.service.observability().trigger(
+                    EventKind::HostileFrame,
+                    hostile_frame::FRAMING_LOST,
+                    0,
+                    0,
+                    None,
+                );
                 let reply = Response::Error(ErrorReply::Malformed(e.to_string()));
                 send(writer, &reply);
                 return;
@@ -490,6 +544,16 @@ mod tests {
 
         // CheckpointNow on an in-memory service is a typed no-op.
         assert_eq!(service.handle(Request::CheckpointNow), Response::CheckpointNow { epoch: None });
+
+        // ObsSnapshot mirrors the in-process snapshot through the wire types
+        // losslessly.
+        let Response::ObsSnapshot(wire) = service.handle(Request::ObsSnapshot) else {
+            panic!("expected an ObsSnapshot response");
+        };
+        let snap = wire.into_snapshot().unwrap();
+        assert_eq!(snap.counter("ksp_requests_completed_total"), metrics.completed);
+        assert_eq!(snap.counter("ksp_epochs_published_total"), 1);
+        assert_eq!(snap.end_to_end.count, metrics.completed);
     }
 
     #[test]
@@ -531,5 +595,41 @@ mod tests {
         // Graceful shutdown: the held connection is closed, not leaked.
         server.shutdown();
         assert!(client.ping().is_err(), "connection must be closed after shutdown");
+    }
+
+    #[test]
+    fn scrape_and_hostile_frames_over_tcp() {
+        use std::io::{Read as _, Write as _};
+        let (service, graph) = service(130, 2, 23);
+        let last = VertexId(graph.num_vertices() as u32 - 1);
+        let mut server = TcpServer::bind(service.clone(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let (mut client, _) = KspClient::connect(addr).unwrap();
+        client.query(VertexId(0), last, 2).unwrap();
+        let text = client.scrape_text().unwrap();
+        for family in ["ksp_stage_duration_seconds", "ksp_request_duration_seconds"] {
+            assert!(text.contains(family), "scrape must carry {family}");
+        }
+        assert!(text.contains("stage=\"engine\""));
+        assert!(text.contains("ksp_requests_completed_total 1"));
+
+        // A peer speaking garbage is answered typed *and* captured as a
+        // flight-recorder anomaly with the framing-lost reason code.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"this is not a KSPF frame at all").unwrap();
+        raw.flush().unwrap();
+        let mut reply = Vec::new();
+        let _ = raw.read_to_end(&mut reply); // typed Malformed reply, then EOF
+        assert!(!reply.is_empty(), "hostile bytes still get a typed reply");
+        let dump = service.observability().flight().last_dump().expect("hostile frame dumps");
+        assert_eq!(dump.cause.kind, EventKind::HostileFrame);
+        assert_eq!(dump.cause.a, hostile_frame::FRAMING_LOST);
+
+        // The dump travels: a fresh scrape decodes it back out of the wire.
+        let snapshot = client.obs_snapshot().unwrap();
+        let wired = snapshot.dump.expect("the dump rides the ObsSnapshot response");
+        assert_eq!(wired.cause.kind, EventKind::HostileFrame);
+        server.shutdown();
     }
 }

@@ -32,6 +32,10 @@ use ksp_algo::Path;
 use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
 use ksp_core::kspdg::{KspDgConfig, QueryStats, SharedEngine};
 use ksp_graph::{DynamicGraph, GraphError, SubgraphId, SubgraphSet, UpdateBatch, VertexId};
+use ksp_obs::{
+    Counter, EventKind, FlightRecorder, Gauge, ObsConfig, ObsSnapshot, RequestSpan, SpanChain,
+    StageSnapshot,
+};
 use ksp_store::{RecoveryReport, Store, StoreConfig, StoreError};
 use parking_lot::Mutex;
 use std::collections::HashSet;
@@ -67,6 +71,11 @@ pub struct ServiceConfig {
     /// When `true` (the default), an idle shard worker steals the oldest
     /// requests from the deepest shard queue instead of sleeping.
     pub work_stealing: bool,
+    /// Observability: per-request span recording, flight-recorder sizing and
+    /// anomaly triggers. Per-request instrumentation can be switched off
+    /// ([`ObsConfig::disabled`]) for a benchmark baseline; service-level
+    /// events (publishes, checkpoints, recovery) are always recorded.
+    pub observability: ObsConfig,
 }
 
 impl ServiceConfig {
@@ -81,6 +90,7 @@ impl ServiceConfig {
             dtlp,
             cache_survival: true,
             work_stealing: true,
+            observability: ObsConfig::default(),
         }
     }
 
@@ -187,7 +197,55 @@ struct Request {
     target: VertexId,
     k: usize,
     submitted: Instant,
+    /// Stage clock of this request; shares `submitted` as its origin so the
+    /// per-stage durations telescope to the recorded end-to-end latency.
+    span: RequestSpan,
     reply: mpsc::Sender<Result<QueryResponse, ServiceError>>,
+}
+
+/// Step code the recovery-completed flight event uses, extending the per-step
+/// codes of [`ksp_store::RecoveryReport::steps`] (payload: recovery duration
+/// in microseconds).
+pub const RECOVERY_STEP_COMPLETED: u64 = 5;
+
+/// The shared observability runtime of one service: the configuration plus
+/// the flight recorder every instrumentation point records into.
+#[derive(Debug)]
+pub struct Observability {
+    config: ObsConfig,
+    flight: FlightRecorder,
+}
+
+impl Observability {
+    fn new(config: ObsConfig) -> Self {
+        Observability { config, flight: FlightRecorder::new(config.flight_capacity) }
+    }
+
+    /// The observability configuration the service was started with.
+    pub fn config(&self) -> ObsConfig {
+        self.config
+    }
+
+    /// The service's flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Records a flight event — a no-op when observability is disabled, so
+    /// instrumentation points cost one branch on the disabled path.
+    pub fn record(&self, kind: EventKind, a: u64, b: u64, c: u64) {
+        if self.config.enabled {
+            self.flight.record(kind, a, b, c);
+        }
+    }
+
+    /// Records an anomaly cause and captures a flight dump; a no-op when
+    /// observability is disabled.
+    pub fn trigger(&self, kind: EventKind, a: u64, b: u64, c: u64, span: Option<SpanChain>) {
+        if self.config.enabled {
+            self.flight.trigger(kind, a, b, c, span);
+        }
+    }
 }
 
 /// One shard's queue + result cache, shared with *every* worker: an idle
@@ -245,6 +303,7 @@ pub struct QueryService {
     shards: Vec<Shard>,
     epoch: Arc<EpochPointer>,
     metrics: Arc<ServiceMetrics>,
+    obs: Arc<Observability>,
     masters: Mutex<Masters>,
     persistence: Option<Persistence>,
 }
@@ -316,7 +375,21 @@ impl QueryService {
         // incremental image, or a post-restart chain would silently
         // under-cover them and a later recovery would lose their updates.
         let replayed_dirty: HashSet<SubgraphId> = recovered.replayed_dirty.into_iter().collect();
-        Ok((Self::boot_with_dirty(graph, index, config, Some(store), replayed_dirty), report))
+        let service = Self::boot_with_dirty(graph, index, config, Some(store), replayed_dirty);
+        // Recovery is an anomaly trigger: replay the trajectory into the
+        // flight recorder and dump, so the first post-restart scrape shows
+        // what recovery did even if nothing else ever goes wrong.
+        for (_, code, value) in report.steps() {
+            service.obs.record(EventKind::RecoveryStep, code, value, 0);
+        }
+        service.obs.trigger(
+            EventKind::RecoveryStep,
+            RECOVERY_STEP_COMPLETED,
+            report.duration.as_micros().min(u64::MAX as u128) as u64,
+            0,
+            None,
+        );
+        Ok((service, report))
     }
 
     /// Publishes the initial epoch, starts the shard workers and (when a
@@ -346,6 +419,7 @@ impl QueryService {
         let initial = EpochSnapshot::new(graph.version(), graph.clone(), index.clone());
         let epoch = Arc::new(EpochPointer::new(initial));
         let metrics = Arc::new(ServiceMetrics::new(config.num_shards));
+        let obs = Arc::new(Observability::new(config.observability));
 
         // Every worker sees every shard's queue and cache: that is what makes
         // stealing (and home-cache inserts for stolen work) possible.
@@ -367,19 +441,19 @@ impl QueryService {
                     let resources = resources.clone();
                     let epoch = epoch.clone();
                     let metrics = metrics.clone();
+                    let obs = obs.clone();
                     let engine_config = config.engine;
                     let max_batch = config.admission.max_batch;
                     let work_stealing = config.work_stealing;
                     move || {
-                        shard_main(
-                            shard_id,
-                            &resources,
-                            &epoch,
-                            &metrics,
+                        let ctx = WorkerContext {
+                            shards: &resources,
+                            epoch: &epoch,
+                            metrics: &metrics,
+                            obs: &obs,
                             engine_config,
-                            max_batch,
-                            work_stealing,
-                        )
+                        };
+                        shard_main(shard_id, &ctx, max_batch, work_stealing)
                     }
                 })
                 .expect("failed to spawn shard worker");
@@ -396,7 +470,8 @@ impl QueryService {
                 .spawn({
                     let store = store.clone();
                     let dir = dir.clone();
-                    move || checkpointer_main(&store, &dir, &receiver)
+                    let obs = obs.clone();
+                    move || checkpointer_main(&store, &dir, &receiver, &obs)
                 })
                 .expect("failed to spawn checkpointer");
             Persistence {
@@ -413,6 +488,7 @@ impl QueryService {
             shards,
             epoch,
             metrics,
+            obs,
             masters: Mutex::new(Masters { graph, index, dirty_since_job }),
             persistence,
         }
@@ -471,6 +547,12 @@ impl QueryService {
         target: VertexId,
         k: usize,
     ) -> Result<QueryResponse, ServiceError> {
+        // The span clock starts before validation so the admission stage
+        // covers the full submit path (validate + route + enqueue attempt);
+        // `submitted` shares the origin, so end-to-end latency and the stage
+        // chain telescope to the same total.
+        let submitted = Instant::now();
+        let mut span = RequestSpan::begin_at(submitted, self.obs.config.enabled);
         if k == 0 {
             return Err(ServiceError::InvalidK);
         }
@@ -481,12 +563,16 @@ impl QueryService {
         snapshot.graph().check_vertex(target).map_err(ServiceError::InvalidQuery)?;
         drop(snapshot);
 
-        let shard = &self.shards[route_shard(source, target, k, self.shards.len())];
+        let shard_id = route_shard(source, target, k, self.shards.len());
+        let shard = &self.shards[shard_id];
         let (reply, receiver) = mpsc::channel();
-        let request = Request { source, target, k, submitted: Instant::now(), reply };
+        span.mark_enqueued();
+        let request = Request { source, target, k, submitted, span, reply };
         if shard.resources.queue.submit(request).is_err() {
             self.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Err(ServiceError::Overloaded { depth: self.config.admission.max_queue_depth });
+            let depth = self.config.admission.max_queue_depth;
+            self.obs.record(EventKind::Rejection, shard_id as u64, depth as u64, 0);
+            return Err(ServiceError::Overloaded { depth });
         }
         receiver.recv().map_err(|_| ServiceError::ShuttingDown)?
     }
@@ -511,6 +597,7 @@ impl QueryService {
     /// epoch becomes visible: an epoch a reader can observe is always an
     /// epoch recovery can reproduce.
     pub fn apply_batch(&self, batch: &UpdateBatch) -> Result<u64, PublishError> {
+        let publish_started = Instant::now();
         let mut masters = self.masters.lock();
         let prev_epoch = masters.graph.version();
         let next_graph = Arc::new(masters.graph.with_batch(batch)?);
@@ -568,6 +655,15 @@ impl QueryService {
         self.metrics.cache_retained.fetch_add(retained, Relaxed);
         self.metrics.cache_evicted.fetch_add(evicted, Relaxed);
         self.metrics.epochs_published.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.note_publish();
+        let publish_time = publish_started.elapsed();
+        let publish_micros = publish_time.as_micros().min(u64::MAX as u128) as u64;
+        self.obs.record(EventKind::EpochPublished, epoch, dirty_set.len() as u64, publish_micros);
+        self.obs.record(EventKind::CacheRetention, epoch, retained, evicted);
+        let stall = self.obs.config.publish_stall;
+        if !stall.is_zero() && publish_time > stall {
+            self.obs.trigger(EventKind::PublishStall, epoch, publish_micros, 0, None);
+        }
         if let Some(job) = checkpoint_job {
             // A full or closed channel only delays the checkpoint; the log
             // still holds every batch, and the dirty set rides along with the
@@ -596,10 +692,102 @@ impl QueryService {
         };
         // Encode and stage (write + fsync) without the store lock — the slow
         // halves must not stall concurrent publishes — then commit under it.
+        let checkpoint_started = Instant::now();
         let encoded = Store::encode_checkpoint(epoch, &graph, &index);
         let staged = Store::stage_checkpoint(&p.dir, &encoded)?;
         p.store.lock().commit_staged_checkpoint(staged)?;
+        self.obs.record(
+            EventKind::CheckpointCommitted,
+            epoch,
+            1,
+            checkpoint_started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
         Ok(Some(epoch))
+    }
+
+    /// The observability runtime: configuration and flight recorder.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// A full observability snapshot: per-stage latency histograms, the
+    /// end-to-end histogram, every counter and gauge the service exports, and
+    /// the latest flight-recorder dump. This is the payload behind the wire
+    /// `ObsSnapshot` request; render it with [`ksp_obs::render_prometheus`]
+    /// for scrapers that speak the Prometheus text format.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let report = self.metrics();
+        let flight = &self.obs.flight;
+        let unlabelled = |name: &str, value: u64| Counter {
+            name: name.to_string(),
+            labels: String::new(),
+            value,
+        };
+        let mut counters = vec![
+            unlabelled("ksp_requests_completed_total", report.completed),
+            unlabelled("ksp_requests_rejected_total", report.rejected),
+            unlabelled("ksp_cache_hits_total", report.cache_hits),
+            unlabelled("ksp_cache_misses_total", report.cache_misses),
+            unlabelled("ksp_epochs_published_total", report.epochs_published),
+            unlabelled("ksp_cache_retained_total", report.cache_retained),
+            unlabelled("ksp_cache_evicted_total", report.cache_evicted),
+            unlabelled("ksp_flight_events_total", flight.events_recorded()),
+            unlabelled("ksp_flight_dumps_total", flight.dumps_taken()),
+        ];
+        for (i, &steals) in report.per_shard_steals.iter().enumerate() {
+            counters.push(Counter {
+                name: "ksp_steals_total".to_string(),
+                labels: format!("shard=\"{i}\""),
+                value: steals,
+            });
+        }
+        let mut gauges = vec![
+            Gauge {
+                name: "ksp_epoch".to_string(),
+                labels: String::new(),
+                value: self.current_epoch() as f64,
+            },
+            Gauge {
+                name: "ksp_epoch_age_seconds".to_string(),
+                labels: String::new(),
+                value: report.epoch_age.as_secs_f64(),
+            },
+        ];
+        // One family at a time, so the text renderer emits a single `# TYPE`
+        // comment per family.
+        for (i, q) in report.queue_gauges.iter().enumerate() {
+            gauges.push(Gauge {
+                name: "ksp_queue_depth".to_string(),
+                labels: format!("shard=\"{i}\""),
+                value: q.depth as f64,
+            });
+        }
+        for (i, q) in report.queue_gauges.iter().enumerate() {
+            gauges.push(Gauge {
+                name: "ksp_queue_high_water".to_string(),
+                labels: format!("shard=\"{i}\""),
+                value: q.high_water as f64,
+            });
+        }
+        ObsSnapshot {
+            stages: self
+                .metrics
+                .stages
+                .snapshot()
+                .into_iter()
+                .map(|(stage, histogram)| StageSnapshot { stage, histogram })
+                .collect(),
+            end_to_end: self.metrics.latency.snapshot(),
+            counters,
+            gauges,
+            dump: flight.last_dump(),
+        }
+    }
+
+    /// [`QueryService::obs_snapshot`] rendered in the Prometheus text
+    /// exposition format.
+    pub fn render_exposition(&self) -> String {
+        ksp_obs::render_prometheus(&self.obs_snapshot())
     }
 
     /// Epoch of the newest committed checkpoint, for a persistent service.
@@ -627,6 +815,7 @@ fn checkpointer_main(
     store: &Mutex<Store>,
     store_dir: &std::path::Path,
     jobs: &mpsc::Receiver<CheckpointJob>,
+    obs: &Observability,
 ) {
     let mut pending_dirty: HashSet<SubgraphId> = HashSet::new();
     while let Ok(first) = jobs.recv() {
@@ -648,7 +837,9 @@ fn checkpointer_main(
             let store = store.lock();
             (store.last_image_epoch(), store.next_image_must_be_full())
         };
-        let encoded = if must_be_full || base_epoch >= job.epoch {
+        let full = must_be_full || base_epoch >= job.epoch;
+        let checkpoint_started = Instant::now();
+        let encoded = if full {
             Store::encode_checkpoint(job.epoch, &job.graph, &job.index)
         } else {
             let mut dirty: Vec<SubgraphId> = pending_dirty.iter().copied().collect();
@@ -660,11 +851,20 @@ fn checkpointer_main(
         match result {
             // Any committed image (full or partial) covers everything dirtied
             // up to its epoch.
-            Ok(()) => pending_dirty.clear(),
+            Ok(()) => {
+                pending_dirty.clear();
+                obs.record(
+                    EventKind::CheckpointCommitted,
+                    job.epoch,
+                    full as u64,
+                    checkpoint_started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                );
+            }
             Err(e) => {
                 // The log still holds every batch, so losing a checkpoint only
                 // costs recovery time; report, keep the dirty set, keep
                 // serving.
+                obs.record(EventKind::CheckpointFailed, job.epoch, full as u64, 0);
                 eprintln!("ksp-serve: background checkpoint at epoch {} failed: {e}", job.epoch);
             }
         }
@@ -734,24 +934,25 @@ const STEAL_POLL: Duration = Duration::from_micros(500);
 /// successful pop or steal resets it to [`STEAL_POLL`].
 const STEAL_POLL_MAX: Duration = Duration::from_millis(20);
 
-fn shard_main(
-    shard_id: usize,
-    shards: &[Arc<ShardResources>],
-    epoch: &EpochPointer,
-    metrics: &ServiceMetrics,
+/// Everything a shard worker shares with its siblings: every shard's
+/// queue/cache pair, the epoch pointer, the metrics sink, the observability
+/// runtime and the engine configuration.
+struct WorkerContext<'a> {
+    shards: &'a [Arc<ShardResources>],
+    epoch: &'a EpochPointer,
+    metrics: &'a ServiceMetrics,
+    obs: &'a Observability,
     engine_config: KspDgConfig,
-    max_batch: usize,
-    work_stealing: bool,
-) {
-    let own = &shards[shard_id].queue;
+}
+
+fn shard_main(shard_id: usize, ctx: &WorkerContext<'_>, max_batch: usize, work_stealing: bool) {
+    let own = &ctx.shards[shard_id].queue;
     let _guard = CloseQueueOnExit(own);
     let mut poll = STEAL_POLL;
     loop {
         if !work_stealing {
             match own.pop_batch(max_batch) {
-                Some(batch) => {
-                    run_batch(shard_id, shard_id, batch, shards, epoch, metrics, engine_config)
-                }
+                Some(batch) => run_batch(shard_id, shard_id, batch, ctx),
                 None => return,
             }
             continue;
@@ -759,14 +960,20 @@ fn shard_main(
         match own.pop_batch_timeout(max_batch, poll) {
             TimedPop::Items(batch) => {
                 poll = STEAL_POLL;
-                run_batch(shard_id, shard_id, batch, shards, epoch, metrics, engine_config)
+                run_batch(shard_id, shard_id, batch, ctx)
             }
             TimedPop::Closed => return,
             TimedPop::TimedOut => {
-                if let Some((victim, batch)) = steal_from_deepest(shards, shard_id, max_batch) {
+                if let Some((victim, batch)) = steal_from_deepest(ctx.shards, shard_id, max_batch) {
                     poll = STEAL_POLL;
-                    metrics.shards[shard_id].record_steals(batch.len());
-                    run_batch(shard_id, victim, batch, shards, epoch, metrics, engine_config);
+                    ctx.metrics.shards[shard_id].record_steals(batch.len());
+                    ctx.obs.record(
+                        EventKind::Steal,
+                        shard_id as u64,
+                        victim as u64,
+                        batch.len() as u64,
+                    );
+                    run_batch(shard_id, victim, batch, ctx);
                 } else {
                     poll = (poll * 2).min(STEAL_POLL_MAX);
                 }
@@ -803,32 +1010,43 @@ fn steal_from_deepest(
 /// (and therefore the cache the answers belong in); `executing_shard` is the
 /// worker doing the computing — they differ exactly when the batch was
 /// stolen, and busy time is attributed to the worker that actually ran it.
+///
+/// Span discipline: each request's [`RequestSpan`] is stamped at every stage
+/// boundary, and when observability is on the end-to-end latency recorded
+/// into `metrics.latency` is the span's own telescoped total — so the
+/// per-stage histograms sum exactly to the end-to-end histogram.
 fn run_batch(
     executing_shard: usize,
     home_shard: usize,
     batch: Vec<Request>,
-    shards: &[Arc<ShardResources>],
-    epoch: &EpochPointer,
-    metrics: &ServiceMetrics,
-    engine_config: KspDgConfig,
+    ctx: &WorkerContext<'_>,
 ) {
     use std::sync::atomic::Ordering::Relaxed;
+    let WorkerContext { shards, epoch, metrics, obs, engine_config } = *ctx;
     // One epoch load per batch: every request in the batch is answered
     // against the same consistent (graph, index) pair.
     let snapshot = epoch.load();
     let engine = SharedEngine::with_config(snapshot.index().clone(), engine_config);
     let cache = &shards[home_shard].cache;
-    for request in batch {
+    for mut request in batch {
+        request.span.mark_dequeued(executing_shard != home_shard);
         let started = Instant::now();
         let key = CacheKey { source: request.source, target: request.target, k: request.k };
         let cached = {
             let mut cache = cache.lock();
             cache.get(&key, snapshot.epoch()).map(<[Path]>::to_vec)
         };
+        request.span.mark_cache_done();
         let (paths, stats, cache_hit) = match cached {
-            Some(paths) => (paths, QueryStats::default(), true),
+            Some(paths) => {
+                request.span.mark_engine_done(Duration::ZERO);
+                (paths, QueryStats::default(), true)
+            }
             None => {
                 let result = engine.query(request.source, request.target, request.k);
+                request.span.mark_engine_done(result.sweep_time);
+                // The insert is post-engine bookkeeping: it lands in the
+                // span's reply stage, not the cache-lookup stage.
                 let mut cache = cache.lock();
                 cache.insert(key, snapshot.epoch(), result.trace, result.paths.clone());
                 (result.paths, result.stats, false)
@@ -840,9 +1058,27 @@ fn run_batch(
         } else {
             metrics.cache_misses.fetch_add(1, Relaxed);
         }
-        let latency = request.submitted.elapsed();
+        let (latency, chain) = match request.span.finish() {
+            Some((chain, total)) => {
+                metrics.stages.record_chain(&chain);
+                (total, Some(chain))
+            }
+            None => (request.submitted.elapsed(), None),
+        };
         metrics.latency.record(latency);
         metrics.completed.fetch_add(1, Relaxed);
+        if let Some(chain) = chain {
+            let slo = obs.config.slo_p99;
+            if !slo.is_zero() && latency > slo {
+                obs.trigger(
+                    EventKind::SloBreach,
+                    latency.as_micros().min(u64::MAX as u128) as u64,
+                    slo.as_micros().min(u64::MAX as u128) as u64,
+                    home_shard as u64,
+                    Some(chain),
+                );
+            }
+        }
         let response = QueryResponse { paths, stats, epoch: snapshot.epoch(), cache_hit, latency };
         // The client may have given up; a dropped receiver is not an error.
         let _ = request.reply.send(Ok(response));
@@ -1299,6 +1535,98 @@ mod tests {
         }
         // At least one request sat in some queue at some point.
         assert!(report.queue_gauges.iter().any(|g| g.high_water >= 1));
+    }
+
+    #[test]
+    fn stage_histograms_telescope_to_the_end_to_end_histogram() {
+        let (service, graph) = service(150, 2, 61);
+        let t = VertexId(graph.num_vertices() as u32 - 1);
+        for s in 0..8u32 {
+            service.query(VertexId(s), t, 2).unwrap();
+        }
+        let snap = service.obs_snapshot();
+        assert_eq!(snap.end_to_end.count, 8);
+        let stage_total: u64 = snap.stages.iter().map(|s| s.histogram.total_micros).sum();
+        // Spans share the submission Instant as their origin and the service
+        // records the telescoped total as the e2e latency, so the per-stage
+        // sums match the end-to-end histogram *exactly*, not approximately.
+        assert_eq!(stage_total, snap.end_to_end.total_micros);
+        // Every request passes admission, cache, engine and reply.
+        for name in ["admission", "cache", "engine", "reply"] {
+            let stage = snap.stages.iter().find(|s| s.stage.name() == name).unwrap();
+            assert_eq!(stage.histogram.count, 8, "stage {name}");
+        }
+        // Queue + steal partition the wait: together they cover every request.
+        let waits: u64 = snap
+            .stages
+            .iter()
+            .filter(|s| matches!(s.stage.name(), "queue" | "steal"))
+            .map(|s| s.histogram.count)
+            .sum();
+        assert_eq!(waits, 8);
+        assert_eq!(snap.counter("ksp_requests_completed_total"), 8);
+        assert!(snap.gauge("ksp_epoch_age_seconds").is_some());
+    }
+
+    #[test]
+    fn slo_breach_dumps_the_offending_span_chain() {
+        let mut config = ServiceConfig::new(1, DtlpConfig::new(14, 2));
+        // A 1ns SLO: every request breaches, so the first completion dumps.
+        config.observability.slo_p99 = Duration::from_nanos(1);
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(120))
+            .generate(9)
+            .unwrap()
+            .graph;
+        let service = QueryService::start(graph.clone(), config).unwrap();
+        let t = VertexId(graph.num_vertices() as u32 - 1);
+        service.query(VertexId(0), t, 2).unwrap();
+        let dump = service.observability().flight().last_dump().expect("breach dumps");
+        assert_eq!(dump.cause.kind, EventKind::SloBreach);
+        let chain = dump.span.expect("the dump carries the offending request's span chain");
+        assert_eq!(chain.total_micros(), dump.cause.a, "cause payload is the e2e latency");
+        let snap = service.obs_snapshot();
+        assert!(snap.dump.is_some());
+        assert_eq!(snap.counter("ksp_flight_dumps_total"), 1);
+    }
+
+    #[test]
+    fn disabled_observability_stays_inert() {
+        let mut config = ServiceConfig::new(2, DtlpConfig::new(14, 2));
+        config.observability = ksp_obs::ObsConfig::disabled();
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(120))
+            .generate(17)
+            .unwrap()
+            .graph;
+        let service = QueryService::start(graph.clone(), config).unwrap();
+        let t = VertexId(graph.num_vertices() as u32 - 1);
+        for s in 0..4u32 {
+            service.query(VertexId(s), t, 1).unwrap();
+        }
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 3);
+        service.apply_batch(&traffic.next_snapshot()).unwrap();
+        let snap = service.obs_snapshot();
+        // The plain metrics still work; the obs machinery records nothing.
+        assert_eq!(snap.counter("ksp_requests_completed_total"), 4);
+        assert!(snap.stages.iter().all(|s| s.histogram.count == 0));
+        assert_eq!(snap.counter("ksp_flight_events_total"), 0);
+        assert!(snap.dump.is_none());
+        // The e2e histogram still fills (it predates ksp-obs).
+        assert_eq!(snap.end_to_end.count, 4);
+    }
+
+    #[test]
+    fn publishes_and_steal_rejection_paths_reach_the_flight_ring() {
+        let (service, graph) = service(150, 2, 71);
+        let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 5);
+        service.apply_batch(&traffic.next_snapshot()).unwrap();
+        service.apply_batch(&traffic.next_snapshot()).unwrap();
+        let events = service.observability().flight().snapshot();
+        let published =
+            events.iter().filter(|e| e.kind == EventKind::EpochPublished).collect::<Vec<_>>();
+        assert_eq!(published.len(), 2);
+        assert_eq!(published[0].a, 1, "payload a is the epoch");
+        assert_eq!(published[1].a, 2);
+        assert!(events.iter().any(|e| e.kind == EventKind::CacheRetention));
     }
 
     #[test]

@@ -91,6 +91,26 @@ pub struct RecoveryReport {
     /// Corrupt checkpoint files that were skipped while searching for a valid
     /// one (newest first).
     pub corrupt_checkpoints_skipped: usize,
+    /// Wall time recovery took, lock acquisition to ready-to-append.
+    pub duration: std::time::Duration,
+}
+
+impl RecoveryReport {
+    /// The recovery trajectory as ordered `(step-name, step-code, value)`
+    /// triples, in the order recovery performed them — the shape event
+    /// streams (e.g. the observability flight recorder) consume. The step
+    /// codes are stable: 0 checkpoint loaded (value = epoch), 1 partial
+    /// images applied, 2 batches replayed, 3 torn bytes dropped, 4 corrupt
+    /// checkpoints skipped.
+    pub fn steps(&self) -> Vec<(&'static str, u64, u64)> {
+        vec![
+            ("checkpoint_loaded", 0, self.checkpoint_epoch),
+            ("partial_images_applied", 1, self.partial_images_applied as u64),
+            ("batches_replayed", 2, self.batches_replayed as u64),
+            ("torn_bytes_dropped", 3, self.torn_bytes_dropped),
+            ("corrupt_checkpoints_skipped", 4, self.corrupt_checkpoints_skipped as u64),
+        ]
+    }
 }
 
 /// The state [`Store::recover`] hands back: exactly what the live service held
@@ -325,6 +345,7 @@ impl Store {
     pub fn recover(dir: &Path, config: StoreConfig) -> Result<(Store, Recovered), StoreError> {
         // Exclusive ownership first: a second live opener must fail here,
         // before any repair below can disturb the owner's in-flight state.
+        let recovery_started = std::time::Instant::now();
         let lock = DirLock::acquire(dir)?;
         // Clean up two crash windows before looking at anything else: staged
         // checkpoint temp files and a rotation that died before its segment
@@ -486,6 +507,7 @@ impl Store {
             batches_replayed,
             torn_bytes_dropped: torn_bytes + headerless_bytes,
             corrupt_checkpoints_skipped: corrupt_skipped,
+            duration: recovery_started.elapsed(),
         };
         let store = Store {
             dir: dir.to_path_buf(),

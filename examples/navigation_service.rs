@@ -195,6 +195,62 @@ fn main() {
         remote_metrics.rejected,
         remote_metrics.cache_hit_rate() * 100.0
     );
+    // The observability surface, over the same socket: a typed `ObsSnapshot`
+    // decomposes every served request into its pipeline stages (the stage
+    // totals sum to the end-to-end total — an exact attribution), and
+    // `scrape_text` renders the whole thing in the Prometheus text format a
+    // monitoring stack would poll.
+    println!();
+    println!("== observability showcase (over the same TCP connection) ==");
+    let snap = client.obs_snapshot().expect("obs snapshot over the wire");
+    println!(
+        "where a request's time goes ({} requests, epoch age {:.3} s):",
+        snap.end_to_end.count,
+        snap.gauge("ksp_epoch_age_seconds").unwrap_or(0.0),
+    );
+    let stage_total: u64 = snap.stages.iter().map(|s| s.histogram.total_micros).sum();
+    for stage in &snap.stages {
+        let h = &stage.histogram;
+        println!(
+            "    {:<12} p50 {:>6} us  p99 {:>8} us  {:>5.1} % of total",
+            stage.stage.name(),
+            h.quantile(0.5).as_micros(),
+            h.quantile(0.99).as_micros(),
+            100.0 * h.total_micros as f64 / stage_total.max(1) as f64,
+        );
+    }
+    println!(
+        "    {:<12} p50 {:>6} us  p99 {:>8} us  (stage sum {:.3} ms = e2e {:.3} ms)",
+        "end_to_end",
+        snap.end_to_end.quantile(0.5).as_micros(),
+        snap.end_to_end.quantile(0.99).as_micros(),
+        stage_total as f64 / 1e3,
+        snap.end_to_end.total_micros as f64 / 1e3,
+    );
+    match &snap.dump {
+        Some(dump) => println!(
+            "flight recorder: {} events recorded; latest anomaly dump: {} ({} events captured)",
+            snap.counter("ksp_flight_events_total"),
+            dump.cause.kind.name(),
+            dump.events.len(),
+        ),
+        None => println!(
+            "flight recorder: {} events recorded, no anomaly triggers fired",
+            snap.counter("ksp_flight_events_total"),
+        ),
+    }
+    let exposition = client.scrape_text().expect("scrape over the wire");
+    let families = exposition.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    println!(
+        "text exposition: {} metric families, {} samples, {} bytes; e.g.",
+        families,
+        exposition.lines().filter(|l| !l.starts_with('#')).count(),
+        exposition.len(),
+    );
+    for line in exposition.lines().filter(|l| !l.starts_with('#')).take(4) {
+        println!("    {line}");
+    }
+
     // A controlled shutdown checkpoints the final epoch — requested over the
     // wire, so the next run recovers without replaying this run's log.
     match client.checkpoint_now() {

@@ -17,6 +17,10 @@
 //! * [`store`] — durable checkpoints and the epoch delta log with crash
 //!   recovery: cold starts load a checkpoint and replay the log instead of
 //!   rebuilding the index ([`ksp_store`]).
+//! * [`obs`] — the observability toolkit: per-stage request spans, latency
+//!   histograms, the flight recorder and the Prometheus text renderer
+//!   ([`ksp_obs`]); `serve` threads it through the query pipeline and
+//!   `proto` carries its snapshots over the wire.
 //! * [`proto`] — the typed request/response wire protocol (CRC-guarded,
 //!   versioned frames) and the pluggable [`Transport`](ksp_proto::Transport)
 //!   with its TCP implementation and [`KspClient`](ksp_proto::KspClient)
@@ -47,6 +51,7 @@ pub use ksp_cands as cands;
 pub use ksp_cluster as cluster;
 pub use ksp_core as core;
 pub use ksp_graph as graph;
+pub use ksp_obs as obs;
 pub use ksp_proto as proto;
 pub use ksp_serve as serve;
 pub use ksp_store as store;

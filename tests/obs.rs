@@ -1,0 +1,222 @@
+//! Integration tests for the observability subsystem, end to end: a
+//! `QueryService` behind a loopback `TcpServer`, scraped through `KspClient`.
+//!
+//! Three contracts are proven here:
+//!
+//! 1. **Exact decomposition over the wire** — an `ObsSnapshot` fetched over
+//!    TCP splits every served request into the seven pipeline stages, and the
+//!    stage totals sum *exactly* to the end-to-end total (the span stamps
+//!    telescope, so nothing is double-counted or lost).
+//! 2. **Anomaly dumps travel** — an SLO breach dumps the offending span
+//!    chain plus the flight ring, and a later scrape carries the whole dump
+//!    across the socket, validated back into typed form.
+//! 3. **Bounded memory** — the flight ring never holds more than its
+//!    capacity no matter how many events storm through it, from one thread
+//!    (property test) or many (concurrent storm with live readers).
+
+use ksp_dg::core::dtlp::DtlpConfig;
+use ksp_dg::obs::{EventKind, FlightRecorder, Stage};
+use ksp_dg::proto::KspClient;
+use ksp_dg::serve::{QueryService, ServiceConfig, TcpServer};
+use ksp_dg::workload::{
+    QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig, RoadNetworkGenerator, TrafficConfig,
+    TrafficModel,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(
+    n: usize,
+    config: ServiceConfig,
+    seed: u64,
+) -> (TcpServer, Arc<QueryService>, ksp_dg::graph::DynamicGraph) {
+    let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(n))
+        .generate(seed)
+        .unwrap()
+        .graph;
+    let service = Arc::new(QueryService::start(graph.clone(), config).unwrap());
+    let server = TcpServer::bind(service.clone(), "127.0.0.1:0").unwrap();
+    (server, service, graph)
+}
+
+#[test]
+fn tcp_queries_decompose_into_stages_that_sum_to_end_to_end() {
+    let (server, _service, graph) =
+        start_server(200, ServiceConfig::new(2, DtlpConfig::new(16, 2)), 0x0B51);
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(10, 3), 11);
+    let (mut client, _) = KspClient::connect(server.local_addr()).unwrap();
+
+    // Publish one epoch, then run the workload twice: the second pass is
+    // served (at least partly) from the result cache, so both the hit and
+    // the miss paths contribute span chains.
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 5);
+    client.apply_batch(&traffic.next_snapshot()).unwrap();
+    for _ in 0..2 {
+        for q in workload.iter() {
+            client.query(q.source, q.target, q.k).unwrap();
+        }
+    }
+
+    let snap = client.obs_snapshot().unwrap();
+    let completed = snap.counter("ksp_requests_completed_total");
+    assert_eq!(completed, 2 * workload.len() as u64);
+    assert_eq!(snap.end_to_end.count, completed);
+
+    // The telescoping contract: per-stage totals sum exactly to the
+    // end-to-end total — the decomposition is an attribution, not a sample.
+    let stage_total: u64 =
+        Stage::ALL.iter().filter_map(|&s| snap.stage(s)).map(|h| h.total_micros).sum();
+    assert_eq!(stage_total, snap.end_to_end.total_micros);
+
+    // Every request passes through every stage exactly once, except the
+    // queue/steal pair, which are mutually exclusive per request.
+    for stage in [Stage::Admission, Stage::Cache, Stage::Engine, Stage::Reply] {
+        assert_eq!(snap.stage(stage).unwrap().count, completed, "{}", stage.name());
+    }
+    let queued = snap.stage(Stage::Queue).unwrap().count;
+    let stolen = snap.stage(Stage::Steal).unwrap().count;
+    assert_eq!(queued + stolen, completed);
+
+    // The cache counters agree with the stage view, and both hit and miss
+    // paths were exercised.
+    let hits = snap.counter("ksp_cache_hits_total");
+    let misses = snap.counter("ksp_cache_misses_total");
+    assert_eq!(hits + misses, completed);
+    assert!(hits > 0, "second pass must produce cache hits");
+    assert!(misses > 0, "first pass must produce cache misses");
+    assert_eq!(snap.counter("ksp_epochs_published_total"), 1);
+
+    // The client-side scrape renders every family a monitoring stack would
+    // chart, including one series per stage.
+    let text = client.scrape_text().unwrap();
+    assert!(text.contains("# TYPE ksp_stage_duration_seconds histogram"));
+    assert!(text.contains("# TYPE ksp_request_duration_seconds histogram"));
+    for stage in Stage::ALL {
+        assert!(text.contains(&format!("stage=\"{}\"", stage.name())), "{}", stage.name());
+    }
+    assert!(text.contains(&format!("ksp_requests_completed_total {completed}")));
+}
+
+#[test]
+fn slo_breach_dump_carries_the_span_chain_over_the_wire() {
+    // An unmeetable SLO: the very first request breaches it and dumps.
+    let mut config = ServiceConfig::new(2, DtlpConfig::new(16, 2));
+    config.observability.slo_p99 = Duration::from_nanos(1);
+    let (server, _service, graph) = start_server(160, config, 0x0B52);
+    let (mut client, _) = KspClient::connect(server.local_addr()).unwrap();
+    let last = ksp_dg::graph::VertexId(graph.num_vertices() as u32 - 1);
+    client.query(ksp_dg::graph::VertexId(0), last, 2).unwrap();
+
+    let snap = client.obs_snapshot().unwrap();
+    assert!(snap.counter("ksp_flight_dumps_total") >= 1);
+    let dump = snap.dump.expect("the breach must dump, and the dump must travel the wire");
+    assert_eq!(dump.cause.kind, EventKind::SloBreach);
+    // The dump carries the full per-stage chain of the offending request,
+    // and its stamps account for the reported end-to-end latency exactly.
+    let chain = dump.span.expect("an SLO dump carries the offending span chain");
+    assert_eq!(chain.micros.len(), Stage::COUNT);
+    assert_eq!(chain.total_micros(), dump.cause.a);
+    // The ring snapshot inside the dump includes the breach event itself.
+    assert!(dump.events.iter().any(|e| e.kind == EventKind::SloBreach));
+}
+
+#[test]
+fn epoch_age_gauge_travels_the_wire_and_resets_on_publish() {
+    let (server, _service, graph) =
+        start_server(160, ServiceConfig::new(2, DtlpConfig::new(16, 2)), 0x0B53);
+    let (mut client, _) = KspClient::connect(server.local_addr()).unwrap();
+
+    std::thread::sleep(Duration::from_millis(80));
+    let aged = client.metrics().unwrap().epoch_age_ms;
+    assert!(aged >= 50, "epoch age must accumulate while nothing publishes (got {aged} ms)");
+
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 9);
+    client.apply_batch(&traffic.next_snapshot()).unwrap();
+    let fresh = client.metrics().unwrap().epoch_age_ms;
+    assert!(fresh < aged, "a publish must reset the age ({fresh} ms !< {aged} ms)");
+
+    // The same freshness signal, as a gauge in the observability snapshot.
+    let snap = client.obs_snapshot().unwrap();
+    let gauge = snap.gauge("ksp_epoch_age_seconds").expect("epoch age gauge");
+    assert!(gauge < aged as f64 / 1e3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The flight ring's memory is its capacity, forever: storms of any size
+    /// leave at most `capacity` events visible, the tally still counts every
+    /// event that passed through, and the snapshot holds exactly the most
+    /// recent window, oldest first.
+    #[test]
+    fn flight_ring_stays_bounded_under_event_storms(
+        capacity in 1usize..300,
+        storm in 1usize..4_000,
+    ) {
+        let ring = FlightRecorder::new(capacity);
+        for i in 0..storm {
+            let kind = EventKind::ALL[i % EventKind::ALL.len()];
+            ring.record(kind, i as u64, 0, 0);
+        }
+        prop_assert_eq!(ring.capacity(), capacity);
+        prop_assert_eq!(ring.events_recorded(), storm as u64);
+
+        let events = ring.snapshot();
+        prop_assert!(events.len() <= capacity);
+        // Single-threaded, so the snapshot is the exact trailing window.
+        prop_assert_eq!(events.len(), storm.min(capacity));
+        for (offset, event) in events.iter().enumerate() {
+            prop_assert_eq!(event.a, (storm - events.len() + offset) as u64);
+        }
+
+        // A trigger snapshots the ring into a dump of the same bounded size,
+        // and repeated triggers replace rather than accumulate.
+        ring.trigger(EventKind::PublishStall, 7, 0, 0, None);
+        ring.trigger(EventKind::PublishStall, 8, 0, 0, None);
+        let dump = ring.last_dump().unwrap();
+        prop_assert!(dump.events.len() <= capacity);
+        prop_assert_eq!(dump.cause.a, 8);
+        prop_assert_eq!(ring.dumps_taken(), 2);
+    }
+}
+
+#[test]
+fn concurrent_event_storm_never_blocks_writers_or_readers() {
+    let ring = Arc::new(FlightRecorder::new(64));
+    let writers = 4u64;
+    let per_writer = 20_000u64;
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    ring.record(EventKind::Steal, w, i, 0);
+                    if i % 1024 == 0 {
+                        ring.trigger(EventKind::SloBreach, w, i, 0, None);
+                    }
+                }
+            });
+        }
+        // A reader snapshots throughout the storm: every snapshot stays
+        // within capacity and never observes a torn slot (a torn slot would
+        // surface as an event with field values no writer ever wrote, which
+        // the seqlock double-check prevents by skipping it).
+        let ring = Arc::clone(&ring);
+        scope.spawn(move || {
+            for _ in 0..200 {
+                let events = ring.snapshot();
+                assert!(events.len() <= ring.capacity());
+                for e in &events {
+                    assert!(e.b < per_writer, "torn slot leaked: {e:?}");
+                }
+            }
+        });
+    });
+    // Triggers record their cause event too, so the tally exceeds the plain
+    // per-writer records.
+    assert!(ring.events_recorded() >= writers * per_writer);
+    assert!(ring.snapshot().len() <= 64);
+    assert!(ring.dumps_taken() > 0);
+    assert!(ring.last_dump().is_some());
+}
