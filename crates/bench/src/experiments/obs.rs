@@ -17,7 +17,7 @@
 use crate::report::{f2, Table};
 use crate::Scale;
 use ksp_core::dtlp::DtlpConfig;
-use ksp_obs::{EventKind, HistogramSnapshot, Stage};
+use ksp_obs::{EventKind, HistogramSnapshot, PublishStage, Stage};
 use ksp_proto::KspClient;
 use ksp_serve::{run_closed_loop_over, LoadDriverConfig, QueryService, ServiceConfig, TcpServer};
 use ksp_workload::{
@@ -108,7 +108,44 @@ pub fn observability(scale: Scale) -> Vec<Table> {
     }
     stages_table.row(stage_row("end_to_end", &snap.end_to_end));
 
-    // Table 2: what a scraper derives by differencing two cumulative
+    // Table 2: where an epoch publish spends its time, stage by stage down
+    // the write path. The same telescoping discipline as the read side: the
+    // stage totals sum exactly to the end-to-end publish total. This service
+    // is not persistent, so the log and checkpoint stages are near-zero —
+    // the table shows the shape of the decomposition, the persistence
+    // experiment shows the durable costs.
+    let publish_total_micros: u64 = PublishStage::ALL
+        .iter()
+        .filter_map(|&s| snap.publish_stage(s))
+        .map(|h| h.total_micros)
+        .sum();
+    let mut publish_table = Table::new(
+        format!(
+            "obs: write-path publish decomposition over TCP ({} epochs published)",
+            snap.publish_end_to_end.count
+        ),
+        &["stage", "count", "mean_us", "p50_us", "p99_us", "max_us", "total_ms", "share_pct"],
+    );
+    let publish_row = |name: &str, h: &HistogramSnapshot| {
+        vec![
+            name.to_string(),
+            h.count.to_string(),
+            h.mean().as_micros().to_string(),
+            h.quantile(0.5).as_micros().to_string(),
+            h.quantile(0.99).as_micros().to_string(),
+            h.max_micros.to_string(),
+            f2(h.total_micros as f64 / 1e3),
+            f2(100.0 * h.total_micros as f64 / publish_total_micros.max(1) as f64),
+        ]
+    };
+    for stage in PublishStage::ALL {
+        if let Some(h) = snap.publish_stage(stage) {
+            publish_table.row(publish_row(stage.name(), h));
+        }
+    }
+    publish_table.row(publish_row("end_to_end", &snap.publish_end_to_end));
+
+    // Table 3: what a scraper derives by differencing two cumulative
     // samples, computed here with `MetricsReport::delta_since`.
     let mut delta_table = Table::new(
         "obs: cumulative counters vs second-half interval (delta_since)",
@@ -127,7 +164,7 @@ pub fn observability(scale: Scale) -> Vec<Table> {
         delta_table.row(vec![name.to_string(), cumulative.to_string(), interval.to_string()]);
     }
 
-    // Table 3: the scrape as a scraper sees it — one row per metric family
+    // Table 4: the scrape as a scraper sees it — one row per metric family
     // with its sample count — plus the flight recorder's tally per event
     // kind and the anomaly dump the SLO breaches produced.
     let mut scrape_table = Table::new(
@@ -167,7 +204,7 @@ pub fn observability(scale: Scale) -> Vec<Table> {
         ]);
     }
 
-    vec![stages_table, delta_table, scrape_table]
+    vec![stages_table, publish_table, delta_table, scrape_table]
 }
 
 #[cfg(test)]
@@ -177,15 +214,18 @@ mod tests {
     #[test]
     fn observability_reports_all_stages_and_counters() {
         let tables = observability(Scale::Tiny);
-        assert_eq!(tables.len(), 3);
-        // Seven stages plus the end-to-end row.
+        assert_eq!(tables.len(), 4);
+        // Seven stages plus the end-to-end row, on both the read and the
+        // write path.
         assert_eq!(tables[0].num_rows(), Stage::COUNT + 1);
+        assert_eq!(tables[1].num_rows(), PublishStage::COUNT + 1);
         // Eight counters in the delta table.
-        assert_eq!(tables[1].num_rows(), 8);
-        // The scrape summary names both histogram families.
-        let rendered = tables[2].render();
+        assert_eq!(tables[2].num_rows(), 8);
+        // The scrape summary names the histogram families of both paths.
+        let rendered = tables[3].render();
         assert!(rendered.contains("ksp_stage_duration_seconds"));
         assert!(rendered.contains("ksp_request_duration_seconds"));
+        assert!(rendered.contains("ksp_publish_stage_duration_seconds"));
         assert!(rendered.contains("ksp_requests_completed_total"));
     }
 }

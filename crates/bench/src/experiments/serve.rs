@@ -189,6 +189,9 @@ pub fn serve_tcp(scale: Scale) -> Vec<Table> {
             "qps",
             "p50_ms",
             "p99_ms",
+            "seen_p50_ms",
+            "seen_p95_ms",
+            "seen_p99_ms",
             "hit_rate",
             "epochs",
             "wire_kb",
@@ -245,6 +248,12 @@ pub fn serve_tcp(scale: Scale) -> Vec<Table> {
             f2(report.throughput_qps()),
             f2(report.metrics.p50_micros as f64 / 1e3),
             f2(report.metrics.p99_micros as f64 / 1e3),
+            // Client-perceived percentiles sit next to the server-side ones:
+            // the gap is the transport's own cost (serialization, framing,
+            // the socket), zero-ish for in-proc and real for TCP.
+            f2(report.perceived_p50().as_secs_f64() * 1e3),
+            f2(report.perceived_p95().as_secs_f64() * 1e3),
+            f2(report.perceived_p99().as_secs_f64() * 1e3),
             f2(report.metrics.cache_hit_rate()),
             report.epochs_published.to_string(),
             f2((wire.bytes_sent + wire.bytes_received) as f64 / 1024.0),

@@ -22,6 +22,13 @@ pub struct ObsConfig {
     /// An epoch publish slower than this triggers a flight dump.
     /// [`Duration::ZERO`] disables the trigger.
     pub publish_stall: Duration,
+    /// A delta-log append (record encode + write, excluding the fsync)
+    /// slower than this triggers a flight dump. [`Duration::ZERO`] disables
+    /// the trigger.
+    pub wal_append_stall: Duration,
+    /// A delta-log fsync slower than this triggers a flight dump.
+    /// [`Duration::ZERO`] disables the trigger.
+    pub fsync_stall: Duration,
 }
 
 impl Default for ObsConfig {
@@ -31,6 +38,8 @@ impl Default for ObsConfig {
             flight_capacity: 256,
             slo_p99: Duration::ZERO,
             publish_stall: Duration::from_millis(250),
+            wal_append_stall: Duration::from_millis(50),
+            fsync_stall: Duration::from_millis(100),
         }
     }
 }

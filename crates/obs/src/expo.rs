@@ -18,6 +18,13 @@ pub const STAGE_FAMILY: &str = "ksp_stage_duration_seconds";
 /// The metric family of the end-to-end latency histogram.
 pub const E2E_FAMILY: &str = "ksp_request_duration_seconds";
 
+/// The metric family per-write-path-stage publish histograms are rendered
+/// under, with a `stage="..."` label per publish stage.
+pub const PUBLISH_STAGE_FAMILY: &str = "ksp_publish_stage_duration_seconds";
+
+/// The metric family of the end-to-end epoch-publish histogram.
+pub const PUBLISH_E2E_FAMILY: &str = "ksp_publish_duration_seconds";
+
 /// Renders a snapshot in Prometheus text exposition format.
 pub fn render_prometheus(snapshot: &ObsSnapshot) -> String {
     let mut out = String::with_capacity(16 * 1024);
@@ -46,6 +53,14 @@ pub fn render_prometheus(snapshot: &ObsSnapshot) -> String {
     }
     let _ = writeln!(out, "# TYPE {E2E_FAMILY} histogram");
     render_histogram(&mut out, E2E_FAMILY, "", &snapshot.end_to_end);
+
+    let _ = writeln!(out, "# TYPE {PUBLISH_STAGE_FAMILY} histogram");
+    for s in &snapshot.publish_stages {
+        let label = format!("stage=\"{}\"", s.stage.name());
+        render_histogram(&mut out, PUBLISH_STAGE_FAMILY, &label, &s.histogram);
+    }
+    let _ = writeln!(out, "# TYPE {PUBLISH_E2E_FAMILY} histogram");
+    render_histogram(&mut out, PUBLISH_E2E_FAMILY, "", &snapshot.publish_end_to_end);
 
     out
 }
@@ -101,7 +116,8 @@ fn fmt_f64(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::snapshot::{Counter, Gauge, StageSnapshot};
+    use crate::publish::{PublishChain, PublishStage, PublishStageHistograms};
+    use crate::snapshot::{Counter, Gauge, PublishStageSnapshot, StageSnapshot};
     use crate::span::{SpanChain, StageHistograms};
     use crate::Stage;
 
@@ -112,6 +128,11 @@ mod tests {
         let e2e = crate::LatencyHistogram::default();
         e2e.record_micros(949);
         e2e.record_micros(13);
+        let publish = PublishStageHistograms::new();
+        publish
+            .record_chain(&PublishChain { micros: [40, 10, 200, 3, 8, 0, 2], checkpointed: false });
+        let publish_e2e = crate::LatencyHistogram::default();
+        publish_e2e.record_micros(263);
         ObsSnapshot {
             stages: stages
                 .snapshot()
@@ -119,6 +140,12 @@ mod tests {
                 .map(|(stage, histogram)| StageSnapshot { stage, histogram })
                 .collect(),
             end_to_end: e2e.snapshot(),
+            publish_stages: publish
+                .snapshot()
+                .into_iter()
+                .map(|(stage, histogram)| PublishStageSnapshot { stage, histogram })
+                .collect(),
+            publish_end_to_end: publish_e2e.snapshot(),
             counters: vec![
                 Counter {
                     name: "ksp_requests_completed_total".into(),
@@ -153,6 +180,18 @@ mod tests {
             );
         }
         assert!(text.contains("ksp_request_duration_seconds_count 2"));
+        assert!(text.contains("# TYPE ksp_publish_stage_duration_seconds histogram"));
+        for stage in PublishStage::ALL {
+            assert!(
+                text.contains(&format!(
+                    "ksp_publish_stage_duration_seconds_count{{stage=\"{}\"}} 1",
+                    stage.name()
+                )),
+                "missing publish stage family for {}",
+                stage.name()
+            );
+        }
+        assert!(text.contains("ksp_publish_duration_seconds_count 1"));
     }
 
     #[test]

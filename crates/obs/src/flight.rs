@@ -17,6 +17,28 @@ use std::time::Instant;
 
 /// What kind of service event an [`ObsEvent`] records. The discriminants are
 /// stable wire values.
+///
+/// # Stable wire codes
+///
+/// The `u8` discriminants below travel verbatim in flight events, dumps and
+/// `ObsSnapshot` payloads; they are append-only under `PROTOCOL_VERSION` 1.
+/// A decoder receiving a code it does not know (from a newer peer) skips the
+/// event rather than failing the payload — see [`EventKind::from_code`].
+///
+/// | code | variant                 |
+/// |-----:|-------------------------|
+/// |    0 | `EpochPublished`        |
+/// |    1 | `CheckpointCommitted`   |
+/// |    2 | `CheckpointFailed`      |
+/// |    3 | `CacheRetention`        |
+/// |    4 | `Steal`                 |
+/// |    5 | `Rejection`             |
+/// |    6 | `HostileFrame`          |
+/// |    7 | `RecoveryStep`          |
+/// |    8 | `SloBreach`             |
+/// |    9 | `PublishStall`          |
+/// |   10 | `WalAppendStall`        |
+/// |   11 | `FsyncStall`            |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
@@ -51,11 +73,19 @@ pub enum EventKind {
     /// An epoch publish exceeded the configured stall bound.
     /// `a` = epoch, `b` = publish duration in microseconds.
     PublishStall = 9,
+    /// A delta-log append (record encode + write, excluding the fsync)
+    /// exceeded the configured stall bound. `a` = epoch, `b` = append
+    /// duration in microseconds, `c` = the configured bound in microseconds.
+    WalAppendStall = 10,
+    /// A delta-log fsync exceeded the configured stall bound. `a` = epoch,
+    /// `b` = fsync duration in microseconds, `c` = the configured bound in
+    /// microseconds.
+    FsyncStall = 11,
 }
 
 impl EventKind {
     /// All kinds, for decoding and iteration.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::EpochPublished,
         EventKind::CheckpointCommitted,
         EventKind::CheckpointFailed,
@@ -66,6 +96,8 @@ impl EventKind {
         EventKind::RecoveryStep,
         EventKind::SloBreach,
         EventKind::PublishStall,
+        EventKind::WalAppendStall,
+        EventKind::FsyncStall,
     ];
 
     /// Stable label for exposition.
@@ -81,6 +113,8 @@ impl EventKind {
             EventKind::RecoveryStep => "recovery_step",
             EventKind::SloBreach => "slo_breach",
             EventKind::PublishStall => "publish_stall",
+            EventKind::WalAppendStall => "wal_append_stall",
+            EventKind::FsyncStall => "fsync_stall",
         }
     }
 
@@ -118,6 +152,11 @@ pub struct FlightDump {
     /// Span chain of the offending request, when the trigger was per-request
     /// (SLO breach).
     pub span: Option<SpanChain>,
+    /// The client trace id of the offending request, when the trigger was
+    /// per-request and the request carried a wire trace context; `0` when
+    /// untraced. Lets a client resolve its own trace id to the server's span
+    /// chain.
+    pub trace_id: u64,
     /// Ring contents at trigger time, oldest first, at most the ring's
     /// capacity.
     pub events: Vec<ObsEvent>,
@@ -189,6 +228,14 @@ impl FlightRecorder {
         self.head.load(Ordering::Relaxed)
     }
 
+    /// Events silently evicted by ring-slot overwrites since start: every
+    /// recorded event past the ring's capacity displaced an older one. A
+    /// nonzero value tells an operator the ring window is shorter than the
+    /// event rate — the signal that used to be invisible.
+    pub fn events_overwritten(&self) -> u64 {
+        self.head.load(Ordering::Relaxed).saturating_sub(self.slots.len() as u64)
+    }
+
     /// Anomaly dumps taken since start.
     pub fn dumps_taken(&self) -> u64 {
         self.dumps.load(Ordering::Relaxed)
@@ -249,8 +296,29 @@ impl FlightRecorder {
     /// latest dump replaces the previous one, so anomaly storms keep memory
     /// bounded and the operator always sees the most recent incident.
     pub fn trigger(&self, kind: EventKind, a: u64, b: u64, c: u64, span: Option<SpanChain>) {
+        self.trigger_traced(kind, a, b, c, span, 0);
+    }
+
+    /// [`trigger`](Self::trigger) with the offending request's wire trace id
+    /// attached to the dump (`0` for untraced requests), so a remote client
+    /// can pin the dumped span chain to a trace it originated.
+    pub fn trigger_traced(
+        &self,
+        kind: EventKind,
+        a: u64,
+        b: u64,
+        c: u64,
+        span: Option<SpanChain>,
+        trace_id: u64,
+    ) {
         let cause = self.record(kind, a, b, c);
-        let dump = FlightDump { at_micros: cause.at_micros, cause, span, events: self.snapshot() };
+        let dump = FlightDump {
+            at_micros: cause.at_micros,
+            cause,
+            span,
+            trace_id,
+            events: self.snapshot(),
+        };
         *self.last_dump.lock().unwrap_or_else(|e| e.into_inner()) = Some(dump);
         self.dumps.fetch_add(1, Ordering::Relaxed);
     }
@@ -281,6 +349,28 @@ mod tests {
         assert_eq!(events.len(), 4);
         assert_eq!(events.iter().map(|e| e.a).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
         assert_eq!(rec.events_recorded(), 10);
+        assert_eq!(rec.events_overwritten(), 6, "every event past capacity displaced one");
+    }
+
+    #[test]
+    fn overwrite_counter_stays_zero_until_the_ring_wraps() {
+        let rec = FlightRecorder::new(4);
+        for _ in 0..4 {
+            rec.record(EventKind::Steal, 0, 0, 0);
+        }
+        assert_eq!(rec.events_overwritten(), 0);
+        rec.record(EventKind::Steal, 0, 0, 0);
+        assert_eq!(rec.events_overwritten(), 1);
+    }
+
+    #[test]
+    fn traced_trigger_carries_the_trace_id_into_the_dump() {
+        let rec = FlightRecorder::new(8);
+        rec.trigger_traced(EventKind::SloBreach, 900, 100, 0, None, 0xDEAD_BEEF);
+        assert_eq!(rec.last_dump().unwrap().trace_id, 0xDEAD_BEEF);
+        // The untraced path stamps zero.
+        rec.trigger(EventKind::SloBreach, 900, 100, 0, None);
+        assert_eq!(rec.last_dump().unwrap().trace_id, 0);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //!   Stage durations are derived from *one* set of cumulative stamps, so they
 //!   telescope: per-stage totals sum exactly to the end-to-end latency the
 //!   service records. Disabled spans cost one branch per stage mark.
+//! * **[`PublishStage`] / [`PublishSpan`] / [`PublishStageHistograms`]** —
+//!   the same discipline for the *write* path: every epoch publish is
+//!   decomposed into stage_index → wal_append → fsync → swap → retention →
+//!   checkpoint_encode → checkpoint_commit, with the span travelling into the
+//!   background checkpointer for checkpoint epochs, so the paper's central
+//!   cost (epoch maintenance) is exactly attributable too.
 //! * **[`FlightRecorder`]** — a fixed-size, lock-free ring of recent
 //!   structured [`ObsEvent`]s (epoch publishes with dirty-set sizes,
 //!   checkpoint commits, cache retention outcomes, steals, rejections,
@@ -35,14 +41,18 @@ mod config;
 mod expo;
 mod flight;
 mod histogram;
+mod publish;
 mod snapshot;
 mod span;
 mod stage;
 
 pub use config::ObsConfig;
-pub use expo::render_prometheus;
+pub use expo::{
+    render_prometheus, E2E_FAMILY, PUBLISH_E2E_FAMILY, PUBLISH_STAGE_FAMILY, STAGE_FAMILY,
+};
 pub use flight::{EventKind, FlightDump, FlightRecorder, ObsEvent};
 pub use histogram::{bucket_upper_micros, HistogramSnapshot, LatencyHistogram, BUCKETS};
-pub use snapshot::{Counter, Gauge, ObsSnapshot, StageSnapshot};
+pub use publish::{PublishChain, PublishSpan, PublishStage, PublishStageHistograms};
+pub use snapshot::{Counter, Gauge, ObsSnapshot, PublishStageSnapshot, StageSnapshot};
 pub use span::{RequestSpan, SpanChain, StageHistograms};
 pub use stage::Stage;

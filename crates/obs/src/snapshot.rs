@@ -2,6 +2,7 @@
 
 use crate::flight::FlightDump;
 use crate::histogram::HistogramSnapshot;
+use crate::publish::PublishStage;
 use crate::stage::Stage;
 
 /// A cumulative-monotonic counter sample, optionally labelled
@@ -36,6 +37,15 @@ pub struct StageSnapshot {
     pub histogram: HistogramSnapshot,
 }
 
+/// One write-path stage's latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishStageSnapshot {
+    /// Which publish stage.
+    pub stage: PublishStage,
+    /// Its histogram.
+    pub histogram: HistogramSnapshot,
+}
+
 /// Everything an observability scrape returns: per-stage histograms, the
 /// end-to-end histogram, counters, gauges, and the latest flight-recorder
 /// dump. This is the payload behind the wire `ObsSnapshot` request and the
@@ -46,6 +56,11 @@ pub struct ObsSnapshot {
     pub stages: Vec<StageSnapshot>,
     /// The end-to-end latency histogram.
     pub end_to_end: HistogramSnapshot,
+    /// Per-write-path-stage publish histograms, in [`PublishStage::ALL`]
+    /// order. Their totals telescope to `publish_end_to_end.total_micros`.
+    pub publish_stages: Vec<PublishStageSnapshot>,
+    /// The end-to-end epoch-publish latency histogram.
+    pub publish_end_to_end: HistogramSnapshot,
     /// Cumulative counters.
     pub counters: Vec<Counter>,
     /// Point-in-time gauges.
@@ -58,6 +73,11 @@ impl ObsSnapshot {
     /// The histogram of one stage, if present.
     pub fn stage(&self, stage: Stage) -> Option<&HistogramSnapshot> {
         self.stages.iter().find(|s| s.stage == stage).map(|s| &s.histogram)
+    }
+
+    /// The histogram of one write-path publish stage, if present.
+    pub fn publish_stage(&self, stage: PublishStage) -> Option<&HistogramSnapshot> {
+        self.publish_stages.iter().find(|s| s.stage == stage).map(|s| &s.histogram)
     }
 
     /// The value of an (unlabelled or labelled) counter by family name,

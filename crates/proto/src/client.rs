@@ -9,11 +9,44 @@
 //! tell backpressure from a bad request.
 
 use crate::message::{
-    ErrorReply, QueryAnswer, QueryKey, Request, Response, WireMetrics, PROTOCOL_VERSION,
+    ErrorReply, QueryAnswer, QueryKey, QueryOutcome, Request, Response, TraceContext, WireMetrics,
+    PROTOCOL_VERSION,
 };
 use crate::transport::{TcpTransport, Transport, TransportError, TransportStats};
 use ksp_graph::{UpdateBatch, VertexId};
+use ksp_obs::LatencyHistogram;
 use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Process-wide client id allocator: every `KspClient` gets a distinct id so
+/// trace ids minted by different clients (threads) never collide.
+static NEXT_CLIENT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A client-perceived latency decomposition, all values cumulative
+/// microseconds since the client was created.
+///
+/// `total` is wall-clock time spent inside client calls; `serialize` and
+/// `decode` come from [`TransportStats`]; `server` is the sum of the
+/// server-reported per-query latencies echoed in [`QueryAnswer`]s. What
+/// remains — `network` — is the unattributed residual: wire transit, kernel
+/// buffers and server-side queueing outside the measured request span. For
+/// in-process transports serialize/decode/network are all zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Wall-clock microseconds spent inside client calls.
+    pub total_micros: u64,
+    /// Microseconds encoding request payloads.
+    pub serialize_micros: u64,
+    /// Residual microseconds not attributed to any other bucket
+    /// (`total − serialize − server − decode`, saturating at zero).
+    pub network_micros: u64,
+    /// Sum of server-reported query latencies, microseconds.
+    pub server_micros: u64,
+    /// Microseconds decoding response payloads.
+    pub decode_micros: u64,
+}
 
 /// What the server reported during the `Ping` handshake.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,8 +113,25 @@ impl From<TransportError> for ClientError {
 
 /// A blocking client for the KSP serving protocol, generic over its
 /// [`Transport`].
+///
+/// Every request is stamped with a [`TraceContext`] — a process-unique trace
+/// id plus the client-clock origin — wrapped in a `Request::Traced` envelope.
+/// The server echoes the context on its response and records the trace id in
+/// any flight-recorder dump the request triggers, so a client can resolve its
+/// own trace ids to server-side span chains. Call
+/// [`KspClient::set_tracing`]`(false)` to send bare requests instead.
 pub struct KspClient<T: Transport> {
     transport: T,
+    /// Origin of this client's trace clock; `origin_micros` stamps are
+    /// elapsed time since here.
+    origin: Instant,
+    client_id: u64,
+    requests_sent: u64,
+    tracing: bool,
+    last_trace_id: u64,
+    total_micros: u64,
+    server_micros: u64,
+    perceived: Option<Arc<LatencyHistogram>>,
 }
 
 impl KspClient<TcpTransport> {
@@ -106,14 +156,67 @@ impl<T: Transport> KspClient<T> {
     /// Wraps a transport without a handshake. Useful for in-process
     /// transports, where both ends are the same build by construction.
     pub fn new(transport: T) -> Self {
-        KspClient { transport }
+        KspClient {
+            transport,
+            origin: Instant::now(),
+            client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
+            requests_sent: 0,
+            tracing: true,
+            last_trace_id: 0,
+            total_micros: 0,
+            server_micros: 0,
+            perceived: None,
+        }
     }
 
     /// Wraps a transport and performs the `Ping` version handshake.
     pub fn handshake(transport: T) -> Result<(Self, HandshakeInfo), ClientError> {
-        let mut client = KspClient { transport };
+        let mut client = KspClient::new(transport);
         let info = client.ping()?;
         Ok((client, info))
+    }
+
+    /// Enables or disables trace-context stamping (on by default).
+    pub fn set_tracing(&mut self, tracing: bool) {
+        self.tracing = tracing;
+    }
+
+    /// The trace id stamped on the most recent traced request, or zero if no
+    /// traced request has been sent. Matches the `trace_id` a server-side
+    /// flight dump records when that request trips an anomaly trigger.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
+    }
+
+    /// Installs a shared sink recording the client-perceived wall-clock
+    /// latency of every call. Several clients can share one histogram to
+    /// build a fleet-wide perceived-latency distribution.
+    pub fn set_perceived_sink(&mut self, sink: Arc<LatencyHistogram>) {
+        self.perceived = Some(sink);
+    }
+
+    /// Decomposes cumulative client-perceived latency into
+    /// serialize / network / server / decode buckets.
+    pub fn latency_breakdown(&self) -> LatencyBreakdown {
+        let stats = self.transport.stats();
+        let attributed = stats.serialize_micros + self.server_micros + stats.decode_micros;
+        LatencyBreakdown {
+            total_micros: self.total_micros,
+            serialize_micros: stats.serialize_micros,
+            network_micros: self.total_micros.saturating_sub(attributed),
+            server_micros: self.server_micros,
+            decode_micros: stats.decode_micros,
+        }
+    }
+
+    /// Mints the next trace context: the id is `client_id << 32 | sequence`,
+    /// unique across every client in this process.
+    fn next_trace(&mut self) -> TraceContext {
+        self.requests_sent += 1;
+        TraceContext {
+            trace_id: (self.client_id << 32) | (self.requests_sent & 0xFFFF_FFFF),
+            origin_micros: self.origin.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        }
     }
 
     /// Sends a `Ping`, returning the server's version and current epoch.
@@ -165,14 +268,36 @@ impl<T: Transport> KspClient<T> {
         &mut self,
         keys: &[QueryKey],
     ) -> Result<Vec<Result<QueryAnswer, ErrorReply>>, ClientError> {
-        let requests = keys.iter().map(|&key| Request::Query(key)).collect();
+        let started = Instant::now();
+        let requests = keys
+            .iter()
+            .map(|&key| {
+                let request = Request::Query(key);
+                if self.tracing {
+                    let trace = self.next_trace();
+                    self.last_trace_id = trace.trace_id;
+                    Request::Traced { trace, inner: Box::new(request) }
+                } else {
+                    request
+                }
+            })
+            .collect();
         let responses = self.transport.pipeline(requests)?;
+        let elapsed = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.total_micros += elapsed;
+        if let Some(sink) = &self.perceived {
+            sink.record_micros(elapsed);
+        }
         responses
             .into_iter()
-            .map(|response| match response {
-                Response::Query(answer) => Ok(Ok(answer)),
-                Response::Error(e) => Ok(Err(e)),
-                _ => Err(ClientError::UnexpectedResponse { expected: "Query" }),
+            .map(|response| {
+                let (_trace, response) = response.into_parts();
+                self.absorb_server_micros(&response);
+                match response {
+                    Response::Query(answer) => Ok(Ok(answer)),
+                    Response::Error(e) => Ok(Err(e)),
+                    _ => Err(ClientError::UnexpectedResponse { expected: "Query" }),
+                }
             })
             .collect()
     }
@@ -233,9 +358,50 @@ impl<T: Transport> KspClient<T> {
     }
 
     fn call(&mut self, request: Request) -> Result<Response, ClientError> {
-        match self.transport.roundtrip(request)? {
+        let started = Instant::now();
+        let (sent_trace, request) = if self.tracing {
+            let trace = self.next_trace();
+            self.last_trace_id = trace.trace_id;
+            (Some(trace), Request::Traced { trace, inner: Box::new(request) })
+        } else {
+            (None, request)
+        };
+        let response = self.transport.roundtrip(request)?;
+        let elapsed = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.total_micros += elapsed;
+        if let Some(sink) = &self.perceived {
+            sink.record_micros(elapsed);
+        }
+        // Unwrap the trace envelope *before* the error check: the server
+        // echoes `Traced` around typed error replies too.
+        let (echoed, response) = response.into_parts();
+        if let (Some(sent), Some(echo)) = (sent_trace, echoed) {
+            if echo.trace_id != sent.trace_id {
+                return Err(ClientError::UnexpectedResponse {
+                    expected: "the request's own trace id echoed back",
+                });
+            }
+        }
+        self.absorb_server_micros(&response);
+        match response {
             Response::Error(e) => Err(ClientError::Server(e)),
             response => Ok(response),
+        }
+    }
+
+    /// Accumulates the server-reported latency carried by query answers, the
+    /// `server` bucket of [`LatencyBreakdown`].
+    fn absorb_server_micros(&mut self, response: &Response) {
+        match response {
+            Response::Query(answer) => self.server_micros += answer.latency_micros,
+            Response::QueryBatch(outcomes) => {
+                for outcome in outcomes {
+                    if let QueryOutcome::Answer(answer) = outcome {
+                        self.server_micros += answer.latency_micros;
+                    }
+                }
+            }
+            _ => {}
         }
     }
 }

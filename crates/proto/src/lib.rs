@@ -60,15 +60,15 @@ pub mod obs;
 pub mod shard;
 pub mod transport;
 
-pub use client::{ClientError, HandshakeInfo, KspClient};
+pub use client::{ClientError, HandshakeInfo, KspClient, LatencyBreakdown};
 pub use frame::{FrameError, FrameKind, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
 pub use message::{
-    ErrorReply, QueryAnswer, QueryKey, QueryOutcome, Request, Response, WireMetrics, WirePath,
-    WireQueryStats, WireQueueGauge, PROTOCOL_VERSION,
+    ErrorReply, QueryAnswer, QueryKey, QueryOutcome, Request, Response, TraceContext, WireMetrics,
+    WirePath, WireQueryStats, WireQueueGauge, PROTOCOL_VERSION,
 };
 pub use obs::{
     WireCounter, WireFlightDump, WireGauge, WireHistogram, WireObsEvent, WireObsSnapshot,
-    WireSpanChain, WireStageHistogram,
+    WirePublishStageHistogram, WireSpanChain, WireStageHistogram,
 };
 pub use shard::{LowerBoundDelta, PairPaths, ShardTuple};
 pub use transport::{TcpTransport, Transport, TransportError, TransportStats};

@@ -33,6 +33,40 @@ fn decode_string(r: &mut Reader<'_>) -> Result<String, CodecError> {
         .map_err(|_| CodecError::InvalidValue("string payload is not valid UTF-8"))
 }
 
+/// A client-originated trace context, carried in a [`Request::Traced`] /
+/// [`Response::Traced`] envelope (tags appended under [`PROTOCOL_VERSION`] 1).
+///
+/// `trace_id` names one client-side operation; the server echoes it verbatim
+/// in the response envelope and pins it to any flight dump the request
+/// triggers, so a client can resolve *its own* trace id to the server's span
+/// chain. `origin_micros` is the client's clock at send time, measured from
+/// an origin only the client knows — the server treats it as opaque and
+/// echoes it, letting the client difference its clock around the round trip
+/// without any cross-host clock agreement.
+///
+/// Wire layout: 16 bytes, `trace_id` (u64 LE) then `origin_micros` (u64 LE),
+/// inside the envelope tag. The envelope is a *tagged* variant rather than a
+/// tolerant payload tail because several response payloads (`WireMetrics`,
+/// `WireObsSnapshot`) already own their trailing bytes for appended-field
+/// decoding — a bare suffix would be ambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Client-chosen id of the traced operation; `0` means untraced.
+    pub trace_id: u64,
+    /// The client's send-time stamp, microseconds from a client-local origin.
+    pub origin_micros: u64,
+}
+
+impl StoreCodec for TraceContext {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.trace_id);
+        w.put_u64(self.origin_micros);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TraceContext { trace_id: r.get_u64()?, origin_micros: r.get_u64()? })
+    }
+}
+
 /// The identity of one KSP query: find the `k` shortest paths from `source`
 /// to `target`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +127,27 @@ pub enum Request {
     /// `PROTOCOL_VERSION` 1; an older server answers with a typed
     /// [`ErrorReply::Malformed`] for the unknown tag).
     ObsSnapshot,
+    /// Any request wrapped in a client [`TraceContext`] (appended under
+    /// `PROTOCOL_VERSION` 1). The server answers with the same envelope
+    /// around its response; envelopes never nest — a nested `Traced` tag
+    /// fails the decode typed.
+    Traced {
+        /// The client's trace context, echoed back verbatim.
+        trace: TraceContext,
+        /// The wrapped request.
+        inner: Box<Request>,
+    },
+}
+
+impl Request {
+    /// Splits a possibly-traced request into its trace context (if any) and
+    /// the inner request.
+    pub fn into_parts(self) -> (Option<TraceContext>, Request) {
+        match self {
+            Request::Traced { trace, inner } => (Some(trace), *inner),
+            other => (None, other),
+        }
+    }
 }
 
 const REQ_PING: u8 = 0;
@@ -102,6 +157,25 @@ const REQ_APPLY_BATCH: u8 = 3;
 const REQ_METRICS: u8 = 4;
 const REQ_CHECKPOINT_NOW: u8 = 5;
 const REQ_OBS_SNAPSHOT: u8 = 6;
+const REQ_TRACED: u8 = 7;
+
+impl Request {
+    /// Decodes the body of one non-envelope request tag. `REQ_TRACED` falls
+    /// to the unknown-tag arm by design: the caller handles envelopes, so a
+    /// nested one fails typed here instead of recursing on hostile input.
+    fn decode_body(tag: u8, r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match tag {
+            REQ_PING => Ok(Request::Ping { protocol_version: r.get_u32()? }),
+            REQ_QUERY => Ok(Request::Query(QueryKey::decode(r)?)),
+            REQ_QUERY_BATCH => Ok(Request::QueryBatch(Vec::decode(r)?)),
+            REQ_APPLY_BATCH => Ok(Request::ApplyBatch(UpdateBatch::decode(r)?)),
+            REQ_METRICS => Ok(Request::Metrics),
+            REQ_CHECKPOINT_NOW => Ok(Request::CheckpointNow),
+            REQ_OBS_SNAPSHOT => Ok(Request::ObsSnapshot),
+            tag => Err(CodecError::InvalidTag { what: "Request", tag }),
+        }
+    }
+}
 
 impl StoreCodec for Request {
     fn encode(&self, w: &mut Writer) {
@@ -125,18 +199,21 @@ impl StoreCodec for Request {
             Request::Metrics => w.put_u8(REQ_METRICS),
             Request::CheckpointNow => w.put_u8(REQ_CHECKPOINT_NOW),
             Request::ObsSnapshot => w.put_u8(REQ_OBS_SNAPSHOT),
+            Request::Traced { trace, inner } => {
+                w.put_u8(REQ_TRACED);
+                trace.encode(w);
+                inner.encode(w);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match r.get_u8()? {
-            REQ_PING => Ok(Request::Ping { protocol_version: r.get_u32()? }),
-            REQ_QUERY => Ok(Request::Query(QueryKey::decode(r)?)),
-            REQ_QUERY_BATCH => Ok(Request::QueryBatch(Vec::decode(r)?)),
-            REQ_APPLY_BATCH => Ok(Request::ApplyBatch(UpdateBatch::decode(r)?)),
-            REQ_METRICS => Ok(Request::Metrics),
-            REQ_CHECKPOINT_NOW => Ok(Request::CheckpointNow),
-            REQ_OBS_SNAPSHOT => Ok(Request::ObsSnapshot),
-            tag => Err(CodecError::InvalidTag { what: "Request", tag }),
+            REQ_TRACED => {
+                let trace = TraceContext::decode(r)?;
+                let inner = Request::decode_body(r.get_u8()?, r)?;
+                Ok(Request::Traced { trace, inner: Box::new(inner) })
+            }
+            tag => Request::decode_body(tag, r),
         }
     }
 }
@@ -636,6 +713,28 @@ pub enum Response {
     ObsSnapshot(crate::obs::WireObsSnapshot),
     /// The request failed; see the carried [`ErrorReply`].
     Error(ErrorReply),
+    /// Any response wrapped in the [`TraceContext`] echoed from a
+    /// [`Request::Traced`] (appended under `PROTOCOL_VERSION` 1). The
+    /// envelope wraps *whatever* the server answered — including
+    /// [`Response::Error`] — so clients must unwrap it before matching.
+    /// Envelopes never nest.
+    Traced {
+        /// The request's trace context, echoed verbatim.
+        trace: TraceContext,
+        /// The wrapped response.
+        inner: Box<Response>,
+    },
+}
+
+impl Response {
+    /// Splits a possibly-traced response into its trace context (if any) and
+    /// the inner response.
+    pub fn into_parts(self) -> (Option<TraceContext>, Response) {
+        match self {
+            Response::Traced { trace, inner } => (Some(trace), *inner),
+            other => (None, other),
+        }
+    }
 }
 
 const RESP_PONG: u8 = 0;
@@ -646,6 +745,37 @@ const RESP_METRICS: u8 = 4;
 const RESP_CHECKPOINT_NOW: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_OBS_SNAPSHOT: u8 = 7;
+const RESP_TRACED: u8 = 8;
+
+impl Response {
+    /// Decodes the body of one non-envelope response tag; like
+    /// [`Request::decode_body`], a nested `RESP_TRACED` fails typed here
+    /// instead of recursing.
+    fn decode_body(tag: u8, r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match tag {
+            RESP_PONG => Ok(Response::Pong {
+                protocol_version: r.get_u32()?,
+                epoch: r.get_u64()?,
+                num_shards: r.get_u64()?,
+            }),
+            RESP_QUERY => Ok(Response::Query(QueryAnswer::decode(r)?)),
+            RESP_QUERY_BATCH => Ok(Response::QueryBatch(Vec::decode(r)?)),
+            RESP_APPLY_BATCH => Ok(Response::ApplyBatch { epoch: r.get_u64()? }),
+            RESP_METRICS => Ok(Response::Metrics(WireMetrics::decode(r)?)),
+            RESP_CHECKPOINT_NOW => {
+                let epoch = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_u64()?),
+                    tag => return Err(CodecError::InvalidTag { what: "Option<u64>", tag }),
+                };
+                Ok(Response::CheckpointNow { epoch })
+            }
+            RESP_OBS_SNAPSHOT => Ok(Response::ObsSnapshot(crate::obs::WireObsSnapshot::decode(r)?)),
+            RESP_ERROR => Ok(Response::Error(ErrorReply::decode(r)?)),
+            tag => Err(CodecError::InvalidTag { what: "Response", tag }),
+        }
+    }
+}
 
 impl StoreCodec for Response {
     fn encode(&self, w: &mut Writer) {
@@ -690,30 +820,21 @@ impl StoreCodec for Response {
                 w.put_u8(RESP_ERROR);
                 e.encode(w);
             }
+            Response::Traced { trace, inner } => {
+                w.put_u8(RESP_TRACED);
+                trace.encode(w);
+                inner.encode(w);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match r.get_u8()? {
-            RESP_PONG => Ok(Response::Pong {
-                protocol_version: r.get_u32()?,
-                epoch: r.get_u64()?,
-                num_shards: r.get_u64()?,
-            }),
-            RESP_QUERY => Ok(Response::Query(QueryAnswer::decode(r)?)),
-            RESP_QUERY_BATCH => Ok(Response::QueryBatch(Vec::decode(r)?)),
-            RESP_APPLY_BATCH => Ok(Response::ApplyBatch { epoch: r.get_u64()? }),
-            RESP_METRICS => Ok(Response::Metrics(WireMetrics::decode(r)?)),
-            RESP_CHECKPOINT_NOW => {
-                let epoch = match r.get_u8()? {
-                    0 => None,
-                    1 => Some(r.get_u64()?),
-                    tag => return Err(CodecError::InvalidTag { what: "Option<u64>", tag }),
-                };
-                Ok(Response::CheckpointNow { epoch })
+            RESP_TRACED => {
+                let trace = TraceContext::decode(r)?;
+                let inner = Response::decode_body(r.get_u8()?, r)?;
+                Ok(Response::Traced { trace, inner: Box::new(inner) })
             }
-            RESP_OBS_SNAPSHOT => Ok(Response::ObsSnapshot(crate::obs::WireObsSnapshot::decode(r)?)),
-            RESP_ERROR => Ok(Response::Error(ErrorReply::decode(r)?)),
-            tag => Err(CodecError::InvalidTag { what: "Response", tag }),
+            tag => Response::decode_body(tag, r),
         }
     }
 }
@@ -740,10 +861,60 @@ mod tests {
             Request::Metrics,
             Request::CheckpointNow,
             Request::ObsSnapshot,
+            Request::Traced {
+                trace: TraceContext { trace_id: 0xABCD_0001, origin_micros: 987_654 },
+                inner: Box::new(Request::Query(QueryKey::new(v(3), v(9), 4))),
+            },
         ];
         for request in requests {
             let decoded = Request::from_bytes(&request.to_bytes()).unwrap();
             assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn trace_envelopes_round_trip_and_split() {
+        let trace = TraceContext { trace_id: 7, origin_micros: 13 };
+        let traced =
+            Response::Traced { trace, inner: Box::new(Response::Error(ErrorReply::InvalidK)) };
+        let decoded = Response::from_bytes(&traced.to_bytes()).unwrap();
+        assert_eq!(decoded, traced);
+        let (got_trace, inner) = decoded.into_parts();
+        assert_eq!(got_trace, Some(trace));
+        assert_eq!(inner, Response::Error(ErrorReply::InvalidK));
+        // An untraced message splits into (None, itself).
+        let (none, inner) = Request::Metrics.into_parts();
+        assert_eq!(none, None);
+        assert_eq!(inner, Request::Metrics);
+    }
+
+    #[test]
+    fn nested_trace_envelopes_fail_typed_without_recursing() {
+        // Hand-encode Traced(Traced(...)) nesting — a hostile peer could
+        // nest thousands deep; the decoder must reject at depth one with a
+        // typed error rather than recurse.
+        for depth in [2usize, 10_000] {
+            let mut w = Writer::new();
+            for _ in 0..depth {
+                w.put_u8(7); // REQ_TRACED
+                TraceContext::default().encode(&mut w);
+            }
+            w.put_u8(4); // REQ_METRICS
+            assert!(matches!(
+                Request::from_bytes(&w.into_bytes()),
+                Err(CodecError::InvalidTag { what: "Request", tag: 7 })
+            ));
+            let mut w = Writer::new();
+            for _ in 0..depth {
+                w.put_u8(8); // RESP_TRACED
+                TraceContext::default().encode(&mut w);
+            }
+            w.put_u8(3); // RESP_APPLY_BATCH
+            w.put_u64(1);
+            assert!(matches!(
+                Response::from_bytes(&w.into_bytes()),
+                Err(CodecError::InvalidTag { what: "Response", tag: 8 })
+            ));
         }
     }
 

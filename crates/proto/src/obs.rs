@@ -16,8 +16,8 @@
 //! [`render_prometheus`](ksp_obs::render_prometheus) call.
 
 use ksp_obs::{
-    Counter, EventKind, FlightDump, Gauge, HistogramSnapshot, ObsEvent, ObsSnapshot, SpanChain,
-    Stage, StageSnapshot,
+    Counter, EventKind, FlightDump, Gauge, HistogramSnapshot, ObsEvent, ObsSnapshot, PublishStage,
+    PublishStageSnapshot, SpanChain, Stage, StageSnapshot,
 };
 use ksp_store::{CodecError, Reader, StoreCodec, Writer};
 
@@ -123,6 +123,44 @@ impl StoreCodec for WireStageHistogram {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(WireStageHistogram { stage: r.get_u8()?, histogram: WireHistogram::decode(r)? })
+    }
+}
+
+/// One write-path stage's histogram, tagged with the stage's index code
+/// (see [`PublishStage::index`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePublishStageHistogram {
+    /// The stage's index code; must name a known [`PublishStage`] to decode.
+    pub stage: u8,
+    /// The stage's latency histogram.
+    pub histogram: WireHistogram,
+}
+
+impl From<&PublishStageSnapshot> for WirePublishStageHistogram {
+    fn from(s: &PublishStageSnapshot) -> Self {
+        WirePublishStageHistogram {
+            stage: s.stage.index() as u8,
+            histogram: WireHistogram::from(&s.histogram),
+        }
+    }
+}
+
+impl WirePublishStageHistogram {
+    /// Validates the stage code and converts back into the `ksp-obs` type.
+    pub fn into_snapshot(self) -> Result<PublishStageSnapshot, CodecError> {
+        let stage = PublishStage::from_index(self.stage as usize)
+            .ok_or(CodecError::InvalidValue("publish stage code out of range"))?;
+        Ok(PublishStageSnapshot { stage, histogram: self.histogram.into_snapshot() })
+    }
+}
+
+impl StoreCodec for WirePublishStageHistogram {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.stage);
+        self.histogram.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WirePublishStageHistogram { stage: r.get_u8()?, histogram: WireHistogram::decode(r)? })
     }
 }
 
@@ -239,6 +277,12 @@ impl From<&FlightDump> for WireFlightDump {
 impl WireFlightDump {
     /// Validates every carried code and converts back into the `ksp-obs`
     /// type.
+    ///
+    /// The dump's `trace_id` does not travel inside this struct — it rides as
+    /// [`WireObsSnapshot::dump_trace_id`], an appended outer-level field (a
+    /// nested struct cannot grow its own tolerant tail when the enclosing one
+    /// appends fields after it) — so it decodes to zero here and
+    /// [`WireObsSnapshot::into_snapshot`] restores it.
     pub fn into_dump(self) -> Result<FlightDump, CodecError> {
         Ok(FlightDump {
             at_micros: self.at_micros,
@@ -249,6 +293,7 @@ impl WireFlightDump {
                 .into_iter()
                 .map(WireObsEvent::into_event)
                 .collect::<Result<_, _>>()?,
+            trace_id: 0,
         })
     }
 }
@@ -340,6 +385,15 @@ pub struct WireObsSnapshot {
     pub gauges: Vec<WireGauge>,
     /// The latest flight-recorder dump, when an anomaly has triggered one.
     pub dump: Option<WireFlightDump>,
+    /// Per-write-path-stage latency histograms (appended in protocol
+    /// generation two; empty when a legacy peer omitted the tail).
+    pub publish_stages: Vec<WirePublishStageHistogram>,
+    /// The end-to-end publish histogram the write-path stages telescope to.
+    pub publish_end_to_end: WireHistogram,
+    /// The trace id of the request that triggered `dump` (zero when untraced
+    /// or absent). Travels at this level, not inside [`WireFlightDump`],
+    /// because only the outermost message value can grow a tolerant tail.
+    pub dump_trace_id: u64,
 }
 
 impl From<&ObsSnapshot> for WireObsSnapshot {
@@ -366,6 +420,9 @@ impl From<&ObsSnapshot> for WireObsSnapshot {
                 })
                 .collect(),
             dump: s.dump.as_ref().map(WireFlightDump::from),
+            publish_stages: s.publish_stages.iter().map(WirePublishStageHistogram::from).collect(),
+            publish_end_to_end: WireHistogram::from(&s.publish_end_to_end),
+            dump_trace_id: s.dump.as_ref().map(|d| d.trace_id).unwrap_or(0),
         }
     }
 }
@@ -374,6 +431,10 @@ impl WireObsSnapshot {
     /// Validates every carried code and converts back into the `ksp-obs`
     /// snapshot, ready for [`ksp_obs::render_prometheus`].
     pub fn into_snapshot(self) -> Result<ObsSnapshot, CodecError> {
+        let mut dump = self.dump.map(WireFlightDump::into_dump).transpose()?;
+        if let Some(dump) = dump.as_mut() {
+            dump.trace_id = self.dump_trace_id;
+        }
         Ok(ObsSnapshot {
             stages: self
                 .stages
@@ -381,6 +442,12 @@ impl WireObsSnapshot {
                 .map(WireStageHistogram::into_snapshot)
                 .collect::<Result<_, _>>()?,
             end_to_end: self.end_to_end.into_snapshot(),
+            publish_stages: self
+                .publish_stages
+                .into_iter()
+                .map(WirePublishStageHistogram::into_snapshot)
+                .collect::<Result<_, _>>()?,
+            publish_end_to_end: self.publish_end_to_end.into_snapshot(),
             counters: self
                 .counters
                 .into_iter()
@@ -391,7 +458,7 @@ impl WireObsSnapshot {
                 .into_iter()
                 .map(|g| Gauge { name: g.name, labels: g.labels, value: g.value })
                 .collect(),
-            dump: self.dump.map(WireFlightDump::into_dump).transpose()?,
+            dump,
         })
     }
 }
@@ -409,9 +476,16 @@ impl StoreCodec for WireObsSnapshot {
             }
             None => w.put_u8(0),
         }
+        // Write-path tracing tail, appended after the generation-one layout.
+        // A legacy decoder stops at the dump; a current decoder reads on only
+        // when bytes remain — `WireObsSnapshot` is always the final value of
+        // its enclosing message, so "no bytes left" is unambiguous.
+        self.publish_stages.encode(w);
+        self.publish_end_to_end.encode(w);
+        w.put_u64(self.dump_trace_id);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(WireObsSnapshot {
+        let mut snapshot = WireObsSnapshot {
             stages: Vec::decode(r)?,
             end_to_end: WireHistogram::decode(r)?,
             counters: Vec::decode(r)?,
@@ -421,7 +495,14 @@ impl StoreCodec for WireObsSnapshot {
                 1 => Some(WireFlightDump::decode(r)?),
                 tag => return Err(CodecError::InvalidTag { what: "Option<WireFlightDump>", tag }),
             },
-        })
+            ..WireObsSnapshot::default()
+        };
+        if !r.is_exhausted() {
+            snapshot.publish_stages = Vec::decode(r)?;
+            snapshot.publish_end_to_end = WireHistogram::decode(r)?;
+            snapshot.dump_trace_id = r.get_u64()?;
+        }
+        Ok(snapshot)
     }
 }
 
@@ -448,6 +529,12 @@ mod tests {
                 .map(|(i, &stage)| StageSnapshot { stage, histogram: hist(i as u64 + 1) })
                 .collect(),
             end_to_end: hist(40),
+            publish_stages: PublishStage::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &stage)| PublishStageSnapshot { stage, histogram: hist(i as u64 + 20) })
+                .collect(),
+            publish_end_to_end: hist(60),
             counters: vec![
                 Counter {
                     name: "ksp_requests_completed_total".into(),
@@ -475,6 +562,7 @@ mod tests {
                     ObsEvent { at_micros: 1, kind: EventKind::EpochPublished, a: 1, b: 4, c: 900 },
                     ObsEvent { at_micros: 2, kind: EventKind::Steal, a: 0, b: 1, c: 8 },
                 ],
+                trace_id: 0xBEEF_0007,
             }),
         }
     }
@@ -496,6 +584,38 @@ mod tests {
     }
 
     #[test]
+    fn legacy_snapshots_without_the_publish_tail_still_decode() {
+        // Hand-encode the generation-one layout — stages through dump, no
+        // publish tail — and decode with the current reader: the appended
+        // fields default instead of failing.
+        let wire = WireObsSnapshot::from(&sample_snapshot());
+        let mut w = Writer::new();
+        wire.stages.encode(&mut w);
+        wire.end_to_end.encode(&mut w);
+        wire.counters.encode(&mut w);
+        wire.gauges.encode(&mut w);
+        w.put_u8(1);
+        wire.dump.as_ref().unwrap().encode(&mut w);
+        let decoded = WireObsSnapshot::from_bytes(&w.into_bytes()).unwrap();
+        assert_eq!(decoded.stages, wire.stages);
+        assert_eq!(decoded.dump, wire.dump);
+        assert!(decoded.publish_stages.is_empty());
+        assert_eq!(decoded.publish_end_to_end, WireHistogram::default());
+        assert_eq!(decoded.dump_trace_id, 0);
+        // The untagged trace id degrades to zero, not garbage.
+        assert_eq!(decoded.into_snapshot().unwrap().dump.unwrap().trace_id, 0);
+    }
+
+    #[test]
+    fn dump_trace_ids_ride_the_outer_tail() {
+        let snapshot = sample_snapshot();
+        let wire = WireObsSnapshot::from(&snapshot);
+        assert_eq!(wire.dump_trace_id, 0xBEEF_0007);
+        let back = WireObsSnapshot::from_bytes(&wire.to_bytes()).unwrap().into_snapshot().unwrap();
+        assert_eq!(back.dump.unwrap().trace_id, 0xBEEF_0007);
+    }
+
+    #[test]
     fn empty_snapshot_round_trips() {
         let wire = WireObsSnapshot::default();
         let decoded = WireObsSnapshot::from_bytes(&wire.to_bytes()).unwrap();
@@ -509,6 +629,11 @@ mod tests {
         // but refuses conversion into the typed snapshot.
         let bad_stage = WireStageHistogram { stage: 200, histogram: WireHistogram::default() };
         let decoded = WireStageHistogram::from_bytes(&bad_stage.to_bytes()).unwrap();
+        assert!(decoded.into_snapshot().is_err());
+
+        let bad_publish =
+            WirePublishStageHistogram { stage: 200, histogram: WireHistogram::default() };
+        let decoded = WirePublishStageHistogram::from_bytes(&bad_publish.to_bytes()).unwrap();
         assert!(decoded.into_snapshot().is_err());
 
         let bad_kind = WireObsEvent { at_micros: 0, kind: 99, a: 0, b: 0, c: 0 };

@@ -33,6 +33,12 @@ pub struct TransportStats {
     pub bytes_sent: u64,
     /// Bytes read from the wire (zero for in-process transports).
     pub bytes_received: u64,
+    /// Cumulative time spent encoding request payloads, in microseconds
+    /// (zero for in-process transports, which never serialise).
+    pub serialize_micros: u64,
+    /// Cumulative time spent decoding response payloads, in microseconds
+    /// (zero for in-process transports).
+    pub decode_micros: u64,
 }
 
 impl TransportStats {
@@ -43,6 +49,8 @@ impl TransportStats {
         self.responses += other.responses;
         self.bytes_sent += other.bytes_sent;
         self.bytes_received += other.bytes_received;
+        self.serialize_micros += other.serialize_micros;
+        self.decode_micros += other.decode_micros;
     }
 
     /// Mean wire bytes per request (sent + received), or zero for an
@@ -157,7 +165,9 @@ impl TcpTransport {
     }
 
     fn send(&mut self, request: &Request) -> Result<(), TransportError> {
+        let started = std::time::Instant::now();
         let payload = request.to_bytes();
+        self.stats.serialize_micros += started.elapsed().as_micros().min(u64::MAX as u128) as u64;
         write_frame(&mut self.writer, FrameKind::Request, &payload)?;
         self.stats.requests += 1;
         self.stats.bytes_sent += crate::frame::frame_len(payload.len()) as u64;
@@ -170,7 +180,11 @@ impl TcpTransport {
             Some((FrameKind::Response, payload)) => {
                 self.stats.responses += 1;
                 self.stats.bytes_received += crate::frame::frame_len(payload.len()) as u64;
-                Ok(Response::from_bytes(&payload).map_err(FrameError::Codec)?)
+                let started = std::time::Instant::now();
+                let response = Response::from_bytes(&payload).map_err(FrameError::Codec)?;
+                self.stats.decode_micros +=
+                    started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                Ok(response)
             }
             Some((FrameKind::Request, _)) => Err(TransportError::UnexpectedFrame),
         }
@@ -214,15 +228,21 @@ mod tests {
             responses: 2,
             bytes_sent: 100,
             bytes_received: 300,
+            serialize_micros: 7,
+            decode_micros: 11,
         });
         total.absorb(&TransportStats {
             requests: 2,
             responses: 2,
             bytes_sent: 60,
             bytes_received: 40,
+            serialize_micros: 3,
+            decode_micros: 9,
         });
         assert_eq!(total.requests, 4);
         assert_eq!(total.bytes_sent, 160);
+        assert_eq!(total.serialize_micros, 10);
+        assert_eq!(total.decode_micros, 20);
         assert!((total.bytes_per_request() - 125.0).abs() < 1e-9);
         assert_eq!(TransportStats::default().bytes_per_request(), 0.0);
     }

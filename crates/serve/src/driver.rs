@@ -21,10 +21,12 @@
 
 use crate::metrics::{MetricsDelta, MetricsReport};
 use crate::service::{QueryService, ServiceError};
+use ksp_obs::{HistogramSnapshot, LatencyHistogram};
 use ksp_proto::{KspClient, Transport, TransportStats, WireMetrics};
 use ksp_workload::{QueryWorkload, TrafficModel};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of one closed-loop run.
@@ -214,6 +216,11 @@ pub struct WireLoadReport {
     /// Server metrics snapshot fetched over the transport at the end of the
     /// run.
     pub metrics: WireMetrics,
+    /// Client-perceived end-to-end latency (serialize + network + server +
+    /// decode), pooled across every query client. The gap between these
+    /// percentiles and the server-side ones in [`WireLoadReport::metrics`] is
+    /// the protocol's own cost.
+    pub perceived: HistogramSnapshot,
 }
 
 impl WireLoadReport {
@@ -224,6 +231,21 @@ impl WireLoadReport {
         } else {
             self.completed as f64 / self.elapsed.as_secs_f64()
         }
+    }
+
+    /// Client-perceived p50 across every query client's requests.
+    pub fn perceived_p50(&self) -> Duration {
+        self.perceived.quantile(0.50)
+    }
+
+    /// Client-perceived p95 across every query client's requests.
+    pub fn perceived_p95(&self) -> Duration {
+        self.perceived.quantile(0.95)
+    }
+
+    /// Client-perceived p99 across every query client's requests.
+    pub fn perceived_p99(&self) -> Duration {
+        self.perceived.quantile(0.99)
     }
 }
 
@@ -259,7 +281,18 @@ where
 
     let mut control = make_client();
     let epochs_before = control.metrics().expect("metrics before the run").epochs_published;
-    let mut clients: Vec<KspClient<T>> = (0..config.num_clients).map(|_| make_client()).collect();
+    // Every query client feeds the same perceived-latency histogram, so the
+    // report's client-side percentiles pool the whole fleet. The control and
+    // updater clients stay out of it: a metrics scrape or an epoch publish is
+    // not a query and would skew the quantiles.
+    let perceived = Arc::new(LatencyHistogram::default());
+    let mut clients: Vec<KspClient<T>> = (0..config.num_clients)
+        .map(|_| {
+            let mut client = make_client();
+            client.set_perceived_sink(perceived.clone());
+            client
+        })
+        .collect();
     let mut updater_client = config.update_every.map(|_| make_client());
 
     let completed = AtomicUsize::new(0);
@@ -359,6 +392,7 @@ where
         epochs_published: metrics.epochs_published.saturating_sub(epochs_before),
         wire,
         metrics,
+        perceived: perceived.snapshot(),
     }
 }
 
@@ -451,5 +485,10 @@ mod tests {
         assert!(report.wire.requests >= 30, "every query plus metrics/publish calls");
         assert_eq!(report.metrics.completed, report.completed as u64);
         assert_eq!(service.current_epoch(), report.epochs_published);
+        // Every query roundtrip (answered or rejected) lands one observation
+        // in the pooled client-perceived histogram; the control and updater
+        // clients contribute nothing.
+        assert_eq!(report.perceived.count, 30);
+        assert!(report.perceived_p99() >= report.perceived_p50());
     }
 }

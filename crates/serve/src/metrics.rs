@@ -22,7 +22,7 @@
 
 use ksp_cluster::{LoadBalanceReport, ServerLoad};
 pub use ksp_obs::LatencyHistogram;
-use ksp_obs::StageHistograms;
+use ksp_obs::{PublishStageHistograms, StageHistograms};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -71,6 +71,13 @@ pub struct ServiceMetrics {
     /// Per-stage latency histograms, populated from finished request span
     /// chains when observability is enabled.
     pub stages: StageHistograms,
+    /// Per-write-path-stage latency histograms, populated from finished
+    /// publish span chains when observability is enabled.
+    pub publish_stages: PublishStageHistograms,
+    /// End-to-end publish latency (batch submission through retention, plus
+    /// checkpoint encode/commit for checkpoint epochs). The write-path stage
+    /// histograms telescope to exactly this distribution.
+    pub publish_latency: LatencyHistogram,
     /// Completed requests.
     pub completed: AtomicU64,
     /// Requests rejected by admission control.
@@ -103,6 +110,8 @@ impl ServiceMetrics {
         ServiceMetrics {
             latency: LatencyHistogram::default(),
             stages: StageHistograms::new(),
+            publish_stages: PublishStageHistograms::new(),
+            publish_latency: LatencyHistogram::default(),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),

@@ -24,12 +24,12 @@
 use crate::metrics::MetricsReport;
 use crate::service::{PublishError, QueryResponse, QueryService, ServiceError};
 use ksp_obs::EventKind;
-use ksp_proto::frame::{read_frame, write_frame, FrameError, FrameKind};
+use ksp_proto::frame::{frame_len, read_frame, write_frame, FrameError, FrameKind};
 use ksp_proto::message::{
     ErrorReply, QueryAnswer, QueryOutcome, Request, Response, WireMetrics, WireQueueGauge,
     PROTOCOL_VERSION,
 };
-use ksp_proto::obs::WireObsSnapshot;
+use ksp_proto::obs::{WireCounter, WireGauge, WireObsSnapshot};
 use ksp_proto::transport::{Transport, TransportError, TransportStats};
 use ksp_store::StoreCodec;
 use std::collections::HashMap;
@@ -107,8 +107,29 @@ impl QueryService {
     /// transports call into; [`QueryService::query`] and
     /// [`QueryService::apply_batch`] are the typed fast paths it routes
     /// through, so in-process and remote callers observe identical behaviour.
+    ///
+    /// A `Request::Traced` envelope is unwrapped first and its context echoed
+    /// back around the response — around typed error replies too — and the
+    /// trace id is threaded into the query path so any flight dump the
+    /// request triggers carries it.
     pub fn handle(&self, request: Request) -> Response {
+        let (trace, request) = request.into_parts();
+        let trace_id = trace.map(|t| t.trace_id).unwrap_or(0);
+        let response = self.handle_inner(request, trace_id);
+        match trace {
+            Some(trace) => Response::Traced { trace, inner: Box::new(response) },
+            None => response,
+        }
+    }
+
+    fn handle_inner(&self, request: Request, trace_id: u64) -> Response {
         match request {
+            // `into_parts` unwraps exactly one envelope, and the wire decoder
+            // rejects nesting, so this arm is only reachable for an
+            // in-process caller that built a nested envelope by hand.
+            Request::Traced { .. } => Response::Error(ErrorReply::Malformed(
+                "nested trace envelopes are not supported".to_string(),
+            )),
             Request::Ping { protocol_version } => {
                 if protocol_version != PROTOCOL_VERSION {
                     Response::Error(ErrorReply::UnsupportedVersion {
@@ -123,13 +144,14 @@ impl QueryService {
                     }
                 }
             }
-            Request::Query(key) => match self.query(key.source, key.target, key.k) {
+            Request::Query(key) => match self.query_traced(key.source, key.target, key.k, trace_id)
+            {
                 Ok(response) => Response::Query(answer_from(response)),
                 Err(e) => Response::Error(e.into()),
             },
             Request::QueryBatch(keys) => Response::QueryBatch(
                 keys.into_iter()
-                    .map(|key| match self.query(key.source, key.target, key.k) {
+                    .map(|key| match self.query_traced(key.source, key.target, key.k, trace_id) {
                         Ok(response) => QueryOutcome::Answer(answer_from(response)),
                         Err(e) => QueryOutcome::Error(e.into()),
                     })
@@ -180,6 +202,31 @@ impl Transport for InProcTransport {
     }
 }
 
+/// Per-connection transport accounting, shared between the connection worker
+/// (which updates it) and the registry (which snapshots it into `ObsSnapshot`
+/// responses). All counters are cumulative over the connection's lifetime.
+#[derive(Debug, Default)]
+struct ConnStats {
+    /// Request frames read from this connection.
+    frames_in: AtomicU64,
+    /// Response frames written to this connection.
+    frames_out: AtomicU64,
+    /// Wire bytes read (headers + payloads).
+    bytes_in: AtomicU64,
+    /// Wire bytes written (headers + payloads).
+    bytes_out: AtomicU64,
+    /// Cumulative microseconds spent inside `handle` for this connection's
+    /// requests — server-side service time, excluding socket I/O.
+    handle_micros: AtomicU64,
+}
+
+/// One live connection's registry entry: the half-closable stream plus its
+/// transport accounting.
+struct ConnEntry {
+    stream: TcpStream,
+    stats: Arc<ConnStats>,
+}
+
 struct ServerShared {
     service: Arc<QueryService>,
     shutting_down: AtomicBool,
@@ -187,7 +234,7 @@ struct ServerShared {
     /// reads observe end-of-stream. A worker deregisters its entry on exit —
     /// the registry tracks live connections only, and a socket closes the
     /// moment its worker is done with it.
-    conns: Mutex<HashMap<u64, TcpStream>>,
+    conns: Mutex<HashMap<u64, ConnEntry>>,
     next_conn_id: AtomicU64,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -243,7 +290,7 @@ impl TcpServer {
         // Half-close every live connection; blocked worker reads observe EOF
         // and the workers exit cleanly.
         for (_, conn) in self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()).drain() {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
         let workers: Vec<_> =
             self.shared.workers.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
@@ -278,12 +325,17 @@ fn acceptor_main(listener: &TcpListener, shared: &Arc<ServerShared>) {
         }
         let _ = stream.set_nodelay(true);
         let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::new(ConnStats::default());
         if let Ok(registered) = stream.try_clone() {
-            shared.conns.lock().unwrap_or_else(|e| e.into_inner()).insert(conn_id, registered);
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(conn_id, ConnEntry { stream: registered, stats: stats.clone() });
         }
         let worker = std::thread::Builder::new().name("ksp-serve-conn".to_string()).spawn({
             let shared = shared.clone();
-            move || connection_main(conn_id, stream, &shared)
+            move || connection_main(conn_id, stream, &shared, &stats)
         });
         match worker {
             Ok(handle) => {
@@ -304,7 +356,7 @@ fn acceptor_main(listener: &TcpListener, shared: &Arc<ServerShared>) {
                 if let Some(conn) =
                     shared.conns.lock().unwrap_or_else(|e| e.into_inner()).remove(&conn_id)
                 {
-                    let _ = conn.shutdown(std::net::Shutdown::Both);
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
                 }
             }
         }
@@ -336,11 +388,11 @@ pub mod hostile_frame {
 /// recorder captures a dump tagged with the [`hostile_frame`] reason code, so
 /// an operator scraping `ObsSnapshot` sees what the service was doing when a
 /// peer started speaking garbage.
-fn connection_main(conn_id: u64, stream: TcpStream, shared: &ServerShared) {
+fn connection_main(conn_id: u64, stream: TcpStream, shared: &ServerShared, stats: &ConnStats) {
     if let Ok(read_half) = stream.try_clone() {
         let mut reader = BufReader::new(read_half);
         let mut writer = BufWriter::new(stream);
-        serve_connection(&mut reader, &mut writer, shared);
+        serve_connection(&mut reader, &mut writer, shared, stats);
         // Close the socket *now*: the registry may still hold a clone (until
         // the deregistration below), and a clean disconnect after an error
         // reply is part of the protocol contract.
@@ -356,10 +408,19 @@ fn serve_connection(
     reader: &mut BufReader<TcpStream>,
     writer: &mut BufWriter<TcpStream>,
     shared: &ServerShared,
+    stats: &ConnStats,
 ) {
     let send = |writer: &mut BufWriter<TcpStream>, response: &Response| {
-        match write_frame(writer, FrameKind::Response, &response.to_bytes()) {
-            Ok(()) => writer.flush().is_ok(),
+        let payload = response.to_bytes();
+        match write_frame(writer, FrameKind::Response, &payload) {
+            Ok(()) => {
+                let ok = writer.flush().is_ok();
+                if ok {
+                    stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                    stats.bytes_out.fetch_add(frame_len(payload.len()) as u64, Ordering::Relaxed);
+                }
+                ok
+            }
             Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
                 // The response exceeds the frame cap. write_frame refused it
                 // before any byte reached the stream, so framing is intact:
@@ -367,9 +428,17 @@ fn serve_connection(
                 let reply = Response::Error(ErrorReply::Unsupported(format!(
                     "response does not fit one frame ({e}); split the request"
                 )));
-                write_frame(writer, FrameKind::Response, &reply.to_bytes())
+                let reply_payload = reply.to_bytes();
+                let ok = write_frame(writer, FrameKind::Response, &reply_payload)
                     .and_then(|()| writer.flush())
-                    .is_ok()
+                    .is_ok();
+                if ok {
+                    stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .bytes_out
+                        .fetch_add(frame_len(reply_payload.len()) as u64, Ordering::Relaxed);
+                }
+                ok
             }
             Err(_) => false,
         }
@@ -377,30 +446,42 @@ fn serve_connection(
     loop {
         match read_frame(reader) {
             Ok(None) => return, // clean disconnect at a frame boundary
-            Ok(Some((FrameKind::Request, payload))) => match Request::from_bytes(&payload) {
-                Ok(request) => {
-                    let response = shared.service.handle(request);
-                    let disconnect =
-                        matches!(response, Response::Error(ErrorReply::UnsupportedVersion { .. }));
-                    if !send(writer, &response) || disconnect {
+            Ok(Some((FrameKind::Request, payload))) => {
+                stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                stats.bytes_in.fetch_add(frame_len(payload.len()) as u64, Ordering::Relaxed);
+                match Request::from_bytes(&payload) {
+                    Ok(request) => {
+                        let started = std::time::Instant::now();
+                        let mut response = shared.service.handle(request);
+                        stats.handle_micros.fetch_add(
+                            started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                            Ordering::Relaxed,
+                        );
+                        append_connection_metrics(shared, &mut response);
+                        let disconnect = matches!(
+                            response,
+                            Response::Error(ErrorReply::UnsupportedVersion { .. })
+                        );
+                        if !send(writer, &response) || disconnect {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        shared.service.observability().trigger(
+                            EventKind::HostileFrame,
+                            hostile_frame::UNDECODABLE_PAYLOAD,
+                            0,
+                            0,
+                            None,
+                        );
+                        let reply = Response::Error(ErrorReply::Malformed(format!(
+                            "request payload did not decode: {e}"
+                        )));
+                        send(writer, &reply);
                         return;
                     }
                 }
-                Err(e) => {
-                    shared.service.observability().trigger(
-                        EventKind::HostileFrame,
-                        hostile_frame::UNDECODABLE_PAYLOAD,
-                        0,
-                        0,
-                        None,
-                    );
-                    let reply = Response::Error(ErrorReply::Malformed(format!(
-                        "request payload did not decode: {e}"
-                    )));
-                    send(writer, &reply);
-                    return;
-                }
-            },
+            }
             Ok(Some((FrameKind::Response, _))) => {
                 shared.service.observability().trigger(
                     EventKind::HostileFrame,
@@ -447,6 +528,54 @@ fn serve_connection(
             }
         }
     }
+}
+
+/// Appends the TCP layer's per-connection transport accounting to an
+/// `ObsSnapshot` response (unwrapping a trace envelope if present): one
+/// `ksp_connection_*` counter per live connection per family, grouped by
+/// family so the text renderer emits a single `# TYPE` per family, plus the
+/// `ksp_open_connections` gauge. These families exist only over TCP — the
+/// service itself cannot see sockets, so they are appended here rather than
+/// in [`QueryService::obs_snapshot`].
+fn append_connection_metrics(shared: &ServerShared, response: &mut Response) {
+    let snapshot = match response {
+        Response::ObsSnapshot(s) => s,
+        Response::Traced { inner, .. } => match inner.as_mut() {
+            Response::ObsSnapshot(s) => s,
+            _ => return,
+        },
+        _ => return,
+    };
+    let mut entries: Vec<(u64, Arc<ConnStats>)> = shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(&id, entry)| (id, entry.stats.clone()))
+        .collect();
+    entries.sort_unstable_by_key(|&(id, _)| id);
+    type StatAccessor = fn(&ConnStats) -> u64;
+    let families: [(&str, StatAccessor); 5] = [
+        ("ksp_connection_frames_in_total", |s| s.frames_in.load(Ordering::Relaxed)),
+        ("ksp_connection_frames_out_total", |s| s.frames_out.load(Ordering::Relaxed)),
+        ("ksp_connection_bytes_in_total", |s| s.bytes_in.load(Ordering::Relaxed)),
+        ("ksp_connection_bytes_out_total", |s| s.bytes_out.load(Ordering::Relaxed)),
+        ("ksp_connection_handle_micros_total", |s| s.handle_micros.load(Ordering::Relaxed)),
+    ];
+    for (name, value_of) in families {
+        for (id, stats) in &entries {
+            snapshot.counters.push(WireCounter {
+                name: name.to_string(),
+                labels: format!("conn=\"{id}\""),
+                value: value_of(stats),
+            });
+        }
+    }
+    snapshot.gauges.push(WireGauge {
+        name: "ksp_open_connections".to_string(),
+        labels: String::new(),
+        value: entries.len() as f64,
+    });
 }
 
 #[cfg(test)]

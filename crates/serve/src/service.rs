@@ -33,10 +33,10 @@ use ksp_core::dtlp::{DtlpConfig, DtlpIndex};
 use ksp_core::kspdg::{KspDgConfig, QueryStats, SharedEngine};
 use ksp_graph::{DynamicGraph, GraphError, SubgraphId, SubgraphSet, UpdateBatch, VertexId};
 use ksp_obs::{
-    Counter, EventKind, FlightRecorder, Gauge, ObsConfig, ObsSnapshot, RequestSpan, SpanChain,
-    StageSnapshot,
+    Counter, EventKind, FlightRecorder, Gauge, ObsConfig, ObsSnapshot, PublishSpan,
+    PublishStageSnapshot, RequestSpan, SpanChain, StageSnapshot,
 };
-use ksp_store::{RecoveryReport, Store, StoreConfig, StoreError};
+use ksp_store::{AppendTimings, RecoveryReport, Store, StoreConfig, StoreError};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::path::Path as FsPath;
@@ -200,6 +200,10 @@ struct Request {
     /// Stage clock of this request; shares `submitted` as its origin so the
     /// per-stage durations telescope to the recorded end-to-end latency.
     span: RequestSpan,
+    /// The caller's trace id (zero when untraced); stamped into any flight
+    /// dump this request triggers so a remote client can resolve its own
+    /// trace ids to server-side span chains.
+    trace_id: u64,
     reply: mpsc::Sender<Result<QueryResponse, ServiceError>>,
 }
 
@@ -242,8 +246,22 @@ impl Observability {
     /// Records an anomaly cause and captures a flight dump; a no-op when
     /// observability is disabled.
     pub fn trigger(&self, kind: EventKind, a: u64, b: u64, c: u64, span: Option<SpanChain>) {
+        self.trigger_traced(kind, a, b, c, span, 0);
+    }
+
+    /// [`Observability::trigger`] carrying the offending request's trace id,
+    /// so the dump can be resolved back to the client that sent it.
+    pub fn trigger_traced(
+        &self,
+        kind: EventKind,
+        a: u64,
+        b: u64,
+        c: u64,
+        span: Option<SpanChain>,
+        trace_id: u64,
+    ) {
         if self.config.enabled {
-            self.flight.trigger(kind, a, b, c, span);
+            self.flight.trigger_traced(kind, a, b, c, span, trace_id);
         }
     }
 }
@@ -281,6 +299,11 @@ struct CheckpointJob {
     graph: Arc<DynamicGraph>,
     index: Arc<DtlpIndex>,
     dirty: HashSet<SubgraphId>,
+    /// The publish span of the epoch that requested this checkpoint: it rides
+    /// into the checkpointer so the checkpoint encode/commit stages land in
+    /// the same telescoped chain as the synchronous write-path stages (the
+    /// channel wait is absorbed into `checkpoint_encode`).
+    span: PublishSpan,
 }
 
 /// The durable side of a persistent service.
@@ -471,7 +494,8 @@ impl QueryService {
                     let store = store.clone();
                     let dir = dir.clone();
                     let obs = obs.clone();
-                    move || checkpointer_main(&store, &dir, &receiver, &obs)
+                    let metrics = metrics.clone();
+                    move || checkpointer_main(&store, &dir, &receiver, &obs, &metrics)
                 })
                 .expect("failed to spawn checkpointer");
             Persistence {
@@ -547,6 +571,20 @@ impl QueryService {
         target: VertexId,
         k: usize,
     ) -> Result<QueryResponse, ServiceError> {
+        self.query_traced(source, target, k, 0)
+    }
+
+    /// [`QueryService::query`] carrying the caller's trace id (zero for
+    /// untraced callers). The id is stamped into any flight dump the request
+    /// triggers — an SLO breach dump taken for this request can be resolved
+    /// back to the client-side trace that caused it.
+    pub fn query_traced(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        k: usize,
+        trace_id: u64,
+    ) -> Result<QueryResponse, ServiceError> {
         // The span clock starts before validation so the admission stage
         // covers the full submit path (validate + route + enqueue attempt);
         // `submitted` shares the origin, so end-to-end latency and the stage
@@ -567,7 +605,7 @@ impl QueryService {
         let shard = &self.shards[shard_id];
         let (reply, receiver) = mpsc::channel();
         span.mark_enqueued();
-        let request = Request { source, target, k, submitted, span, reply };
+        let request = Request { source, target, k, submitted, span, trace_id, reply };
         if shard.resources.queue.submit(request).is_err() {
             self.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let depth = self.config.admission.max_queue_depth;
@@ -598,6 +636,10 @@ impl QueryService {
     /// epoch recovery can reproduce.
     pub fn apply_batch(&self, batch: &UpdateBatch) -> Result<u64, PublishError> {
         let publish_started = Instant::now();
+        // The publish span shares `publish_started` as its origin, so the
+        // per-stage durations telescope to exactly the end-to-end publish
+        // latency recorded into `metrics.publish_latency`.
+        let mut span = PublishSpan::begin_at(publish_started, self.obs.config.enabled);
         let mut masters = self.masters.lock();
         let prev_epoch = masters.graph.version();
         let next_graph = Arc::new(masters.graph.with_batch(batch)?);
@@ -606,11 +648,14 @@ impl QueryService {
         let dirty_set: SubgraphSet = maintenance.dirty_subgraphs.iter().copied().collect();
         let next_index = Arc::new(staged_index);
         let epoch = next_graph.version();
+        span.mark_staged();
         // Durability before visibility: a batch that cannot be logged
         // publishes nothing.
+        let mut append_timings = AppendTimings::default();
         if let Some(p) = &self.persistence {
-            p.store.lock().log_batch(epoch, batch)?;
+            append_timings = p.store.lock().log_batch(epoch, batch)?;
         }
+        span.mark_logged(append_timings.fsync);
         masters.dirty_since_job.extend(maintenance.dirty_subgraphs);
         // The published snapshot and the masters share one (graph, index)
         // `Arc` pair; the only extra handles taken here are for a checkpoint
@@ -621,6 +666,7 @@ impl QueryService {
                 graph: Arc::clone(&next_graph),
                 index: Arc::clone(&next_index),
                 dirty: std::mem::take(&mut masters.dirty_since_job),
+                span: PublishSpan::disabled(),
             })
         });
         // Publish before releasing the masters lock so epochs appear in order.
@@ -631,6 +677,7 @@ impl QueryService {
         ));
         masters.graph = next_graph;
         masters.index = next_index;
+        span.mark_swapped();
         // Selective invalidation: drop only the entries whose trace the batch
         // dirtied; re-stamp the rest to the new epoch. Running under the
         // masters lock keeps publishes (and therefore retention passes)
@@ -650,6 +697,7 @@ impl QueryService {
                 cache.clear();
             }
         }
+        span.mark_retained();
         drop(masters);
         use std::sync::atomic::Ordering::Relaxed;
         self.metrics.cache_retained.fetch_add(retained, Relaxed);
@@ -664,13 +712,49 @@ impl QueryService {
         if !stall.is_zero() && publish_time > stall {
             self.obs.trigger(EventKind::PublishStall, epoch, publish_micros, 0, None);
         }
-        if let Some(job) = checkpoint_job {
-            // A full or closed channel only delays the checkpoint; the log
-            // still holds every batch, and the dirty set rides along with the
-            // job so nothing is lost if it is coalesced with a later one.
-            if let Some(jobs) = &self.persistence.as_ref().expect("job implies store").jobs {
-                let _ = jobs.send(job);
+        let micros = |d: Duration| d.as_micros().min(u64::MAX as u128) as u64;
+        let wal_bound = self.obs.config.wal_append_stall;
+        if !wal_bound.is_zero() && append_timings.write > wal_bound {
+            self.obs.trigger(
+                EventKind::WalAppendStall,
+                epoch,
+                micros(append_timings.write),
+                micros(wal_bound),
+                None,
+            );
+        }
+        let fsync_bound = self.obs.config.fsync_stall;
+        if !fsync_bound.is_zero() && append_timings.fsync > fsync_bound {
+            self.obs.trigger(
+                EventKind::FsyncStall,
+                epoch,
+                micros(append_timings.fsync),
+                micros(fsync_bound),
+                None,
+            );
+        }
+        match checkpoint_job {
+            Some(mut job) => {
+                // The span rides into the checkpointer, which finishes it
+                // after the commit; from here on the channel wait counts
+                // toward the checkpoint_encode stage.
+                job.span = span;
+                // A full or closed channel only delays the checkpoint; the
+                // log still holds every batch, and the dirty set rides along
+                // with the job so nothing is lost if it is coalesced with a
+                // later one.
+                match &self.persistence.as_ref().expect("job implies store").jobs {
+                    Some(jobs) => {
+                        if let Err(mpsc::SendError(job)) = jobs.send(job) {
+                            finish_publish_span(&self.metrics, &job.span);
+                        }
+                    }
+                    None => finish_publish_span(&self.metrics, &job.span),
+                }
             }
+            // No checkpoint this epoch: the write path ends here, with the
+            // checkpoint stages telescoping to (near-)zero width.
+            None => finish_publish_span(&self.metrics, &span),
         }
         Ok(epoch)
     }
@@ -733,6 +817,7 @@ impl QueryService {
             unlabelled("ksp_cache_evicted_total", report.cache_evicted),
             unlabelled("ksp_flight_events_total", flight.events_recorded()),
             unlabelled("ksp_flight_dumps_total", flight.dumps_taken()),
+            unlabelled("ksp_flight_overwritten_total", flight.events_overwritten()),
         ];
         for (i, &steals) in report.per_shard_steals.iter().enumerate() {
             counters.push(Counter {
@@ -778,6 +863,14 @@ impl QueryService {
                 .map(|(stage, histogram)| StageSnapshot { stage, histogram })
                 .collect(),
             end_to_end: self.metrics.latency.snapshot(),
+            publish_stages: self
+                .metrics
+                .publish_stages
+                .snapshot()
+                .into_iter()
+                .map(|(stage, histogram)| PublishStageSnapshot { stage, histogram })
+                .collect(),
+            publish_end_to_end: self.metrics.publish_latency.snapshot(),
             counters,
             gauges,
             dump: flight.last_dump(),
@@ -816,18 +909,24 @@ fn checkpointer_main(
     store_dir: &std::path::Path,
     jobs: &mpsc::Receiver<CheckpointJob>,
     obs: &Observability,
+    metrics: &ServiceMetrics,
 ) {
     let mut pending_dirty: HashSet<SubgraphId> = HashSet::new();
     while let Ok(first) = jobs.recv() {
         // Jobs are sent outside the masters lock, so queue order is not epoch
-        // order: pick the max epoch, not the last queued.
+        // order: pick the max epoch, not the last queued. A superseded job's
+        // publish span is finished here — its epoch was published, so its
+        // chain still records (with the checkpoint stages covering only the
+        // wait before coalescing).
         let mut job = jobs.try_iter().fold(first, |best, mut next| {
             if next.epoch > best.epoch {
                 next.dirty.extend(best.dirty);
+                finish_publish_span(metrics, &best.span);
                 next
             } else {
                 let mut best = best;
                 best.dirty.extend(next.dirty);
+                finish_publish_span(metrics, &next.span);
                 best
             }
         });
@@ -846,8 +945,14 @@ fn checkpointer_main(
             dirty.sort_unstable();
             Store::encode_partial_checkpoint(job.epoch, base_epoch, &job.graph, &job.index, &dirty)
         };
+        job.span.mark_encoded();
         let result = Store::stage_checkpoint(store_dir, &encoded)
             .and_then(|staged| store.lock().commit_staged_checkpoint(staged));
+        // The epoch was published either way, so the publish span always
+        // finishes: exactly one publish chain records per published epoch,
+        // which is what lets the per-stage totals telescope to the end-to-end
+        // publish histogram.
+        finish_publish_span(metrics, &job.span);
         match result {
             // Any committed image (full or partial) covers everything dirtied
             // up to its epoch.
@@ -868,6 +973,18 @@ fn checkpointer_main(
                 eprintln!("ksp-serve: background checkpoint at epoch {} failed: {e}", job.epoch);
             }
         }
+    }
+}
+
+/// Finishes one epoch's publish span and records its telescoped chain into
+/// the write-path histograms. Called exactly once per published epoch —
+/// synchronously for non-checkpoint epochs, from the checkpointer (after the
+/// image commit, or at coalesce time for superseded jobs) otherwise.
+fn finish_publish_span(metrics: &ServiceMetrics, span: &PublishSpan) {
+    if let Some((chain, total)) = span.finish() {
+        metrics.publish_stages.record_chain(&chain);
+        metrics.publish_latency.record_micros(chain.total_micros());
+        debug_assert_eq!(total.as_micros().min(u64::MAX as u128) as u64, chain.total_micros());
     }
 }
 
@@ -1070,12 +1187,13 @@ fn run_batch(
         if let Some(chain) = chain {
             let slo = obs.config.slo_p99;
             if !slo.is_zero() && latency > slo {
-                obs.trigger(
+                obs.trigger_traced(
                     EventKind::SloBreach,
                     latency.as_micros().min(u64::MAX as u128) as u64,
                     slo.as_micros().min(u64::MAX as u128) as u64,
                     home_shard as u64,
                     Some(chain),
+                    request.trace_id,
                 );
             }
         }

@@ -82,4 +82,4 @@ pub use checkpoint::{Checkpoint, EncodedCheckpoint, ImageKind, PartialCheckpoint
 pub use codec::{crc32, Reader, StoreCodec, Writer};
 pub use error::{CodecError, StoreError};
 pub use store::{Recovered, RecoveryReport, Store, StoreConfig, VerifyReport};
-pub use wal::{DeltaLog, LogRecord, SyncPolicy};
+pub use wal::{AppendTimings, DeltaLog, LogRecord, SyncPolicy};

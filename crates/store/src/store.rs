@@ -22,7 +22,8 @@ use crate::checkpoint::{
 };
 use crate::error::StoreError;
 use crate::wal::{
-    list_segments, remove_headerless_tail_segment, scan_segment, DeltaLog, SyncPolicy,
+    list_segments, remove_headerless_tail_segment, scan_segment, AppendTimings, DeltaLog,
+    SyncPolicy,
 };
 use ksp_core::dtlp::DtlpIndex;
 use ksp_graph::{DynamicGraph, UpdateBatch};
@@ -564,7 +565,13 @@ impl Store {
     /// Appends one published batch to the delta log (durable on return under
     /// the default sync policy). `epoch` must be exactly one past the last
     /// logged epoch — the same contract the epoch publish path follows.
-    pub fn log_batch(&mut self, epoch: u64, batch: &UpdateBatch) -> Result<(), StoreError> {
+    /// Returns the append's write/fsync split ([`AppendTimings`]) so the
+    /// publish path can attribute the durability cost stage by stage.
+    pub fn log_batch(
+        &mut self,
+        epoch: u64,
+        batch: &UpdateBatch,
+    ) -> Result<AppendTimings, StoreError> {
         self.log.append(epoch, batch)
     }
 

@@ -47,6 +47,19 @@ pub const SEGMENT_HEADER_LEN: u64 = 12;
 /// Size of a record header (length + CRC) in bytes.
 pub const RECORD_HEADER_LEN: usize = 8;
 
+/// How one [`DeltaLog::append`] spent its time, split at the durability
+/// boundary: record encode + `write_all` vs the `sync_data` that makes the
+/// record survive power loss. The write path's per-step timing hook — the
+/// serving layer feeds these into its publish-stage histograms and stall
+/// triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppendTimings {
+    /// Time spent writing the record into the active segment.
+    pub write: std::time::Duration,
+    /// Time spent in `sync_data`; zero under [`SyncPolicy::Never`].
+    pub fsync: std::time::Duration,
+}
+
 /// When the log flushes appended records to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SyncPolicy {
@@ -366,7 +379,8 @@ impl DeltaLog {
     }
 
     /// Appends one published batch. Durable when this returns (under
-    /// [`SyncPolicy::Always`]).
+    /// [`SyncPolicy::Always`]). Returns how long the append spent writing vs
+    /// syncing — the write path's per-step timing hook ([`AppendTimings`]).
     ///
     /// A failed write or fsync rewinds the segment to its last complete
     /// record before the error is returned, so a *retried* append (or the
@@ -375,7 +389,7 @@ impl DeltaLog {
     /// acknowledged record after it. If the rewind itself fails, the log
     /// marks itself impaired and refuses further appends: better a loudly
     /// failing publish path than a log that quietly eats durable epochs.
-    pub fn append(&mut self, epoch: u64, batch: &UpdateBatch) -> Result<(), StoreError> {
+    pub fn append(&mut self, epoch: u64, batch: &UpdateBatch) -> Result<AppendTimings, StoreError> {
         if let Some(reason) = &self.impaired {
             return Err(StoreError::corrupt(
                 &self.dir,
@@ -395,9 +409,15 @@ impl DeltaLog {
         record.put_bytes(&payload);
         let record = record.into_bytes();
 
+        let write_started = std::time::Instant::now();
+        let mut timings = AppendTimings::default();
         let write_result = self.active.write_all(&record).and_then(|()| {
+            timings.write = write_started.elapsed();
             if self.sync == SyncPolicy::Always {
-                self.active.sync_data()
+                let sync_started = std::time::Instant::now();
+                let synced = self.active.sync_data();
+                timings.fsync = sync_started.elapsed();
+                synced
             } else {
                 Ok(())
             }
@@ -428,7 +448,7 @@ impl DeltaLog {
             // untouched, so the next append simply tries again.
             let _ = self.rotate();
         }
-        Ok(())
+        Ok(timings)
     }
 
     /// Starts a fresh segment; subsequent appends land there. Idempotent when

@@ -227,18 +227,64 @@ fn main() {
         stage_total as f64 / 1e3,
         snap.end_to_end.total_micros as f64 / 1e3,
     );
+    // The write path gets the same treatment: every epoch publish is split
+    // into its seven stages (staging, WAL append, fsync, snapshot swap,
+    // cache retention, checkpoint encode and commit), and the stage totals
+    // sum exactly to the end-to-end publish total.
+    println!(
+        "where an epoch publish's time goes ({} epochs published):",
+        snap.publish_end_to_end.count
+    );
+    let publish_total: u64 = snap.publish_stages.iter().map(|s| s.histogram.total_micros).sum();
+    for stage in &snap.publish_stages {
+        let h = &stage.histogram;
+        println!(
+            "    {:<17} p50 {:>6} us  p99 {:>8} us  {:>5.1} % of total",
+            stage.stage.name(),
+            h.quantile(0.5).as_micros(),
+            h.quantile(0.99).as_micros(),
+            100.0 * h.total_micros as f64 / publish_total.max(1) as f64,
+        );
+    }
+    println!(
+        "    {:<17} (stage sum {:.3} ms = e2e {:.3} ms)",
+        "end_to_end",
+        publish_total as f64 / 1e3,
+        snap.publish_end_to_end.total_micros as f64 / 1e3,
+    );
     match &snap.dump {
         Some(dump) => println!(
-            "flight recorder: {} events recorded; latest anomaly dump: {} ({} events captured)",
+            "flight recorder: {} events recorded; latest anomaly dump: {} ({} events captured, trace {:#x})",
             snap.counter("ksp_flight_events_total"),
             dump.cause.kind.name(),
             dump.events.len(),
+            dump.trace_id,
         ),
         None => println!(
             "flight recorder: {} events recorded, no anomaly triggers fired",
             snap.counter("ksp_flight_events_total"),
         ),
     }
+    // Every request this client sent carried a trace id the server echoed
+    // back (and threads into any anomaly dump it causes), and the client
+    // decomposes its own perceived latency around the server's numbers.
+    let breakdown = client.latency_breakdown();
+    println!(
+        "trace context: last request stamped {:#x}; perceived latency so far: \
+         {} us = {} serialize + {} network + {} server + {} decode",
+        client.last_trace_id(),
+        breakdown.total_micros,
+        breakdown.serialize_micros,
+        breakdown.network_micros,
+        breakdown.server_micros,
+        breakdown.decode_micros,
+    );
+    println!(
+        "connections: {} open; this one has moved {} frames in / {} frames out so far",
+        snap.gauge("ksp_open_connections").unwrap_or(0.0),
+        snap.counter("ksp_connection_frames_in_total"),
+        snap.counter("ksp_connection_frames_out_total"),
+    );
     let exposition = client.scrape_text().expect("scrape over the wire");
     let families = exposition.lines().filter(|l| l.starts_with("# TYPE ")).count();
     println!(

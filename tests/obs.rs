@@ -142,6 +142,150 @@ fn epoch_age_gauge_travels_the_wire_and_resets_on_publish() {
     assert!(gauge < aged as f64 / 1e3);
 }
 
+/// Splits one exposition sample line into `(metric name, labels, value)`,
+/// panicking with the offending line on any malformation.
+fn parse_sample(line: &str) -> (String, Vec<(String, String)>, f64) {
+    let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line}"));
+    let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value: {line}"));
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').unwrap_or_else(|| panic!("unclosed braces: {line}"));
+            let labels = body
+                .split(',')
+                .map(|pair| {
+                    let (k, v) =
+                        pair.split_once('=').unwrap_or_else(|| panic!("bad label: {line}"));
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or_else(|| panic!("unquoted label value: {line}"));
+                    (k.to_string(), v.to_string())
+                })
+                .collect();
+            (name.to_string(), labels)
+        }
+    };
+    let valid = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == ':';
+    assert!(!name.is_empty() && name.chars().all(valid), "bad metric name: {line}");
+    (name, labels, value)
+}
+
+/// The scrape output must be parseable by a real Prometheus server: every
+/// line is either a `# TYPE` comment or a well-formed sample, every family's
+/// type is declared exactly once and *before* its first sample, histogram
+/// buckets are cumulative-monotone with the `+Inf` bucket equal to `_count`,
+/// and every histogram series carries its `_sum` and `_count`.
+#[test]
+fn scrape_text_is_well_formed_prometheus_exposition() {
+    use std::collections::HashMap;
+
+    let (server, _service, graph) =
+        start_server(180, ServiceConfig::new(2, DtlpConfig::new(16, 2)), 0x0B54);
+    let (mut client, _) = KspClient::connect(server.local_addr()).unwrap();
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::default(), 3);
+    client.apply_batch(&traffic.next_snapshot()).unwrap();
+    let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(8, 2), 5);
+    for q in workload.iter() {
+        client.query(q.source, q.target, q.k).unwrap();
+    }
+    let text = client.scrape_text().unwrap();
+
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut sampled: HashMap<String, bool> = HashMap::new();
+    // (family, non-le labels) -> cumulative bucket counts in emission order,
+    // the +Inf count, and the _count sample, checked against each other after
+    // the parse.
+    #[derive(Default)]
+    struct Series {
+        cumulative: Vec<f64>,
+        inf: Option<f64>,
+        count: Option<f64>,
+        sum: bool,
+    }
+    let mut series: HashMap<(String, String), Series> = HashMap::new();
+
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().expect("family name").to_string();
+            let kind = parts.next().unwrap_or_else(|| panic!("no kind: {line}"));
+            assert!(parts.next().is_none(), "trailing tokens: {line}");
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "unknown kind: {line}");
+            assert!(!sampled.contains_key(&family), "# TYPE for {family} after its first sample");
+            let previous = types.insert(family.clone(), kind.to_string());
+            assert!(previous.is_none(), "duplicate # TYPE for {family}");
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        let (name, labels, value) = parse_sample(line);
+
+        // Resolve the owning family: histogram samples carry a suffix.
+        let (family, suffix) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| {
+                let stem = name.strip_suffix(s)?;
+                (types.get(stem).map(String::as_str) == Some("histogram"))
+                    .then(|| (stem.to_string(), *s))
+            })
+            .unwrap_or((name.clone(), ""));
+        let kind = types.get(&family).unwrap_or_else(|| panic!("sample before its # TYPE: {line}"));
+        sampled.insert(family.clone(), true);
+        assert_eq!(kind == "histogram", !suffix.is_empty(), "suffix/kind mismatch: {line}");
+
+        if kind == "histogram" {
+            let non_le: Vec<String> =
+                labels.iter().filter(|(k, _)| k != "le").map(|(k, v)| format!("{k}={v}")).collect();
+            let entry = series.entry((family, non_le.join(","))).or_default();
+            match suffix {
+                "_bucket" => {
+                    let le = &labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .unwrap_or_else(|| panic!("bucket without le: {line}"))
+                        .1;
+                    if le == "+Inf" {
+                        entry.inf = Some(value);
+                    } else {
+                        le.parse::<f64>().unwrap_or_else(|_| panic!("bad le: {line}"));
+                        assert!(entry.inf.is_none(), "finite bucket after +Inf: {line}");
+                        entry.cumulative.push(value);
+                    }
+                }
+                "_sum" => entry.sum = true,
+                "_count" => entry.count = Some(value),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    assert!(!series.is_empty(), "the scrape must carry histograms");
+    for ((family, labels), s) in &series {
+        let at = format!("{family}{{{labels}}}");
+        assert!(s.sum, "{at} missing _sum");
+        let count = s.count.unwrap_or_else(|| panic!("{at} missing _count"));
+        let inf = s.inf.unwrap_or_else(|| panic!("{at} missing +Inf bucket"));
+        assert_eq!(inf, count, "{at}: +Inf bucket must equal _count");
+        for pair in s.cumulative.windows(2) {
+            assert!(pair[0] <= pair[1], "{at}: buckets not cumulative-monotone");
+        }
+        if let Some(&last) = s.cumulative.last() {
+            assert!(last <= inf, "{at}: finite bucket exceeds +Inf");
+        }
+    }
+    // The families this PR adds are all present and typed.
+    for family in [
+        "ksp_publish_stage_duration_seconds",
+        "ksp_publish_duration_seconds",
+        "ksp_connection_frames_in_total",
+        "ksp_connection_bytes_out_total",
+        "ksp_flight_overwritten_total",
+        "ksp_open_connections",
+    ] {
+        assert!(types.contains_key(family), "missing family {family}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
