@@ -39,6 +39,7 @@ use std::time::Instant;
 /// |    9 | `PublishStall`          |
 /// |   10 | `WalAppendStall`        |
 /// |   11 | `FsyncStall`            |
+/// |   12 | `AdmissionBreach`       |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
@@ -81,11 +82,16 @@ pub enum EventKind {
     /// `b` = fsync duration in microseconds, `c` = the configured bound in
     /// microseconds.
     FsyncStall = 11,
+    /// The adaptive admission controller started rejecting: its estimated
+    /// queueing delay crossed the SLO-derived budget (the controller entered
+    /// a breach episode). `a` = shard, `b` = estimated wait in microseconds,
+    /// `c` = the budget in microseconds.
+    AdmissionBreach = 12,
 }
 
 impl EventKind {
     /// All kinds, for decoding and iteration.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::EpochPublished,
         EventKind::CheckpointCommitted,
         EventKind::CheckpointFailed,
@@ -98,6 +104,7 @@ impl EventKind {
         EventKind::PublishStall,
         EventKind::WalAppendStall,
         EventKind::FsyncStall,
+        EventKind::AdmissionBreach,
     ];
 
     /// Stable label for exposition.
@@ -115,6 +122,7 @@ impl EventKind {
             EventKind::PublishStall => "publish_stall",
             EventKind::WalAppendStall => "wal_append_stall",
             EventKind::FsyncStall => "fsync_stall",
+            EventKind::AdmissionBreach => "admission_breach",
         }
     }
 

@@ -362,10 +362,16 @@ impl StoreCodec for QueryAnswer {
 /// can observe.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ErrorReply {
-    /// The target shard's queue is at its configured depth; retry later.
+    /// Admission control rejected the request — either the target shard's
+    /// queue is at its configured depth, or the adaptive controller predicted
+    /// the queueing delay would breach the SLO budget. Retry later.
     Overloaded {
-        /// The queue depth that was reached.
+        /// The queue depth observed at rejection time.
         depth: u64,
+        /// Suggested client backoff in milliseconds before retrying; `0`
+        /// means the server offered no hint (static-cap rejection from a
+        /// server that predates the adaptive controller).
+        retry_after_ms: u64,
     },
     /// The service is shutting down.
     ShuttingDown,
@@ -398,13 +404,30 @@ impl ErrorReply {
     pub fn is_overloaded(&self) -> bool {
         matches!(self, ErrorReply::Overloaded { .. })
     }
+
+    /// The server's suggested backoff before retrying, if this is an
+    /// [`ErrorReply::Overloaded`] rejection that carried a non-zero hint.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ErrorReply::Overloaded { retry_after_ms, .. } if *retry_after_ms > 0 => {
+                Some(*retry_after_ms)
+            }
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ErrorReply {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ErrorReply::Overloaded { depth } => {
+            ErrorReply::Overloaded { depth, retry_after_ms: 0 } => {
                 write!(f, "shard queue full (depth {depth}); request rejected")
+            }
+            ErrorReply::Overloaded { depth, retry_after_ms } => {
+                write!(
+                    f,
+                    "admission rejected (queue depth {depth}); retry after {retry_after_ms} ms"
+                )
             }
             ErrorReply::ShuttingDown => write!(f, "service is shutting down"),
             ErrorReply::InvalidQuery(detail) => write!(f, "invalid query: {detail}"),
@@ -431,13 +454,24 @@ const ERR_STORAGE: u8 = 5;
 const ERR_UNSUPPORTED: u8 = 6;
 const ERR_UNSUPPORTED_VERSION: u8 = 7;
 const ERR_MALFORMED: u8 = 8;
+// Appended under PROTOCOL_VERSION 1: `Overloaded` with a retry hint. Encoders
+// emit the legacy tag 0 when the hint is zero so pre-hint decoders keep
+// understanding static-cap rejections; tag 9 is only on the wire when there is
+// a hint to carry. `ErrorReply` nests mid-stream inside `QueryOutcome` lists,
+// so the hint must live under its own tag rather than a tolerant payload tail.
+const ERR_OVERLOADED_RETRY: u8 = 9;
 
 impl StoreCodec for ErrorReply {
     fn encode(&self, w: &mut Writer) {
         match self {
-            ErrorReply::Overloaded { depth } => {
+            ErrorReply::Overloaded { depth, retry_after_ms: 0 } => {
                 w.put_u8(ERR_OVERLOADED);
                 w.put_u64(*depth);
+            }
+            ErrorReply::Overloaded { depth, retry_after_ms } => {
+                w.put_u8(ERR_OVERLOADED_RETRY);
+                w.put_u64(*depth);
+                w.put_u64(*retry_after_ms);
             }
             ErrorReply::ShuttingDown => w.put_u8(ERR_SHUTTING_DOWN),
             ErrorReply::InvalidQuery(detail) => {
@@ -470,7 +504,10 @@ impl StoreCodec for ErrorReply {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match r.get_u8()? {
-            ERR_OVERLOADED => Ok(ErrorReply::Overloaded { depth: r.get_u64()? }),
+            ERR_OVERLOADED => Ok(ErrorReply::Overloaded { depth: r.get_u64()?, retry_after_ms: 0 }),
+            ERR_OVERLOADED_RETRY => {
+                Ok(ErrorReply::Overloaded { depth: r.get_u64()?, retry_after_ms: r.get_u64()? })
+            }
             ERR_SHUTTING_DOWN => Ok(ErrorReply::ShuttingDown),
             ERR_INVALID_QUERY => Ok(ErrorReply::InvalidQuery(decode_string(r)?)),
             ERR_INVALID_K => Ok(ErrorReply::InvalidK),
@@ -983,7 +1020,8 @@ mod tests {
     #[test]
     fn error_replies_round_trip() {
         let errors = vec![
-            ErrorReply::Overloaded { depth: 64 },
+            ErrorReply::Overloaded { depth: 64, retry_after_ms: 0 },
+            ErrorReply::Overloaded { depth: 2048, retry_after_ms: 125 },
             ErrorReply::ShuttingDown,
             ErrorReply::InvalidQuery("vertex v99 out of range".to_string()),
             ErrorReply::InvalidK,
@@ -996,6 +1034,31 @@ mod tests {
         for e in errors {
             assert_eq!(ErrorReply::from_bytes(&e.to_bytes()).unwrap(), e);
         }
+    }
+
+    #[test]
+    fn overloaded_wire_compat_across_the_retry_hint() {
+        // A hint-free rejection must still travel under the legacy tag 0 so
+        // pre-hint decoders understand it...
+        let legacy = ErrorReply::Overloaded { depth: 7, retry_after_ms: 0 };
+        let bytes = legacy.to_bytes();
+        assert_eq!(bytes[0], ERR_OVERLOADED);
+
+        // ...and a hand-built legacy payload (tag 0 + depth, from a server
+        // that predates the adaptive controller) must decode with a zero hint.
+        let mut w = Writer::new();
+        w.put_u8(ERR_OVERLOADED);
+        w.put_u64(42);
+        assert_eq!(
+            ErrorReply::from_bytes(&w.into_bytes()).unwrap(),
+            ErrorReply::Overloaded { depth: 42, retry_after_ms: 0 }
+        );
+
+        // The hinted form rides its own appended tag and exposes the hint.
+        let hinted = ErrorReply::Overloaded { depth: 9, retry_after_ms: 250 };
+        assert_eq!(hinted.to_bytes()[0], ERR_OVERLOADED_RETRY);
+        assert_eq!(hinted.retry_after_ms(), Some(250));
+        assert_eq!(legacy.retry_after_ms(), None);
     }
 
     #[test]

@@ -13,8 +13,24 @@
 //! [`BoundedQueue::steal_batch`] that removes the *oldest* queued requests, so
 //! a thief always relieves the requests that have waited longest (the ones
 //! driving the victim's tail latency).
+//!
+//! On top of the static cap sits the **adaptive controller**
+//! ([`AdmissionController`]): it keeps a per-cost-class EWMA of recent service
+//! times ([`CostEstimator`]) — a request whose trace-checked cache entry
+//! survived costs microseconds, an evicted/incomplete one costs a full engine
+//! run — and predicts each arriving request's end-to-end latency as
+//!
+//! ```text
+//! predicted = queue_depth × blended_service_time + own_class_service_time
+//! ```
+//!
+//! When the prediction breaches the `slo_p99`-derived budget the request is
+//! rejected *before* it queues, with a `retry_after_ms` hint telling the
+//! client how far over budget the backlog currently is. Overload thus shows up
+//! as fast typed rejections instead of SLO breaches on admitted work.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
@@ -26,11 +42,18 @@ pub struct AdmissionConfig {
     pub max_queue_depth: usize,
     /// Maximum number of requests a worker drains per batch.
     pub max_batch: usize,
+    /// When `true` (the default) and the service's [`ksp_obs::ObsConfig`]
+    /// sets a non-zero `slo_p99`, the adaptive controller rejects requests
+    /// whose predicted latency (queue depth × service-time EWMA + own
+    /// predicted cost) would breach the SLO budget — before they queue. When
+    /// `false`, or when no SLO is configured, only the static `max_queue_depth`
+    /// cap rejects: the pre-adaptive behaviour, kept as the overload baseline.
+    pub adaptive: bool,
 }
 
 impl Default for AdmissionConfig {
     fn default() -> Self {
-        AdmissionConfig { max_queue_depth: 1024, max_batch: 32 }
+        AdmissionConfig { max_queue_depth: 1024, max_batch: 32, adaptive: true }
     }
 }
 
@@ -180,6 +203,212 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// The predicted (and later, observed) cost class of one request.
+///
+/// The split is what makes the controller *cost-aware*: a request whose
+/// trace-checked cache entry survived the last publishes is answered in
+/// microseconds, while an evicted or never-cached request pays a full engine
+/// run — typically three to five orders of magnitude more. Folding both into
+/// one average would make the delay estimate useless under any real hit rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// The home shard's cache holds a current-epoch entry for this identity.
+    CacheHit,
+    /// No servable cache entry: the engine will run.
+    EngineRun,
+}
+
+/// EWMA shift: each sample moves the average by 1/8 of the residual. Small
+/// enough to ride out one-off outliers, large enough that a phase change
+/// (e.g. a publish storm evicting the cache) re-converges within ~20 samples.
+const EWMA_SHIFT: u32 = 3;
+
+/// Per-cost-class service-time estimator.
+///
+/// Workers feed it one sample per completed request
+/// ([`CostEstimator::observe`]); the admission path reads it lock-free. The
+/// EWMAs are plain relaxed load/store cells — a lost update under contention
+/// nudges the average by one sample and is harmless, which is the price of
+/// keeping the hot path at two atomic ops.
+#[derive(Debug, Default)]
+pub struct CostEstimator {
+    /// EWMA of cache-hit service time, nanoseconds; 0 = no samples yet.
+    hit_nanos: AtomicU64,
+    /// EWMA of engine-run service time, nanoseconds; 0 = no samples yet.
+    miss_nanos: AtomicU64,
+    /// Requests observed per class, for the hit-rate blend.
+    hits_seen: AtomicU64,
+    misses_seen: AtomicU64,
+}
+
+impl CostEstimator {
+    /// Creates an estimator with no samples (every class estimates as zero
+    /// until the first observation, and the controller admits blind).
+    pub fn new() -> Self {
+        CostEstimator::default()
+    }
+
+    /// Feeds one completed request's service time (cache lookup + engine work,
+    /// excluding queue wait) into the class's EWMA.
+    pub fn observe(&self, class: CostClass, service_time: Duration) {
+        let sample = service_time.as_nanos().min(u64::MAX as u128) as u64;
+        let (cell, seen) = match class {
+            CostClass::CacheHit => (&self.hit_nanos, &self.hits_seen),
+            CostClass::EngineRun => (&self.miss_nanos, &self.misses_seen),
+        };
+        seen.fetch_add(1, Ordering::Relaxed);
+        let old = cell.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            // First sample seeds the average directly; a warm-up ramp from
+            // zero would under-admit nothing but under-predict for dozens of
+            // requests.
+            sample
+        } else {
+            old - (old >> EWMA_SHIFT) + (sample >> EWMA_SHIFT)
+        };
+        cell.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// The current EWMA for one class; zero until the class has a sample.
+    pub fn class_nanos(&self, class: CostClass) -> u64 {
+        match class {
+            CostClass::CacheHit => self.hit_nanos.load(Ordering::Relaxed),
+            CostClass::EngineRun => self.miss_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hit-rate-blended expected service time of an *unknown* queued request,
+    /// in nanoseconds — the per-item multiplier of the queueing-delay
+    /// estimate. Falls back to whichever class has samples; zero only before
+    /// any request completed.
+    pub fn blended_nanos(&self) -> u64 {
+        let hit = self.hit_nanos.load(Ordering::Relaxed);
+        let miss = self.miss_nanos.load(Ordering::Relaxed);
+        let hits = self.hits_seen.load(Ordering::Relaxed);
+        let misses = self.misses_seen.load(Ordering::Relaxed);
+        match (hit, miss) {
+            (0, m) => m,
+            (h, 0) => h,
+            (h, m) => {
+                let total = (hits + misses).max(1) as f64;
+                let rate = hits as f64 / total;
+                (h as f64 * rate + m as f64 * (1.0 - rate)) as u64
+            }
+        }
+    }
+}
+
+/// One adaptive rejection: the prediction, the budget it breached, and the
+/// client-facing backoff hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionRejection {
+    /// Predicted end-to-end latency had the request been admitted.
+    pub estimated_wait: Duration,
+    /// The SLO-derived budget the prediction breached.
+    pub budget: Duration,
+    /// Suggested client backoff: how far over budget the backlog currently
+    /// is, in milliseconds, clamped to `[1, 60_000]`.
+    pub retry_after_ms: u64,
+    /// Whether this rejection *entered* a breach episode (the previous
+    /// decision admitted). Edge-triggered, so the caller can take one flight
+    /// dump per episode instead of one per rejected request.
+    pub entered_breach: bool,
+}
+
+/// Verdict of the adaptive controller for one arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Predicted latency fits the budget (or the controller is disabled /
+    /// has no signal yet): enqueue.
+    Admit,
+    /// Predicted latency breaches the budget: reject with a typed
+    /// `Overloaded { retry_after_ms }` before the request queues.
+    Reject(AdmissionRejection),
+}
+
+/// SLO-driven, cost-aware admission controller (see the module docs for the
+/// formula). One per service, shared by the submit path (decisions) and every
+/// shard worker (service-time observations).
+#[derive(Debug)]
+pub struct AdmissionController {
+    estimator: CostEstimator,
+    /// The latency budget in nanoseconds; 0 disables adaptive admission
+    /// (static queue cap only).
+    budget_nanos: u64,
+    /// Whether the last decision rejected — breach episodes are
+    /// edge-triggered for flight-dump purposes.
+    in_breach: AtomicBool,
+}
+
+/// Ceiling of the `retry_after_ms` hint: a backlog predicted to take longer
+/// than a minute signals misconfiguration, not a retry opportunity.
+const MAX_RETRY_AFTER_MS: u64 = 60_000;
+
+impl AdmissionController {
+    /// A controller with the given latency budget. Pass the service's
+    /// `ObsConfig::slo_p99` (zero = disabled): a request predicted to finish
+    /// within the SLO is admitted, one predicted to breach it is rejected.
+    pub fn new(budget: Duration) -> Self {
+        AdmissionController {
+            estimator: CostEstimator::new(),
+            budget_nanos: budget.as_nanos().min(u64::MAX as u128) as u64,
+            in_breach: AtomicBool::new(false),
+        }
+    }
+
+    /// The service-time estimator, for workers to feed.
+    pub fn estimator(&self) -> &CostEstimator {
+        &self.estimator
+    }
+
+    /// Whether adaptive admission is active (a non-zero budget was given).
+    pub fn is_adaptive(&self) -> bool {
+        self.budget_nanos > 0
+    }
+
+    /// Decides one arriving request: `depth` is the target shard's live queue
+    /// depth, `predicted` the request's cost class (from a trace-checked peek
+    /// at the home shard's cache).
+    pub fn assess(&self, depth: usize, predicted: CostClass) -> AdmissionVerdict {
+        if self.budget_nanos == 0 {
+            return AdmissionVerdict::Admit;
+        }
+        let per_item = self.estimator.blended_nanos();
+        if per_item == 0 {
+            // No completed request yet: nothing to predict with; admit.
+            return AdmissionVerdict::Admit;
+        }
+        let own = match self.estimator.class_nanos(predicted) {
+            0 => per_item,
+            n => n,
+        };
+        let predicted_nanos = (depth as u64).saturating_mul(per_item).saturating_add(own);
+        if predicted_nanos <= self.budget_nanos {
+            self.in_breach.store(false, Ordering::Relaxed);
+            return AdmissionVerdict::Admit;
+        }
+        let over_ms = (predicted_nanos - self.budget_nanos).div_ceil(1_000_000);
+        AdmissionVerdict::Reject(AdmissionRejection {
+            estimated_wait: Duration::from_nanos(predicted_nanos),
+            budget: Duration::from_nanos(self.budget_nanos),
+            retry_after_ms: over_ms.clamp(1, MAX_RETRY_AFTER_MS),
+            entered_breach: !self.in_breach.swap(true, Ordering::Relaxed),
+        })
+    }
+
+    /// Backoff hint for a *static-cap* rejection (the queue hit
+    /// `max_queue_depth`): the predicted time to drain the full backlog, in
+    /// milliseconds. Zero when no request has completed yet — the hint-free
+    /// legacy wire form.
+    pub fn queue_full_hint_ms(&self, depth: usize) -> u64 {
+        let per_item = self.estimator.blended_nanos();
+        if per_item == 0 {
+            return 0;
+        }
+        ((depth as u64).saturating_mul(per_item).div_ceil(1_000_000)).clamp(1, MAX_RETRY_AFTER_MS)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +516,101 @@ mod tests {
         q.close();
         assert_eq!(q.pop_batch(4), Some(vec![7]));
         assert_eq!(q.pop_batch(4), None);
+    }
+
+    #[test]
+    fn estimator_tracks_each_cost_class_separately() {
+        let e = CostEstimator::new();
+        assert_eq!(e.blended_nanos(), 0, "no samples, no estimate");
+        e.observe(CostClass::CacheHit, Duration::from_micros(5));
+        e.observe(CostClass::EngineRun, Duration::from_millis(5));
+        // The first sample seeds each class directly.
+        assert_eq!(e.class_nanos(CostClass::CacheHit), 5_000);
+        assert_eq!(e.class_nanos(CostClass::EngineRun), 5_000_000);
+        // The blend sits strictly between the classes.
+        let blend = e.blended_nanos();
+        assert!(blend > 5_000 && blend < 5_000_000, "blend {blend} out of range");
+    }
+
+    #[test]
+    fn estimator_converges_toward_a_shifted_service_time() {
+        let e = CostEstimator::new();
+        e.observe(CostClass::EngineRun, Duration::from_micros(100));
+        for _ in 0..100 {
+            e.observe(CostClass::EngineRun, Duration::from_micros(900));
+        }
+        let est = e.class_nanos(CostClass::EngineRun);
+        assert!(
+            (800_000..=1_000_000).contains(&est),
+            "EWMA should have re-converged near 900µs, got {est}ns"
+        );
+    }
+
+    #[test]
+    fn controller_admits_blind_and_rejects_on_predicted_breach() {
+        let c = AdmissionController::new(Duration::from_millis(10));
+        assert!(c.is_adaptive());
+        // No completed request yet: no signal, admit anything.
+        assert_eq!(c.assess(10_000, CostClass::EngineRun), AdmissionVerdict::Admit);
+        // 1ms per queued item: depth 5 predicts ~6ms, within the 10ms budget.
+        for _ in 0..8 {
+            c.estimator().observe(CostClass::EngineRun, Duration::from_millis(1));
+        }
+        assert_eq!(c.assess(5, CostClass::EngineRun), AdmissionVerdict::Admit);
+        // Depth 50 predicts ~51ms: over budget, with a ceil'd backoff hint.
+        match c.assess(50, CostClass::EngineRun) {
+            AdmissionVerdict::Reject(r) => {
+                assert!(r.estimated_wait > r.budget);
+                assert!(r.retry_after_ms >= 1);
+                assert!(r.entered_breach, "first rejection opens the episode");
+            }
+            v => panic!("expected rejection, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_classes_split_the_admission_decision() {
+        // Budget 2ms, engine runs cost 10ms, hits cost 1µs: at depth 0 a
+        // predicted hit fits the budget while a predicted engine run breaches
+        // it — the cost-aware half of the controller.
+        let c = AdmissionController::new(Duration::from_millis(2));
+        for _ in 0..8 {
+            c.estimator().observe(CostClass::CacheHit, Duration::from_micros(1));
+            c.estimator().observe(CostClass::EngineRun, Duration::from_millis(10));
+        }
+        assert_eq!(c.assess(0, CostClass::CacheHit), AdmissionVerdict::Admit);
+        assert!(matches!(c.assess(0, CostClass::EngineRun), AdmissionVerdict::Reject(_)));
+    }
+
+    #[test]
+    fn breach_episodes_are_edge_triggered() {
+        let c = AdmissionController::new(Duration::from_millis(1));
+        c.estimator().observe(CostClass::EngineRun, Duration::from_millis(1));
+        let first = c.assess(100, CostClass::EngineRun);
+        let second = c.assess(100, CostClass::EngineRun);
+        match (first, second) {
+            (AdmissionVerdict::Reject(a), AdmissionVerdict::Reject(b)) => {
+                assert!(a.entered_breach);
+                assert!(!b.entered_breach, "episode already open");
+            }
+            other => panic!("expected two rejections, got {other:?}"),
+        }
+        // An admit closes the episode; the next rejection re-enters it.
+        assert_eq!(c.assess(0, CostClass::CacheHit), AdmissionVerdict::Admit);
+        match c.assess(100, CostClass::EngineRun) {
+            AdmissionVerdict::Reject(r) => assert!(r.entered_breach),
+            v => panic!("expected rejection, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_controller_admits_everything_but_still_hints() {
+        let c = AdmissionController::new(Duration::ZERO);
+        assert!(!c.is_adaptive());
+        c.estimator().observe(CostClass::EngineRun, Duration::from_millis(2));
+        assert_eq!(c.assess(1_000_000, CostClass::EngineRun), AdmissionVerdict::Admit);
+        // The static-cap hint still works off the estimator: 64 × 2ms = 128ms.
+        assert_eq!(c.queue_full_hint_ms(64), 128);
+        assert_eq!(AdmissionController::new(Duration::ZERO).queue_full_hint_ms(64), 0);
     }
 }

@@ -43,9 +43,21 @@ pub struct CacheRetention {
     /// Entries evicted because their trace intersected the dirty set, their
     /// trace was incomplete, or they lagged more than one epoch behind.
     pub evicted: usize,
+    /// Capacity (insert-time) evictions since the previous publish walk in
+    /// which the trace-size weight overrode plain LRU order — the victim was
+    /// *not* the least recently used entry, because a nearby entry's huge (or
+    /// incomplete) trace made it the better sacrifice. Drained into the
+    /// outcome by [`ResultCache::retain_for_publish`].
+    pub weighted_evicted: usize,
 }
 
 const NIL: usize = usize::MAX;
+
+/// How many entries from the LRU tail the weighted victim scan considers.
+/// Bounded so an insert stays O(1); large enough that a huge-trace entry
+/// sitting a few slots off the tail is still sacrificed before a small
+/// survivable one.
+const EVICTION_SCAN: usize = 8;
 
 #[derive(Debug)]
 struct Entry {
@@ -71,6 +83,9 @@ pub struct ResultCache {
     head: usize,
     tail: usize,
     capacity: usize,
+    /// Capacity evictions where the trace-size weight picked a victim other
+    /// than the plain-LRU tail; drained by [`ResultCache::retain_for_publish`].
+    weighted_evictions: usize,
 }
 
 impl ResultCache {
@@ -84,6 +99,7 @@ impl ResultCache {
             head: NIL,
             tail: NIL,
             capacity,
+            weighted_evictions: 0,
         }
     }
 
@@ -116,9 +132,24 @@ impl ResultCache {
         Some(&self.slab[slot].value)
     }
 
+    /// Whether a [`ResultCache::get`] for `key` at `epoch` would hit, without
+    /// bumping recency. The admission path uses this to *predict* a request's
+    /// cost class before deciding whether to enqueue it; only the worker's
+    /// actual `get` marks the entry as used.
+    pub fn peek_fresh(&self, key: &CacheKey, epoch: u64) -> bool {
+        self.map.get(key).is_some_and(|&slot| self.slab[slot].epoch == epoch)
+    }
+
     /// Inserts or replaces the entry for `key` with an answer exact for
-    /// `epoch` carrying dependency set `trace`, evicting the least recently
-    /// used entry if the cache is full.
+    /// `epoch` carrying dependency set `trace`, evicting a victim if the
+    /// cache is full.
+    ///
+    /// Victim choice is trace-size-weighted LRU: among the [`EVICTION_SCAN`]
+    /// least recently used entries, evict the one with an incomplete trace
+    /// (it cannot survive any publish) or, failing that, the largest trace —
+    /// a huge dependency set intersects almost any batch's dirty set, so the
+    /// entry would die at the next publish anyway, while a small-trace entry
+    /// is the one worth keeping alive. Ties fall back to plain LRU order.
     pub fn insert(&mut self, key: CacheKey, epoch: u64, trace: QueryTrace, value: Vec<Path>) {
         if let Some(&slot) = self.map.get(&key) {
             let entry = &mut self.slab[slot];
@@ -131,11 +162,14 @@ impl ResultCache {
             return;
         }
         if self.map.len() == self.capacity {
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL);
-            self.detach(lru);
-            self.map.remove(&self.slab[lru].key);
-            self.free.push(lru);
+            let victim = self.weighted_victim();
+            debug_assert_ne!(victim, NIL);
+            if victim != self.tail {
+                self.weighted_evictions += 1;
+            }
+            self.detach(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
         }
         let entry = Entry {
             key,
@@ -176,7 +210,12 @@ impl ResultCache {
         new_epoch: u64,
         dirty: &SubgraphSet,
     ) -> CacheRetention {
-        let mut outcome = CacheRetention::default();
+        let mut outcome = CacheRetention {
+            // Hand the insert-time weighted-eviction count to the publish
+            // that collects retention totals, then restart the window.
+            weighted_evicted: std::mem::take(&mut self.weighted_evictions),
+            ..CacheRetention::default()
+        };
         let mut evict: Vec<usize> = Vec::new();
         for &slot in self.map.values() {
             let entry = &self.slab[slot];
@@ -216,6 +255,42 @@ impl ResultCache {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.weighted_evictions = 0;
+    }
+
+    /// Picks the capacity-eviction victim: walks up to [`EVICTION_SCAN`]
+    /// entries from the LRU tail and returns the slot with the highest
+    /// sacrifice score `(incomplete trace, trace length, age)`. With equal
+    /// weights this degenerates to the plain tail, so the weighted policy is
+    /// a strict refinement of LRU, never a replacement.
+    fn weighted_victim(&self) -> usize {
+        let mut best = self.tail;
+        if best == NIL {
+            return NIL;
+        }
+        // Age rank descends from the tail; fold it into the score so ties on
+        // (incomplete, trace length) resolve to the oldest candidate.
+        let mut best_score = (!self.slab[best].complete, self.slab[best].trace.len(), usize::MAX);
+        let mut slot = self.slab[best].prev;
+        for age in 1..EVICTION_SCAN {
+            if slot == NIL {
+                break;
+            }
+            let entry = &self.slab[slot];
+            let score = (!entry.complete, entry.trace.len(), usize::MAX - age);
+            if score > best_score {
+                best = slot;
+                best_score = score;
+            }
+            slot = entry.prev;
+        }
+        best
+    }
+
+    /// Capacity evictions so far in which the trace-size weight overrode
+    /// plain LRU order (the victim was not the tail).
+    pub fn weighted_evictions(&self) -> usize {
+        self.weighted_evictions
     }
 
     fn detach(&mut self, slot: usize) {
@@ -325,7 +400,7 @@ mod tests {
             let mut cache = ResultCache::new(4);
             cache.insert(key(0, 1, 2), 0, trace(&[3, 7]), path(1.0));
             let outcome = cache.retain_for_publish(0, 1, &dirty(overlap));
-            assert_eq!(outcome, CacheRetention { retained: 0, evicted: 1 });
+            assert_eq!(outcome, CacheRetention { retained: 0, evicted: 1, weighted_evicted: 0 });
             assert!(cache.get(&key(0, 1, 2), 1).is_none(), "dirty entry served after publish");
             assert!(cache.is_empty());
         }
@@ -337,7 +412,7 @@ mod tests {
         cache.insert(key(0, 1, 2), 0, trace(&[3, 7]), path(1.0));
         cache.insert(key(0, 2, 2), 0, trace(&[5]), path(2.0));
         let outcome = cache.retain_for_publish(0, 1, &dirty(&[5, 8]));
-        assert_eq!(outcome, CacheRetention { retained: 1, evicted: 1 });
+        assert_eq!(outcome, CacheRetention { retained: 1, evicted: 1, weighted_evicted: 0 });
         assert!(cache.get(&key(0, 1, 2), 1).is_some(), "disjoint entry must survive");
         assert!(cache.get(&key(0, 1, 2), 0).is_none(), "survivor now carries the new epoch");
         assert!(cache.get(&key(0, 2, 2), 1).is_none(), "dirtied entry must be gone");
@@ -374,7 +449,7 @@ mod tests {
         // walk: the walk must keep it as-is, dirty trace or not.
         cache.insert(key(0, 1, 2), 1, trace(&[3]), path(1.0));
         let outcome = cache.retain_for_publish(0, 1, &dirty(&[3]));
-        assert_eq!(outcome, CacheRetention { retained: 0, evicted: 0 });
+        assert_eq!(outcome, CacheRetention { retained: 0, evicted: 0, weighted_evicted: 0 });
         assert!(cache.get(&key(0, 1, 2), 1).is_some());
     }
 
@@ -387,6 +462,79 @@ mod tests {
             assert_eq!(outcome.retained, 1, "entry must survive publish {epoch}");
         }
         assert!(cache.get(&key(0, 1, 2), 50).is_some());
+    }
+
+    #[test]
+    fn peek_fresh_predicts_get_without_bumping_recency() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(0, 1, 1), 3, trace(&[1]), path(1.0));
+        assert!(cache.peek_fresh(&key(0, 1, 1), 3));
+        assert!(!cache.peek_fresh(&key(0, 1, 1), 4), "stale epoch must predict a miss");
+        assert!(!cache.peek_fresh(&key(0, 9, 1), 3), "absent key must predict a miss");
+        // The peek must not have bumped 0->1: after inserting 0->2, the next
+        // insert still evicts 0->1 (it stayed least recently used).
+        cache.insert(key(0, 2, 1), 3, trace(&[1]), path(2.0));
+        let _ = cache.get(&key(0, 2, 1), 3);
+        assert!(cache.peek_fresh(&key(0, 1, 1), 3));
+        cache.insert(key(0, 3, 1), 3, trace(&[1]), path(3.0));
+        assert!(!cache.peek_fresh(&key(0, 1, 1), 3), "peek kept LRU order intact");
+    }
+
+    #[test]
+    fn eviction_sacrifices_the_huge_trace_entry_first() {
+        // Three entries, oldest first: a small-trace one at the tail, a
+        // huge-trace one just above it. Plain LRU would evict the tail; the
+        // weighted policy must sacrifice the huge trace instead — it dies to
+        // almost any publish anyway — and count the override.
+        let mut cache = ResultCache::new(3);
+        cache.insert(key(0, 1, 1), 0, trace(&[1]), path(1.0));
+        cache.insert(key(0, 2, 1), 0, trace(&(0..64).collect::<Vec<_>>()), path(2.0));
+        cache.insert(key(0, 3, 1), 0, trace(&[2]), path(3.0));
+        assert_eq!(cache.weighted_evictions(), 0);
+        cache.insert(key(0, 4, 1), 0, trace(&[3]), path(4.0));
+        assert!(cache.get(&key(0, 2, 1), 0).is_none(), "huge-trace entry was the victim");
+        assert!(cache.get(&key(0, 1, 1), 0).is_some(), "small-trace tail survived");
+        assert_eq!(cache.weighted_evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_prefers_incomplete_traces_over_any_size() {
+        // An uncertified entry can never survive a publish: it outranks even
+        // a larger complete trace as the sacrifice.
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(0, 1, 1), 0, trace(&(0..32).collect::<Vec<_>>()), path(1.0));
+        cache.insert(
+            key(0, 2, 1),
+            0,
+            QueryTrace { subgraphs: dirty(&[5]), complete: false },
+            path(2.0),
+        );
+        cache.insert(key(0, 3, 1), 0, trace(&[9]), path(3.0));
+        assert!(cache.get(&key(0, 2, 1), 0).is_none(), "incomplete entry was the victim");
+        assert!(cache.get(&key(0, 1, 1), 0).is_some());
+        assert_eq!(cache.weighted_evictions(), 1);
+    }
+
+    #[test]
+    fn equal_weights_degenerate_to_plain_lru() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(0, 1, 1), 0, trace(&[1]), path(1.0));
+        cache.insert(key(0, 2, 1), 0, trace(&[2]), path(2.0));
+        cache.insert(key(0, 3, 1), 0, trace(&[3]), path(3.0));
+        assert!(cache.get(&key(0, 1, 1), 0).is_none(), "tail evicted on equal weights");
+        assert_eq!(cache.weighted_evictions(), 0, "no override happened");
+    }
+
+    #[test]
+    fn retain_for_publish_drains_the_weighted_counter() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(0, 1, 1), 0, trace(&[1]), path(1.0));
+        cache.insert(key(0, 2, 1), 0, trace(&(0..64).collect::<Vec<_>>()), path(2.0));
+        cache.insert(key(0, 3, 1), 0, trace(&[3]), path(3.0)); // weighted eviction
+        let outcome = cache.retain_for_publish(0, 1, &dirty(&[99]));
+        assert_eq!(outcome.weighted_evicted, 1, "publish walk collects the window");
+        let next = cache.retain_for_publish(1, 2, &dirty(&[99]));
+        assert_eq!(next.weighted_evicted, 0, "the window restarted");
     }
 
     #[test]

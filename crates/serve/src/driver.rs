@@ -396,6 +396,225 @@ where
     }
 }
 
+/// Configuration of one open-loop run: a fixed fleet of connections, each
+/// issuing requests on a fixed arrival schedule *regardless of how fast the
+/// answers come back*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopConfig {
+    /// Number of concurrent connections in the fleet.
+    pub num_connections: usize,
+    /// Requests each connection offers before the run ends.
+    pub requests_per_connection: usize,
+    /// Per-connection inter-arrival interval: the fleet's offered rate is
+    /// `num_connections / interval`.
+    pub interval: Duration,
+}
+
+impl OpenLoopConfig {
+    /// An open-loop fleet of `num_connections` connections, each offering
+    /// `requests_per_connection` requests at one request per `interval`.
+    pub fn new(num_connections: usize, requests_per_connection: usize, interval: Duration) -> Self {
+        OpenLoopConfig { num_connections, requests_per_connection, interval }
+    }
+
+    /// The offered arrival rate in requests per second.
+    pub fn offered_qps(&self) -> f64 {
+        if self.interval.is_zero() {
+            f64::INFINITY
+        } else {
+            self.num_connections as f64 / self.interval.as_secs_f64()
+        }
+    }
+}
+
+/// Outcome of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Requests the schedule offered (`num_connections × requests_per_connection`).
+    pub offered: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests rejected by admission control (typed `Overloaded`).
+    pub rejected: usize,
+    /// Rejections that carried a non-zero `retry_after_ms` hint — the
+    /// adaptive controller's signature; static-cap rejections carry none.
+    pub rejected_with_hint: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Client-perceived latency of every *accepted* request, sorted
+    /// ascending. Under overload this is the distribution admission control
+    /// is defending: rejections are excluded because a fast typed rejection
+    /// is the mechanism, not the service. Kept as raw samples (an open-loop
+    /// run offers few enough) so quantiles are exact order statistics — an
+    /// SLO comparison must not inherit a power-of-two histogram bucket edge.
+    pub accepted_latencies: Vec<Duration>,
+    /// Server-reported latency (submission to completion, *including* server
+    /// queueing — the echoed `QueryAnswer::latency_micros`) of every accepted
+    /// request, sorted ascending. This is the quantity the admission
+    /// controller predicts and the quantity the service's own `slo_p99`
+    /// breach detection measures; the client-perceived numbers above add wire
+    /// transit and client-side scheduling on top, which no server-side
+    /// controller can defend. Hold *this* distribution against the SLO.
+    pub accepted_server_latencies: Vec<Duration>,
+}
+
+impl OpenLoopReport {
+    /// Completed requests per second of wall-clock time.
+    pub fn achieved_qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Exact quantile of the accepted-request latencies (nearest-rank);
+    /// zero when nothing was accepted.
+    pub fn accepted_quantile(&self, q: f64) -> Duration {
+        if self.accepted_latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((self.accepted_latencies.len() as f64 * q).ceil() as usize)
+            .clamp(1, self.accepted_latencies.len());
+        self.accepted_latencies[rank - 1]
+    }
+
+    /// Accepted-request p50.
+    pub fn accepted_p50(&self) -> Duration {
+        self.accepted_quantile(0.50)
+    }
+
+    /// Accepted-request p99 as the client perceives it.
+    pub fn accepted_p99(&self) -> Duration {
+        self.accepted_quantile(0.99)
+    }
+
+    /// Exact quantile of the server-reported accepted-request latencies
+    /// (nearest-rank); zero when nothing was accepted.
+    pub fn server_quantile(&self, q: f64) -> Duration {
+        if self.accepted_server_latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((self.accepted_server_latencies.len() as f64 * q).ceil() as usize)
+            .clamp(1, self.accepted_server_latencies.len());
+        self.accepted_server_latencies[rank - 1]
+    }
+
+    /// Server-reported accepted p99 — the number to hold against the SLO.
+    pub fn server_p99(&self) -> Duration {
+        self.server_quantile(0.99)
+    }
+}
+
+/// Runs an **open-loop** fleet against a serving endpoint: each connection
+/// fires its requests on an absolute schedule (`start + i × interval`),
+/// sleeping when ahead and firing immediately when behind, so a slow server
+/// faces a backlog of due arrivals instead of a politely waiting client.
+///
+/// This is the overload-experiment companion of [`run_closed_loop_over`]: a
+/// closed loop self-throttles (each client waits for its answer), which makes
+/// sustained 2× overload impossible to offer; the open loop keeps offering
+/// it, and what admission control does about it shows up in the split between
+/// `completed`, `rejected` and the accepted-only latency histogram.
+///
+/// One caveat inherent to blocking connections: a connection cannot overlap
+/// its own requests, so per-connection the loop is closed and the open-loop
+/// pressure comes from the fleet width. Scale `num_connections` (keeping
+/// `offered_qps` fixed) to tighten the approximation.
+pub fn run_open_loop_over<T, F>(
+    mut make_client: F,
+    workload: &QueryWorkload,
+    config: OpenLoopConfig,
+) -> OpenLoopReport
+where
+    T: Transport,
+    F: FnMut() -> KspClient<T>,
+{
+    assert!(config.num_connections >= 1, "need at least one connection");
+    assert!(!workload.is_empty(), "workload must not be empty");
+
+    let clients: Vec<KspClient<T>> = (0..config.num_connections).map(|_| make_client()).collect();
+    let completed = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    let rejected_with_hint = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let first_failure: Mutex<Option<String>> = Mutex::new(None);
+    let accepted: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    let accepted_server: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for (conn_id, mut client) in clients.into_iter().enumerate() {
+            let completed = &completed;
+            let rejected = &rejected;
+            let rejected_with_hint = &rejected_with_hint;
+            let failed = &failed;
+            let first_failure = &first_failure;
+            let accepted = &accepted;
+            let accepted_server = &accepted_server;
+            scope.spawn(move || {
+                let stride = (workload.len() / config.num_connections.max(1)).max(1);
+                let replay = workload.cycle_from(conn_id * stride);
+                // Phase the fleet so arrivals spread across the interval
+                // instead of firing in lockstep bursts.
+                let phase = config.interval.mul_f64(conn_id as f64 / config.num_connections as f64);
+                let origin = started + phase;
+                for (i, q) in replay.take(config.requests_per_connection).enumerate() {
+                    let due = origin + config.interval * i as u32;
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let sent = Instant::now();
+                    // The cumulative server-reported micros before and after
+                    // the call bracket this one request's server-side latency.
+                    let server_before = client.latency_breakdown().server_micros;
+                    match client.query(q.source, q.target, q.k) {
+                        Ok(_) => {
+                            accepted.lock().push(sent.elapsed());
+                            let server_micros = client
+                                .latency_breakdown()
+                                .server_micros
+                                .saturating_sub(server_before);
+                            accepted_server.lock().push(Duration::from_micros(server_micros));
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ksp_proto::ClientError::Server(reply)) if reply.is_overloaded() => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            if reply.retry_after_ms().is_some() {
+                                rejected_with_hint.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(other) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            first_failure.lock().get_or_insert_with(|| other.to_string());
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let failures = failed.into_inner();
+    if failures > 0 {
+        let detail = first_failure.into_inner().unwrap_or_default();
+        panic!("{failures} open-loop request(s) failed unexpectedly; first: {detail}");
+    }
+
+    let mut accepted = accepted.into_inner();
+    accepted.sort_unstable();
+    let mut accepted_server = accepted_server.into_inner();
+    accepted_server.sort_unstable();
+    OpenLoopReport {
+        offered: config.num_connections * config.requests_per_connection,
+        completed: completed.into_inner(),
+        rejected: rejected.into_inner(),
+        rejected_with_hint: rejected_with_hint.into_inner(),
+        elapsed: started.elapsed(),
+        accepted_latencies: accepted,
+        accepted_server_latencies: accepted_server,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,5 +709,39 @@ mod tests {
         // clients contribute nothing.
         assert_eq!(report.perceived.count, 30);
         assert!(report.perceived_p99() >= report.perceived_p50());
+    }
+
+    #[test]
+    fn open_loop_accounts_every_offered_request() {
+        use std::sync::Arc;
+        let graph = RoadNetworkGenerator::new(RoadNetworkConfig::with_vertices(150))
+            .generate(37)
+            .unwrap()
+            .graph;
+        let service = Arc::new(
+            QueryService::start(graph.clone(), ServiceConfig::new(2, DtlpConfig::new(15, 2)))
+                .unwrap(),
+        );
+        let workload = QueryWorkload::generate(&graph, QueryWorkloadConfig::new(10, 2), 17);
+        let config = OpenLoopConfig::new(3, 8, Duration::from_millis(1));
+        assert!(config.offered_qps() > 0.0);
+        let report = run_open_loop_over(
+            || KspClient::new(InProcTransport::new(service.clone())),
+            &workload,
+            config,
+        );
+        assert_eq!(report.offered, 24);
+        assert_eq!(report.completed + report.rejected, report.offered);
+        // Hints are a subset of rejections, and only accepted requests are
+        // measured.
+        assert!(report.rejected_with_hint <= report.rejected);
+        assert_eq!(report.accepted_latencies.len(), report.completed);
+        assert_eq!(report.accepted_server_latencies.len(), report.completed);
+        if report.completed > 0 {
+            assert!(report.achieved_qps() > 0.0);
+            assert!(report.accepted_p99() >= report.accepted_p50());
+            // The server-side latency is a component of the perceived one.
+            assert!(report.server_p99() <= report.accepted_p99());
+        }
     }
 }

@@ -1,0 +1,1270 @@
+//! Readiness-polled TCP serving: one epoll-driven poller thread and a small
+//! fixed pool of dispatch workers, replacing thread-per-connection scaling.
+//!
+//! [`TcpServer`](crate::rpc::TcpServer) spends one OS thread (and its stack)
+//! per connection; at a thousand mostly-idle clients that is a thousand
+//! blocked threads the scheduler has to care about. [`EventLoopServer`] serves
+//! the same wire protocol — same frames, same typed errors, same
+//! hostile-frame contract — on a *bounded* thread count:
+//!
+//! ```text
+//!              ┌────────────────────────────────────────────┐
+//!   accept ──▶ │ poller thread (epoll: listener + N socks)  │
+//!              │  · non-blocking read → reassemble frames   │
+//!              │  · admission (backlog cap + SLO predictor) │
+//!              │  · non-blocking write of queued responses  │
+//!              └───────┬───────────────────────▲────────────┘
+//!                 jobs │                       │ completions (self-pipe wake)
+//!              ┌───────▼───────────────────────┴────────────┐
+//!              │ dispatch workers (fixed pool)              │
+//!              │  · decode-free: QueryService::handle       │
+//!              └────────────────────────────────────────────┘
+//! ```
+//!
+//! The poller owns every socket. Incoming bytes accumulate in a
+//! per-connection buffer and are cut into frames *incrementally* — a client
+//! may dribble a frame one byte per segment or coalesce several frames into
+//! one segment; both decode to exactly what the blocking
+//! [`read_frame`](ksp_proto::frame::read_frame) would have produced, in the
+//! same validation order (magic → version → kind → length cap → payload →
+//! CRC). Responses are framed by the worker and handed back through a
+//! completion queue; a self-pipe wakes the poller to write them out.
+//!
+//! Requests of one connection are dispatched strictly in arrival order, one
+//! at a time — a pipelined client gets its responses in request order, just
+//! as it would from the thread-per-connection server.
+//!
+//! # Admission at the socket
+//!
+//! The dispatch queue in the sketch above is the queue a request actually
+//! waits in, so admission control runs *here*, at arrival, before a request
+//! ever occupies queue memory: the outstanding-job backlog is capped
+//! (`max_backlog`, the static cap), and when the service has an SLO budget
+//! the shared [`AdmissionController`](crate::admission::AdmissionController)
+//! predicts the request's end-to-end latency (backlog × blended service-time
+//! EWMA + its own cost class, trace-check-peeked from the home shard's
+//! cache) and rejects with a typed
+//! [`ErrorReply::Overloaded`]`{ retry_after_ms }` when the prediction would
+//! breach the budget. A rejected request is *answered*, never dropped: the
+//! connection stays healthy.
+//!
+//! Aggregate `ksp_eventloop_*` counters/gauges are appended to every
+//! `ObsSnapshot` response served through the loop, next to the service's own
+//! exposition.
+
+use crate::admission::{AdmissionVerdict, CostClass};
+use crate::rpc::hostile_frame;
+use crate::service::{route_shard, QueryService};
+use ksp_obs::EventKind;
+use ksp_proto::frame::{
+    frame_len, write_frame, FrameError, FrameKind, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
+};
+use ksp_proto::message::{ErrorReply, QueryOutcome, Request, Response, PROTOCOL_VERSION};
+use ksp_proto::obs::{WireCounter, WireGauge};
+use ksp_store::{crc32, StoreCodec};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Raw, dependency-free bindings to the handful of kernel calls the loop
+/// needs: epoll for readiness, a pipe for cross-thread wakeup. `std` already
+/// links libc on Linux, so these resolve without any external crate.
+mod sys {
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+
+    /// One epoll readiness record. The kernel's x86-64 ABI packs this struct,
+    /// so field reads must copy (never borrow) — both fields are plain
+    /// integers, which keeps that invisible.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        /// Readiness bit set (`EPOLLIN` | `EPOLLOUT` | ...).
+        pub events: u32,
+        /// The caller's token, echoed back verbatim.
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const O_NONBLOCK: c_int = 0o4000;
+    const O_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// An owned epoll instance.
+    pub struct Epoll {
+        fd: c_int,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { fd })
+        }
+
+        fn ctl(&self, op: c_int, fd: c_int, token: u64, interest: u32) -> io::Result<()> {
+            let mut ev = EpollEvent { events: interest, data: token };
+            if unsafe { epoll_ctl(self.fd, op, fd, &mut ev) } == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+
+        pub fn add(&self, fd: c_int, token: u64, interest: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: c_int, token: u64, interest: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn delete(&self, fd: c_int) {
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+        }
+
+        /// Blocks up to `timeout_ms` for readiness, retrying on `EINTR`.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
+            loop {
+                let n = unsafe {
+                    epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+                };
+                if n >= 0 {
+                    return Ok(n as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.fd);
+            }
+        }
+    }
+
+    /// A non-blocking self-pipe: workers write a byte to wake the poller out
+    /// of `epoll_wait`; the poller drains it on wakeup.
+    pub struct WakePipe {
+        read_fd: c_int,
+        write_fd: c_int,
+    }
+
+    impl WakePipe {
+        pub fn new() -> io::Result<WakePipe> {
+            let mut fds: [c_int; 2] = [0; 2];
+            if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(WakePipe { read_fd: fds[0], write_fd: fds[1] })
+        }
+
+        pub fn read_fd(&self) -> c_int {
+            self.read_fd
+        }
+
+        pub fn write_fd(&self) -> c_int {
+            self.write_fd
+        }
+
+        /// Empties the pipe. A full pipe means a wake is already pending, so
+        /// short reads and `EAGAIN` are both fine.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let n = unsafe { read(self.read_fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
+                if n <= 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    impl Drop for WakePipe {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
+    /// Writes one wake byte. Failure (pipe full) means a wake is already
+    /// pending — exactly as good.
+    pub fn wake(write_fd: c_int) {
+        let byte = [1u8];
+        let _ = unsafe { write(write_fd, byte.as_ptr() as *const c_void, 1) };
+    }
+}
+
+/// Token the listener registers under; connection tokens count up from zero
+/// and cannot collide before the heat death of the universe.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Token of the self-pipe's read end.
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+/// Decoded-but-undispatched requests one connection may hold before the
+/// poller stops reading its socket (TCP backpressure takes over) — the bound
+/// that keeps a hostile pipeliner from growing server memory without limit.
+const PENDING_CAP: usize = 64;
+/// How long `epoll_wait` may sleep with nothing to do; bounds shutdown
+/// latency if a wake byte is ever lost.
+const IDLE_POLL_MS: i32 = 500;
+
+/// Tuning for an [`EventLoopServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLoopConfig {
+    /// Dispatch workers decoding nothing and calling
+    /// [`QueryService::handle`]; the server's only per-request threads. The
+    /// total thread count is `dispatch_workers + 1` regardless of how many
+    /// connections are open.
+    pub dispatch_workers: usize,
+    /// Static cap on outstanding dispatched-but-unanswered requests across
+    /// all connections; query requests beyond it are rejected with a typed
+    /// `Overloaded` carrying a drain-time hint.
+    pub max_backlog: usize,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> Self {
+        EventLoopConfig { dispatch_workers: 2, max_backlog: 1024 }
+    }
+}
+
+impl EventLoopConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) {
+        assert!(self.dispatch_workers >= 1, "dispatch_workers must be at least 1");
+        assert!(self.max_backlog >= 1, "max_backlog must be at least 1");
+    }
+}
+
+/// Point-in-time view of the loop's aggregate transport accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventLoopStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Currently open connections.
+    pub open_connections: u64,
+    /// Most connections ever open at once.
+    pub peak_connections: u64,
+    /// Request frames decoded.
+    pub frames_in: u64,
+    /// Response frames queued for write (including typed error replies).
+    pub frames_out: u64,
+    /// Wire bytes of decoded request frames (headers + payloads).
+    pub bytes_in: u64,
+    /// Wire bytes of queued response frames.
+    pub bytes_out: u64,
+    /// Requests rejected by loop-level admission (backlog cap or SLO
+    /// predictor) — answered with `Overloaded`, never dropped.
+    pub rejected: u64,
+    /// Hostile frames answered with a typed error and a disconnect.
+    pub hostile_frames: u64,
+    /// Requests dispatched and not yet answered.
+    pub dispatch_backlog: u64,
+}
+
+/// Aggregate counters, shared between the poller (which drives most of them)
+/// and the workers (which stamp handle time and read them for `ObsSnapshot`).
+#[derive(Debug, Default)]
+struct LoopMetrics {
+    accepted: AtomicU64,
+    open: AtomicU64,
+    peak: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    rejected: AtomicU64,
+    hostile: AtomicU64,
+    handle_micros: AtomicU64,
+    outstanding: AtomicU64,
+}
+
+/// One decoded request on its way to a dispatch worker.
+struct Job {
+    token: u64,
+    request: Request,
+    /// When loop admission accepted the request — the echoed per-query
+    /// latency is restamped to `admitted → reply ready` so it covers the
+    /// dispatch-queue wait, the queue this server actually queues in.
+    admitted: Instant,
+}
+
+/// One framed response on its way back to the poller.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    /// Close the connection after this response flushes (the
+    /// `UnsupportedVersion` handshake contract).
+    disconnect: bool,
+}
+
+struct DispatchState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The unbounded-by-type, admission-bounded-in-practice job queue between the
+/// poller and the worker pool. Depth is bounded by loop admission
+/// (`max_backlog`), not by this structure.
+struct DispatchQueue {
+    state: Mutex<DispatchState>,
+    ready: Condvar,
+}
+
+impl DispatchQueue {
+    fn new() -> Self {
+        DispatchQueue {
+            state: Mutex::new(DispatchState { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return; // shutting down; the connection is about to die anyway
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by the poller, the workers and the server handle.
+struct LoopShared {
+    service: Arc<QueryService>,
+    shutting_down: AtomicBool,
+    dispatch: DispatchQueue,
+    completions: Mutex<Vec<Completion>>,
+    /// Write end of the self-pipe; valid for the server's whole lifetime
+    /// (the poller owns the pipe and outlives every writer).
+    wake_fd: std::os::raw::c_int,
+    metrics: LoopMetrics,
+    threads: usize,
+    max_backlog: usize,
+}
+
+impl LoopShared {
+    fn complete(&self, completion: Completion) {
+        self.completions.lock().unwrap_or_else(|e| e.into_inner()).push(completion);
+        sys::wake(self.wake_fd);
+    }
+
+    fn stats(&self) -> EventLoopStats {
+        let m = &self.metrics;
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        EventLoopStats {
+            accepted: load(&m.accepted),
+            open_connections: load(&m.open),
+            peak_connections: load(&m.peak),
+            frames_in: load(&m.frames_in),
+            frames_out: load(&m.frames_out),
+            bytes_in: load(&m.bytes_in),
+            bytes_out: load(&m.bytes_out),
+            rejected: load(&m.rejected),
+            hostile_frames: load(&m.hostile),
+            dispatch_backlog: load(&m.outstanding),
+        }
+    }
+}
+
+/// A readiness-polled TCP serving endpoint over a [`QueryService`]: one
+/// epoll poller thread plus a fixed dispatch pool, graceful shutdown on drop.
+/// Speaks exactly the wire protocol of [`TcpServer`](crate::rpc::TcpServer) —
+/// a [`KspClient`](ksp_proto::KspClient) cannot tell them apart — on a thread
+/// count independent of the connection count.
+pub struct EventLoopServer {
+    local_addr: SocketAddr,
+    shared: Arc<LoopShared>,
+    poller: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EventLoopServer {
+    /// Binds `addr` (port 0 for ephemeral) with the default configuration.
+    pub fn bind(service: Arc<QueryService>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_with(service, addr, EventLoopConfig::default())
+    }
+
+    /// Binds `addr` and starts the poller and `config.dispatch_workers`
+    /// workers.
+    pub fn bind_with(
+        service: Arc<QueryService>,
+        addr: impl ToSocketAddrs,
+        config: EventLoopConfig,
+    ) -> io::Result<Self> {
+        config.validate();
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let epoll = sys::Epoll::new()?;
+        let wake = sys::WakePipe::new()?;
+        epoll.add(listener.as_raw_fd(), LISTENER_TOKEN, sys::EPOLLIN)?;
+        epoll.add(wake.read_fd(), WAKE_TOKEN, sys::EPOLLIN)?;
+        let shared = Arc::new(LoopShared {
+            service,
+            shutting_down: AtomicBool::new(false),
+            dispatch: DispatchQueue::new(),
+            completions: Mutex::new(Vec::new()),
+            wake_fd: wake.write_fd(),
+            metrics: LoopMetrics::default(),
+            threads: config.dispatch_workers + 1,
+            max_backlog: config.max_backlog,
+        });
+        let mut workers = Vec::with_capacity(config.dispatch_workers);
+        for i in 0..config.dispatch_workers {
+            let shared = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ksp-evloop-worker-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("failed to spawn dispatch worker"),
+            );
+        }
+        let poller = std::thread::Builder::new()
+            .name("ksp-evloop-poll".to_string())
+            .spawn({
+                let shared = shared.clone();
+                move || Poller::new(listener, epoll, wake, shared).run()
+            })
+            .expect("failed to spawn poller");
+        Ok(EventLoopServer { local_addr, shared, poller: Some(poller), workers })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Total serving threads (poller + dispatch workers). Constant for the
+    /// server's lifetime — the property the event loop exists for.
+    pub fn thread_count(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Snapshot of the loop's aggregate transport accounting.
+    pub fn stats(&self) -> EventLoopStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, disconnects every live connection and joins all
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Workers first: they may still be finishing requests, and their
+        // completions need the poller (and the wake pipe) alive.
+        self.shared.dispatch.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        sys::wake(self.shared.wake_fd);
+        if let Some(poller) = self.poller.take() {
+            let _ = poller.join();
+        }
+    }
+}
+
+impl Drop for EventLoopServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_main(shared: &Arc<LoopShared>) {
+    while let Some(job) = shared.dispatch.pop() {
+        let started = Instant::now();
+        let mut response = shared.service.handle(job.request);
+        shared.metrics.handle_micros.fetch_add(
+            started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        stamp_loop_latency(&mut response, job.admitted);
+        append_eventloop_metrics(shared, &mut response);
+        // Same contract as the blocking server: a failed version handshake is
+        // answered, then disconnected.
+        let disconnect = matches!(response, Response::Error(ErrorReply::UnsupportedVersion { .. }));
+        let bytes = encode_response(&response);
+        shared.complete(Completion { token: job.token, bytes, disconnect });
+    }
+}
+
+/// Restamps the echoed per-query latency to `admitted → reply ready`. The
+/// service measures a query from *its* submission, but over the event loop a
+/// request spends its queueing life in the dispatch queue before
+/// [`QueryService::handle`] ever sees it — the very wait the loop's
+/// admission control predicts and bounds. Without the restamp the echoed
+/// number understates exactly the component an overload inflates.
+fn stamp_loop_latency(response: &mut Response, admitted: Instant) {
+    let micros = admitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let inner = match response {
+        Response::Traced { inner, .. } => inner.as_mut(),
+        other => other,
+    };
+    match inner {
+        Response::Query(answer) => answer.latency_micros = micros,
+        Response::QueryBatch(outcomes) => {
+            for outcome in outcomes.iter_mut() {
+                if let QueryOutcome::Answer(answer) = outcome {
+                    answer.latency_micros = micros;
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Frames a response, substituting the typed `Unsupported` reply when the
+/// payload exceeds the frame cap — `write_frame` refuses before emitting a
+/// byte, so framing stays intact and the connection stays alive, exactly as
+/// on the blocking path.
+fn encode_response(response: &Response) -> Vec<u8> {
+    let payload = response.to_bytes();
+    let mut frame = Vec::with_capacity(frame_len(payload.len().min(4096)));
+    match write_frame(&mut frame, FrameKind::Response, &payload) {
+        Ok(()) => frame,
+        Err(e) => {
+            frame.clear();
+            let reply = Response::Error(ErrorReply::Unsupported(format!(
+                "response does not fit one frame ({e}); split the request"
+            )));
+            let reply_payload = reply.to_bytes();
+            write_frame(&mut frame, FrameKind::Response, &reply_payload)
+                .expect("a typed error reply always fits one frame");
+            frame
+        }
+    }
+}
+
+/// Appends the loop's aggregate transport metrics to an `ObsSnapshot`
+/// response (unwrapping a trace envelope if present) — the event-loop
+/// analogue of the blocking server's per-connection `ksp_connection_*`
+/// families, aggregated because a thousand per-connection series would drown
+/// the exposition the loop exists to keep cheap.
+fn append_eventloop_metrics(shared: &LoopShared, response: &mut Response) {
+    let snapshot = match response {
+        Response::ObsSnapshot(s) => s,
+        Response::Traced { inner, .. } => match inner.as_mut() {
+            Response::ObsSnapshot(s) => s,
+            _ => return,
+        },
+        _ => return,
+    };
+    let stats = shared.stats();
+    let handle_micros = shared.metrics.handle_micros.load(Ordering::Relaxed);
+    let counters = [
+        ("ksp_eventloop_accepted_total", stats.accepted),
+        ("ksp_eventloop_frames_in_total", stats.frames_in),
+        ("ksp_eventloop_frames_out_total", stats.frames_out),
+        ("ksp_eventloop_bytes_in_total", stats.bytes_in),
+        ("ksp_eventloop_bytes_out_total", stats.bytes_out),
+        ("ksp_eventloop_rejected_total", stats.rejected),
+        ("ksp_eventloop_hostile_frames_total", stats.hostile_frames),
+        ("ksp_eventloop_handle_micros_total", handle_micros),
+    ];
+    for (name, value) in counters {
+        snapshot.counters.push(WireCounter {
+            name: name.to_string(),
+            labels: String::new(),
+            value,
+        });
+    }
+    let gauges = [
+        ("ksp_eventloop_open_connections", stats.open_connections as f64),
+        ("ksp_eventloop_peak_connections", stats.peak_connections as f64),
+        ("ksp_eventloop_dispatch_backlog", stats.dispatch_backlog as f64),
+        ("ksp_eventloop_threads", shared.threads as f64),
+    ];
+    for (name, value) in gauges {
+        snapshot.gauges.push(WireGauge { name: name.to_string(), labels: String::new(), value });
+    }
+}
+
+/// One step of the incremental frame decoder.
+enum Decoded {
+    /// Not enough buffered bytes for a verdict.
+    NeedMore,
+    /// One complete, CRC-verified frame (consumed from the buffer).
+    Frame(FrameKind, Vec<u8>),
+    /// The buffered bytes can never become a valid frame.
+    Fail(FrameError),
+}
+
+/// Cuts one frame off the front of `buf`, validating in exactly the blocking
+/// reader's order: magic → version → kind → length cap (all on the complete
+/// 17-byte header) → payload bytes → CRC. Anything the blocking
+/// [`read_frame`](ksp_proto::frame::read_frame) rejects, this rejects with
+/// the same [`FrameError`]; anything it accepts arrives here byte-identical.
+fn try_decode(buf: &mut Vec<u8>) -> Decoded {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Decoded::NeedMore;
+    }
+    if buf[0..4] != FRAME_MAGIC {
+        return Decoded::Fail(FrameError::BadMagic {
+            found: buf[0..4].try_into().expect("4 bytes"),
+        });
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Decoded::Fail(FrameError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs: version,
+        });
+    }
+    let kind = match buf[8] {
+        0 => FrameKind::Request,
+        1 => FrameKind::Response,
+        tag => return Decoded::Fail(FrameError::BadKind(tag)),
+    };
+    let declared = u32::from_le_bytes(buf[9..13].try_into().expect("4 bytes"));
+    if declared > MAX_FRAME_PAYLOAD {
+        return Decoded::Fail(FrameError::Oversized { declared });
+    }
+    let total = FRAME_HEADER_LEN + declared as usize;
+    if buf.len() < total {
+        return Decoded::NeedMore;
+    }
+    let expected = u32::from_le_bytes(buf[13..17].try_into().expect("4 bytes"));
+    let payload = buf[FRAME_HEADER_LEN..total].to_vec();
+    buf.drain(..total);
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Decoded::Fail(FrameError::CrcMismatch { expected, actual });
+    }
+    Decoded::Frame(kind, payload)
+}
+
+/// One connection's state machine, owned by the poller.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Received, not-yet-framed bytes.
+    read_buf: Vec<u8>,
+    /// Framed responses awaiting socket capacity; `write_pos` marks the
+    /// already-written prefix.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Decoded requests waiting for their in-order dispatch slot.
+    pending: VecDeque<Request>,
+    /// Whether a request of this connection is dispatched and unanswered
+    /// (at most one — that is what keeps pipelined responses in order).
+    inflight: bool,
+    /// The final typed error frame of a hostile-frame incident, sent after
+    /// every earlier request is answered, then the connection closes.
+    tail: Option<Vec<u8>>,
+    /// No more bytes will be read (EOF, framing lost, or handshake failure).
+    read_dead: bool,
+    /// Reading paused for backpressure (`PENDING_CAP` decoded requests wait).
+    paused: bool,
+    /// Close once `write_buf` drains.
+    close_after_flush: bool,
+    /// The socket failed hard; close immediately, nothing to flush or tell.
+    io_dead: bool,
+    /// Interest bits currently registered with epoll.
+    interest: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, token: u64) -> Self {
+        Conn {
+            stream,
+            token,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending: VecDeque::new(),
+            inflight: false,
+            tail: None,
+            read_dead: false,
+            paused: false,
+            close_after_flush: false,
+            io_dead: false,
+            interest: sys::EPOLLIN,
+        }
+    }
+
+    fn has_write_pending(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    fn desired_interest(&self) -> u32 {
+        let mut interest = 0;
+        if !self.read_dead && !self.paused {
+            interest |= sys::EPOLLIN;
+        }
+        if self.has_write_pending() {
+            interest |= sys::EPOLLOUT;
+        }
+        interest
+    }
+
+    /// Appends one framed response and accounts it.
+    fn queue_reply(&mut self, bytes: &[u8], metrics: &LoopMetrics) {
+        metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+        metrics.bytes_out.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.write_buf.extend_from_slice(bytes);
+    }
+}
+
+/// Verdict of loop-level admission for one decoded request.
+enum AdmissionOutcome {
+    /// Dispatch it.
+    Admitted(Request),
+    /// Answer with this pre-framed `Overloaded` reply instead.
+    Rejected(Vec<u8>),
+}
+
+/// Admission at the socket, for query-bearing requests only (control-plane
+/// requests — ping, metrics, publish, checkpoint, snapshot — always pass,
+/// as they do on the blocking path). Mirrors the service-side policy and
+/// bookkeeping: static backlog cap first, then the SLO predictor with a
+/// cost-class peek, with `Rejection` events and one `AdmissionBreach` flight
+/// dump per episode.
+fn loop_admission(shared: &LoopShared, request: Request) -> AdmissionOutcome {
+    let probe = match &request {
+        Request::Traced { inner, .. } => query_probe(inner),
+        other => query_probe(other),
+    };
+    let Some(key) = probe else {
+        return AdmissionOutcome::Admitted(request);
+    };
+    let controller = shared.service.admission_controller();
+    let backlog = shared.metrics.outstanding.load(Ordering::Relaxed) as usize;
+    let verdict = if backlog >= shared.max_backlog {
+        Some((controller.queue_full_hint_ms(backlog), None))
+    } else if controller.is_adaptive() {
+        let class = match key {
+            Some((source, target, k)) => shared.service.predict_cost(source, target, k),
+            // A batch mixes identities; predict conservatively.
+            None => CostClass::EngineRun,
+        };
+        match controller.assess(backlog, class) {
+            AdmissionVerdict::Admit => None,
+            AdmissionVerdict::Reject(r) => Some((r.retry_after_ms, Some(r))),
+        }
+    } else {
+        None
+    };
+    let Some((retry_after_ms, rejection)) = verdict else {
+        return AdmissionOutcome::Admitted(request);
+    };
+    let shard_id =
+        key.map(|(s, t, k)| route_shard(s, t, k, shared.service.num_shards()) as u64).unwrap_or(0);
+    let (trace, _) = request.into_parts();
+    let trace_id = trace.as_ref().map(|t| t.trace_id).unwrap_or(0);
+    let obs = shared.service.observability();
+    obs.record(EventKind::Rejection, shard_id, backlog as u64, retry_after_ms);
+    if let Some(r) = rejection {
+        if r.entered_breach {
+            let micros = |d: Duration| d.as_micros().min(u64::MAX as u128) as u64;
+            obs.trigger_traced(
+                EventKind::AdmissionBreach,
+                shard_id,
+                micros(r.estimated_wait),
+                micros(r.budget),
+                None,
+                trace_id,
+            );
+        }
+    }
+    let inner = Response::Error(ErrorReply::Overloaded { depth: backlog as u64, retry_after_ms });
+    let response = match trace {
+        Some(trace) => Response::Traced { trace, inner: Box::new(inner) },
+        None => inner,
+    };
+    AdmissionOutcome::Rejected(encode_response(&response))
+}
+
+/// `Some(identity)` when `request` is admission-controlled: a single query's
+/// `(source, target, k)`, or `Some(None)` for a batch (no single identity).
+#[allow(clippy::type_complexity)]
+fn query_probe(
+    request: &Request,
+) -> Option<Option<(ksp_graph::VertexId, ksp_graph::VertexId, usize)>> {
+    match request {
+        Request::Query(key) => Some(Some((key.source, key.target, key.k))),
+        Request::QueryBatch(_) => Some(None),
+        _ => None,
+    }
+}
+
+/// The poller: owns the listener, the epoll instance, the wake pipe and
+/// every connection. Single-threaded by construction — no connection state
+/// is ever touched off this thread.
+struct Poller {
+    listener: TcpListener,
+    epoll: sys::Epoll,
+    wake: sys::WakePipe,
+    shared: Arc<LoopShared>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl Poller {
+    fn new(
+        listener: TcpListener,
+        epoll: sys::Epoll,
+        wake: sys::WakePipe,
+        shared: Arc<LoopShared>,
+    ) -> Self {
+        Poller { listener, epoll, wake, shared, conns: HashMap::new(), next_token: 0 }
+    }
+
+    fn run(mut self) {
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 256];
+        loop {
+            let n = match self.epoll.wait(&mut events, IDLE_POLL_MS) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("ksp-evloop: epoll_wait failed: {e}");
+                    break;
+                }
+            };
+            for event in &events[..n] {
+                let ev = *event;
+                let (bits, token) = (ev.events, ev.data);
+                match token {
+                    WAKE_TOKEN => self.wake.drain(),
+                    LISTENER_TOKEN => self.accept_ready(),
+                    token => self.conn_ready(token, bits),
+                }
+            }
+            // Completions are applied every cycle — a worker's wake byte may
+            // coalesce with socket readiness, so this must not depend on
+            // having seen WAKE_TOKEN.
+            self.apply_completions();
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        for (_, conn) in self.conns.drain() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        self.shared.metrics.open.store(0, Ordering::Relaxed);
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // EMFILE and friends: stop for this cycle; level-triggered
+                // epoll re-offers the listener next wait, which is the retry
+                // backoff.
+                Err(_) => return,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            if self.epoll.add(stream.as_raw_fd(), token, sys::EPOLLIN).is_err() {
+                continue;
+            }
+            self.conns.insert(token, Conn::new(stream, token));
+            let metrics = &self.shared.metrics;
+            metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            let open = metrics.open.fetch_add(1, Ordering::Relaxed) + 1;
+            metrics.peak.fetch_max(open, Ordering::Relaxed);
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, bits: u32) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            conn.io_dead = true;
+        } else {
+            if bits & sys::EPOLLIN != 0 {
+                on_readable(conn, &self.shared);
+            }
+            if bits & sys::EPOLLOUT != 0 {
+                flush_writes(conn);
+            }
+        }
+        self.service_conn(token);
+    }
+
+    fn apply_completions(&mut self) {
+        let completions =
+            std::mem::take(&mut *self.shared.completions.lock().unwrap_or_else(|e| e.into_inner()));
+        for completion in completions {
+            self.shared.metrics.outstanding.fetch_sub(1, Ordering::Relaxed);
+            let Some(conn) = self.conns.get_mut(&completion.token) else {
+                continue; // the connection died while its request was served
+            };
+            conn.inflight = false;
+            conn.queue_reply(&completion.bytes, &self.shared.metrics);
+            if completion.disconnect {
+                conn.pending.clear();
+                conn.tail = None;
+                conn.read_dead = true;
+                conn.close_after_flush = true;
+            } else {
+                admit_and_dispatch(conn, &self.shared);
+            }
+            self.service_conn(completion.token);
+        }
+    }
+
+    /// Settles a connection after any activity: appends a due tail reply,
+    /// flushes what the socket will take, closes if finished, and keeps the
+    /// epoll interest registration in sync with what the connection is
+    /// actually waiting for.
+    fn service_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.tail.is_some() && !conn.inflight && conn.pending.is_empty() {
+            let bytes = conn.tail.take().expect("checked is_some");
+            conn.queue_reply(&bytes, &self.shared.metrics);
+            conn.close_after_flush = true;
+        }
+        if conn.read_dead && conn.tail.is_none() && !conn.inflight && conn.pending.is_empty() {
+            conn.close_after_flush = true;
+        }
+        flush_writes(conn);
+        if conn.io_dead || (conn.close_after_flush && !conn.has_write_pending()) {
+            self.close_conn(token);
+            return;
+        }
+        let want = conn.desired_interest();
+        if want != conn.interest && self.epoll.modify(conn.stream.as_raw_fd(), token, want).is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.epoll.delete(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.shared.metrics.open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Pumps the socket into the connection's read buffer until it would block,
+/// then cuts and handles as many complete frames as arrived.
+fn on_readable(conn: &mut Conn, shared: &LoopShared) {
+    if conn.read_dead {
+        return;
+    }
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                conn.read_dead = true;
+                break;
+            }
+            Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // The blocking server's FrameError::Io arm: the peer is
+                // gone, there is nobody to answer.
+                conn.io_dead = true;
+                return;
+            }
+        }
+    }
+    parse_frames(conn, shared);
+}
+
+/// Cuts complete frames off `read_buf`, dispatching well-formed requests and
+/// converting the first protocol violation into the blocking server's typed
+/// reply-then-close, deferred behind any earlier requests still in flight so
+/// responses keep arrival order.
+fn parse_frames(conn: &mut Conn, shared: &LoopShared) {
+    let obs = shared.service.observability();
+    while conn.tail.is_none() {
+        if conn.pending.len() >= PENDING_CAP {
+            conn.paused = true;
+            break;
+        }
+        conn.paused = false;
+        match try_decode(&mut conn.read_buf) {
+            Decoded::NeedMore => break,
+            Decoded::Frame(FrameKind::Request, payload) => {
+                let metrics = &shared.metrics;
+                metrics.frames_in.fetch_add(1, Ordering::Relaxed);
+                metrics.bytes_in.fetch_add(frame_len(payload.len()) as u64, Ordering::Relaxed);
+                match Request::from_bytes(&payload) {
+                    Ok(request) => conn.pending.push_back(request),
+                    Err(e) => {
+                        shared.metrics.hostile.fetch_add(1, Ordering::Relaxed);
+                        obs.trigger(
+                            EventKind::HostileFrame,
+                            hostile_frame::UNDECODABLE_PAYLOAD,
+                            0,
+                            0,
+                            None,
+                        );
+                        let reply = Response::Error(ErrorReply::Malformed(format!(
+                            "request payload did not decode: {e}"
+                        )));
+                        conn.tail = Some(encode_response(&reply));
+                    }
+                }
+            }
+            Decoded::Frame(FrameKind::Response, _) => {
+                shared.metrics.hostile.fetch_add(1, Ordering::Relaxed);
+                obs.trigger(
+                    EventKind::HostileFrame,
+                    hostile_frame::RESPONSE_KIND_FRAME,
+                    0,
+                    0,
+                    None,
+                );
+                let reply = Response::Error(ErrorReply::Malformed(
+                    "clients must send request frames".to_string(),
+                ));
+                conn.tail = Some(encode_response(&reply));
+            }
+            Decoded::Fail(FrameError::VersionMismatch { ours, theirs }) => {
+                shared.metrics.hostile.fetch_add(1, Ordering::Relaxed);
+                obs.trigger(
+                    EventKind::HostileFrame,
+                    hostile_frame::VERSION_MISMATCH,
+                    theirs as u64,
+                    0,
+                    None,
+                );
+                let reply = Response::Error(ErrorReply::UnsupportedVersion {
+                    server: ours,
+                    client: theirs,
+                });
+                conn.tail = Some(encode_response(&reply));
+            }
+            Decoded::Fail(e) => {
+                // BadMagic / CRC mismatch / oversized length / bad kind:
+                // framing is lost, answer typed and close.
+                shared.metrics.hostile.fetch_add(1, Ordering::Relaxed);
+                obs.trigger(EventKind::HostileFrame, hostile_frame::FRAMING_LOST, 0, 0, None);
+                let reply = Response::Error(ErrorReply::Malformed(e.to_string()));
+                conn.tail = Some(encode_response(&reply));
+            }
+        }
+    }
+    if conn.tail.is_some() {
+        conn.read_dead = true;
+        conn.read_buf.clear();
+    } else if conn.read_dead && !conn.read_buf.is_empty() {
+        // EOF mid-frame: the blocking reader's Truncated error, answered
+        // typed exactly as it would be.
+        let while_reading =
+            if conn.read_buf.len() < FRAME_HEADER_LEN { "frame header" } else { "frame payload" };
+        shared.metrics.hostile.fetch_add(1, Ordering::Relaxed);
+        obs.trigger(EventKind::HostileFrame, hostile_frame::FRAMING_LOST, 0, 0, None);
+        let reply = Response::Error(ErrorReply::Malformed(
+            FrameError::Truncated { while_reading }.to_string(),
+        ));
+        conn.tail = Some(encode_response(&reply));
+        conn.read_buf.clear();
+    }
+    admit_and_dispatch(conn, shared);
+}
+
+/// Moves decoded requests toward the workers: at most one in flight per
+/// connection (in-order responses), loop admission deciding each one.
+/// Rejections are answered inline, preserving their position in the response
+/// order.
+fn admit_and_dispatch(conn: &mut Conn, shared: &LoopShared) {
+    while !conn.inflight {
+        let Some(request) = conn.pending.pop_front() else { break };
+        match loop_admission(shared, request) {
+            AdmissionOutcome::Admitted(request) => {
+                conn.inflight = true;
+                shared.metrics.outstanding.fetch_add(1, Ordering::Relaxed);
+                shared.dispatch.push(Job { token: conn.token, request, admitted: Instant::now() });
+            }
+            AdmissionOutcome::Rejected(bytes) => {
+                shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                conn.queue_reply(&bytes, &shared.metrics);
+            }
+        }
+    }
+    if conn.pending.len() < PENDING_CAP {
+        conn.paused = false;
+    }
+}
+
+/// Writes as much of the queued response bytes as the socket accepts,
+/// compacting the buffer when it drains (or when the written prefix grows
+/// large enough to be worth reclaiming).
+fn flush_writes(conn: &mut Conn) {
+    if conn.io_dead {
+        return;
+    }
+    while conn.write_pos < conn.write_buf.len() {
+        match (&conn.stream).write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => {
+                conn.io_dead = true;
+                return;
+            }
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.io_dead = true;
+                return;
+            }
+        }
+    }
+    if conn.write_pos >= conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    } else if conn.write_pos > 64 * 1024 {
+        conn.write_buf.drain(..conn.write_pos);
+        conn.write_pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_proto::frame::read_frame;
+    use std::io::Cursor;
+
+    fn framed(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind, payload).unwrap();
+        buf
+    }
+
+    #[test]
+    fn incremental_decode_matches_the_blocking_reader_at_every_split() {
+        let bytes = framed(FrameKind::Request, b"incremental decode parity");
+        for split in 0..=bytes.len() {
+            let mut buf = bytes[..split].to_vec();
+            match try_decode(&mut buf) {
+                Decoded::NeedMore => assert!(split < bytes.len(), "full frame must decode"),
+                Decoded::Frame(kind, payload) => {
+                    assert_eq!(split, bytes.len(), "partial frame must not decode");
+                    assert_eq!(kind, FrameKind::Request);
+                    assert_eq!(payload, b"incremental decode parity");
+                    assert!(buf.is_empty(), "the frame must be consumed");
+                }
+                Decoded::Fail(e) => panic!("split {split} must not fail, got {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_decode_cuts_coalesced_frames_in_order() {
+        let mut buf = framed(FrameKind::Request, b"first");
+        buf.extend_from_slice(&framed(FrameKind::Request, b"second"));
+        buf.extend_from_slice(&framed(FrameKind::Request, b"third")[..9]); // torn tail
+        let Decoded::Frame(_, p1) = try_decode(&mut buf) else { panic!("first frame") };
+        let Decoded::Frame(_, p2) = try_decode(&mut buf) else { panic!("second frame") };
+        assert_eq!((p1.as_slice(), p2.as_slice()), (&b"first"[..], &b"second"[..]));
+        assert!(matches!(try_decode(&mut buf), Decoded::NeedMore));
+        assert_eq!(buf.len(), 9, "the torn tail stays buffered");
+    }
+
+    #[test]
+    fn incremental_decode_validates_in_the_blocking_readers_order() {
+        // Bad magic.
+        let mut bad_magic = framed(FrameKind::Request, b"x");
+        bad_magic[0] = b'Z';
+        assert!(matches!(try_decode(&mut bad_magic), Decoded::Fail(FrameError::BadMagic { .. })));
+        // Foreign version beats bad kind: version is validated first.
+        let mut foreign = framed(FrameKind::Request, b"x");
+        foreign[4..8].copy_from_slice(&0xBEEF_u32.to_le_bytes());
+        foreign[8] = 9;
+        assert!(matches!(
+            try_decode(&mut foreign),
+            Decoded::Fail(FrameError::VersionMismatch { theirs: 0xBEEF, .. })
+        ));
+        // Bad kind.
+        let mut bad_kind = framed(FrameKind::Request, b"x");
+        bad_kind[8] = 7;
+        assert!(matches!(try_decode(&mut bad_kind), Decoded::Fail(FrameError::BadKind(7))));
+        // Oversized declared length fails on the header alone — no payload
+        // bytes needed, no allocation made.
+        let mut oversized = framed(FrameKind::Request, b"x")[..FRAME_HEADER_LEN].to_vec();
+        oversized[9..13].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(try_decode(&mut oversized), Decoded::Fail(FrameError::Oversized { .. })));
+        // CRC mismatch, only once the payload is complete.
+        let mut corrupt = framed(FrameKind::Request, b"payload");
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert!(matches!(try_decode(&mut corrupt), Decoded::Fail(FrameError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn decoded_frames_equal_the_blocking_readers_output() {
+        for payload in [&b""[..], b"a", b"some longer payload with bytes \x00\xff"] {
+            let bytes = framed(FrameKind::Response, payload);
+            let blocking = read_frame(&mut Cursor::new(bytes.clone())).unwrap().unwrap();
+            let mut buf = bytes;
+            let Decoded::Frame(kind, incremental) = try_decode(&mut buf) else {
+                panic!("must decode")
+            };
+            assert_eq!((kind, incremental), blocking);
+        }
+    }
+
+    #[test]
+    fn config_defaults_are_validated_and_bounded() {
+        let config = EventLoopConfig::default();
+        config.validate();
+        assert!(config.dispatch_workers >= 1);
+        assert!(config.max_backlog >= 1);
+    }
+}

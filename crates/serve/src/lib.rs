@@ -19,6 +19,14 @@
 //!   stealing**: hash routing keeps cache affinity, but an idle worker steals
 //!   the oldest requests from the deepest queue, so skewed workloads no
 //!   longer pin one shard while the rest idle.
+//! * [`admission`] — besides the static queue cap, an **SLO-driven,
+//!   cost-aware adaptive controller**: per predicted cost class (a
+//!   trace-checked cache hit costs microseconds, an engine run costs
+//!   milliseconds) it tracks service-time EWMAs, predicts an arriving
+//!   request's completion as `depth × blended + own-class`, and rejects with
+//!   a typed `Overloaded { retry_after_ms }` when the prediction breaches
+//!   the [`ObsConfig::slo_p99`](ksp_obs::ObsConfig) budget — load is shed
+//!   *before* it queues, and the retry hint sizes the client's backoff.
 //! * [`cache`] — a per-shard **LRU result cache** keyed by
 //!   `(source, target, k)`, with entries stamped by epoch and carrying their
 //!   query's subgraph trace ([`QueryTrace`](ksp_core::kspdg::QueryTrace)).
@@ -54,6 +62,13 @@
 //!   [`InProcTransport`] serves same-process clients, and [`TcpServer`] puts
 //!   the service behind a socket (one acceptor, one worker per connection,
 //!   typed errors for malformed/foreign-version frames, graceful shutdown).
+//! * [`event_loop`] (Linux) — the same wire protocol from a **fixed thread
+//!   count**: one poller thread drives a level-triggered `epoll` set with
+//!   non-blocking sockets, per-connection buffers and partial-frame
+//!   reassembly, a small dispatch pool runs the service, and the adaptive
+//!   admission controller is applied at the socket — floods are answered
+//!   with typed rejections instead of occupying threads, and a thousand
+//!   idle connections cost file descriptors, not stacks.
 //!
 //! A service can also be **persistent**: started with
 //! [`QueryService::start_with_store`], every published batch is appended to
@@ -95,6 +110,8 @@ pub mod admission;
 pub mod cache;
 pub mod driver;
 pub mod epoch;
+#[cfg(target_os = "linux")]
+pub mod event_loop;
 pub mod metrics;
 pub mod rpc;
 pub mod service;
@@ -102,9 +119,12 @@ pub mod service;
 pub use admission::{AdmissionConfig, QueueFull, TimedPop};
 pub use cache::{CacheKey, CacheRetention, ResultCache};
 pub use driver::{
-    run_closed_loop, run_closed_loop_over, LoadDriverConfig, LoadReport, WireLoadReport,
+    run_closed_loop, run_closed_loop_over, run_open_loop_over, LoadDriverConfig, LoadReport,
+    OpenLoopConfig, OpenLoopReport, WireLoadReport,
 };
 pub use epoch::{EpochPointer, EpochSnapshot};
+#[cfg(target_os = "linux")]
+pub use event_loop::{EventLoopConfig, EventLoopServer, EventLoopStats};
 pub use metrics::{LatencyHistogram, MetricsDelta, MetricsReport, ServiceMetrics, ShardQueueGauge};
 pub use rpc::{wire_metrics, InProcTransport, TcpServer};
 pub use service::{

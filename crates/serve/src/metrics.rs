@@ -80,8 +80,16 @@ pub struct ServiceMetrics {
     pub publish_latency: LatencyHistogram,
     /// Completed requests.
     pub completed: AtomicU64,
-    /// Requests rejected by admission control.
+    /// Requests rejected by admission control (static cap + adaptive, total).
     pub rejected: AtomicU64,
+    /// Requests the admission path accepted into a shard queue.
+    pub admission_accepted: AtomicU64,
+    /// Rejections from the static queue cap (the queue held `max_queue_depth`
+    /// requests).
+    pub admission_rejected_queue_full: AtomicU64,
+    /// Rejections from the adaptive controller (predicted latency breached
+    /// the SLO budget before the request queued).
+    pub admission_rejected_predicted: AtomicU64,
     /// Requests answered from the result cache.
     pub cache_hits: AtomicU64,
     /// Requests that had to run the engine.
@@ -94,6 +102,9 @@ pub struct ServiceMetrics {
     /// Cache entries evicted at epoch publishes (dirty trace, incomplete
     /// trace, or wholesale clears), summed over all shards.
     pub cache_evicted: AtomicU64,
+    /// Capacity evictions where the trace-size weight overrode plain LRU
+    /// order (collected from the per-shard caches at each publish).
+    pub cache_weighted_evictions: AtomicU64,
     /// Per-shard busy accounting.
     pub shards: Vec<ShardCounters>,
     /// When these metrics were created (service boot).
@@ -114,11 +125,15 @@ impl ServiceMetrics {
             publish_latency: LatencyHistogram::default(),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            admission_accepted: AtomicU64::new(0),
+            admission_rejected_queue_full: AtomicU64::new(0),
+            admission_rejected_predicted: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             epochs_published: AtomicU64::new(0),
             cache_retained: AtomicU64::new(0),
             cache_evicted: AtomicU64::new(0),
+            cache_weighted_evictions: AtomicU64::new(0),
             shards: (0..num_shards).map(|_| ShardCounters::default()).collect(),
             started: Instant::now(),
             last_publish_micros: AtomicU64::new(0),
@@ -147,11 +162,17 @@ impl ServiceMetrics {
         MetricsReport {
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
+            admission_accepted: self.admission_accepted.load(Ordering::Relaxed),
+            admission_rejected_queue_full: self
+                .admission_rejected_queue_full
+                .load(Ordering::Relaxed),
+            admission_rejected_predicted: self.admission_rejected_predicted.load(Ordering::Relaxed),
             cache_hits: hits,
             cache_misses: misses,
             epochs_published: self.epochs_published.load(Ordering::Relaxed),
             cache_retained: self.cache_retained.load(Ordering::Relaxed),
             cache_evicted: self.cache_evicted.load(Ordering::Relaxed),
+            cache_weighted_evictions: self.cache_weighted_evictions.load(Ordering::Relaxed),
             steals: per_shard_steals.iter().sum(),
             per_shard_steals,
             epoch_age: self.epoch_age(),
@@ -202,8 +223,14 @@ impl ShardQueueGauge {
 pub struct MetricsReport {
     /// Requests answered.
     pub completed: u64,
-    /// Requests rejected by admission control.
+    /// Requests rejected by admission control (static cap + adaptive, total).
     pub rejected: u64,
+    /// Requests accepted into a shard queue.
+    pub admission_accepted: u64,
+    /// Rejections from the static queue cap.
+    pub admission_rejected_queue_full: u64,
+    /// Rejections from the adaptive controller's SLO-budget prediction.
+    pub admission_rejected_predicted: u64,
     /// Requests served from the result cache.
     pub cache_hits: u64,
     /// Requests that ran the engine.
@@ -214,6 +241,8 @@ pub struct MetricsReport {
     pub cache_retained: u64,
     /// Cache entries dropped at epoch publishes.
     pub cache_evicted: u64,
+    /// Capacity evictions where the trace-size weight overrode plain LRU.
+    pub cache_weighted_evictions: u64,
     /// Requests answered by a worker that stole them from another shard's
     /// queue, total.
     pub steals: u64,
@@ -334,6 +363,24 @@ mod tests {
         m.rejected.fetch_add(5, Ordering::Relaxed);
         m.completed.fetch_add(2, Ordering::Relaxed);
         assert_eq!(m.report().rejected, 5);
+    }
+
+    #[test]
+    fn report_splits_admission_counters_by_cause() {
+        // The total `rejected` stays the compatibility counter; the split —
+        // static cap vs adaptive SLO-budget prediction — plus the accepted
+        // count must each reach the report for the `ksp_admission_*`
+        // exposition families.
+        let m = ServiceMetrics::new(1);
+        m.admission_accepted.fetch_add(10, Ordering::Relaxed);
+        m.admission_rejected_queue_full.fetch_add(3, Ordering::Relaxed);
+        m.admission_rejected_predicted.fetch_add(4, Ordering::Relaxed);
+        m.rejected.fetch_add(7, Ordering::Relaxed);
+        let report = m.report();
+        assert_eq!(report.admission_accepted, 10);
+        assert_eq!(report.admission_rejected_queue_full, 3);
+        assert_eq!(report.admission_rejected_predicted, 4);
+        assert_eq!(report.rejected, 7);
     }
 
     #[test]

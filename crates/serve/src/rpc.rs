@@ -42,7 +42,9 @@ use std::thread::JoinHandle;
 impl From<ServiceError> for ErrorReply {
     fn from(e: ServiceError) -> Self {
         match e {
-            ServiceError::Overloaded { depth } => ErrorReply::Overloaded { depth: depth as u64 },
+            ServiceError::Overloaded { depth, retry_after_ms } => {
+                ErrorReply::Overloaded { depth: depth as u64, retry_after_ms }
+            }
             ServiceError::ShuttingDown => ErrorReply::ShuttingDown,
             ServiceError::InvalidQuery(g) => ErrorReply::InvalidQuery(g.to_string()),
             ServiceError::InvalidK => ErrorReply::InvalidK,
@@ -273,6 +275,15 @@ impl TcpServer {
     /// The address the server is listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Serving threads this server has spawned so far: the acceptor plus one
+    /// worker per accepted connection. Workers are joined only at shutdown,
+    /// so while connections are live this is also the peak — the number the
+    /// event loop's fixed [`thread_count`](crate::EventLoopServer::thread_count)
+    /// is compared against.
+    pub fn thread_count(&self) -> usize {
+        1 + self.shared.workers.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Stops accepting, disconnects every live connection and joins all

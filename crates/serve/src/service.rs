@@ -24,7 +24,9 @@
 //!   one shard while the others idle. Stolen answers are inserted into the
 //!   *home* shard's cache, preserving affinity for the next repeat.
 
-use crate::admission::{AdmissionConfig, BoundedQueue, TimedPop};
+use crate::admission::{
+    AdmissionConfig, AdmissionController, AdmissionVerdict, BoundedQueue, CostClass, TimedPop,
+};
 use crate::cache::{CacheKey, ResultCache};
 use crate::epoch::{EpochPointer, EpochSnapshot};
 use crate::metrics::{MetricsReport, ServiceMetrics, ShardQueueGauge};
@@ -104,10 +106,15 @@ impl ServiceConfig {
 /// Why the service could not answer a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The target shard's queue is at its configured depth; retry later.
+    /// Admission control rejected the request: either the target shard's
+    /// queue is at its configured depth, or the adaptive controller predicted
+    /// the queueing delay would breach the SLO budget. Retry later.
     Overloaded {
-        /// The queue depth that was reached.
+        /// The queue depth observed at rejection time.
         depth: usize,
+        /// Suggested backoff before retrying, in milliseconds; `0` when the
+        /// service has no service-time signal yet to derive one from.
+        retry_after_ms: u64,
     },
     /// The service is shutting down and dropped the request.
     ShuttingDown,
@@ -120,8 +127,14 @@ pub enum ServiceError {
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServiceError::Overloaded { depth } => {
+            ServiceError::Overloaded { depth, retry_after_ms: 0 } => {
                 write!(f, "shard queue full (depth {depth}); request rejected")
+            }
+            ServiceError::Overloaded { depth, retry_after_ms } => {
+                write!(
+                    f,
+                    "admission rejected (queue depth {depth}); retry after {retry_after_ms} ms"
+                )
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
@@ -327,6 +340,7 @@ pub struct QueryService {
     epoch: Arc<EpochPointer>,
     metrics: Arc<ServiceMetrics>,
     obs: Arc<Observability>,
+    admission: Arc<AdmissionController>,
     masters: Mutex<Masters>,
     persistence: Option<Persistence>,
 }
@@ -443,6 +457,15 @@ impl QueryService {
         let epoch = Arc::new(EpochPointer::new(initial));
         let metrics = Arc::new(ServiceMetrics::new(config.num_shards));
         let obs = Arc::new(Observability::new(config.observability));
+        // The adaptive controller's budget is the SLO itself: a request
+        // predicted to finish within `slo_p99` is admitted, one predicted to
+        // breach it is rejected up front. A zero SLO (or `adaptive: false`)
+        // leaves only the static queue cap — the pre-adaptive baseline.
+        let admission = Arc::new(AdmissionController::new(if config.admission.adaptive {
+            config.observability.slo_p99
+        } else {
+            Duration::ZERO
+        }));
 
         // Every worker sees every shard's queue and cache: that is what makes
         // stealing (and home-cache inserts for stolen work) possible.
@@ -465,6 +488,7 @@ impl QueryService {
                     let epoch = epoch.clone();
                     let metrics = metrics.clone();
                     let obs = obs.clone();
+                    let admission = admission.clone();
                     let engine_config = config.engine;
                     let max_batch = config.admission.max_batch;
                     let work_stealing = config.work_stealing;
@@ -474,6 +498,7 @@ impl QueryService {
                             epoch: &epoch,
                             metrics: &metrics,
                             obs: &obs,
+                            admission: &admission,
                             engine_config,
                         };
                         shard_main(shard_id, &ctx, max_batch, work_stealing)
@@ -513,6 +538,7 @@ impl QueryService {
             epoch,
             metrics,
             obs,
+            admission,
             masters: Mutex::new(Masters { graph, index, dirty_since_job }),
             persistence,
         }
@@ -599,19 +625,67 @@ impl QueryService {
         let snapshot = self.epoch.load();
         snapshot.graph().check_vertex(source).map_err(ServiceError::InvalidQuery)?;
         snapshot.graph().check_vertex(target).map_err(ServiceError::InvalidQuery)?;
+        let epoch_now = snapshot.epoch();
         drop(snapshot);
 
+        use std::sync::atomic::Ordering::Relaxed;
         let shard_id = route_shard(source, target, k, self.shards.len());
         let shard = &self.shards[shard_id];
+        // Adaptive admission: predict this request's cost class with a
+        // trace-checked, non-bumping peek at the home shard's cache (a
+        // current-epoch complete entry answers in microseconds; anything else
+        // pays an engine run), then ask the controller whether the predicted
+        // latency — live depth × blended service-time EWMA + own class cost —
+        // fits the SLO budget. Rejecting *here* keeps overload out of the
+        // queue entirely, so admitted requests keep their latency.
+        let depth_now = shard.resources.queue.depth();
+        let predicted = {
+            let key = CacheKey { source, target, k };
+            if shard.resources.cache.lock().peek_fresh(&key, epoch_now) {
+                CostClass::CacheHit
+            } else {
+                CostClass::EngineRun
+            }
+        };
+        if let AdmissionVerdict::Reject(r) = self.admission.assess(depth_now, predicted) {
+            self.metrics.rejected.fetch_add(1, Relaxed);
+            self.metrics.admission_rejected_predicted.fetch_add(1, Relaxed);
+            self.obs.record(
+                EventKind::Rejection,
+                shard_id as u64,
+                depth_now as u64,
+                r.retry_after_ms,
+            );
+            let micros = |d: Duration| d.as_micros().min(u64::MAX as u128) as u64;
+            if r.entered_breach {
+                // One dump per breach episode, not per rejected request: the
+                // ring around the *first* rejection is the diagnostic.
+                self.obs.trigger_traced(
+                    EventKind::AdmissionBreach,
+                    shard_id as u64,
+                    micros(r.estimated_wait),
+                    micros(r.budget),
+                    None,
+                    trace_id,
+                );
+            }
+            return Err(ServiceError::Overloaded {
+                depth: depth_now,
+                retry_after_ms: r.retry_after_ms,
+            });
+        }
         let (reply, receiver) = mpsc::channel();
         span.mark_enqueued();
         let request = Request { source, target, k, submitted, span, trace_id, reply };
         if shard.resources.queue.submit(request).is_err() {
-            self.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.metrics.rejected.fetch_add(1, Relaxed);
+            self.metrics.admission_rejected_queue_full.fetch_add(1, Relaxed);
             let depth = self.config.admission.max_queue_depth;
-            self.obs.record(EventKind::Rejection, shard_id as u64, depth as u64, 0);
-            return Err(ServiceError::Overloaded { depth });
+            let retry_after_ms = self.admission.queue_full_hint_ms(depth);
+            self.obs.record(EventKind::Rejection, shard_id as u64, depth as u64, retry_after_ms);
+            return Err(ServiceError::Overloaded { depth, retry_after_ms });
         }
+        self.metrics.admission_accepted.fetch_add(1, Relaxed);
         receiver.recv().map_err(|_| ServiceError::ShuttingDown)?
     }
 
@@ -685,12 +759,14 @@ impl QueryService {
         // `retain_for_publish` relies on.
         let mut retained = 0u64;
         let mut evicted = 0u64;
+        let mut weighted_evicted = 0u64;
         for shard in &self.shards {
             if self.config.cache_survival {
                 let outcome =
                     shard.resources.cache.lock().retain_for_publish(prev_epoch, epoch, &dirty_set);
                 retained += outcome.retained as u64;
                 evicted += outcome.evicted as u64;
+                weighted_evicted += outcome.weighted_evicted as u64;
             } else {
                 let mut cache = shard.resources.cache.lock();
                 evicted += cache.len() as u64;
@@ -702,6 +778,7 @@ impl QueryService {
         use std::sync::atomic::Ordering::Relaxed;
         self.metrics.cache_retained.fetch_add(retained, Relaxed);
         self.metrics.cache_evicted.fetch_add(evicted, Relaxed);
+        self.metrics.cache_weighted_evictions.fetch_add(weighted_evicted, Relaxed);
         self.metrics.epochs_published.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.metrics.note_publish();
         let publish_time = publish_started.elapsed();
@@ -794,6 +871,29 @@ impl QueryService {
         &self.obs
     }
 
+    /// The adaptive admission controller (its estimator is live even when the
+    /// adaptive decision is disabled, so static-cap rejections can still
+    /// carry a backoff hint).
+    pub fn admission_controller(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Predicts a query's [`CostClass`] without queueing it: a trace-checked,
+    /// non-bumping peek at the home shard's cache for the current epoch —
+    /// the same peek the internal admission path makes. This is what lets an
+    /// external admission point (the event-loop server) make the same
+    /// cost-aware decision the service itself would.
+    pub fn predict_cost(&self, source: VertexId, target: VertexId, k: usize) -> CostClass {
+        let epoch_now = self.current_epoch();
+        let shard_id = route_shard(source, target, k, self.shards.len());
+        let key = CacheKey { source, target, k };
+        if self.shards[shard_id].resources.cache.lock().peek_fresh(&key, epoch_now) {
+            CostClass::CacheHit
+        } else {
+            CostClass::EngineRun
+        }
+    }
+
     /// A full observability snapshot: per-stage latency histograms, the
     /// end-to-end histogram, every counter and gauge the service exports, and
     /// the latest flight-recorder dump. This is the payload behind the wire
@@ -815,10 +915,22 @@ impl QueryService {
             unlabelled("ksp_epochs_published_total", report.epochs_published),
             unlabelled("ksp_cache_retained_total", report.cache_retained),
             unlabelled("ksp_cache_evicted_total", report.cache_evicted),
+            unlabelled("ksp_cache_weighted_evictions_total", report.cache_weighted_evictions),
             unlabelled("ksp_flight_events_total", flight.events_recorded()),
             unlabelled("ksp_flight_dumps_total", flight.dumps_taken()),
             unlabelled("ksp_flight_overwritten_total", flight.events_overwritten()),
+            unlabelled("ksp_admission_accepted_total", report.admission_accepted),
         ];
+        for (reason, value) in [
+            ("queue_full", report.admission_rejected_queue_full),
+            ("slo_budget", report.admission_rejected_predicted),
+        ] {
+            counters.push(Counter {
+                name: "ksp_admission_rejected_total".to_string(),
+                labels: format!("reason=\"{reason}\""),
+                value,
+            });
+        }
         for (i, &steals) in report.per_shard_steals.iter().enumerate() {
             counters.push(Counter {
                 name: "ksp_steals_total".to_string(),
@@ -852,6 +964,20 @@ impl QueryService {
                 name: "ksp_queue_high_water".to_string(),
                 labels: format!("shard=\"{i}\""),
                 value: q.high_water as f64,
+            });
+        }
+        // The admission controller's live view: per-class service-time EWMAs
+        // (zero until the class has a sample) — the multiplier side of the
+        // queueing-delay prediction, exported so an operator can sanity-check
+        // a rejection rate against what the controller believed.
+        for (class, nanos) in [
+            ("cache_hit", self.admission.estimator().class_nanos(CostClass::CacheHit)),
+            ("engine_run", self.admission.estimator().class_nanos(CostClass::EngineRun)),
+        ] {
+            gauges.push(Gauge {
+                name: "ksp_admission_est_service_micros".to_string(),
+                labels: format!("class=\"{class}\""),
+                value: nanos as f64 / 1_000.0,
             });
         }
         ObsSnapshot {
@@ -1059,6 +1185,7 @@ struct WorkerContext<'a> {
     epoch: &'a EpochPointer,
     metrics: &'a ServiceMetrics,
     obs: &'a Observability,
+    admission: &'a AdmissionController,
     engine_config: KspDgConfig,
 }
 
@@ -1139,7 +1266,7 @@ fn run_batch(
     ctx: &WorkerContext<'_>,
 ) {
     use std::sync::atomic::Ordering::Relaxed;
-    let WorkerContext { shards, epoch, metrics, obs, engine_config } = *ctx;
+    let WorkerContext { shards, epoch, metrics, obs, admission, engine_config } = *ctx;
     // One epoch load per batch: every request in the batch is answered
     // against the same consistent (graph, index) pair.
     let snapshot = epoch.load();
@@ -1169,7 +1296,15 @@ fn run_batch(
                 (result.paths, result.stats, false)
             }
         };
-        metrics.shards[executing_shard].record(started.elapsed());
+        let service_time = started.elapsed();
+        metrics.shards[executing_shard].record(service_time);
+        // Feed the admission controller's estimator: this service time
+        // (cache lookup + engine work, no queue wait) is exactly the
+        // per-request cost its queueing-delay prediction multiplies by.
+        admission.estimator().observe(
+            if cache_hit { CostClass::CacheHit } else { CostClass::EngineRun },
+            service_time,
+        );
         if cache_hit {
             metrics.cache_hits.fetch_add(1, Relaxed);
         } else {

@@ -18,7 +18,9 @@
 //! the same service to a loopback TCP port and talks to it through
 //! `KspClient` — version handshake, pipelined queries, a metrics scrape and a
 //! checkpoint request over the typed wire protocol — reporting the physical
-//! bytes the protocol moved.
+//! bytes the protocol moved. On Linux it then binds the epoll
+//! `EventLoopServer` and answers a fleet of concurrent sessions on a fixed
+//! handful of serving threads.
 //!
 //! ```text
 //! cargo run --release --example navigation_service
@@ -295,6 +297,36 @@ fn main() {
     );
     for line in exposition.lines().filter(|l| !l.starts_with('#')).take(4) {
         println!("    {line}");
+    }
+
+    // The same service once more, behind the epoll event loop: identical
+    // frames and byte-identical answers, but the serving thread count is a
+    // small constant instead of one thread per connection — the deployment
+    // shape for a fleet of mostly-idle navigation sessions.
+    #[cfg(target_os = "linux")]
+    {
+        use ksp_dg::serve::EventLoopServer;
+        println!();
+        println!("== event-loop serving showcase (epoll, fixed thread count) ==");
+        let evloop =
+            EventLoopServer::bind(service.clone(), "127.0.0.1:0").expect("bind event loop");
+        let mut sessions: Vec<_> =
+            (0..32).map(|_| KspClient::connect(evloop.local_addr()).expect("connect").0).collect();
+        let q = workload.iter().next().expect("non-empty workload");
+        for session in &mut sessions {
+            session.query(q.source, q.target, q.k).expect("query over the event loop");
+        }
+        let stats = evloop.stats();
+        println!(
+            "{} concurrent sessions answered on {} serving threads \
+             (peak {} connections open, {} frames in / {} frames out, {} rejected)",
+            sessions.len(),
+            evloop.thread_count(),
+            stats.peak_connections,
+            stats.frames_in,
+            stats.frames_out,
+            stats.rejected,
+        );
     }
 
     // A controlled shutdown checkpoints the final epoch — requested over the
