@@ -78,10 +78,15 @@ mod sys {
     use std::io;
     use std::os::raw::{c_int, c_void};
 
-    /// One epoll readiness record. The kernel's x86-64 ABI packs this struct,
-    /// so field reads must copy (never borrow) — both fields are plain
-    /// integers, which keeps that invisible.
-    #[repr(C, packed)]
+    /// One epoll readiness record. The kernel packs `struct epoll_event`
+    /// on x86-64 *only*; every other Linux arch lays it out naturally
+    /// aligned (4 padding bytes after `events`, `data` at offset 8). The
+    /// repr must mirror the kernel's per-arch layout or every record after
+    /// the first in an `epoll_wait` batch is read at the wrong offset. On
+    /// the packed arch, field reads must copy (never borrow) — both fields
+    /// are plain integers, which keeps that invisible.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         /// Readiness bit set (`EPOLLIN` | `EPOLLOUT` | ...).
@@ -289,8 +294,9 @@ pub struct EventLoopStats {
     pub bytes_in: u64,
     /// Wire bytes of queued response frames.
     pub bytes_out: u64,
-    /// Requests rejected by loop-level admission (backlog cap or SLO
-    /// predictor) — answered with `Overloaded`, never dropped.
+    /// `Overloaded` rejections sent through the loop — by loop-level
+    /// admission (backlog cap or SLO predictor) or by the service's own
+    /// per-shard assessment after dispatch. Always answered, never dropped.
     pub rejected: u64,
     /// Hostile frames answered with a typed error and a disconnect.
     pub hostile_frames: u64,
@@ -535,6 +541,15 @@ fn worker_main(shared: &Arc<LoopShared>) {
             started.elapsed().as_micros().min(u64::MAX as u128) as u64,
             Ordering::Relaxed,
         );
+        // Loop admission runs on the aggregate dispatch backlog; the service
+        // re-assesses on the sharper per-shard queue signal and may still
+        // reject an admitted request. Fold those verdicts into the loop's
+        // counter so `ksp_eventloop_rejected_total` covers every Overloaded
+        // reply sent through the loop, wherever the verdict was made.
+        let overloaded = count_overloaded(&response);
+        if overloaded > 0 {
+            shared.metrics.rejected.fetch_add(overloaded, Ordering::Relaxed);
+        }
         stamp_loop_latency(&mut response, job.admitted);
         append_eventloop_metrics(shared, &mut response);
         // Same contract as the blocking server: a failed version handshake is
@@ -542,6 +557,24 @@ fn worker_main(shared: &Arc<LoopShared>) {
         let disconnect = matches!(response, Response::Error(ErrorReply::UnsupportedVersion { .. }));
         let bytes = encode_response(&response);
         shared.complete(Completion { token: job.token, bytes, disconnect });
+    }
+}
+
+/// Number of `Overloaded` replies a response carries: one for a rejected
+/// single request, one per rejected element of a batch (each batch element
+/// passes service-side admission independently).
+fn count_overloaded(response: &Response) -> u64 {
+    let inner = match response {
+        Response::Traced { inner, .. } => inner.as_ref(),
+        other => other,
+    };
+    match inner {
+        Response::Error(ErrorReply::Overloaded { .. }) => 1,
+        Response::QueryBatch(outcomes) => outcomes
+            .iter()
+            .filter(|o| matches!(o, QueryOutcome::Error(ErrorReply::Overloaded { .. })))
+            .count() as u64,
+        _ => 0,
     }
 }
 
@@ -958,7 +991,10 @@ impl Poller {
                 conn.read_dead = true;
                 conn.close_after_flush = true;
             } else {
-                admit_and_dispatch(conn, &self.shared);
+                // Full parse, not just dispatch: the freed slot may unblock
+                // requests already buffered in `read_buf` past PENDING_CAP,
+                // which no future EPOLLIN will announce.
+                parse_frames(conn, &self.shared);
             }
             self.service_conn(completion.token);
         }
@@ -1030,7 +1066,31 @@ fn on_readable(conn: &mut Conn, shared: &LoopShared) {
 /// converting the first protocol violation into the blocking server's typed
 /// reply-then-close, deferred behind any earlier requests still in flight so
 /// responses keep arrival order.
+///
+/// Decoding and dispatch alternate until neither can advance. The loop
+/// matters: a pipelined burst larger than `PENDING_CAP` sits fully buffered
+/// in `read_buf` with no further `EPOLLIN` coming, so every slot that
+/// dispatch frees (inline rejections free them without any completion) must
+/// be refilled *here* — stopping after one decode pass would strand the
+/// remainder of the buffer forever.
 fn parse_frames(conn: &mut Conn, shared: &LoopShared) {
+    loop {
+        decode_frames(conn, shared);
+        let stalled_at_cap = conn.paused;
+        admit_and_dispatch(conn, shared);
+        // Re-decode only when the pass above stopped at PENDING_CAP and
+        // dispatch just freed slots; otherwise the buffer holds no complete
+        // frame (or the connection is condemned) and the loop must not spin.
+        if !(stalled_at_cap && !conn.paused && conn.tail.is_none()) {
+            break;
+        }
+    }
+}
+
+/// One decode pass of [`parse_frames`]: cuts frames until the buffer runs
+/// out of complete ones, `pending` reaches `PENDING_CAP`, or a protocol
+/// violation condemns the connection.
+fn decode_frames(conn: &mut Conn, shared: &LoopShared) {
     let obs = shared.service.observability();
     while conn.tail.is_none() {
         if conn.pending.len() >= PENDING_CAP {
@@ -1117,7 +1177,6 @@ fn parse_frames(conn: &mut Conn, shared: &LoopShared) {
         conn.tail = Some(encode_response(&reply));
         conn.read_buf.clear();
     }
-    admit_and_dispatch(conn, shared);
 }
 
 /// Moves decoded requests toward the workers: at most one in flight per

@@ -171,6 +171,34 @@ fn event_loop_answers_are_byte_identical_to_in_proc() {
 }
 
 #[test]
+fn pipelined_bursts_larger_than_the_pending_cap_all_answer() {
+    // 200 queries written in one burst, far past the per-connection decode
+    // backpressure cap (64 pending requests). The client sends everything
+    // before reading a byte, so once the burst is buffered server-side there
+    // is no further EPOLLIN on the socket — the loop must resume decoding
+    // the buffered remainder as completions free slots, or the tail of the
+    // burst is never answered and the connection hangs forever.
+    let (server, service, graph) = default_server(160, 2, 71);
+    let n = graph.num_vertices() as u32;
+    let keys: Vec<QueryKey> = (0..200u32)
+        .map(|i| QueryKey::new(VertexId(i % n), VertexId((i + 7) % n), 2))
+        .filter(|k| k.source != k.target)
+        .collect();
+    assert!(keys.len() > 64, "the burst must exceed the pending cap");
+    let reference: Vec<_> =
+        keys.iter().map(|k| service.query(k.source, k.target, k.k).unwrap()).collect();
+
+    let (mut client, _) = KspClient::connect(server.local_addr()).unwrap();
+    let got = client.query_pipelined(&keys).unwrap();
+    assert_eq!(got.len(), keys.len(), "every pipelined request must be answered");
+    for (got, want) in got.into_iter().zip(reference.iter()) {
+        let got = got.unwrap();
+        assert_answers_match(&got.paths, &want.paths, got.epoch, want.epoch);
+    }
+    assert!(server.stats().frames_in >= keys.len() as u64);
+}
+
+#[test]
 fn publishes_over_the_event_loop_are_visible_to_every_connection() {
     let (server, service, graph) = default_server(160, 2, 23);
     let addr = server.local_addr();
