@@ -11,6 +11,7 @@ pub mod dtlp;
 pub mod kspdg;
 pub mod obs;
 pub mod persistence;
+pub mod repl;
 pub mod scaling;
 pub mod serve;
 
@@ -52,6 +53,7 @@ pub fn catalogue() -> Vec<(&'static str, &'static str)> {
         ("serve_tcp", "Serving: in-proc vs TCP transport, protocol wire-byte cost"),
         ("persistence", "Storage: cold-start-from-checkpoint vs full rebuild, store verify"),
         ("obs", "Observability: per-stage latency decomposition, interval counters, scrape"),
+        ("repl", "Replication: log shipping, snapshot fallback, warm failover vs cold recovery"),
     ]
 }
 
@@ -89,6 +91,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "serve_tcp" => serve::serve_tcp(scale),
         "persistence" => persistence::persistence(scale),
         "obs" => obs::observability(scale),
+        "repl" => repl::repl(scale),
         _ => return None,
     };
     Some(tables)

@@ -60,11 +60,13 @@ pub mod obs;
 pub mod shard;
 pub mod transport;
 
-pub use client::{ClientError, HandshakeInfo, KspClient, LatencyBreakdown};
+pub use client::{ClientConfig, ClientError, HandshakeInfo, KspClient, LatencyBreakdown};
 pub use frame::{FrameError, FrameKind, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
 pub use message::{
     ErrorReply, QueryAnswer, QueryKey, QueryOutcome, Request, Response, TraceContext, WireMetrics,
-    WirePath, WireQueryStats, WireQueueGauge, PROTOCOL_VERSION,
+    WirePath, WireQueryStats, WireQueueGauge, WireSegmentBatch, WireShippedRecord,
+    WireSnapshotChunk, WireSnapshotFile, WireSnapshotManifest, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_MAX,
 };
 pub use obs::{
     WireCounter, WireFlightDump, WireGauge, WireHistogram, WireObsEvent, WireObsSnapshot,

@@ -21,6 +21,14 @@ use ksp_store::{CodecError, Reader, StoreCodec, Writer};
 /// echoed through the [`Request::Ping`] handshake.
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// The newest protocol version this build can negotiate up to. Version 2 is
+/// the replication surface ([`Request::ShipSegment`] and friends): its tags
+/// are appended (so v1 frames still parse), but a peer must negotiate `>= 2`
+/// through the [`Request::Ping`] version range before relying on them —
+/// that is what lets a future version *change* a payload shape without
+/// breaking rollouts.
+pub const PROTOCOL_VERSION_MAX: u32 = 2;
+
 fn encode_str(s: &str, w: &mut Writer) {
     w.put_u64(s.len() as u64);
     w.put_bytes(s.as_bytes());
@@ -108,9 +116,22 @@ pub enum Request {
     /// Version handshake and liveness probe. The server answers
     /// [`Response::Pong`] when the versions agree and
     /// [`ErrorReply::UnsupportedVersion`] otherwise.
+    ///
+    /// A v2-aware client also announces the *range* of versions it can speak
+    /// as a tolerant payload tail (`min_version`/`max_version`, appended
+    /// after the legacy field; the Ping body is always the final bytes of
+    /// its message, so "no bytes left" is unambiguous). A legacy payload
+    /// decodes with both at `0`, meaning "no range announced" — the server
+    /// then applies the strict v1 equality check unchanged.
     Ping {
-        /// The protocol version the client speaks.
+        /// The protocol version the client speaks (the legacy v1 field).
         protocol_version: u32,
+        /// Oldest protocol version the client accepts; `0` when the client
+        /// predates negotiation.
+        min_version: u32,
+        /// Newest protocol version the client accepts; `0` when the client
+        /// predates negotiation.
+        max_version: u32,
     },
     /// One KSP query.
     Query(QueryKey),
@@ -137,6 +158,39 @@ pub enum Request {
         /// The wrapped request.
         inner: Box<Request>,
     },
+    /// Ship WAL records starting at `from_epoch` (appended under protocol
+    /// version 2 — negotiate `>= 2` first). The server answers
+    /// [`Response::SegmentBatch`]: either a run of contiguous records, or a
+    /// snapshot-fallback manifest when `from_epoch` predates the retained
+    /// log window.
+    ShipSegment {
+        /// First epoch the follower still needs (inclusive).
+        from_epoch: u64,
+        /// Upper bound on records in the reply; `0` means the server's cap.
+        max_records: u64,
+        /// Upper bound on summed record payload bytes in the reply; `0`
+        /// means the server's cap. Keeps the reply under the frame limit.
+        max_bytes: u64,
+    },
+    /// Fetch one chunk of a snapshot file named by a fallback manifest
+    /// (appended under protocol version 2).
+    SnapshotChunk {
+        /// File name exactly as listed in the manifest (no path components).
+        name: String,
+        /// Byte offset to read from.
+        offset: u64,
+        /// Maximum bytes to return; the server may answer with fewer.
+        max_len: u64,
+    },
+    /// Acknowledge that a follower has durably applied (published) every
+    /// epoch up to and including `applied_epoch` (appended under protocol
+    /// version 2). Feeds the leader's per-follower lag gauges.
+    ReplAck {
+        /// Stable identity of the follower (chosen by the follower).
+        follower: String,
+        /// Newest epoch the follower has applied.
+        applied_epoch: u64,
+    },
 }
 
 impl Request {
@@ -148,6 +202,22 @@ impl Request {
             other => (None, other),
         }
     }
+
+    /// The handshake a current client sends: legacy field at
+    /// [`PROTOCOL_VERSION`] plus the full negotiable range.
+    pub fn ping() -> Request {
+        Request::Ping {
+            protocol_version: PROTOCOL_VERSION,
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION_MAX,
+        }
+    }
+
+    /// The handshake a pre-negotiation client sends: just the legacy
+    /// version field, no range tail on the wire.
+    pub fn ping_legacy(protocol_version: u32) -> Request {
+        Request::Ping { protocol_version, min_version: 0, max_version: 0 }
+    }
 }
 
 const REQ_PING: u8 = 0;
@@ -158,6 +228,12 @@ const REQ_METRICS: u8 = 4;
 const REQ_CHECKPOINT_NOW: u8 = 5;
 const REQ_OBS_SNAPSHOT: u8 = 6;
 const REQ_TRACED: u8 = 7;
+// The replication surface, appended under protocol version 2. A v1 server
+// answers these tags with a typed `Malformed`/`InvalidTag` error, which is
+// why a replica must negotiate the version range before shipping.
+const REQ_SHIP_SEGMENT: u8 = 8;
+const REQ_SNAPSHOT_CHUNK: u8 = 9;
+const REQ_REPL_ACK: u8 = 10;
 
 impl Request {
     /// Decodes the body of one non-envelope request tag. `REQ_TRACED` falls
@@ -165,13 +241,37 @@ impl Request {
     /// nested one fails typed here instead of recursing on hostile input.
     fn decode_body(tag: u8, r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match tag {
-            REQ_PING => Ok(Request::Ping { protocol_version: r.get_u32()? }),
+            REQ_PING => {
+                let protocol_version = r.get_u32()?;
+                // Tolerant tail appended under protocol version 2: a legacy
+                // payload simply ends after the version field, and the
+                // missing range reads as (0, 0) — "no range announced".
+                let (mut min_version, mut max_version) = (0, 0);
+                if !r.is_exhausted() {
+                    min_version = r.get_u32()?;
+                    max_version = r.get_u32()?;
+                }
+                Ok(Request::Ping { protocol_version, min_version, max_version })
+            }
             REQ_QUERY => Ok(Request::Query(QueryKey::decode(r)?)),
             REQ_QUERY_BATCH => Ok(Request::QueryBatch(Vec::decode(r)?)),
             REQ_APPLY_BATCH => Ok(Request::ApplyBatch(UpdateBatch::decode(r)?)),
             REQ_METRICS => Ok(Request::Metrics),
             REQ_CHECKPOINT_NOW => Ok(Request::CheckpointNow),
             REQ_OBS_SNAPSHOT => Ok(Request::ObsSnapshot),
+            REQ_SHIP_SEGMENT => Ok(Request::ShipSegment {
+                from_epoch: r.get_u64()?,
+                max_records: r.get_u64()?,
+                max_bytes: r.get_u64()?,
+            }),
+            REQ_SNAPSHOT_CHUNK => Ok(Request::SnapshotChunk {
+                name: decode_string(r)?,
+                offset: r.get_u64()?,
+                max_len: r.get_u64()?,
+            }),
+            REQ_REPL_ACK => {
+                Ok(Request::ReplAck { follower: decode_string(r)?, applied_epoch: r.get_u64()? })
+            }
             tag => Err(CodecError::InvalidTag { what: "Request", tag }),
         }
     }
@@ -180,9 +280,16 @@ impl Request {
 impl StoreCodec for Request {
     fn encode(&self, w: &mut Writer) {
         match self {
-            Request::Ping { protocol_version } => {
+            Request::Ping { protocol_version, min_version, max_version } => {
                 w.put_u8(REQ_PING);
                 w.put_u32(*protocol_version);
+                // Emit the range tail only when there is a range to carry:
+                // a (0, 0) range encodes to the byte-identical legacy
+                // payload, so pre-negotiation servers keep decoding it.
+                if *min_version != 0 || *max_version != 0 {
+                    w.put_u32(*min_version);
+                    w.put_u32(*max_version);
+                }
             }
             Request::Query(key) => {
                 w.put_u8(REQ_QUERY);
@@ -203,6 +310,23 @@ impl StoreCodec for Request {
                 w.put_u8(REQ_TRACED);
                 trace.encode(w);
                 inner.encode(w);
+            }
+            Request::ShipSegment { from_epoch, max_records, max_bytes } => {
+                w.put_u8(REQ_SHIP_SEGMENT);
+                w.put_u64(*from_epoch);
+                w.put_u64(*max_records);
+                w.put_u64(*max_bytes);
+            }
+            Request::SnapshotChunk { name, offset, max_len } => {
+                w.put_u8(REQ_SNAPSHOT_CHUNK);
+                encode_str(name, w);
+                w.put_u64(*offset);
+                w.put_u64(*max_len);
+            }
+            Request::ReplAck { follower, applied_epoch } => {
+                w.put_u8(REQ_REPL_ACK);
+                encode_str(follower, w);
+                w.put_u64(*applied_epoch);
             }
         }
     }
@@ -716,6 +840,146 @@ impl StoreCodec for WireMetrics {
     }
 }
 
+/// One WAL record as shipped to a follower: the epoch it published and the
+/// update batch that produced it. CRC integrity is re-established by the
+/// carrying frame; the leader only ships records its own CRC-checked log
+/// reader accepted, so a torn or corrupt record can never reach a follower.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireShippedRecord {
+    /// The epoch this record published on the leader.
+    pub epoch: u64,
+    /// The weight-update batch to replay through `apply_batch`.
+    pub batch: UpdateBatch,
+}
+
+impl StoreCodec for WireShippedRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        self.batch.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireShippedRecord { epoch: r.get_u64()?, batch: UpdateBatch::decode(r)? })
+    }
+}
+
+/// One file of a snapshot-fallback manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSnapshotFile {
+    /// Bare file name (`checkpoint-*.ckpt` / `partial-*.pckpt`), no path
+    /// components — the chunk server rejects anything else.
+    pub name: String,
+    /// Total file length in bytes, so the follower knows when a transfer is
+    /// complete.
+    pub len: u64,
+}
+
+impl StoreCodec for WireSnapshotFile {
+    fn encode(&self, w: &mut Writer) {
+        encode_str(&self.name, w);
+        w.put_u64(self.len);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireSnapshotFile { name: decode_string(r)?, len: r.get_u64()? })
+    }
+}
+
+/// The snapshot fallback a leader answers when the requested epoch predates
+/// its retained log window: the newest full checkpoint plus its partial
+/// chain, fetched file by file via [`Request::SnapshotChunk`]. After
+/// recovering from these images the follower resumes shipping from
+/// `snapshot_epoch + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSnapshotManifest {
+    /// The epoch the manifest's images recover to.
+    pub snapshot_epoch: u64,
+    /// The files to fetch, in recovery order (full image first).
+    pub files: Vec<WireSnapshotFile>,
+}
+
+impl StoreCodec for WireSnapshotManifest {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.snapshot_epoch);
+        self.files.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireSnapshotManifest { snapshot_epoch: r.get_u64()?, files: Vec::decode(r)? })
+    }
+}
+
+/// The answer to a [`Request::ShipSegment`]: a contiguous run of WAL records
+/// starting exactly at the requested epoch, or a snapshot-fallback manifest
+/// when that epoch has been pruned. An empty batch with no fallback means
+/// the follower is caught up to `leader_epoch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSegmentBatch {
+    /// The epoch the leader was publishing when it answered — the follower's
+    /// lag reference.
+    pub leader_epoch: u64,
+    /// Contiguous records from the requested epoch (possibly truncated by
+    /// the request's `max_records`/`max_bytes` caps; ship again to continue).
+    pub records: Vec<WireShippedRecord>,
+    /// Present when the requested epoch predates the retained log window:
+    /// bootstrap from these images instead.
+    pub fallback: Option<WireSnapshotManifest>,
+}
+
+impl StoreCodec for WireSegmentBatch {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.leader_epoch);
+        self.records.encode(w);
+        match &self.fallback {
+            Some(manifest) => {
+                w.put_u8(1);
+                manifest.encode(w);
+            }
+            None => w.put_u8(0),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let leader_epoch = r.get_u64()?;
+        let records = Vec::decode(r)?;
+        let fallback = match r.get_u8()? {
+            0 => None,
+            1 => Some(WireSnapshotManifest::decode(r)?),
+            tag => {
+                return Err(CodecError::InvalidTag { what: "Option<WireSnapshotManifest>", tag })
+            }
+        };
+        Ok(WireSegmentBatch { leader_epoch, records, fallback })
+    }
+}
+
+/// One chunk of a snapshot file, answering a [`Request::SnapshotChunk`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSnapshotChunk {
+    /// The file name, echoed from the request.
+    pub name: String,
+    /// The offset these bytes start at, echoed from the request.
+    pub offset: u64,
+    /// The file's total length (lets the follower detect truncation races).
+    pub total_len: u64,
+    /// The raw bytes; shorter than requested at end of file.
+    pub bytes: Vec<u8>,
+}
+
+impl StoreCodec for WireSnapshotChunk {
+    fn encode(&self, w: &mut Writer) {
+        encode_str(&self.name, w);
+        w.put_u64(self.offset);
+        w.put_u64(self.total_len);
+        w.put_u64(self.bytes.len() as u64);
+        w.put_bytes(&self.bytes);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let name = decode_string(r)?;
+        let offset = r.get_u64()?;
+        let total_len = r.get_u64()?;
+        let len = r.get_count(1)?;
+        let bytes = r.get_bytes(len)?.to_vec();
+        Ok(WireSnapshotChunk { name, offset, total_len, bytes })
+    }
+}
+
 /// A response frame's payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -727,6 +991,11 @@ pub enum Response {
         epoch: u64,
         /// Number of shard workers behind this endpoint.
         num_shards: u64,
+        /// The version the server negotiated from the client's announced
+        /// range; `0` when the client announced none (a legacy Ping — the
+        /// tail is then omitted on the wire, so legacy clients keep
+        /// decoding the payload they expect).
+        negotiated_version: u32,
     },
     /// The answer to a [`Request::Query`].
     Query(QueryAnswer),
@@ -761,6 +1030,19 @@ pub enum Response {
         /// The wrapped response.
         inner: Box<Response>,
     },
+    /// The record run (or snapshot fallback) answering a
+    /// [`Request::ShipSegment`] (appended under protocol version 2).
+    SegmentBatch(WireSegmentBatch),
+    /// The file chunk answering a [`Request::SnapshotChunk`] (appended under
+    /// protocol version 2).
+    SnapshotChunk(WireSnapshotChunk),
+    /// Acknowledges a [`Request::ReplAck`] (appended under protocol
+    /// version 2).
+    ReplAck {
+        /// The epoch the leader was publishing when the ack landed — lets
+        /// the follower compute its lag from the ack round trip alone.
+        leader_epoch: u64,
+    },
 }
 
 impl Response {
@@ -783,6 +1065,10 @@ const RESP_CHECKPOINT_NOW: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_OBS_SNAPSHOT: u8 = 7;
 const RESP_TRACED: u8 = 8;
+// The replication surface, appended under protocol version 2.
+const RESP_SEGMENT_BATCH: u8 = 9;
+const RESP_SNAPSHOT_CHUNK: u8 = 10;
+const RESP_REPL_ACK: u8 = 11;
 
 impl Response {
     /// Decodes the body of one non-envelope response tag; like
@@ -790,11 +1076,16 @@ impl Response {
     /// instead of recursing.
     fn decode_body(tag: u8, r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match tag {
-            RESP_PONG => Ok(Response::Pong {
-                protocol_version: r.get_u32()?,
-                epoch: r.get_u64()?,
-                num_shards: r.get_u64()?,
-            }),
+            RESP_PONG => {
+                let protocol_version = r.get_u32()?;
+                let epoch = r.get_u64()?;
+                let num_shards = r.get_u64()?;
+                // Tolerant tail appended under protocol version 2, emitted
+                // only in answer to a range-announcing Ping (the Pong body
+                // is always the final bytes of its message).
+                let negotiated_version = if r.is_exhausted() { 0 } else { r.get_u32()? };
+                Ok(Response::Pong { protocol_version, epoch, num_shards, negotiated_version })
+            }
             RESP_QUERY => Ok(Response::Query(QueryAnswer::decode(r)?)),
             RESP_QUERY_BATCH => Ok(Response::QueryBatch(Vec::decode(r)?)),
             RESP_APPLY_BATCH => Ok(Response::ApplyBatch { epoch: r.get_u64()? }),
@@ -809,6 +1100,9 @@ impl Response {
             }
             RESP_OBS_SNAPSHOT => Ok(Response::ObsSnapshot(crate::obs::WireObsSnapshot::decode(r)?)),
             RESP_ERROR => Ok(Response::Error(ErrorReply::decode(r)?)),
+            RESP_SEGMENT_BATCH => Ok(Response::SegmentBatch(WireSegmentBatch::decode(r)?)),
+            RESP_SNAPSHOT_CHUNK => Ok(Response::SnapshotChunk(WireSnapshotChunk::decode(r)?)),
+            RESP_REPL_ACK => Ok(Response::ReplAck { leader_epoch: r.get_u64()? }),
             tag => Err(CodecError::InvalidTag { what: "Response", tag }),
         }
     }
@@ -817,11 +1111,16 @@ impl Response {
 impl StoreCodec for Response {
     fn encode(&self, w: &mut Writer) {
         match self {
-            Response::Pong { protocol_version, epoch, num_shards } => {
+            Response::Pong { protocol_version, epoch, num_shards, negotiated_version } => {
                 w.put_u8(RESP_PONG);
                 w.put_u32(*protocol_version);
                 w.put_u64(*epoch);
                 w.put_u64(*num_shards);
+                // A zero negotiation (legacy peer) encodes to the
+                // byte-identical legacy payload.
+                if *negotiated_version != 0 {
+                    w.put_u32(*negotiated_version);
+                }
             }
             Response::Query(answer) => {
                 w.put_u8(RESP_QUERY);
@@ -862,6 +1161,18 @@ impl StoreCodec for Response {
                 trace.encode(w);
                 inner.encode(w);
             }
+            Response::SegmentBatch(batch) => {
+                w.put_u8(RESP_SEGMENT_BATCH);
+                batch.encode(w);
+            }
+            Response::SnapshotChunk(chunk) => {
+                w.put_u8(RESP_SNAPSHOT_CHUNK);
+                chunk.encode(w);
+            }
+            Response::ReplAck { leader_epoch } => {
+                w.put_u8(RESP_REPL_ACK);
+                w.put_u64(*leader_epoch);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -888,7 +1199,15 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let requests = vec![
-            Request::Ping { protocol_version: PROTOCOL_VERSION },
+            Request::ping(),
+            Request::ping_legacy(PROTOCOL_VERSION),
+            Request::ShipSegment { from_epoch: 41, max_records: 128, max_bytes: 1 << 20 },
+            Request::SnapshotChunk {
+                name: "checkpoint-00000000000000000007.ckpt".to_string(),
+                offset: 4096,
+                max_len: 1 << 22,
+            },
+            Request::ReplAck { follower: "replica-a".to_string(), applied_epoch: 40 },
             Request::Query(QueryKey::new(v(3), v(9), 4)),
             Request::QueryBatch(vec![QueryKey::new(v(0), v(1), 1), QueryKey::new(v(5), v(2), 8)]),
             Request::ApplyBatch(UpdateBatch::new(vec![
@@ -966,7 +1285,40 @@ mod tests {
             stats: WireQueryStats { iterations: 3, ..Default::default() },
         };
         let responses = vec![
-            Response::Pong { protocol_version: 1, epoch: 7, num_shards: 4 },
+            Response::Pong { protocol_version: 1, epoch: 7, num_shards: 4, negotiated_version: 0 },
+            Response::Pong { protocol_version: 1, epoch: 7, num_shards: 4, negotiated_version: 2 },
+            Response::SegmentBatch(WireSegmentBatch {
+                leader_epoch: 19,
+                records: vec![WireShippedRecord {
+                    epoch: 17,
+                    batch: UpdateBatch::new(vec![WeightUpdate::new(EdgeId(3), Weight::new(1.5))]),
+                }],
+                fallback: None,
+            }),
+            Response::SegmentBatch(WireSegmentBatch {
+                leader_epoch: 19,
+                records: vec![],
+                fallback: Some(WireSnapshotManifest {
+                    snapshot_epoch: 16,
+                    files: vec![
+                        WireSnapshotFile {
+                            name: "checkpoint-00000000000000000010.ckpt".to_string(),
+                            len: 1024,
+                        },
+                        WireSnapshotFile {
+                            name: "partial-00000000000000000016.pckpt".to_string(),
+                            len: 128,
+                        },
+                    ],
+                }),
+            }),
+            Response::SnapshotChunk(WireSnapshotChunk {
+                name: "checkpoint-00000000000000000010.ckpt".to_string(),
+                offset: 512,
+                total_len: 1024,
+                bytes: vec![0xAB; 512],
+            }),
+            Response::ReplAck { leader_epoch: 21 },
             Response::Query(answer.clone()),
             Response::QueryBatch(vec![
                 QueryOutcome::Answer(answer),
@@ -1059,6 +1411,61 @@ mod tests {
         assert_eq!(hinted.to_bytes()[0], ERR_OVERLOADED_RETRY);
         assert_eq!(hinted.retry_after_ms(), Some(250));
         assert_eq!(legacy.retry_after_ms(), None);
+    }
+
+    #[test]
+    fn legacy_ping_and_pong_payloads_keep_decoding() {
+        // A v1 client's Ping is tag + one u32 and nothing else. The new
+        // decoder must read it with an empty version range...
+        let mut w = Writer::new();
+        w.put_u8(REQ_PING);
+        w.put_u32(PROTOCOL_VERSION);
+        assert_eq!(
+            Request::from_bytes(&w.into_bytes()).unwrap(),
+            Request::Ping { protocol_version: PROTOCOL_VERSION, min_version: 0, max_version: 0 }
+        );
+
+        // ...and the legacy constructor must emit that byte-identical
+        // payload, so a pre-negotiation *server* keeps decoding our Ping.
+        let mut w = Writer::new();
+        w.put_u8(REQ_PING);
+        w.put_u32(PROTOCOL_VERSION);
+        assert_eq!(Request::ping_legacy(PROTOCOL_VERSION).to_bytes(), w.into_bytes());
+
+        // Same both ways for Pong: a legacy server's payload ends after
+        // num_shards and decodes with negotiated_version 0...
+        let mut w = Writer::new();
+        w.put_u8(RESP_PONG);
+        w.put_u32(PROTOCOL_VERSION);
+        w.put_u64(7);
+        w.put_u64(4);
+        let legacy_pong = w.into_bytes();
+        assert_eq!(
+            Response::from_bytes(&legacy_pong).unwrap(),
+            Response::Pong {
+                protocol_version: PROTOCOL_VERSION,
+                epoch: 7,
+                num_shards: 4,
+                negotiated_version: 0,
+            }
+        );
+        // ...and a zero negotiation encodes to that byte-identical payload,
+        // so answering a legacy client never grows the Pong.
+        let unnegotiated = Response::Pong {
+            protocol_version: PROTOCOL_VERSION,
+            epoch: 7,
+            num_shards: 4,
+            negotiated_version: 0,
+        };
+        assert_eq!(unnegotiated.to_bytes(), legacy_pong);
+
+        // The range-announcing Ping carries the tail and round-trips.
+        let Request::Ping { min_version, max_version, .. } =
+            Request::from_bytes(&Request::ping().to_bytes()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!((min_version, max_version), (PROTOCOL_VERSION, PROTOCOL_VERSION_MAX));
     }
 
     #[test]

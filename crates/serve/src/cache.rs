@@ -20,7 +20,7 @@
 use ksp_algo::Path;
 use ksp_core::kspdg::QueryTrace;
 use ksp_graph::{SubgraphSet, VertexId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Cache key: the full query identity. The epoch an entry is exact for is
 /// stored *in* the entry (and advanced by survival), not in the key.
@@ -40,9 +40,16 @@ pub struct CacheRetention {
     /// Entries whose trace was disjoint from the dirty set: re-stamped to the
     /// new epoch and still servable.
     pub retained: usize,
-    /// Entries evicted because their trace intersected the dirty set, their
-    /// trace was incomplete, or they lagged more than one epoch behind.
+    /// Entries evicted because their trace intersected a dirty set, their
+    /// trace was incomplete, or they lagged further behind than the dirty-set
+    /// ring could certify.
     pub evicted: usize,
+    /// Entries stamped *older* than the previous epoch — a worker raced a
+    /// publish (or several) and inserted an answer computed against an old
+    /// snapshot — rescued because the ring of recent dirty sets covered every
+    /// intervening publish and the trace was disjoint from all of them.
+    /// Disjoint from `retained`, which counts only one-epoch survivors.
+    pub ring_retained: usize,
     /// Capacity (insert-time) evictions since the previous publish walk in
     /// which the trace-size weight overrode plain LRU order — the victim was
     /// *not* the least recently used entry, because a nearby entry's huge (or
@@ -52,6 +59,12 @@ pub struct CacheRetention {
 }
 
 const NIL: usize = usize::MAX;
+
+/// Default length of the dirty-set ring ([`ResultCache::with_history_depth`]).
+/// Deep enough to bridge the handful of publishes a slow query can race
+/// against, small enough that the per-publish clone of the dirty set stays
+/// negligible next to the retention walk itself.
+pub const DEFAULT_HISTORY_DEPTH: usize = 8;
 
 /// How many entries from the LRU tail the weighted victim scan considers.
 /// Bounded so an insert stays O(1); large enough that a huge-trace entry
@@ -86,11 +99,28 @@ pub struct ResultCache {
     /// Capacity evictions where the trace-size weight picked a victim other
     /// than the plain-LRU tail; drained by [`ResultCache::retain_for_publish`].
     weighted_evictions: usize,
+    /// Ring of the last [`ResultCache::history_depth`] publishes, oldest
+    /// first: `(epoch, dirty)` records that the publish which produced
+    /// `epoch` dirtied exactly `dirty`. Lets an entry lagging several epochs
+    /// survive when the ring certifies every publish it slept through.
+    history: VecDeque<(u64, SubgraphSet)>,
+    /// Maximum ring length; `0` disables multi-epoch survival entirely,
+    /// restoring the strict one-publish-at-a-time rule.
+    history_depth: usize,
 }
 
 impl ResultCache {
-    /// Creates a cache that holds at most `capacity` entries.
+    /// Creates a cache that holds at most `capacity` entries, with the
+    /// default dirty-set ring depth ([`DEFAULT_HISTORY_DEPTH`]).
     pub fn new(capacity: usize) -> Self {
+        Self::with_history_depth(capacity, DEFAULT_HISTORY_DEPTH)
+    }
+
+    /// Creates a cache that holds at most `capacity` entries and remembers
+    /// the dirty sets of the last `history_depth` publishes for multi-epoch
+    /// survival. `history_depth == 0` turns the ring off: entries then only
+    /// ever survive the single publish they are current for.
+    pub fn with_history_depth(capacity: usize, history_depth: usize) -> Self {
         assert!(capacity >= 1, "cache capacity must be at least 1");
         ResultCache {
             map: HashMap::with_capacity(capacity.min(1 << 16)),
@@ -100,6 +130,8 @@ impl ResultCache {
             tail: NIL,
             capacity,
             weighted_evictions: 0,
+            history: VecDeque::with_capacity(history_depth),
+            history_depth,
         }
     }
 
@@ -197,19 +229,31 @@ impl ResultCache {
     /// Applies one epoch publish (`prev_epoch` → `new_epoch`, dirtying
     /// `dirty`) to the cache: entries stamped `prev_epoch` whose trace is
     /// complete and disjoint from `dirty` are re-stamped to `new_epoch`;
-    /// every other `prev_epoch`-or-older entry is evicted. Entries already
-    /// stamped `new_epoch` (inserted by a worker that loaded the new snapshot
-    /// before this walk ran) are kept untouched.
+    /// entries already stamped `new_epoch` (inserted by a worker that loaded
+    /// the new snapshot before this walk ran) are kept untouched.
     ///
-    /// The per-epoch dirty-set check is why entries may only survive one
-    /// publish at a time: an entry lagging more than one epoch would need the
-    /// union of every intervening dirty set, which this cache does not keep.
+    /// Entries stamped *older* than `prev_epoch` — a worker computed against
+    /// an old snapshot and inserted after further publishes raced past it —
+    /// get a second chance through the dirty-set ring: if the ring still
+    /// holds every publish in `(entry_epoch, new_epoch]` and the entry's
+    /// trace is disjoint from all of those dirty sets, the answer is provably
+    /// still exact and is re-stamped too (counted as
+    /// [`CacheRetention::ring_retained`]). A gap in the ring — the laggard
+    /// slept through a publish whose dirty set has already been forgotten —
+    /// means the union of intervening dirtiness is unknown, so the entry is
+    /// evicted.
     pub fn retain_for_publish(
         &mut self,
         prev_epoch: u64,
         new_epoch: u64,
         dirty: &SubgraphSet,
     ) -> CacheRetention {
+        if self.history_depth > 0 {
+            if self.history.len() == self.history_depth {
+                self.history.pop_front();
+            }
+            self.history.push_back((new_epoch, dirty.clone()));
+        }
         let mut outcome = CacheRetention {
             // Hand the insert-time weighted-eviction count to the publish
             // that collects retention totals, then restart the window.
@@ -222,8 +266,14 @@ impl ResultCache {
             if entry.epoch == new_epoch {
                 continue;
             }
-            if entry.epoch == prev_epoch && entry.complete && !entry.trace.intersects(dirty) {
+            if !entry.complete {
+                evict.push(slot);
+            } else if entry.epoch == prev_epoch && !entry.trace.intersects(dirty) {
                 outcome.retained += 1;
+            } else if entry.epoch < prev_epoch
+                && self.ring_certifies(entry.epoch, new_epoch, &entry.trace)
+            {
+                outcome.ring_retained += 1;
             } else {
                 evict.push(slot);
             }
@@ -239,16 +289,38 @@ impl ResultCache {
         // above never observes a half-updated cache.
         for &slot in self.map.values() {
             let entry = &mut self.slab[slot];
-            if entry.epoch == prev_epoch {
+            if entry.epoch < new_epoch {
                 entry.epoch = new_epoch;
             }
         }
         outcome
     }
 
+    /// Whether the dirty-set ring proves that an entry stamped `entry_epoch`
+    /// is still exact at `new_epoch`: the ring must hold an unbroken chain of
+    /// publishes for every epoch in `(entry_epoch, new_epoch]`, each with a
+    /// dirty set disjoint from `trace`. The current publish has already been
+    /// pushed, so the walk runs newest-to-oldest from the ring's tail.
+    fn ring_certifies(&self, entry_epoch: u64, new_epoch: u64, trace: &SubgraphSet) -> bool {
+        let mut need = new_epoch;
+        for (epoch, dirty) in self.history.iter().rev() {
+            if *epoch != need || trace.intersects(dirty) {
+                return false;
+            }
+            if need == entry_epoch + 1 {
+                return true;
+            }
+            need -= 1;
+        }
+        false
+    }
+
     /// Drops every entry — the wholesale invalidation the survival path
     /// replaced, kept as the baseline for benchmarks and for services
-    /// configured without cache survival.
+    /// configured without cache survival. The dirty-set ring is *not*
+    /// cleared: it records publish history, which remains true regardless of
+    /// what the cache holds, so entries inserted afterwards at older epochs
+    /// can still be certified.
     pub fn clear(&mut self) {
         self.map.clear();
         self.slab.clear();
@@ -400,7 +472,7 @@ mod tests {
             let mut cache = ResultCache::new(4);
             cache.insert(key(0, 1, 2), 0, trace(&[3, 7]), path(1.0));
             let outcome = cache.retain_for_publish(0, 1, &dirty(overlap));
-            assert_eq!(outcome, CacheRetention { retained: 0, evicted: 1, weighted_evicted: 0 });
+            assert_eq!(outcome, CacheRetention { evicted: 1, ..CacheRetention::default() });
             assert!(cache.get(&key(0, 1, 2), 1).is_none(), "dirty entry served after publish");
             assert!(cache.is_empty());
         }
@@ -412,7 +484,10 @@ mod tests {
         cache.insert(key(0, 1, 2), 0, trace(&[3, 7]), path(1.0));
         cache.insert(key(0, 2, 2), 0, trace(&[5]), path(2.0));
         let outcome = cache.retain_for_publish(0, 1, &dirty(&[5, 8]));
-        assert_eq!(outcome, CacheRetention { retained: 1, evicted: 1, weighted_evicted: 0 });
+        assert_eq!(
+            outcome,
+            CacheRetention { retained: 1, evicted: 1, ..CacheRetention::default() }
+        );
         assert!(cache.get(&key(0, 1, 2), 1).is_some(), "disjoint entry must survive");
         assert!(cache.get(&key(0, 1, 2), 0).is_none(), "survivor now carries the new epoch");
         assert!(cache.get(&key(0, 2, 2), 1).is_none(), "dirtied entry must be gone");
@@ -420,7 +495,7 @@ mod tests {
     }
 
     #[test]
-    fn incomplete_traces_and_laggards_never_survive() {
+    fn incomplete_traces_and_uncovered_laggards_never_survive() {
         let mut cache = ResultCache::new(4);
         // Incomplete trace (iteration-capped answer): disjoint but uncertified.
         cache.insert(
@@ -429,17 +504,81 @@ mod tests {
             QueryTrace { subgraphs: dirty(&[1]), complete: false },
             path(1.0),
         );
-        // An entry stamped two epochs back: its intervening dirty sets are
-        // unknown, so it must not be re-stamped even with a disjoint trace.
+        // An entry that sleeps through a publish the ring never saw: the
+        // intervening dirty set is unknown, so it must not be re-stamped
+        // even with a disjoint trace.
         cache.insert(key(0, 2, 2), 0, trace(&[2]), path(2.0));
         let first = cache.retain_for_publish(0, 1, &dirty(&[9]));
         assert_eq!(first.retained, 1, "only the complete entry survives epoch 1");
-        // Simulate the laggard: entry 0->2 now claims epoch 1; hand-publish
-        // epoch 2 -> 3 so prev_epoch skips it.
+        // Simulate the gap: entry 0->2 now claims epoch 1; hand-publish
+        // epoch 2 -> 3 so the ring is missing epoch 2's dirty set.
         let second = cache.retain_for_publish(2, 3, &dirty(&[9]));
         assert_eq!(second.retained, 0);
+        assert_eq!(second.ring_retained, 0, "a ring gap must not certify the laggard");
         assert_eq!(second.evicted, 1);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn laggard_survives_when_the_ring_covers_every_missed_publish() {
+        let mut cache = ResultCache::new(4);
+        cache.retain_for_publish(0, 1, &dirty(&[5]));
+        cache.retain_for_publish(1, 2, &dirty(&[6]));
+        // A worker that computed against the epoch-0 snapshot inserts only
+        // now — two publishes late. Its trace is disjoint from every dirty
+        // set the ring holds, so the next publish can prove it still exact.
+        cache.insert(key(0, 1, 2), 0, trace(&[3]), path(1.0));
+        let outcome = cache.retain_for_publish(2, 3, &dirty(&[7]));
+        assert_eq!(outcome.ring_retained, 1, "ring-covered laggard must be rescued");
+        assert_eq!(outcome.retained, 0);
+        assert_eq!(outcome.evicted, 0);
+        assert!(cache.get(&key(0, 1, 2), 3).is_some(), "rescued entry serves the new epoch");
+    }
+
+    #[test]
+    fn laggard_dies_when_any_covered_dirty_set_intersects() {
+        let mut cache = ResultCache::new(4);
+        cache.retain_for_publish(0, 1, &dirty(&[5]));
+        cache.retain_for_publish(1, 2, &dirty(&[6]));
+        // Trace hits epoch 2's dirty set — an update it slept through touched
+        // a subgraph it depends on, so the cached answer may be wrong.
+        cache.insert(key(0, 1, 2), 0, trace(&[6]), path(1.0));
+        let outcome = cache.retain_for_publish(2, 3, &dirty(&[7]));
+        assert_eq!(outcome.ring_retained, 0);
+        assert_eq!(outcome.evicted, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn history_depth_zero_disables_multi_epoch_survival() {
+        let mut cache = ResultCache::with_history_depth(4, 0);
+        cache.retain_for_publish(0, 1, &dirty(&[5]));
+        cache.retain_for_publish(1, 2, &dirty(&[6]));
+        cache.insert(key(0, 1, 2), 0, trace(&[3]), path(1.0));
+        let outcome = cache.retain_for_publish(2, 3, &dirty(&[7]));
+        assert_eq!(outcome.ring_retained, 0, "no ring, no rescue");
+        assert_eq!(outcome.evicted, 1);
+        // The one-publish fast path must still work without a ring.
+        cache.insert(key(0, 2, 2), 3, trace(&[3]), path(2.0));
+        let next = cache.retain_for_publish(3, 4, &dirty(&[7]));
+        assert_eq!(next.retained, 1);
+    }
+
+    #[test]
+    fn ring_forgets_publishes_beyond_its_depth() {
+        let mut cache = ResultCache::with_history_depth(4, 2);
+        cache.retain_for_publish(0, 1, &dirty(&[5]));
+        cache.retain_for_publish(1, 2, &dirty(&[6]));
+        // Laggard from epoch 0 needs dirty sets for epochs 1..=3, but the
+        // depth-2 ring will have dropped epoch 1's by the time epoch 3
+        // publishes; a laggard from epoch 1 only needs 2..=3, still covered.
+        cache.insert(key(0, 1, 2), 0, trace(&[3]), path(1.0));
+        cache.insert(key(0, 2, 2), 1, trace(&[3]), path(2.0));
+        let outcome = cache.retain_for_publish(2, 3, &dirty(&[7]));
+        assert_eq!(outcome.ring_retained, 1, "only the in-window laggard survives");
+        assert_eq!(outcome.evicted, 1);
+        assert!(cache.get(&key(0, 2, 2), 3).is_some());
+        assert!(cache.get(&key(0, 1, 2), 3).is_none());
     }
 
     #[test]
@@ -449,7 +588,7 @@ mod tests {
         // walk: the walk must keep it as-is, dirty trace or not.
         cache.insert(key(0, 1, 2), 1, trace(&[3]), path(1.0));
         let outcome = cache.retain_for_publish(0, 1, &dirty(&[3]));
-        assert_eq!(outcome, CacheRetention { retained: 0, evicted: 0, weighted_evicted: 0 });
+        assert_eq!(outcome, CacheRetention::default());
         assert!(cache.get(&key(0, 1, 2), 1).is_some());
     }
 

@@ -25,7 +25,7 @@ use ksp_obs::{HistogramSnapshot, LatencyHistogram};
 use ksp_proto::{KspClient, Transport, TransportStats, WireMetrics};
 use ksp_workload::{QueryWorkload, TrafficModel};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -221,6 +221,10 @@ pub struct WireLoadReport {
     /// percentiles and the server-side ones in [`WireLoadReport::metrics`] is
     /// the protocol's own cost.
     pub perceived: HistogramSnapshot,
+    /// Overload retries performed across every query client — non-zero only
+    /// when the clients were built with
+    /// [`ClientConfig::retry_on_overload`](ksp_proto::ClientConfig) enabled.
+    pub retries: u64,
 }
 
 impl WireLoadReport {
@@ -305,6 +309,7 @@ where
     let started = Instant::now();
 
     let mut wire = TransportStats::default();
+    let mut retries = 0u64;
     std::thread::scope(|scope| {
         let mut client_threads = Vec::with_capacity(config.num_clients);
         for (client_id, mut client) in clients.drain(..).enumerate() {
@@ -330,7 +335,7 @@ where
                         }
                     }
                 }
-                client.stats()
+                (client.stats(), client.retries())
             }));
         }
 
@@ -369,7 +374,9 @@ where
         });
 
         for thread in client_threads {
-            wire.absorb(&thread.join().expect("client thread panicked"));
+            let (stats, client_retries) = thread.join().expect("client thread panicked");
+            wire.absorb(&stats);
+            retries += client_retries;
         }
         if let Some(thread) = updater_thread {
             wire.absorb(&thread.join().expect("updater thread panicked"));
@@ -393,6 +400,7 @@ where
         wire,
         metrics,
         perceived: perceived.snapshot(),
+        retries,
     }
 }
 
@@ -456,6 +464,12 @@ pub struct OpenLoopReport {
     /// transit and client-side scheduling on top, which no server-side
     /// controller can defend. Hold *this* distribution against the SLO.
     pub accepted_server_latencies: Vec<Duration>,
+    /// Overload retries performed across the fleet — non-zero only when the
+    /// connections were built with
+    /// [`ClientConfig::retry_on_overload`](ksp_proto::ClientConfig) enabled.
+    /// A retried-then-accepted request counts once in `completed` and its
+    /// backoff rides inside its accepted latency.
+    pub retries: u64,
 }
 
 impl OpenLoopReport {
@@ -541,6 +555,7 @@ where
     let first_failure: Mutex<Option<String>> = Mutex::new(None);
     let accepted: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
     let accepted_server: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    let retries = AtomicU64::new(0);
     let started = Instant::now();
 
     std::thread::scope(|scope| {
@@ -552,6 +567,7 @@ where
             let first_failure = &first_failure;
             let accepted = &accepted;
             let accepted_server = &accepted_server;
+            let retries = &retries;
             scope.spawn(move || {
                 let stride = (workload.len() / config.num_connections.max(1)).max(1);
                 let replay = workload.cycle_from(conn_id * stride);
@@ -590,6 +606,7 @@ where
                         }
                     }
                 }
+                retries.fetch_add(client.retries(), Ordering::Relaxed);
             });
         }
     });
@@ -612,6 +629,7 @@ where
         elapsed: started.elapsed(),
         accepted_latencies: accepted,
         accepted_server_latencies: accepted_server,
+        retries: retries.into_inner(),
     }
 }
 

@@ -117,7 +117,7 @@ pub mod rpc;
 pub mod service;
 
 pub use admission::{AdmissionConfig, QueueFull, TimedPop};
-pub use cache::{CacheKey, CacheRetention, ResultCache};
+pub use cache::{CacheKey, CacheRetention, ResultCache, DEFAULT_HISTORY_DEPTH};
 pub use driver::{
     run_closed_loop, run_closed_loop_over, run_open_loop_over, LoadDriverConfig, LoadReport,
     OpenLoopConfig, OpenLoopReport, WireLoadReport,
@@ -126,7 +126,7 @@ pub use epoch::{EpochPointer, EpochSnapshot};
 #[cfg(target_os = "linux")]
 pub use event_loop::{EventLoopConfig, EventLoopServer, EventLoopStats};
 pub use metrics::{LatencyHistogram, MetricsDelta, MetricsReport, ServiceMetrics, ShardQueueGauge};
-pub use rpc::{wire_metrics, InProcTransport, TcpServer};
+pub use rpc::{wire_metrics, InProcTransport, ReplicationHook, TcpServer};
 pub use service::{
     route_shard, Observability, PublishError, QueryResponse, QueryService, ServiceConfig,
     ServiceError, RECOVERY_STEP_COMPLETED,

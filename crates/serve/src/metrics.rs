@@ -102,6 +102,10 @@ pub struct ServiceMetrics {
     /// Cache entries evicted at epoch publishes (dirty trace, incomplete
     /// trace, or wholesale clears), summed over all shards.
     pub cache_evicted: AtomicU64,
+    /// Cache entries stamped older than the previous epoch that the dirty-set
+    /// ring certified across every missed publish (summed over all shards;
+    /// disjoint from `cache_retained`).
+    pub cache_ring_retained: AtomicU64,
     /// Capacity evictions where the trace-size weight overrode plain LRU
     /// order (collected from the per-shard caches at each publish).
     pub cache_weighted_evictions: AtomicU64,
@@ -133,6 +137,7 @@ impl ServiceMetrics {
             epochs_published: AtomicU64::new(0),
             cache_retained: AtomicU64::new(0),
             cache_evicted: AtomicU64::new(0),
+            cache_ring_retained: AtomicU64::new(0),
             cache_weighted_evictions: AtomicU64::new(0),
             shards: (0..num_shards).map(|_| ShardCounters::default()).collect(),
             started: Instant::now(),
@@ -172,6 +177,7 @@ impl ServiceMetrics {
             epochs_published: self.epochs_published.load(Ordering::Relaxed),
             cache_retained: self.cache_retained.load(Ordering::Relaxed),
             cache_evicted: self.cache_evicted.load(Ordering::Relaxed),
+            cache_ring_retained: self.cache_ring_retained.load(Ordering::Relaxed),
             cache_weighted_evictions: self.cache_weighted_evictions.load(Ordering::Relaxed),
             steals: per_shard_steals.iter().sum(),
             per_shard_steals,
@@ -241,6 +247,8 @@ pub struct MetricsReport {
     pub cache_retained: u64,
     /// Cache entries dropped at epoch publishes.
     pub cache_evicted: u64,
+    /// Multi-epoch laggards rescued by the dirty-set ring at publishes.
+    pub cache_ring_retained: u64,
     /// Capacity evictions where the trace-size weight overrode plain LRU.
     pub cache_weighted_evictions: u64,
     /// Requests answered by a worker that stole them from another shard's
@@ -290,6 +298,8 @@ pub struct MetricsDelta {
     pub cache_retained: u64,
     /// Cache entries evicted at publishes in the interval.
     pub cache_evicted: u64,
+    /// Multi-epoch laggards rescued by the dirty-set ring in the interval.
+    pub cache_ring_retained: u64,
     /// Requests served via work stealing in the interval.
     pub steals: u64,
 }
@@ -329,6 +339,7 @@ impl MetricsReport {
             epochs_published: self.epochs_published.saturating_sub(prev.epochs_published),
             cache_retained: self.cache_retained.saturating_sub(prev.cache_retained),
             cache_evicted: self.cache_evicted.saturating_sub(prev.cache_evicted),
+            cache_ring_retained: self.cache_ring_retained.saturating_sub(prev.cache_ring_retained),
             steals: self.steals.saturating_sub(prev.steals),
         }
     }

@@ -27,7 +27,7 @@ use ksp_obs::EventKind;
 use ksp_proto::frame::{frame_len, read_frame, write_frame, FrameError, FrameKind};
 use ksp_proto::message::{
     ErrorReply, QueryAnswer, QueryOutcome, Request, Response, WireMetrics, WireQueueGauge,
-    PROTOCOL_VERSION,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_MAX,
 };
 use ksp_proto::obs::{WireCounter, WireGauge, WireObsSnapshot};
 use ksp_proto::transport::{Transport, TransportError, TransportStats};
@@ -59,6 +59,25 @@ impl From<PublishError> for ErrorReply {
             PublishError::Store(s) => ErrorReply::Storage(s.to_string()),
         }
     }
+}
+
+/// The replication endpoint a [`QueryService`] delegates `ShipSegment`,
+/// `SnapshotChunk` and `ReplAck` requests to, when one is registered via
+/// [`QueryService::set_replication_hook`].
+///
+/// `ksp-serve` knows nothing about log shipping — the hook inverts the
+/// dependency so `ksp-repl` can plug a leader-side `ReplicationSource` into
+/// the service *after* construction, and both transports (thread-per-connection
+/// and event loop) route through it automatically because they both funnel
+/// into [`QueryService::handle`].
+pub trait ReplicationHook: Send + Sync {
+    /// Answers one replication request. Only the three replication variants
+    /// are ever dispatched here; anything else is a service bug.
+    fn handle(&self, request: &Request) -> Response;
+
+    /// Metric families (`ksp_repl_*`) the hook contributes to the service's
+    /// observability snapshot, appended to every `ObsSnapshot` response.
+    fn metric_families(&self) -> (Vec<ksp_obs::Counter>, Vec<ksp_obs::Gauge>);
 }
 
 fn answer_from(response: QueryResponse) -> QueryAnswer {
@@ -132,17 +151,39 @@ impl QueryService {
             Request::Traced { .. } => Response::Error(ErrorReply::Malformed(
                 "nested trace envelopes are not supported".to_string(),
             )),
-            Request::Ping { protocol_version } => {
-                if protocol_version != PROTOCOL_VERSION {
+            Request::Ping { protocol_version, min_version, max_version } => {
+                if min_version == 0 && max_version == 0 {
+                    // Legacy handshake: the client speaks exactly one version.
+                    // `negotiated_version: 0` keeps the Pong wire-identical to
+                    // the pre-negotiation encoding, so old clients decode it.
+                    if protocol_version != PROTOCOL_VERSION {
+                        Response::Error(ErrorReply::UnsupportedVersion {
+                            server: PROTOCOL_VERSION,
+                            client: protocol_version,
+                        })
+                    } else {
+                        Response::Pong {
+                            protocol_version: PROTOCOL_VERSION,
+                            epoch: self.current_epoch(),
+                            num_shards: self.num_shards() as u64,
+                            negotiated_version: 0,
+                        }
+                    }
+                } else if min_version > PROTOCOL_VERSION_MAX
+                    || max_version < PROTOCOL_VERSION
+                    || min_version > max_version
+                {
+                    // The announced range and ours are disjoint (or nonsense).
                     Response::Error(ErrorReply::UnsupportedVersion {
-                        server: PROTOCOL_VERSION,
-                        client: protocol_version,
+                        server: PROTOCOL_VERSION_MAX,
+                        client: max_version,
                     })
                 } else {
                     Response::Pong {
                         protocol_version: PROTOCOL_VERSION,
                         epoch: self.current_epoch(),
                         num_shards: self.num_shards() as u64,
+                        negotiated_version: max_version.min(PROTOCOL_VERSION_MAX),
                     }
                 }
             }
@@ -171,6 +212,14 @@ impl QueryService {
             Request::ObsSnapshot => {
                 Response::ObsSnapshot(WireObsSnapshot::from(&self.obs_snapshot()))
             }
+            request @ (Request::ShipSegment { .. }
+            | Request::SnapshotChunk { .. }
+            | Request::ReplAck { .. }) => match self.replication_hook() {
+                Some(hook) => hook.handle(&request),
+                None => Response::Error(ErrorReply::Unsupported(
+                    "replication is not enabled on this server".to_string(),
+                )),
+            },
         }
     }
 }
@@ -614,15 +663,42 @@ mod tests {
         let (service, graph) = service(150, 2, 3);
         let last = VertexId(graph.num_vertices() as u32 - 1);
 
-        // Ping: agreeing versions get a Pong, foreign versions a typed error.
-        let pong = service.handle(Request::Ping { protocol_version: PROTOCOL_VERSION });
+        // Legacy Ping: agreeing versions get a wire-identical legacy Pong
+        // (negotiated_version 0), foreign versions a typed error.
+        let pong = service.handle(Request::ping_legacy(PROTOCOL_VERSION));
         assert_eq!(
             pong,
-            Response::Pong { protocol_version: PROTOCOL_VERSION, epoch: 0, num_shards: 2 }
+            Response::Pong {
+                protocol_version: PROTOCOL_VERSION,
+                epoch: 0,
+                num_shards: 2,
+                negotiated_version: 0,
+            }
         );
         assert!(matches!(
-            service.handle(Request::Ping { protocol_version: 999 }),
+            service.handle(Request::ping_legacy(999)),
             Response::Error(ErrorReply::UnsupportedVersion { client: 999, .. })
+        ));
+
+        // Range Ping: the server picks the highest mutually supported
+        // version; a disjoint range is rejected with its own ceiling.
+        assert!(matches!(
+            service.handle(Request::ping()),
+            Response::Pong { negotiated_version: PROTOCOL_VERSION_MAX, .. }
+        ));
+        assert!(matches!(
+            service.handle(Request::Ping {
+                protocol_version: PROTOCOL_VERSION,
+                min_version: PROTOCOL_VERSION_MAX + 1,
+                max_version: PROTOCOL_VERSION_MAX + 5,
+            }),
+            Response::Error(ErrorReply::UnsupportedVersion { server: PROTOCOL_VERSION_MAX, .. })
+        ));
+
+        // Replication requests are typed-unsupported until a hook registers.
+        assert!(matches!(
+            service.handle(Request::ShipSegment { from_epoch: 1, max_records: 8, max_bytes: 1024 }),
+            Response::Error(ErrorReply::Unsupported(_))
         ));
 
         // Query: answers equal the direct path bit for bit.

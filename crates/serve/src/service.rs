@@ -70,6 +70,14 @@ pub struct ServiceConfig {
     /// cache consuming its certificate, and vice versa), overriding whatever
     /// the `engine` field says.
     pub cache_survival: bool,
+    /// How many recent publishes each shard cache remembers as a ring of
+    /// `(epoch, dirty set)` pairs. An entry stamped several epochs back — a
+    /// worker that computed against an old snapshot and inserted after
+    /// publishes raced past it — survives the next retention walk when the
+    /// ring covers every publish it missed and its trace is disjoint from
+    /// all of their dirty sets. `0` restores the strict one-publish survival
+    /// rule; irrelevant when [`ServiceConfig::cache_survival`] is off.
+    pub cache_history_depth: usize,
     /// When `true` (the default), an idle shard worker steals the oldest
     /// requests from the deepest shard queue instead of sleeping.
     pub work_stealing: bool,
@@ -91,6 +99,7 @@ impl ServiceConfig {
             engine: KspDgConfig::default(),
             dtlp,
             cache_survival: true,
+            cache_history_depth: crate::cache::DEFAULT_HISTORY_DEPTH,
             work_stealing: true,
             observability: ObsConfig::default(),
         }
@@ -343,6 +352,11 @@ pub struct QueryService {
     admission: Arc<AdmissionController>,
     masters: Mutex<Masters>,
     persistence: Option<Persistence>,
+    /// Replication endpoint (`ksp-repl`'s leader-side source), registered
+    /// after construction via [`QueryService::set_replication_hook`]. Behind
+    /// an `RwLock` because every request dispatch reads it and registration
+    /// writes it exactly once.
+    replication: parking_lot::RwLock<Option<Arc<dyn crate::rpc::ReplicationHook>>>,
 }
 
 impl QueryService {
@@ -474,7 +488,10 @@ impl QueryService {
                 .map(|_| {
                     Arc::new(ShardResources {
                         queue: BoundedQueue::new(config.admission.max_queue_depth),
-                        cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+                        cache: Mutex::new(ResultCache::with_history_depth(
+                            config.cache_capacity,
+                            config.cache_history_depth,
+                        )),
                     })
                 })
                 .collect(),
@@ -541,7 +558,34 @@ impl QueryService {
             admission,
             masters: Mutex::new(Masters { graph, index, dirty_since_job }),
             persistence,
+            replication: parking_lot::RwLock::new(None),
         }
+    }
+
+    /// Registers the replication endpoint `ShipSegment` / `SnapshotChunk` /
+    /// `ReplAck` requests are delegated to. Both transports route through
+    /// [`QueryService::handle`], so one registration covers the
+    /// thread-per-connection server and the event loop alike.
+    pub fn set_replication_hook(&self, hook: Arc<dyn crate::rpc::ReplicationHook>) {
+        *self.replication.write() = Some(hook);
+    }
+
+    /// The registered replication endpoint, if any.
+    pub(crate) fn replication_hook(&self) -> Option<Arc<dyn crate::rpc::ReplicationHook>> {
+        self.replication.read().clone()
+    }
+
+    /// The shared durable-store handle, when this service was started with a
+    /// store. `ksp-repl`'s leader-side source reads the delta log and
+    /// checkpoint images through this handle — the store's directory lock
+    /// admits one opener, so replication must share the service's.
+    pub fn store_handle(&self) -> Option<Arc<Mutex<Store>>> {
+        self.persistence.as_ref().map(|p| p.store.clone())
+    }
+
+    /// The durable store's directory, when this service has one.
+    pub fn store_dir(&self) -> Option<&FsPath> {
+        self.persistence.as_ref().map(|p| p.dir.as_path())
     }
 
     /// The service configuration.
@@ -759,6 +803,7 @@ impl QueryService {
         // `retain_for_publish` relies on.
         let mut retained = 0u64;
         let mut evicted = 0u64;
+        let mut ring_retained = 0u64;
         let mut weighted_evicted = 0u64;
         for shard in &self.shards {
             if self.config.cache_survival {
@@ -766,6 +811,7 @@ impl QueryService {
                     shard.resources.cache.lock().retain_for_publish(prev_epoch, epoch, &dirty_set);
                 retained += outcome.retained as u64;
                 evicted += outcome.evicted as u64;
+                ring_retained += outcome.ring_retained as u64;
                 weighted_evicted += outcome.weighted_evicted as u64;
             } else {
                 let mut cache = shard.resources.cache.lock();
@@ -778,6 +824,7 @@ impl QueryService {
         use std::sync::atomic::Ordering::Relaxed;
         self.metrics.cache_retained.fetch_add(retained, Relaxed);
         self.metrics.cache_evicted.fetch_add(evicted, Relaxed);
+        self.metrics.cache_ring_retained.fetch_add(ring_retained, Relaxed);
         self.metrics.cache_weighted_evictions.fetch_add(weighted_evicted, Relaxed);
         self.metrics.epochs_published.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.metrics.note_publish();
@@ -915,6 +962,7 @@ impl QueryService {
             unlabelled("ksp_epochs_published_total", report.epochs_published),
             unlabelled("ksp_cache_retained_total", report.cache_retained),
             unlabelled("ksp_cache_evicted_total", report.cache_evicted),
+            unlabelled("ksp_cache_ring_retained_total", report.cache_ring_retained),
             unlabelled("ksp_cache_weighted_evictions_total", report.cache_weighted_evictions),
             unlabelled("ksp_flight_events_total", flight.events_recorded()),
             unlabelled("ksp_flight_dumps_total", flight.dumps_taken()),
@@ -979,6 +1027,14 @@ impl QueryService {
                 labels: format!("class=\"{class}\""),
                 value: nanos as f64 / 1_000.0,
             });
+        }
+        // Replication (`ksp_repl_*`) families, when a hook is registered —
+        // the shipping counters and per-follower lag gauges ride the same
+        // snapshot as every native family.
+        if let Some(hook) = self.replication_hook() {
+            let (repl_counters, repl_gauges) = hook.metric_families();
+            counters.extend(repl_counters);
+            gauges.extend(repl_gauges);
         }
         ObsSnapshot {
             stages: self

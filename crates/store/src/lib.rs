@@ -81,5 +81,5 @@ pub mod wal;
 pub use checkpoint::{Checkpoint, EncodedCheckpoint, ImageKind, PartialCheckpoint};
 pub use codec::{crc32, Reader, StoreCodec, Writer};
 pub use error::{CodecError, StoreError};
-pub use store::{Recovered, RecoveryReport, Store, StoreConfig, VerifyReport};
+pub use store::{Recovered, RecoveryReport, SnapshotManifest, Store, StoreConfig, VerifyReport};
 pub use wal::{AppendTimings, DeltaLog, LogRecord, SyncPolicy};

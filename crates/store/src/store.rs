@@ -77,6 +77,46 @@ impl StoreConfig {
     }
 }
 
+/// The file set a replication follower fetches to bootstrap past a pruned
+/// log window: produced by [`Store::snapshot_manifest`], transferred chunk by
+/// chunk via [`Store::read_image_chunk`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// The epoch the manifest's images recover to when the chain is intact.
+    pub snapshot_epoch: u64,
+    /// `(bare file name, total length in bytes)`, in recovery order: the
+    /// full checkpoint first, then its partial chain ascending.
+    pub files: Vec<(String, u64)>,
+}
+
+/// Whether `name` is the bare file name of a checkpoint or partial image —
+/// the only files [`Store::read_image_chunk`] serves.
+fn is_image_file_name(name: &str) -> bool {
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    let full = name
+        .strip_prefix("checkpoint-")
+        .and_then(|rest| rest.strip_suffix(".ckpt"))
+        .is_some_and(digits);
+    let partial = name
+        .strip_prefix("partial-")
+        .and_then(|rest| rest.strip_suffix(".pckpt"))
+        .is_some_and(digits);
+    full || partial
+}
+
+/// One manifest row for the image file at `path`.
+fn manifest_entry(path: &Path) -> Result<(String, u64), StoreError> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::corrupt(path, "image file has no utf-8 name"))?
+        .to_string();
+    let len = fs::metadata(path)
+        .map_err(|e| StoreError::io(format!("inspecting {}", path.display()), e))?
+        .len();
+    Ok((name, len))
+}
+
 /// What [`Store::recover`] went through to produce its state.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -575,6 +615,92 @@ impl Store {
         self.log.append(epoch, batch)
     }
 
+    /// The oldest epoch the delta log can still replay — the lower edge of
+    /// the log-shipping window. A replication request for anything older must
+    /// be answered with a snapshot fallback ([`Store::snapshot_manifest`]).
+    pub fn oldest_retained_epoch(&self) -> u64 {
+        self.log.oldest_retained_epoch()
+    }
+
+    /// Reads the logged records with epoch `>= from_epoch` (CRC-revalidated,
+    /// contiguity-checked), bounded by `max_records` and an estimated
+    /// `max_bytes` — the leader half of log shipping. See
+    /// [`DeltaLog::read_from`] for the window contract.
+    pub fn read_log_from(
+        &self,
+        from_epoch: u64,
+        max_records: usize,
+        max_bytes: u64,
+    ) -> Result<Vec<crate::wal::LogRecord>, StoreError> {
+        self.log.read_from(from_epoch, max_records, max_bytes)
+    }
+
+    /// The file set a follower needs to bootstrap when its replay lag exceeds
+    /// the retained log window: the newest committed full checkpoint plus the
+    /// partial-image chain committed after it, in recovery order. The
+    /// returned epoch is what an intact chain recovers to
+    /// ([`Store::last_image_epoch`]); shipping resumes from the epoch after
+    /// it, which the pruning policy (bounded by retained *full* checkpoints)
+    /// guarantees is still in the log window even if part of the chain turns
+    /// out broken on the follower.
+    pub fn snapshot_manifest(&self) -> Result<SnapshotManifest, StoreError> {
+        let mut files = Vec::new();
+        let checkpoints = list_checkpoints(&self.dir)?;
+        let Some((full_epoch, full_path)) = checkpoints
+            .iter()
+            .rev()
+            .find(|(epoch, _)| *epoch == self.last_checkpoint_epoch)
+            .or(checkpoints.last())
+        else {
+            return Err(StoreError::NoCheckpoint { dir: self.dir.clone() });
+        };
+        files.push(manifest_entry(full_path)?);
+        for (partial_epoch, path) in list_partials(&self.dir)? {
+            if partial_epoch > *full_epoch && partial_epoch <= self.last_image_epoch {
+                files.push(manifest_entry(&path)?);
+            }
+        }
+        Ok(SnapshotManifest { snapshot_epoch: self.last_image_epoch, files })
+    }
+
+    /// Reads up to `max_len` bytes at `offset` of one checkpoint or partial
+    /// image file, by its bare manifest name — the transfer half of the
+    /// snapshot fallback. Returns the file's total length and the bytes read
+    /// (empty at or past end of file). Only names of the two image shapes are
+    /// served, with no path components, so a hostile peer cannot read
+    /// anything else out of (or outside) the store directory.
+    pub fn read_image_chunk(
+        &self,
+        name: &str,
+        offset: u64,
+        max_len: u64,
+    ) -> Result<(u64, Vec<u8>), StoreError> {
+        if !is_image_file_name(name) {
+            return Err(StoreError::corrupt(
+                &self.dir,
+                format!("refusing to serve non-image file {name:?}"),
+            ));
+        }
+        let path = self.dir.join(name);
+        let mut file = fs::File::open(&path)
+            .map_err(|e| StoreError::io(format!("opening {}", path.display()), e))?;
+        let total_len = file
+            .metadata()
+            .map_err(|e| StoreError::io(format!("inspecting {}", path.display()), e))?
+            .len();
+        if offset >= total_len {
+            return Ok((total_len, Vec::new()));
+        }
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| StoreError::io(format!("seeking {}", path.display()), e))?;
+        let want = max_len.min(total_len - offset) as usize;
+        let mut bytes = vec![0u8; want];
+        file.read_exact(&mut bytes)
+            .map_err(|e| StoreError::io(format!("reading {}", path.display()), e))?;
+        Ok((total_len, bytes))
+    }
+
     /// Encodes a checkpoint image off to the side. Static so a background
     /// checkpointer can run it from `Arc`'d snapshots without holding the
     /// store lock; commit the result with [`Store::commit_checkpoint`].
@@ -880,6 +1006,60 @@ mod tests {
             EdgeId(seed % num_edges),
             Weight::new(1.0 + seed as f64 * 0.25),
         )])
+    }
+
+    #[test]
+    fn snapshot_manifest_and_chunks_transfer_the_image_set() {
+        let dir = temp_dir("manifest");
+        let (mut graph, mut index) = pair();
+        let m = graph.num_edges() as u32;
+        let config = StoreConfig { checkpoint_interval: 0, ..StoreConfig::default() };
+        let mut store = Store::create(&dir, config, 0, &graph, &index).unwrap();
+        // Build a full checkpoint + partial chain: epochs 1..=2 under a
+        // partial image, 3 logged only.
+        for seed in 1..=3u32 {
+            let b = batch(seed, m);
+            let epoch = graph.apply_batch(&b).unwrap();
+            let stats = index.apply_batch(&b).unwrap();
+            store.log_batch(epoch, &b).unwrap();
+            if epoch == 2 {
+                let encoded = Store::encode_partial_checkpoint(
+                    epoch,
+                    store.last_image_epoch(),
+                    &graph,
+                    &index,
+                    &stats.dirty_subgraphs,
+                );
+                store.commit_checkpoint(&encoded).unwrap();
+            }
+        }
+        let manifest = store.snapshot_manifest().unwrap();
+        assert_eq!(manifest.snapshot_epoch, 2);
+        assert_eq!(manifest.files.len(), 2, "full image + one partial: {:?}", manifest.files);
+        assert!(manifest.files[0].0.starts_with("checkpoint-"));
+        assert!(manifest.files[1].0.starts_with("partial-"));
+
+        // Every manifest file transfers chunk by chunk to identical bytes.
+        for (name, len) in &manifest.files {
+            let mut fetched = Vec::new();
+            loop {
+                let (total, bytes) = store.read_image_chunk(name, fetched.len() as u64, 7).unwrap();
+                assert_eq!(total, *len);
+                if bytes.is_empty() {
+                    break;
+                }
+                fetched.extend(bytes);
+            }
+            assert_eq!(fetched, fs::read(dir.join(name)).unwrap());
+        }
+
+        // Only bare image names are served: traversal and foreign files fail.
+        for hostile in
+            ["../secret", "wal-00000000000000000001.log", "LOCK", "checkpoint-x.ckpt", ""]
+        {
+            assert!(store.read_image_chunk(hostile, 0, 16).is_err(), "{hostile:?} must be refused");
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -378,6 +378,81 @@ impl DeltaLog {
         self.segments.len()
     }
 
+    /// The oldest epoch the log can still replay — the start epoch of the
+    /// oldest retained segment. Equals [`DeltaLog::next_epoch`] when the log
+    /// holds no records at all (a single empty active segment): the retained
+    /// window `[oldest_retained_epoch, next_epoch)` is then empty.
+    pub fn oldest_retained_epoch(&self) -> u64 {
+        self.segments.first().map(|&(start, _)| start).unwrap_or(self.next_epoch)
+    }
+
+    /// Reads the intact records with epoch `>= from_epoch`, in epoch order,
+    /// stopping after `max_records` records or once the summed *estimated*
+    /// record payload sizes exceed `max_bytes` (at least one record is always
+    /// returned when any qualifies) — the log-shipping read path.
+    ///
+    /// `from_epoch` must be inside the retained window: at least
+    /// [`DeltaLog::oldest_retained_epoch`] (older epochs may be pruned — the
+    /// caller answers those with a snapshot fallback instead) and at most
+    /// [`DeltaLog::next_epoch`] (the future cannot be shipped). Records are
+    /// re-validated against their CRCs as they are read, and the returned run
+    /// is checked contiguous from `from_epoch`, so a shipped record can never
+    /// be torn, corrupt, out of order or skipped.
+    pub fn read_from(
+        &self,
+        from_epoch: u64,
+        max_records: usize,
+        max_bytes: u64,
+    ) -> Result<Vec<LogRecord>, StoreError> {
+        if from_epoch < self.oldest_retained_epoch() {
+            return Err(StoreError::corrupt(
+                &self.dir,
+                format!(
+                    "epoch {from_epoch} predates the retained log window (oldest retained {})",
+                    self.oldest_retained_epoch()
+                ),
+            ));
+        }
+        if from_epoch > self.next_epoch {
+            return Err(StoreError::corrupt(
+                &self.dir,
+                format!("epoch {from_epoch} is beyond the log head ({})", self.next_epoch),
+            ));
+        }
+        let mut out: Vec<LogRecord> = Vec::new();
+        let mut bytes = 0u64;
+        for (i, (_start, path)) in self.segments.iter().enumerate() {
+            // Skip segments wholly below the request: a segment's range ends
+            // where its successor starts.
+            if let Some(&(next_start, _)) = self.segments.get(i + 1) {
+                if next_start <= from_epoch {
+                    continue;
+                }
+            }
+            for record in scan_segment(path)?.records {
+                if record.epoch < from_epoch {
+                    continue;
+                }
+                let expected = from_epoch + out.len() as u64;
+                if record.epoch != expected {
+                    return Err(StoreError::corrupt(
+                        path,
+                        format!("expected epoch {expected} next, found {}", record.epoch),
+                    ));
+                }
+                // The same estimate the append path sizes its buffer with;
+                // bounding on it keeps a shipped batch safely under the
+                // frame payload limit without re-encoding every record.
+                bytes += 16 + record.batch.len() as u64 * 12;
+                out.push(record);
+                if out.len() >= max_records.max(1) || bytes >= max_bytes.max(1) {
+                    return Ok(out);
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Appends one published batch. Durable when this returns (under
     /// [`SyncPolicy::Always`]). Returns how long the append spent writing vs
     /// syncing — the write path's per-step timing hook ([`AppendTimings`]).
@@ -618,6 +693,38 @@ mod tests {
             DeltaLog::open_dir(&dir, SyncPolicy::Always, 2),
             Err(StoreError::Corrupt { .. })
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_from_serves_the_retained_window_across_rotations() {
+        let dir = temp_dir("readfrom");
+        let mut log = DeltaLog::create(&dir, 1, SyncPolicy::Never, 2).unwrap();
+        for epoch in 1..=7u64 {
+            log.append(epoch, &batch(epoch as u32)).unwrap();
+        }
+        assert_eq!(log.oldest_retained_epoch(), 1);
+        // A read spanning several segment boundaries is contiguous.
+        let records = log.read_from(2, 100, u64::MAX).unwrap();
+        let epochs: Vec<u64> = records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![2, 3, 4, 5, 6, 7]);
+        // The record cap truncates, never skips.
+        let records = log.read_from(3, 2, u64::MAX).unwrap();
+        assert_eq!(records.iter().map(|r| r.epoch).collect::<Vec<_>>(), vec![3, 4]);
+        // A tiny byte budget still returns at least one record.
+        let records = log.read_from(3, 100, 1).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].epoch, 3);
+        // Reading at the head is an empty (caught-up) run; beyond it errors.
+        assert!(log.read_from(8, 100, u64::MAX).unwrap().is_empty());
+        assert!(log.read_from(9, 100, u64::MAX).is_err());
+        // Pruning moves the window's lower edge; below it errors (the
+        // shipping layer answers that case with a snapshot fallback).
+        log.prune_up_to(4).unwrap();
+        assert_eq!(log.oldest_retained_epoch(), 5);
+        assert!(log.read_from(2, 100, u64::MAX).is_err());
+        let records = log.read_from(5, 100, u64::MAX).unwrap();
+        assert_eq!(records.iter().map(|r| r.epoch).collect::<Vec<_>>(), vec![5, 6, 7]);
         let _ = fs::remove_dir_all(&dir);
     }
 

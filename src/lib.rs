@@ -53,6 +53,7 @@ pub use ksp_core as core;
 pub use ksp_graph as graph;
 pub use ksp_obs as obs;
 pub use ksp_proto as proto;
+pub use ksp_repl as repl;
 pub use ksp_serve as serve;
 pub use ksp_store as store;
 pub use ksp_workload as workload;

@@ -228,7 +228,7 @@ fn dribbled_coalesced_and_torn_frames_reassemble_exactly() {
 
     let ping_frame = {
         let mut frame = Vec::new();
-        let payload = Request::Ping { protocol_version: PROTOCOL_VERSION }.to_bytes();
+        let payload = Request::ping_legacy(PROTOCOL_VERSION).to_bytes();
         write_frame(&mut frame, FrameKind::Request, &payload).unwrap();
         frame
     };
@@ -340,7 +340,7 @@ fn hostile_frames_fail_typed_and_the_event_loop_survives() {
     // (c) Foreign protocol version in the frame header.
     {
         let mut frame = Vec::new();
-        let payload = Request::Ping { protocol_version: 999 }.to_bytes();
+        let payload = Request::ping_legacy(999).to_bytes();
         write_frame(&mut frame, FrameKind::Request, &payload).unwrap();
         frame[4..8].copy_from_slice(&999u32.to_le_bytes());
         let mut conn = raw_conn(addr);

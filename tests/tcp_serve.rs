@@ -265,7 +265,7 @@ fn malformed_frames_fail_typed_and_the_server_survives() {
     // (d) Foreign protocol version: rejected typed, before payload decoding.
     {
         let mut frame = Vec::new();
-        let payload = Request::Ping { protocol_version: 999 }.to_bytes();
+        let payload = Request::ping_legacy(999).to_bytes();
         write_frame(&mut frame, FrameKind::Request, &payload).unwrap();
         frame[4..8].copy_from_slice(&999u32.to_le_bytes());
         let mut conn = raw_conn(addr);
@@ -329,7 +329,7 @@ fn foreign_version_handshake_fails_typed_on_the_client_too() {
     let (mut client, _) = KspClient::connect(server.local_addr()).unwrap();
     // Craft the mismatched ping by hand over a raw socket.
     let mut conn = raw_conn(server.local_addr());
-    let payload = Request::Ping { protocol_version: 2 }.to_bytes();
+    let payload = Request::ping_legacy(2).to_bytes();
     let mut frame = Vec::new();
     write_frame(&mut frame, FrameKind::Request, &payload).unwrap();
     conn.write_all(&frame).unwrap();
