@@ -1,0 +1,236 @@
+//! Chaos experiment: what deterministic fault injection costs and proves.
+//!
+//! Three tables. First, a seeded crash/recover campaign: every cycle arms
+//! one live WAL-append fault (write error, `ENOSPC` or a short write, chosen
+//! by the plan's own generator), rides out the degraded window, "crashes"
+//! the service and recovers — ending byte-identical to a fault-free
+//! in-memory control fed the same batches. Second, one observable degraded
+//! episode on an fsync-on-commit store: a persistent injected fsync failure
+//! flips the `ksp_degraded` gauge to 1 while reads keep serving; healing the
+//! plan lets the background probe lift it without a restart. Third, the
+//! injection accounting — `ksp_fault_injected_total` per fault point plus
+//! the plan fingerprint two same-seed runs must reproduce. The CI smoke run
+//! greps this output for the `ksp_degraded` and `ksp_fault_injected_total`
+//! families.
+
+use crate::report::Table;
+use crate::Scale;
+use ksp_core::dtlp::DtlpConfig;
+use ksp_fault::{FaultAction, FaultPlan, FaultPoint, Schedule};
+use ksp_graph::UpdateBatch;
+use ksp_serve::{PublishError, QueryService, ServiceConfig};
+use ksp_store::{FaultyIo, StorageIo, StoreCodec, StoreConfig, SyncPolicy};
+use ksp_workload::{DatasetPreset, TrafficConfig, TrafficModel};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ksp-chaos-exp-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Applies `batch`, retrying through the read-only degraded window a faulted
+/// append opens (the background probe repairs the log within milliseconds).
+fn apply_riding_out_degradation(service: &QueryService, batch: &UpdateBatch) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match service.apply_batch(batch) {
+            Ok(epoch) => return epoch,
+            Err(PublishError::Degraded(_)) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("chaos experiment append failed: {e}"),
+        }
+    }
+}
+
+/// The value of the first sample named `family` in a Prometheus exposition.
+fn sample(text: &str, family: &str) -> String {
+    text.lines()
+        .find_map(|line| line.strip_prefix(family).and_then(|rest| rest.strip_prefix(' ')))
+        .unwrap_or("absent")
+        .to_string()
+}
+
+/// Deterministic fault injection: crash/recover cycles, a degraded episode,
+/// and the injection accounting.
+pub fn chaos(scale: Scale) -> Vec<Table> {
+    let spec = DatasetPreset::NewYork.spec(scale.dataset_scale());
+    let net = spec.generate().expect("dataset generation");
+    let graph = net.graph;
+    let sconfig = ServiceConfig::new(2, DtlpConfig::new(spec.default_z, 2));
+    const CYCLES: usize = 5;
+
+    let mut traffic = TrafficModel::new(&graph, TrafficConfig::new(0.5, 0.5), 0xC4A05);
+    let batches: Vec<UpdateBatch> = (0..CYCLES).map(|_| traffic.next_snapshot()).collect();
+
+    // Fault-free control: the state every recovery must reproduce.
+    let control = QueryService::start(graph.clone(), sconfig).expect("control start");
+    for batch in &batches {
+        control.apply_batch(batch).expect("control publish");
+    }
+
+    // --- Table 1: the crash/recover campaign -----------------------------
+    let plan = FaultPlan::new(0xC405);
+    let io: Arc<dyn StorageIo> = Arc::new(FaultyIo::new(plan.clone()));
+    let store_dir = scratch_dir("cycles");
+    let st = StoreConfig { checkpoint_interval: 0, sync: SyncPolicy::Never, ..Default::default() };
+    let mut cycles = Table::new(
+        format!(
+            "chaos: seeded fault/crash/recover cycles ({}, {} vertices, seed 0xC405)",
+            spec.preset.short_name(),
+            graph.num_vertices()
+        ),
+        &["cycle", "armed_fault", "recovered_epoch", "published_epoch", "injected_total"],
+    );
+    let mut final_state: Option<(u64, bool)> = None;
+    for (cycle, batch) in batches.iter().enumerate() {
+        let service = if cycle == 0 {
+            QueryService::start_with_store_io(graph.clone(), sconfig, &store_dir, st, io.clone())
+                .expect("chaos start")
+        } else {
+            QueryService::open_with_io(&store_dir, sconfig, st, io.clone()).expect("recover").0
+        };
+        let recovered_epoch = service.snapshot().epoch();
+        let action = match plan.draw() % 3 {
+            0 => FaultAction::Fail,
+            1 => FaultAction::Enospc,
+            _ => FaultAction::ShortWrite { keep: (plan.draw() % 8) as usize },
+        };
+        plan.arm(
+            FaultPoint::WalWrite,
+            Schedule::Nth(plan.ops_at(FaultPoint::WalWrite) + 1),
+            action,
+        );
+        let published = apply_riding_out_degradation(&service, batch);
+        cycles.row(vec![
+            cycle.to_string(),
+            action.label().to_string(),
+            recovered_epoch.to_string(),
+            published.to_string(),
+            plan.injected_total().to_string(),
+        ]);
+        if cycle + 1 == CYCLES {
+            let (a, b) = (service.snapshot(), control.snapshot());
+            final_state = Some((
+                published,
+                a.graph().to_bytes() == b.graph().to_bytes()
+                    && a.index().to_bytes() == b.index().to_bytes(),
+            ));
+        }
+        drop(service); // the crash
+    }
+    let (final_epoch, identical) = final_state.expect("cycles ran");
+    cycles.row(vec![
+        "final".to_string(),
+        format!("byte_identical_to_control={identical}"),
+        final_epoch.to_string(),
+        final_epoch.to_string(),
+        plan.injected_total().to_string(),
+    ]);
+
+    // --- Table 2: one observable degraded episode ------------------------
+    // fsync on every append so the injected fsync failure sits on the commit
+    // path; the probe then fails against the same armed plan until healed.
+    let episode_dir = scratch_dir("episode");
+    let episode_plan = FaultPlan::new(0xD16);
+    let episode_io: Arc<dyn StorageIo> = Arc::new(FaultyIo::new(episode_plan.clone()));
+    let st_sync =
+        StoreConfig { checkpoint_interval: 0, sync: SyncPolicy::Always, ..Default::default() };
+    let service = QueryService::start_with_store_io(
+        graph.clone(),
+        sconfig,
+        &episode_dir,
+        st_sync,
+        episode_io,
+    )
+    .expect("episode start");
+    let mut episode = Table::new(
+        "chaos: degraded episode (persistent injected fsync failure, then heal)",
+        &["phase", "ksp_degraded", "entered_total", "recovered_total", "write_outcome"],
+    );
+    let mut episode_row = |phase: &str, outcome: &str| {
+        let text = service.render_exposition();
+        episode.row(vec![
+            phase.to_string(),
+            sample(&text, "ksp_degraded"),
+            sample(&text, "ksp_degraded_entered_total"),
+            sample(&text, "ksp_degraded_recovered_total"),
+            outcome.to_string(),
+        ]);
+    };
+    let healthy_epoch = service.apply_batch(&traffic.next_snapshot()).expect("healthy publish");
+    episode_row("healthy", &format!("published epoch {healthy_epoch}"));
+
+    episode_plan.arm(
+        FaultPoint::WalFsync,
+        Schedule::From(episode_plan.ops_at(FaultPoint::WalFsync) + 1),
+        FaultAction::Fail,
+    );
+    let stuck = traffic.next_snapshot();
+    let refused = match service.apply_batch(&stuck) {
+        Err(PublishError::Degraded(_)) => "typed Degraded (read-only)",
+        Ok(_) => "unexpectedly accepted",
+        Err(_) => "wrong error type",
+    };
+    episode_row("degraded", refused);
+
+    episode_plan.disarm(FaultPoint::WalFsync);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.is_degraded() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let landed = service.apply_batch(&stuck).expect("post-heal publish");
+    episode_row("recovered", &format!("published epoch {landed}"));
+    drop(service);
+
+    // --- Table 3: injection accounting -----------------------------------
+    let mut counters = Table::new(
+        "chaos: fault injection counters (deterministic: same seed, same log)",
+        &["series", "value"],
+    );
+    for (label, plan) in [("cycles", &plan), ("episode", &episode_plan)] {
+        for point in FaultPoint::ALL {
+            let injected = plan.injected_at(point);
+            if injected > 0 {
+                counters.row(vec![
+                    format!("ksp_fault_injected_total{{run=\"{label}\",point=\"{point}\"}}"),
+                    injected.to_string(),
+                ]);
+            }
+        }
+        counters.row(vec![
+            format!("ksp_fault_injected_total{{run=\"{label}\"}}"),
+            plan.injected_total().to_string(),
+        ]);
+        counters.row(vec![
+            format!("ksp_fault_plan_fingerprint{{run=\"{label}\"}}"),
+            format!("{:#018x}", plan.fingerprint()),
+        ]);
+    }
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&episode_dir);
+    vec![cycles, episode, counters]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_recovers_degrades_and_accounts() {
+        let tables = chaos(Scale::Tiny);
+        assert_eq!(tables.len(), 3);
+        let cycles = tables[0].render();
+        assert!(cycles.contains("byte_identical_to_control=true"), "{cycles}");
+        let episode = tables[1].render();
+        assert!(episode.contains("typed Degraded (read-only)"), "{episode}");
+        assert!(episode.contains("recovered"), "{episode}");
+        let counters = tables[2].render();
+        assert!(counters.contains("ksp_fault_injected_total"), "{counters}");
+        assert!(counters.contains("ksp_fault_plan_fingerprint"), "{counters}");
+    }
+}

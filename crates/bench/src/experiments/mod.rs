@@ -7,6 +7,7 @@
 
 pub mod ablation;
 pub mod baselines;
+pub mod chaos;
 pub mod dtlp;
 pub mod kspdg;
 pub mod obs;
@@ -54,6 +55,7 @@ pub fn catalogue() -> Vec<(&'static str, &'static str)> {
         ("persistence", "Storage: cold-start-from-checkpoint vs full rebuild, store verify"),
         ("obs", "Observability: per-stage latency decomposition, interval counters, scrape"),
         ("repl", "Replication: log shipping, snapshot fallback, warm failover vs cold recovery"),
+        ("chaos", "Robustness: seeded fault injection, degraded mode, crash/recover byte identity"),
     ]
 }
 
@@ -92,6 +94,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "persistence" => persistence::persistence(scale),
         "obs" => obs::observability(scale),
         "repl" => repl::repl(scale),
+        "chaos" => chaos::chaos(scale),
         _ => return None,
     };
     Some(tables)

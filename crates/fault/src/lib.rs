@@ -1,0 +1,389 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a schedule of faults armed at typed [`FaultPoint`]s.
+//! Consumers (the store's I/O backend, the transport wrapper) call
+//! [`FaultPlan::next`] at each operation; the plan counts operations per
+//! point and answers with a [`FaultAction`] when the armed [`Schedule`]
+//! fires. Everything — including probabilistic schedules — is driven by a
+//! seeded xorshift generator, so the same seed over the same operation
+//! sequence produces the same injection log, byte for byte. That log is
+//! queryable ([`FaultPlan::injections`], [`FaultPlan::fingerprint`]) so a
+//! chaos test can *assert* reproducibility rather than hope for it.
+//!
+//! The crate is dependency-free (std only) so every layer of the workspace
+//! can take it as a dev- or cfg-gated dependency without cycles.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A typed boundary where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultPoint {
+    /// A WAL record (or segment header) write.
+    WalWrite,
+    /// A WAL fsync (`sync_data` / `sync_all` on a segment file).
+    WalFsync,
+    /// A checkpoint image write (staging a `.tmp` file).
+    CheckpointWrite,
+    /// A checkpoint image fsync.
+    CheckpointFsync,
+    /// Sending a request over a transport.
+    NetSend,
+    /// Receiving a response over a transport.
+    NetRecv,
+}
+
+impl FaultPoint {
+    /// Every point, for iteration in reports.
+    pub const ALL: [FaultPoint; 6] = [
+        FaultPoint::WalWrite,
+        FaultPoint::WalFsync,
+        FaultPoint::CheckpointWrite,
+        FaultPoint::CheckpointFsync,
+        FaultPoint::NetSend,
+        FaultPoint::NetRecv,
+    ];
+
+    /// Stable label (used in metrics and the injection log).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultPoint::WalWrite => "wal_write",
+            FaultPoint::WalFsync => "wal_fsync",
+            FaultPoint::CheckpointWrite => "checkpoint_write",
+            FaultPoint::CheckpointFsync => "checkpoint_fsync",
+            FaultPoint::NetSend => "net_send",
+            FaultPoint::NetRecv => "net_recv",
+        }
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happens when a schedule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The operation fails with a generic I/O error.
+    Fail,
+    /// A write persists only the first `keep` bytes, then fails.
+    ShortWrite { keep: usize },
+    /// The operation fails with `ENOSPC` (disk full).
+    Enospc,
+    /// Post-crash damage: the tail of the file loses `bytes` bytes.
+    /// (Applied by the crash simulator between kill and recover, not by the
+    /// live I/O path.)
+    TornTail { bytes: usize },
+    /// Post-crash damage: one bit flips at `offset` bytes from the end.
+    BitFlip { offset: usize },
+    /// The operation is delayed by `ms` milliseconds, then succeeds.
+    DelayMs { ms: u64 },
+    /// A transport drops the reply: the request may have been applied, but
+    /// the caller sees a connection error.
+    DropReply,
+    /// A transport delivers the previous reply again (duplicate delivery).
+    DuplicateReply,
+    /// The connection is severed: this and every later operation on the
+    /// transport fails until it is healed.
+    Sever,
+}
+
+impl FaultAction {
+    /// Stable label for logs and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultAction::Fail => "fail",
+            FaultAction::ShortWrite { .. } => "short_write",
+            FaultAction::Enospc => "enospc",
+            FaultAction::TornTail { .. } => "torn_tail",
+            FaultAction::BitFlip { .. } => "bit_flip",
+            FaultAction::DelayMs { .. } => "delay",
+            FaultAction::DropReply => "drop_reply",
+            FaultAction::DuplicateReply => "duplicate_reply",
+            FaultAction::Sever => "sever",
+        }
+    }
+
+    /// Renders this action as the `std::io::Error` a faulted storage
+    /// operation reports. `ShortWrite` callers should write the prefix first
+    /// and then fail with this.
+    pub fn to_io_error(self) -> std::io::Error {
+        match self {
+            FaultAction::Enospc => std::io::Error::from_raw_os_error(28), // ENOSPC
+            other => std::io::Error::other(format!("injected fault: {}", other.label())),
+        }
+    }
+}
+
+/// When an armed fault fires, in terms of the per-point operation count
+/// (1-based: the first operation at a point is operation 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Fire exactly once, on the `n`th operation.
+    Nth(u64),
+    /// Fire on every `n`th operation (n, 2n, 3n, ...).
+    Every(u64),
+    /// Fire each operation independently with probability `per_mille`/1000,
+    /// drawn from the plan's seeded generator.
+    PerMille(u32),
+    /// Fire on every operation from the `n`th onward.
+    From(u64),
+}
+
+/// One injected fault, as recorded in the plan's log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    pub point: FaultPoint,
+    /// 1-based operation index at that point.
+    pub op: u64,
+    pub action: FaultAction,
+}
+
+#[derive(Debug)]
+struct Arm {
+    point: FaultPoint,
+    schedule: Schedule,
+    action: FaultAction,
+    /// Set once a `Nth` arm has fired (it never fires again).
+    spent: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    rng: u64,
+    arms: Vec<Arm>,
+    /// Per-point operation counters (how many times `next` was called).
+    ops: HashMap<FaultPoint, u64>,
+    log: Vec<Injection>,
+}
+
+/// A seeded, deterministic fault schedule. Cloning shares the underlying
+/// plan (counters, log, generator), so one plan can be threaded through
+/// several components and still produce a single coherent schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults armed. `seed` drives probabilistic schedules.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            inner: Arc::new(Mutex::new(Inner {
+                seed,
+                // xorshift64 needs a non-zero state; fold the seed through a
+                // splitmix-style multiply so nearby seeds diverge.
+                rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                arms: Vec::new(),
+                ops: HashMap::new(),
+                log: Vec::new(),
+            })),
+        }
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.inner.lock().unwrap().seed
+    }
+
+    /// Arms `action` at `point` on `schedule`. Multiple arms may target the
+    /// same point; the first one (in arming order) that fires on a given
+    /// operation wins.
+    pub fn arm(&self, point: FaultPoint, schedule: Schedule, action: FaultAction) -> &Self {
+        self.inner.lock().unwrap().arms.push(Arm { point, schedule, action, spent: false });
+        self
+    }
+
+    /// Removes every arm at `point` — the "heal" half of a chaos scenario
+    /// (e.g. a persistent [`Schedule::From`] disk fault whose repair the
+    /// test then observes). Operation counters and the injection log are
+    /// untouched, so fingerprints stay meaningful across the heal.
+    pub fn disarm(&self, point: FaultPoint) -> &Self {
+        self.inner.lock().unwrap().arms.retain(|a| a.point != point);
+        self
+    }
+
+    /// Counts an operation at `point` and returns the fault to inject, if
+    /// any armed schedule fires on it.
+    pub fn next(&self, point: FaultPoint) -> Option<FaultAction> {
+        let mut inner = self.inner.lock().unwrap();
+        let op = inner.ops.entry(point).or_insert(0);
+        *op += 1;
+        let op = *op;
+        // Draw exactly one random number per operation that *any*
+        // probabilistic arm watches, so arming more probabilistic faults at
+        // other points doesn't shift this point's draws.
+        let has_prob = inner
+            .arms
+            .iter()
+            .any(|a| a.point == point && matches!(a.schedule, Schedule::PerMille(_)));
+        let draw = if has_prob { Some(Self::xorshift(&mut inner.rng)) } else { None };
+        let mut fired: Option<(usize, FaultAction)> = None;
+        for (i, arm) in inner.arms.iter().enumerate() {
+            if arm.point != point || arm.spent {
+                continue;
+            }
+            let fires = match arm.schedule {
+                Schedule::Nth(n) => op == n,
+                Schedule::Every(n) => n > 0 && op.is_multiple_of(n),
+                Schedule::From(n) => op >= n,
+                Schedule::PerMille(p) => draw.is_some_and(|d| (d % 1000) < u64::from(p.min(1000))),
+            };
+            if fires {
+                fired = Some((i, arm.action));
+                break;
+            }
+        }
+        let (i, action) = fired?;
+        if matches!(inner.arms[i].schedule, Schedule::Nth(_)) {
+            inner.arms[i].spent = true;
+        }
+        inner.log.push(Injection { point, op, action });
+        Some(action)
+    }
+
+    /// Total faults injected so far.
+    pub fn injected_total(&self) -> u64 {
+        self.inner.lock().unwrap().log.len() as u64
+    }
+
+    /// Faults injected at `point` so far.
+    pub fn injected_at(&self, point: FaultPoint) -> u64 {
+        self.inner.lock().unwrap().log.iter().filter(|i| i.point == point).count() as u64
+    }
+
+    /// The full injection log, in firing order.
+    pub fn injections(&self) -> Vec<Injection> {
+        self.inner.lock().unwrap().log.clone()
+    }
+
+    /// Operations observed at `point` (fired or not).
+    pub fn ops_at(&self, point: FaultPoint) -> u64 {
+        self.inner.lock().unwrap().ops.get(&point).copied().unwrap_or(0)
+    }
+
+    /// A stable hash of the injection log. Two runs with the same seed and
+    /// the same operation sequence produce the same fingerprint; chaos tests
+    /// assert this to prove the schedule is reproducible.
+    pub fn fingerprint(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for inj in &inner.log {
+            for b in [inj.point.label().as_bytes(), inj.action.label().as_bytes()] {
+                for &byte in b {
+                    mix(byte);
+                }
+                mix(0);
+            }
+            for byte in inj.op.to_le_bytes() {
+                mix(byte);
+            }
+        }
+        h
+    }
+
+    /// Draws a value from the plan's generator (used by consumers that need
+    /// deterministic randomness tied to the plan, e.g. picking a flip
+    /// offset).
+    pub fn draw(&self) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        Self::xorshift(&mut inner.rng)
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_fires_once() {
+        let plan = FaultPlan::new(7);
+        plan.arm(FaultPoint::WalFsync, Schedule::Nth(3), FaultAction::Fail);
+        assert_eq!(plan.next(FaultPoint::WalFsync), None);
+        assert_eq!(plan.next(FaultPoint::WalFsync), None);
+        assert_eq!(plan.next(FaultPoint::WalFsync), Some(FaultAction::Fail));
+        assert_eq!(plan.next(FaultPoint::WalFsync), None);
+        assert_eq!(plan.injected_total(), 1);
+        assert_eq!(plan.ops_at(FaultPoint::WalFsync), 4);
+    }
+
+    #[test]
+    fn every_fires_periodically() {
+        let plan = FaultPlan::new(7);
+        plan.arm(FaultPoint::NetSend, Schedule::Every(2), FaultAction::DropReply);
+        let fired: Vec<bool> = (0..6).map(|_| plan.next(FaultPoint::NetSend).is_some()).collect();
+        assert_eq!(fired, [false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn points_count_independently() {
+        let plan = FaultPlan::new(1);
+        plan.arm(FaultPoint::WalWrite, Schedule::Nth(1), FaultAction::Enospc);
+        assert_eq!(plan.next(FaultPoint::WalFsync), None);
+        assert_eq!(plan.next(FaultPoint::WalWrite), Some(FaultAction::Enospc));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new(seed);
+            plan.arm(FaultPoint::NetRecv, Schedule::PerMille(300), FaultAction::Sever);
+            for _ in 0..200 {
+                plan.next(FaultPoint::NetRecv);
+            }
+            (plan.injections(), plan.fingerprint())
+        };
+        let (log_a, fp_a) = run(42);
+        let (log_b, fp_b) = run(42);
+        assert_eq!(log_a, log_b);
+        assert_eq!(fp_a, fp_b);
+        assert!(!log_a.is_empty(), "p=0.3 over 200 ops should fire");
+        let (_, fp_c) = run(43);
+        assert_ne!(fp_a, fp_c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let plan = FaultPlan::new(9);
+        plan.arm(FaultPoint::WalWrite, Schedule::Nth(2), FaultAction::Fail);
+        let other = plan.clone();
+        assert_eq!(other.next(FaultPoint::WalWrite), None);
+        assert_eq!(plan.next(FaultPoint::WalWrite), Some(FaultAction::Fail));
+        assert_eq!(other.injected_total(), 1);
+    }
+
+    #[test]
+    fn disarm_heals_a_persistent_fault() {
+        let plan = FaultPlan::new(3);
+        plan.arm(FaultPoint::WalFsync, Schedule::From(1), FaultAction::Fail);
+        assert!(plan.next(FaultPoint::WalFsync).is_some());
+        assert!(plan.next(FaultPoint::WalFsync).is_some());
+        plan.disarm(FaultPoint::WalFsync);
+        assert_eq!(plan.next(FaultPoint::WalFsync), None, "healed point injects nothing");
+        assert_eq!(plan.injected_total(), 2, "the log survives the heal");
+        assert_eq!(plan.ops_at(FaultPoint::WalFsync), 3, "counters survive the heal");
+    }
+
+    #[test]
+    fn enospc_maps_to_raw_os_error() {
+        let err = FaultAction::Enospc.to_io_error();
+        assert_eq!(err.raw_os_error(), Some(28));
+    }
+}

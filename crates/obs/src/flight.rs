@@ -40,6 +40,8 @@ use std::time::Instant;
 /// |   10 | `WalAppendStall`        |
 /// |   11 | `FsyncStall`            |
 /// |   12 | `AdmissionBreach`       |
+/// |   13 | `DegradedEntered`       |
+/// |   14 | `DegradedRecovered`     |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
@@ -87,11 +89,19 @@ pub enum EventKind {
     /// a breach episode). `a` = shard, `b` = estimated wait in microseconds,
     /// `c` = the budget in microseconds.
     AdmissionBreach = 12,
+    /// The service flipped into read-only degraded mode: the delta log
+    /// refused an append, so writes are rejected while reads keep serving
+    /// the last published epoch. `a` = the epoch that failed to append.
+    DegradedEntered = 13,
+    /// The background probe repaired the log and the service left degraded
+    /// mode. `a` = the last published epoch, `b` = how many probe attempts
+    /// it took, `c` = time spent degraded in microseconds.
+    DegradedRecovered = 14,
 }
 
 impl EventKind {
     /// All kinds, for decoding and iteration.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::EpochPublished,
         EventKind::CheckpointCommitted,
         EventKind::CheckpointFailed,
@@ -105,6 +115,8 @@ impl EventKind {
         EventKind::WalAppendStall,
         EventKind::FsyncStall,
         EventKind::AdmissionBreach,
+        EventKind::DegradedEntered,
+        EventKind::DegradedRecovered,
     ];
 
     /// Stable label for exposition.
@@ -123,6 +135,8 @@ impl EventKind {
             EventKind::WalAppendStall => "wal_append_stall",
             EventKind::FsyncStall => "fsync_stall",
             EventKind::AdmissionBreach => "admission_breach",
+            EventKind::DegradedEntered => "degraded_entered",
+            EventKind::DegradedRecovered => "degraded_recovered",
         }
     }
 

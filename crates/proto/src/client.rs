@@ -89,6 +89,11 @@ pub struct ClientConfig {
     pub base_backoff_ms: u64,
     /// Upper clamp on any single backoff sleep, milliseconds.
     pub max_backoff_ms: u64,
+    /// Deadline applied to the TCP connect and to every individual socket
+    /// read and write ([`KspClient::connect_with_config`]). An expired
+    /// deadline surfaces as [`ClientError::TimedOut`]. `None` (the default)
+    /// blocks forever — the pre-deadline behaviour.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ClientConfig {
@@ -98,6 +103,7 @@ impl Default for ClientConfig {
             max_retries: 3,
             base_backoff_ms: 5,
             max_backoff_ms: 500,
+            io_timeout: None,
         }
     }
 }
@@ -114,6 +120,10 @@ impl ClientConfig {
 pub enum ClientError {
     /// The transport could not complete the round trip.
     Transport(TransportError),
+    /// An I/O deadline ([`ClientConfig::io_timeout`]) expired before the
+    /// server answered. The connection's stream state is unknown (a late
+    /// response may still be in flight); reconnect before reusing it.
+    TimedOut,
     /// The server answered with a typed error.
     Server(ErrorReply),
     /// The server answered with a response of the wrong kind (protocol
@@ -136,6 +146,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Transport(e) => write!(f, "transport failed: {e}"),
+            ClientError::TimedOut => write!(f, "I/O deadline expired waiting for the server"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
             ClientError::UnexpectedResponse { expected } => {
                 write!(f, "server sent the wrong response kind (expected {expected})")
@@ -149,14 +160,17 @@ impl std::error::Error for ClientError {
         match self {
             ClientError::Transport(e) => Some(e),
             ClientError::Server(e) => Some(e),
-            ClientError::UnexpectedResponse { .. } => None,
+            _ => None,
         }
     }
 }
 
 impl From<TransportError> for ClientError {
     fn from(e: TransportError) -> Self {
-        ClientError::Transport(e)
+        match e {
+            TransportError::TimedOut => ClientError::TimedOut,
+            other => ClientError::Transport(other),
+        }
     }
 }
 
@@ -202,9 +216,21 @@ impl KspClient<TcpTransport> {
     /// before touching the payload — the frozen header layout is what makes
     /// that possible without decoding bytes of an unknown format.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<(Self, HandshakeInfo), ClientError> {
-        let transport = TcpTransport::connect(addr)
-            .map_err(|e| ClientError::Transport(TransportError::Io(e)))?;
-        Self::handshake(transport)
+        Self::connect_with_config(addr, ClientConfig::default())
+    }
+
+    /// [`KspClient::connect`] with explicit policy knobs. In particular,
+    /// [`ClientConfig::io_timeout`] bounds the TCP connect and every socket
+    /// read/write (including the handshake): a dead or wedged peer surfaces
+    /// as [`ClientError::TimedOut`] instead of blocking forever.
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<(Self, HandshakeInfo), ClientError> {
+        let transport = TcpTransport::connect_timeout(addr, config.io_timeout)
+            .map_err(|e| ClientError::from(TransportError::from(e)))?;
+        let (client, info) = Self::handshake(transport)?;
+        Ok((client.with_config(config), info))
     }
 }
 
@@ -609,7 +635,13 @@ mod tests {
     }
 
     fn fast_retrying(max_retries: u32) -> ClientConfig {
-        ClientConfig { retry_on_overload: true, max_retries, base_backoff_ms: 1, max_backoff_ms: 2 }
+        ClientConfig {
+            retry_on_overload: true,
+            max_retries,
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            ..ClientConfig::default()
+        }
     }
 
     #[test]
@@ -652,6 +684,7 @@ mod tests {
                 max_retries: 8,
                 base_backoff_ms: 2,
                 max_backoff_ms: 50,
+                ..ClientConfig::default()
             });
         let mut prev = 0u64;
         for _ in 0..32 {

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod frame;
 pub mod message;
 pub mod obs;
@@ -61,6 +62,7 @@ pub mod shard;
 pub mod transport;
 
 pub use client::{ClientConfig, ClientError, HandshakeInfo, KspClient, LatencyBreakdown};
+pub use fault::FaultTransport;
 pub use frame::{FrameError, FrameKind, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
 pub use message::{
     ErrorReply, QueryAnswer, QueryKey, QueryOutcome, Request, Response, TraceContext, WireMetrics,

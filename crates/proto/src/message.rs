@@ -521,6 +521,10 @@ pub enum ErrorReply {
     /// The peer sent bytes that do not parse as a frame or message; the
     /// connection closes after this reply (stream synchronisation is lost).
     Malformed(String),
+    /// The service is in read-only degraded mode: the delta log refused an
+    /// append, so writes are rejected while queries keep serving the last
+    /// published epoch. A background probe repairs the log; retry later.
+    Degraded(String),
 }
 
 impl ErrorReply {
@@ -563,6 +567,9 @@ impl std::fmt::Display for ErrorReply {
                 write!(f, "protocol version mismatch: server speaks v{server}, client v{client}")
             }
             ErrorReply::Malformed(detail) => write!(f, "malformed frame: {detail}"),
+            ErrorReply::Degraded(detail) => {
+                write!(f, "service degraded (read-only): {detail}")
+            }
         }
     }
 }
@@ -584,6 +591,9 @@ const ERR_MALFORMED: u8 = 8;
 // a hint to carry. `ErrorReply` nests mid-stream inside `QueryOutcome` lists,
 // so the hint must live under its own tag rather than a tolerant payload tail.
 const ERR_OVERLOADED_RETRY: u8 = 9;
+// Appended for read-only degraded mode (fault-tolerance work): a WAL append
+// failure flips the service read-only and `ApplyBatch` answers with this.
+const ERR_DEGRADED: u8 = 10;
 
 impl StoreCodec for ErrorReply {
     fn encode(&self, w: &mut Writer) {
@@ -624,6 +634,10 @@ impl StoreCodec for ErrorReply {
                 w.put_u8(ERR_MALFORMED);
                 encode_str(detail, w);
             }
+            ErrorReply::Degraded(detail) => {
+                w.put_u8(ERR_DEGRADED);
+                encode_str(detail, w);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -642,6 +656,7 @@ impl StoreCodec for ErrorReply {
                 Ok(ErrorReply::UnsupportedVersion { server: r.get_u32()?, client: r.get_u32()? })
             }
             ERR_MALFORMED => Ok(ErrorReply::Malformed(decode_string(r)?)),
+            ERR_DEGRADED => Ok(ErrorReply::Degraded(decode_string(r)?)),
             tag => Err(CodecError::InvalidTag { what: "ErrorReply", tag }),
         }
     }

@@ -72,6 +72,10 @@ pub enum TransportError {
     Frame(FrameError),
     /// The underlying connection failed.
     Io(io::Error),
+    /// An I/O deadline expired before the peer answered (see
+    /// [`TcpTransport::set_io_timeout`]). Distinct from [`TransportError::Io`]
+    /// so callers can tell "slow or dead peer" from "broken connection".
+    TimedOut,
     /// The peer closed the connection before answering.
     Disconnected,
     /// The peer sent a frame that is not a response (protocol violation).
@@ -83,6 +87,7 @@ impl std::fmt::Display for TransportError {
         match self {
             TransportError::Frame(e) => write!(f, "frame error: {e}"),
             TransportError::Io(e) => write!(f, "connection error: {e}"),
+            TransportError::TimedOut => write!(f, "I/O deadline expired"),
             TransportError::Disconnected => write!(f, "server closed the connection"),
             TransportError::UnexpectedFrame => write!(f, "peer sent a non-response frame"),
         }
@@ -102,7 +107,7 @@ impl std::error::Error for TransportError {
 impl From<FrameError> for TransportError {
     fn from(e: FrameError) -> Self {
         match e {
-            FrameError::Io(io) => TransportError::Io(io),
+            FrameError::Io(io) => TransportError::from(io),
             other => TransportError::Frame(other),
         }
     }
@@ -110,7 +115,12 @@ impl From<FrameError> for TransportError {
 
 impl From<io::Error> for TransportError {
     fn from(e: io::Error) -> Self {
-        TransportError::Io(e)
+        // A socket deadline expiring surfaces as `WouldBlock` on Unix and
+        // `TimedOut` on Windows; both mean "deadline", not "broken".
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => TransportError::TimedOut,
+            _ => TransportError::Io(e),
+        }
     }
 }
 
@@ -135,6 +145,24 @@ pub trait Transport: Send {
     fn stats(&self) -> TransportStats;
 }
 
+// Forward through boxes so a connection can be composed at runtime (e.g. a
+// replica interposing a `FaultTransport` under test). Explicit forwarding
+// matters for `pipeline`: the default would degrade a boxed TcpTransport to
+// sequential round trips.
+impl Transport for Box<dyn Transport> {
+    fn roundtrip(&mut self, request: Request) -> Result<Response, TransportError> {
+        (**self).roundtrip(request)
+    }
+
+    fn pipeline(&mut self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
+        (**self).pipeline(requests)
+    }
+
+    fn stats(&self) -> TransportStats {
+        (**self).stats()
+    }
+}
+
 /// The blocking TCP transport: one connection, the [`crate::frame`] codec,
 /// buffered reads and writes, pipelined batches.
 pub struct TcpTransport {
@@ -149,19 +177,62 @@ impl TcpTransport {
     /// This performs no handshake; [`crate::KspClient::connect`] layers the
     /// `Ping` version negotiation on top.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_timeout(addr, None)
+    }
+
+    /// [`TcpTransport::connect`] bounded by a deadline: the connect itself
+    /// and every subsequent read and write must complete within `timeout`
+    /// (each individually), or the operation fails — surfaced by the client
+    /// as [`crate::ClientError::TimedOut`]. `None` keeps the unbounded
+    /// default.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<std::time::Duration>,
+    ) -> io::Result<Self> {
+        let stream = match timeout {
+            None => TcpStream::connect(addr)?,
+            Some(deadline) => {
+                // `TcpStream::connect_timeout` takes one resolved address;
+                // try each resolution like `connect` would.
+                let mut last_err = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, deadline) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last_err.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                    })
+                })?
+            }
+        };
         stream.set_nodelay(true)?;
-        Ok(TcpTransport {
+        let transport = TcpTransport {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
             stats: TransportStats::default(),
-        })
+        };
+        transport.set_io_timeout(timeout)?;
+        Ok(transport)
     }
 
     /// Bounds how long a blocked read waits for the server, `None` for
     /// forever. Useful in tests that must never hang on a dead peer.
     pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
         self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Bounds both reads and writes with one deadline, `None` for forever.
+    /// An expired deadline surfaces as [`TransportError::TimedOut`].
+    pub fn set_io_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.writer.get_ref().set_write_timeout(timeout)
     }
 
     fn send(&mut self, request: &Request) -> Result<(), TransportError> {

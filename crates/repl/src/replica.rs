@@ -10,10 +10,14 @@
 //! leader ran — deterministic, so a caught-up replica holds a byte-identical
 //! `(graph, index)` pair and answers queries bit-for-bit the same.
 
+use ksp_fault::FaultPlan;
 use ksp_graph::VertexId;
 use ksp_obs::{Counter, Gauge};
 use ksp_proto::message::{ErrorReply, Request, Response};
-use ksp_proto::{KspClient, TcpTransport, WireSnapshotManifest};
+use ksp_proto::{
+    ClientError, FaultTransport, HandshakeInfo, KspClient, TcpTransport, Transport,
+    WireSnapshotManifest,
+};
 use ksp_serve::{QueryResponse, QueryService, ReplicationHook, ServiceConfig};
 use ksp_store::StoreConfig;
 use parking_lot::RwLock;
@@ -53,6 +57,21 @@ pub struct ReplicaConfig {
     pub max_read_lag: Option<u64>,
     /// How long the background thread sleeps after a caught-up round.
     pub poll_interval: Duration,
+    /// Lower bound of the reconnect backoff after a failed sync round. Each
+    /// sleep is drawn with decorrelated jitter — uniform in
+    /// `[backoff_base, 3 × previous sleep]`, clamped to
+    /// [`ReplicaConfig::backoff_cap`] — so a fleet of followers cut off by
+    /// one leader outage reconnects spread out instead of in lockstep.
+    pub backoff_base: Duration,
+    /// Upper clamp on any single reconnect-backoff sleep. Kept low by
+    /// default (100 ms) so a promotion request never waits long.
+    pub backoff_cap: Duration,
+    /// When set, every leader connection this replica opens (bootstrap,
+    /// reconnect) is wrapped in a [`FaultTransport`] drawing from this plan —
+    /// the chaos-test seam for link faults. Clones of a plan share one
+    /// schedule, so the test keeps its own handle for assertions. `None`
+    /// (the default) connects directly.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ReplicaConfig {
@@ -69,6 +88,9 @@ impl ReplicaConfig {
             chunk_bytes: 0,
             max_read_lag: None,
             poll_interval: Duration::from_millis(20),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+            fault_plan: None,
         }
     }
 }
@@ -170,10 +192,27 @@ struct SyncCtx {
 }
 
 /// The leader connection plus the bootstrap-generation counter. Owned by the
-/// replica handle, or moved into the background thread while it runs.
+/// replica handle, or moved into the background thread while it runs. The
+/// transport is boxed so a [`ReplicaConfig::fault_plan`] can interpose a
+/// [`FaultTransport`] without changing any replication code.
 struct Core {
-    client: KspClient<TcpTransport>,
+    client: KspClient<Box<dyn Transport>>,
     generation: u64,
+}
+
+/// Opens one leader connection, wrapping it in a [`FaultTransport`] when the
+/// configuration carries a fault plan, and performs the version handshake.
+fn connect_leader(
+    addr: SocketAddr,
+    config: &ReplicaConfig,
+) -> Result<(KspClient<Box<dyn Transport>>, HandshakeInfo), ClientError> {
+    let tcp = TcpTransport::connect(addr)
+        .map_err(|e| ClientError::from(ksp_proto::TransportError::from(e)))?;
+    let transport: Box<dyn Transport> = match &config.fault_plan {
+        Some(plan) => Box::new(FaultTransport::new(tcp, plan.clone())),
+        None => Box::new(tcp),
+    };
+    KspClient::handshake(transport)
 }
 
 /// A log-shipping read replica of a persistent leader service.
@@ -201,7 +240,7 @@ impl Replica {
     ) -> Result<Self, ReplError> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        let (mut client, hello) = KspClient::connect(addr)?;
+        let (mut client, hello) = connect_leader(addr, &config)?;
         if hello.negotiated_version < 2 {
             return Err(ReplError::Protocol(format!(
                 "leader negotiated protocol version {}; replication needs >= 2",
@@ -419,30 +458,23 @@ fn sync_round(ctx: &SyncCtx, core: &mut Core) -> Result<SyncOutcome, ReplError> 
     if let Some(manifest) = batch.fallback {
         // The leader pruned past our position: full re-sync into the next
         // generation directory, then swap the live service.
-        let old_generation = core.generation;
-        let fresh = fetch_and_open(core, &ctx.root, &ctx.config, &manifest)?;
-        fresh.set_replication_hook(Arc::new(FollowerHook { shared: ctx.shared.clone() }));
-        let applied = fresh.current_epoch();
-        *ctx.service.write() = fresh;
-        ctx.shared.applied.store(applied, Ordering::Relaxed);
-        ctx.shared.resyncs.fetch_add(1, Ordering::Relaxed);
-        let _ = std::fs::remove_dir_all(ctx.root.join(format!("gen-{old_generation:06}")));
-        let leader_epoch = core.client.repl_ack(&ctx.config.follower, applied)?;
-        ctx.shared.leader_epoch.store(leader_epoch, Ordering::Relaxed);
-        return Ok(SyncOutcome {
-            applied_records: 0,
-            resynced: true,
-            caught_up: applied >= leader_epoch,
-        });
+        return full_resync(ctx, core, &manifest);
     }
     let mut applied_records = 0u64;
     for record in &batch.records {
         let expected = service.current_epoch() + 1;
         if record.epoch != expected {
-            return Err(ReplError::Protocol(format!(
-                "leader shipped epoch {} where {expected} was expected",
+            // A duplicated, re-ordered or otherwise damaged shipment broke
+            // the contiguous epoch chain. The shipped records can no longer
+            // be trusted against our position, but the leader's image set
+            // can: salvage with a full snapshot re-sync instead of killing
+            // the sync loop over one bad payload.
+            eprintln!(
+                "ksp-repl: leader shipped epoch {} where {expected} was expected; \
+                 falling back to snapshot re-sync",
                 record.epoch
-            )));
+            );
+            return salvage_resync(ctx, core);
         }
         let published = service.apply_batch(&record.batch)?;
         debug_assert_eq!(published, record.epoch);
@@ -456,14 +488,62 @@ fn sync_round(ctx: &SyncCtx, core: &mut Core) -> Result<SyncOutcome, ReplError> 
     Ok(SyncOutcome { applied_records, resynced: false, caught_up: applied >= leader_epoch })
 }
 
+/// Transfers the manifest's snapshot into a fresh generation directory,
+/// swaps the live service to it and acks the recovered position.
+fn full_resync(
+    ctx: &SyncCtx,
+    core: &mut Core,
+    manifest: &WireSnapshotManifest,
+) -> Result<SyncOutcome, ReplError> {
+    let old_generation = core.generation;
+    let fresh = fetch_and_open(core, &ctx.root, &ctx.config, manifest)?;
+    fresh.set_replication_hook(Arc::new(FollowerHook { shared: ctx.shared.clone() }));
+    let applied = fresh.current_epoch();
+    *ctx.service.write() = fresh;
+    ctx.shared.applied.store(applied, Ordering::Relaxed);
+    ctx.shared.resyncs.fetch_add(1, Ordering::Relaxed);
+    let _ = std::fs::remove_dir_all(ctx.root.join(format!("gen-{old_generation:06}")));
+    let leader_epoch = core.client.repl_ack(&ctx.config.follower, applied)?;
+    ctx.shared.leader_epoch.store(leader_epoch, Ordering::Relaxed);
+    Ok(SyncOutcome { applied_records: 0, resynced: true, caught_up: applied >= leader_epoch })
+}
+
+/// Recovers from an untrusted shipment by requesting the snapshot fallback
+/// outright: epoch 0 lives in the leader's initial checkpoint, never in its
+/// log, so shipping from 0 always answers with a manifest.
+fn salvage_resync(ctx: &SyncCtx, core: &mut Core) -> Result<SyncOutcome, ReplError> {
+    let batch = core.client.ship_segment(0, ctx.config.max_records, ctx.config.max_bytes)?;
+    ctx.shared.leader_epoch.store(batch.leader_epoch, Ordering::Relaxed);
+    let manifest = batch.fallback.ok_or_else(|| {
+        ReplError::Protocol("leader did not offer a snapshot for a salvage re-sync".to_string())
+    })?;
+    full_resync(ctx, core, &manifest)
+}
+
 /// The background pull loop. Returns the core so a later [`Replica::promote`]
 /// (or a restart of [`Replica::run`]) can reuse the connection state.
+///
+/// Failed rounds back off with decorrelated jitter (uniform in
+/// `[backoff_base, 3 × previous sleep]`, clamped to `backoff_cap`), seeded
+/// from the follower name so concurrent followers decorrelate without any
+/// shared randomness — and deterministically, so a seeded chaos run replays.
 fn run_loop(ctx: &Arc<SyncCtx>, mut core: Core, stop: &Arc<AtomicBool>) -> Core {
-    let mut backoff = Duration::from_millis(10);
+    let base_ms = ctx.config.backoff_base.as_millis().max(1) as u64;
+    let cap_ms = (ctx.config.backoff_cap.as_millis() as u64).max(base_ms);
+    let mut prev_ms = 0u64;
+    let mut jitter = {
+        // FNV-1a over the follower name, xorshift-ready (never zero).
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in ctx.config.follower.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h | 1
+    };
     while !stop.load(Ordering::SeqCst) {
         match sync_round(ctx, &mut core) {
             Ok(outcome) => {
-                backoff = Duration::from_millis(10);
+                prev_ms = 0;
                 if outcome.caught_up {
                     sleep_unless_stopped(stop, ctx.config.poll_interval);
                 }
@@ -472,12 +552,18 @@ fn run_loop(ctx: &Arc<SyncCtx>, mut core: Core, stop: &Arc<AtomicBool>) -> Core 
                 // Connection lost or the leader is unhealthy: back off
                 // (capped low so a promotion request never waits long) and
                 // reconnect.
-                sleep_unless_stopped(stop, backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(100));
+                jitter ^= jitter << 13;
+                jitter ^= jitter >> 7;
+                jitter ^= jitter << 17;
+                let prev = prev_ms.max(base_ms);
+                let span = prev.saturating_mul(3).saturating_sub(base_ms).max(1);
+                let sleep_ms = base_ms.saturating_add(jitter % span).min(cap_ms);
+                prev_ms = sleep_ms;
+                sleep_unless_stopped(stop, Duration::from_millis(sleep_ms));
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                if let Ok((client, hello)) = KspClient::connect(ctx.addr) {
+                if let Ok((client, hello)) = connect_leader(ctx.addr, &ctx.config) {
                     if hello.negotiated_version >= 2 {
                         core.client = client;
                     }

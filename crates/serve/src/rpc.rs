@@ -57,6 +57,7 @@ impl From<PublishError> for ErrorReply {
         match e {
             PublishError::Graph(g) => ErrorReply::InvalidBatch(g.to_string()),
             PublishError::Store(s) => ErrorReply::Storage(s.to_string()),
+            PublishError::Degraded(reason) => ErrorReply::Degraded(reason),
         }
     }
 }

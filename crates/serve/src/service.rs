@@ -38,10 +38,11 @@ use ksp_obs::{
     Counter, EventKind, FlightRecorder, Gauge, ObsConfig, ObsSnapshot, PublishSpan,
     PublishStageSnapshot, RequestSpan, SpanChain, StageSnapshot,
 };
-use ksp_store::{AppendTimings, RecoveryReport, Store, StoreConfig, StoreError};
+use ksp_store::{AppendTimings, RecoveryReport, StorageIo, Store, StoreConfig, StoreError};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::path::Path as FsPath;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -167,6 +168,11 @@ pub enum PublishError {
     Graph(GraphError),
     /// The batch could not be appended to the durable delta log.
     Store(StoreError),
+    /// The service is in read-only degraded mode: a delta-log append failed,
+    /// so writes are refused while queries keep serving the last published
+    /// epoch. A background probe retries the log with capped exponential
+    /// backoff and lifts the degradation once an append can succeed again.
+    Degraded(String),
 }
 
 impl std::fmt::Display for PublishError {
@@ -174,6 +180,9 @@ impl std::fmt::Display for PublishError {
         match self {
             PublishError::Graph(e) => write!(f, "invalid update batch: {e}"),
             PublishError::Store(e) => write!(f, "batch could not be made durable: {e}"),
+            PublishError::Degraded(reason) => {
+                write!(f, "service degraded (read-only): {reason}")
+            }
         }
     }
 }
@@ -183,6 +192,7 @@ impl std::error::Error for PublishError {
         match self {
             PublishError::Graph(e) => Some(e),
             PublishError::Store(e) => Some(e),
+            PublishError::Degraded(_) => None,
         }
     }
 }
@@ -328,6 +338,44 @@ struct CheckpointJob {
     span: PublishSpan,
 }
 
+/// Shared read-only-degraded state of a persistent service.
+///
+/// Entered when a delta-log append fails: the failed batch publishes nothing,
+/// queries keep serving the last published epoch, and every further
+/// [`QueryService::apply_batch`] fast-fails with [`PublishError::Degraded`]
+/// until the background probe gets an append path working again.
+#[derive(Debug)]
+struct DegradedHealth {
+    degraded: AtomicBool,
+    /// Why the service degraded (the append error's rendering); empty while
+    /// healthy.
+    reason: Mutex<String>,
+    /// When degradation was entered, for the recovery event's duration.
+    entered_at: Mutex<Option<Instant>>,
+    entered_total: AtomicU64,
+    recovered_total: AtomicU64,
+}
+
+impl DegradedHealth {
+    fn new() -> Self {
+        DegradedHealth {
+            degraded: AtomicBool::new(false),
+            reason: Mutex::new(String::new()),
+            entered_at: Mutex::new(None),
+            entered_total: AtomicU64::new(0),
+            recovered_total: AtomicU64::new(0),
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    fn reason(&self) -> String {
+        self.reason.lock().clone()
+    }
+}
+
 /// The durable side of a persistent service.
 struct Persistence {
     /// Shared with the background checkpointer; the publish path holds it
@@ -337,9 +385,19 @@ struct Persistence {
     /// The store directory, kept outside the lock so checkpoint images can
     /// be staged (written + fsynced) without blocking the publish path.
     dir: std::path::PathBuf,
+    /// The store's I/O backend, captured at boot so checkpoint images are
+    /// staged through the same (possibly fault-injected) backend the WAL
+    /// writes through.
+    io: Arc<dyn StorageIo>,
     /// Dropped first on shutdown so the checkpointer's `recv` ends.
     jobs: Option<mpsc::Sender<CheckpointJob>>,
     checkpointer: Option<JoinHandle<()>>,
+    /// Wakes the degraded-mode probe immediately when degradation is entered
+    /// (it otherwise blocks, costing nothing while healthy). Dropped on
+    /// shutdown so the probe's `recv` ends.
+    probe_wake: Option<mpsc::Sender<()>>,
+    probe_stop: Arc<AtomicBool>,
+    probe: Option<JoinHandle<()>>,
 }
 
 /// A concurrent KSP query service over a dynamic road network.
@@ -352,6 +410,9 @@ pub struct QueryService {
     admission: Arc<AdmissionController>,
     masters: Mutex<Masters>,
     persistence: Option<Persistence>,
+    /// Read-only degraded mode (see [`PublishError::Degraded`]); always
+    /// healthy for an in-memory service.
+    degraded: Arc<DegradedHealth>,
     /// Replication endpoint (`ksp-repl`'s leader-side source), registered
     /// after construction via [`QueryService::set_replication_hook`]. Behind
     /// an `RwLock` because every request dispatch reads it and registration
@@ -385,6 +446,20 @@ impl QueryService {
         dir: &FsPath,
         store_config: StoreConfig,
     ) -> Result<Self, PublishError> {
+        Self::start_with_store_io(graph, config, dir, store_config, ksp_store::default_io())
+    }
+
+    /// [`QueryService::start_with_store`] with an explicit storage I/O
+    /// backend — the fault-injection seam: a [`ksp_store::FaultyIo`] here
+    /// drives every WAL append, fsync and checkpoint image the service
+    /// writes through a deterministic fault plan.
+    pub fn start_with_store_io(
+        graph: DynamicGraph,
+        config: ServiceConfig,
+        dir: &FsPath,
+        store_config: StoreConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self, PublishError> {
         config.validate();
         // Probe before the index build: an occupied directory must fail in
         // microseconds, not after minutes of DtlpIndex::build.
@@ -397,7 +472,7 @@ impl QueryService {
         }
         let index = Arc::new(DtlpIndex::build(&graph, config.dtlp).map_err(PublishError::Graph)?);
         let graph = Arc::new(graph);
-        let store = Store::create(dir, store_config, graph.version(), &graph, &index)
+        let store = Store::create_with_io(dir, store_config, graph.version(), &graph, &index, io)
             .map_err(PublishError::Store)?;
         Ok(Self::boot(graph, index, config, Some(store)))
     }
@@ -412,10 +487,22 @@ impl QueryService {
     /// built with, so queries behave exactly as they did before the restart.
     pub fn open(
         dir: &FsPath,
-        mut config: ServiceConfig,
+        config: ServiceConfig,
         store_config: StoreConfig,
     ) -> Result<(Self, RecoveryReport), PublishError> {
-        let (store, recovered) = Store::recover(dir, store_config).map_err(PublishError::Store)?;
+        Self::open_with_io(dir, config, store_config, ksp_store::default_io())
+    }
+
+    /// [`QueryService::open`] with an explicit storage I/O backend (see
+    /// [`QueryService::start_with_store_io`]).
+    pub fn open_with_io(
+        dir: &FsPath,
+        mut config: ServiceConfig,
+        store_config: StoreConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<(Self, RecoveryReport), PublishError> {
+        let (store, recovered) =
+            Store::recover_with_io(dir, store_config, io).map_err(PublishError::Store)?;
         config.dtlp = *recovered.index.config();
         config.validate();
         let report = recovered.report;
@@ -525,9 +612,11 @@ impl QueryService {
             shards.push(Shard { resources: resources[shard_id].clone(), worker: Some(worker) });
         }
 
+        let degraded = Arc::new(DegradedHealth::new());
         let persistence = store.map(|store| {
             let store_config = *store.config();
             let dir = store.dir().to_path_buf();
+            let io = store.io_handle();
             let store = Arc::new(Mutex::new(store));
             let (jobs, receiver) = mpsc::channel::<CheckpointJob>();
             let checkpointer = std::thread::Builder::new()
@@ -535,17 +624,35 @@ impl QueryService {
                 .spawn({
                     let store = store.clone();
                     let dir = dir.clone();
+                    let io = Arc::clone(&io);
                     let obs = obs.clone();
                     let metrics = metrics.clone();
-                    move || checkpointer_main(&store, &dir, &receiver, &obs, &metrics)
+                    move || checkpointer_main(&store, &dir, &io, &receiver, &obs, &metrics)
                 })
                 .expect("failed to spawn checkpointer");
+            let (probe_wake, probe_recv) = mpsc::channel::<()>();
+            let probe_stop = Arc::new(AtomicBool::new(false));
+            let probe = std::thread::Builder::new()
+                .name("ksp-serve-degraded-probe".to_string())
+                .spawn({
+                    let store = store.clone();
+                    let health = degraded.clone();
+                    let obs = obs.clone();
+                    let epoch = epoch.clone();
+                    let stop = probe_stop.clone();
+                    move || degraded_probe_main(&store, &health, &obs, &epoch, &stop, &probe_recv)
+                })
+                .expect("failed to spawn degraded probe");
             Persistence {
                 store,
                 store_config,
                 dir,
+                io,
                 jobs: Some(jobs),
                 checkpointer: Some(checkpointer),
+                probe_wake: Some(probe_wake),
+                probe_stop,
+                probe: Some(probe),
             }
         });
 
@@ -558,6 +665,7 @@ impl QueryService {
             admission,
             masters: Mutex::new(Masters { graph, index, dirty_since_job }),
             persistence,
+            degraded,
             replication: parking_lot::RwLock::new(None),
         }
     }
@@ -753,6 +861,11 @@ impl QueryService {
     /// epoch becomes visible: an epoch a reader can observe is always an
     /// epoch recovery can reproduce.
     pub fn apply_batch(&self, batch: &UpdateBatch) -> Result<u64, PublishError> {
+        // Fast-fail while degraded: the log is known-broken, so staging a
+        // fork just to throw it away would waste the write path's budget.
+        if self.degraded.is_degraded() {
+            return Err(PublishError::Degraded(self.degraded.reason()));
+        }
         let publish_started = Instant::now();
         // The publish span shares `publish_started` as its origin, so the
         // per-stage durations telescope to exactly the end-to-end publish
@@ -771,7 +884,17 @@ impl QueryService {
         // publishes nothing.
         let mut append_timings = AppendTimings::default();
         if let Some(p) = &self.persistence {
-            append_timings = p.store.lock().log_batch(epoch, batch)?;
+            match p.store.lock().log_batch(epoch, batch) {
+                Ok(timings) => append_timings = timings,
+                Err(e) => {
+                    // The append failed, so this epoch never becomes visible;
+                    // flip into read-only degraded mode and hand the failed
+                    // batch's caller the typed error. The staged forks are
+                    // simply dropped — the masters are untouched.
+                    drop(masters);
+                    return Err(self.enter_degraded(epoch, &e, p));
+                }
+            }
         }
         span.mark_logged(append_timings.fsync);
         masters.dirty_since_job.extend(maintenance.dirty_subgraphs);
@@ -883,6 +1006,44 @@ impl QueryService {
         Ok(epoch)
     }
 
+    /// Flips the service into read-only degraded mode after a failed append
+    /// and returns the error the failed `apply_batch` call reports. Idempotent
+    /// under races: only the first flip records the entry event and wakes the
+    /// probe.
+    fn enter_degraded(&self, epoch: u64, cause: &StoreError, p: &Persistence) -> PublishError {
+        let reason = format!("delta-log append failed at epoch {epoch}: {cause}");
+        if !self.degraded.degraded.swap(true, Ordering::AcqRel) {
+            *self.degraded.reason.lock() = reason.clone();
+            *self.degraded.entered_at.lock() = Some(Instant::now());
+            self.degraded.entered_total.fetch_add(1, Ordering::Relaxed);
+            // Entering degradation is an anomaly: capture the flight ring
+            // around the failed append, then wake the probe so recovery
+            // attempts start immediately.
+            self.obs.trigger(EventKind::DegradedEntered, epoch, 0, 0, None);
+            eprintln!("ksp-serve: entering read-only degraded mode: {reason}");
+            if let Some(wake) = &p.probe_wake {
+                let _ = wake.send(());
+            }
+        }
+        PublishError::Degraded(reason)
+    }
+
+    /// Whether the service is in read-only degraded mode (see
+    /// [`PublishError::Degraded`]). Queries are unaffected; writes fail fast
+    /// until the background probe lifts the degradation.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_degraded()
+    }
+
+    /// Why the service is degraded; `None` while healthy.
+    pub fn degraded_reason(&self) -> Option<String> {
+        if self.degraded.is_degraded() {
+            Some(self.degraded.reason())
+        } else {
+            None
+        }
+    }
+
     /// Whether this service persists its epochs to a store.
     pub fn is_persistent(&self) -> bool {
         self.persistence.is_some()
@@ -902,7 +1063,7 @@ impl QueryService {
         // halves must not stall concurrent publishes — then commit under it.
         let checkpoint_started = Instant::now();
         let encoded = Store::encode_checkpoint(epoch, &graph, &index);
-        let staged = Store::stage_checkpoint(&p.dir, &encoded)?;
+        let staged = Store::stage_checkpoint_with_io(&p.dir, &encoded, &p.io)?;
         p.store.lock().commit_staged_checkpoint(staged)?;
         self.obs.record(
             EventKind::CheckpointCommitted,
@@ -968,6 +1129,14 @@ impl QueryService {
             unlabelled("ksp_flight_dumps_total", flight.dumps_taken()),
             unlabelled("ksp_flight_overwritten_total", flight.events_overwritten()),
             unlabelled("ksp_admission_accepted_total", report.admission_accepted),
+            unlabelled(
+                "ksp_degraded_entered_total",
+                self.degraded.entered_total.load(Ordering::Relaxed),
+            ),
+            unlabelled(
+                "ksp_degraded_recovered_total",
+                self.degraded.recovered_total.load(Ordering::Relaxed),
+            ),
         ];
         for (reason, value) in [
             ("queue_full", report.admission_rejected_queue_full),
@@ -996,6 +1165,13 @@ impl QueryService {
                 name: "ksp_epoch_age_seconds".to_string(),
                 labels: String::new(),
                 value: report.epoch_age.as_secs_f64(),
+            },
+            // Always exported (0 while healthy) so a scraper can alert on the
+            // transition rather than on the family appearing.
+            Gauge {
+                name: "ksp_degraded".to_string(),
+                labels: String::new(),
+                value: u64::from(self.degraded.is_degraded()) as f64,
             },
         ];
         // One family at a time, so the text renderer emits a single `# TYPE`
@@ -1089,29 +1265,58 @@ impl QueryService {
 fn checkpointer_main(
     store: &Mutex<Store>,
     store_dir: &std::path::Path,
+    io: &Arc<dyn StorageIo>,
     jobs: &mpsc::Receiver<CheckpointJob>,
     obs: &Observability,
     metrics: &ServiceMetrics,
 ) {
+    /// First retry delay after a failed stage/commit.
+    const RETRY_BASE: Duration = Duration::from_millis(10);
+    /// Retry-delay ceiling: a persistently broken checkpoint path is probed a
+    /// couple of times per second, cheap next to the image it would write.
+    const RETRY_CAP: Duration = Duration::from_secs(2);
+
     let mut pending_dirty: HashSet<SubgraphId> = HashSet::new();
-    while let Ok(first) = jobs.recv() {
-        // Jobs are sent outside the masters lock, so queue order is not epoch
-        // order: pick the max epoch, not the last queued. A superseded job's
-        // publish span is finished here — its epoch was published, so its
-        // chain still records (with the checkpoint stages covering only the
-        // wait before coalescing).
-        let mut job = jobs.try_iter().fold(first, |best, mut next| {
-            if next.epoch > best.epoch {
-                next.dirty.extend(best.dirty);
-                finish_publish_span(metrics, &best.span);
-                next
-            } else {
-                let mut best = best;
-                best.dirty.extend(next.dirty);
-                finish_publish_span(metrics, &next.span);
-                best
-            }
-        });
+    // A job whose image failed to stage or commit is carried into the next
+    // iteration and retried with capped exponential backoff: a transient
+    // storage fault only delays the checkpoint (the log still holds every
+    // batch), and a newer job arriving during the backoff supersedes the
+    // failed one.
+    let mut carry: Option<CheckpointJob> = None;
+    let mut backoff = RETRY_BASE;
+    let mut quarantine_seq = 0u64;
+    // Jobs are sent outside the masters lock, so queue order is not epoch
+    // order: pick the max epoch, not the last queued. A superseded job's
+    // publish span is finished here — its epoch was published, so its chain
+    // still records (with the checkpoint stages covering only the wait before
+    // coalescing).
+    let merge = |mut best: CheckpointJob, mut next: CheckpointJob| {
+        if next.epoch > best.epoch {
+            next.dirty.extend(best.dirty.drain());
+            finish_publish_span(metrics, &best.span);
+            next
+        } else {
+            best.dirty.extend(next.dirty.drain());
+            finish_publish_span(metrics, &next.span);
+            best
+        }
+    };
+    loop {
+        let first = match carry.take() {
+            // Retrying: wait out the backoff, absorbing a newer job if one
+            // arrives during it. Channel shutdown abandons the retry — the
+            // log covers the un-imaged epochs.
+            Some(prev) => match jobs.recv_timeout(backoff) {
+                Ok(next) => merge(prev, next),
+                Err(mpsc::RecvTimeoutError::Timeout) => prev,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            },
+            None => match jobs.recv() {
+                Ok(first) => first,
+                Err(_) => break,
+            },
+        };
+        let mut job = jobs.try_iter().fold(first, &merge);
         pending_dirty.extend(job.dirty.drain());
 
         let (base_epoch, must_be_full) = {
@@ -1128,18 +1333,20 @@ fn checkpointer_main(
             Store::encode_partial_checkpoint(job.epoch, base_epoch, &job.graph, &job.index, &dirty)
         };
         job.span.mark_encoded();
-        let result = Store::stage_checkpoint(store_dir, &encoded)
+        let result = Store::stage_checkpoint_with_io(store_dir, &encoded, io)
             .and_then(|staged| store.lock().commit_staged_checkpoint(staged));
         // The epoch was published either way, so the publish span always
         // finishes: exactly one publish chain records per published epoch,
         // which is what lets the per-stage totals telescope to the end-to-end
-        // publish histogram.
+        // publish histogram. (A retry of the same epoch carries a disabled
+        // span, so finishing here stays once-per-epoch.)
         finish_publish_span(metrics, &job.span);
         match result {
             // Any committed image (full or partial) covers everything dirtied
             // up to its epoch.
             Ok(()) => {
                 pending_dirty.clear();
+                backoff = RETRY_BASE;
                 obs.record(
                     EventKind::CheckpointCommitted,
                     job.epoch,
@@ -1148,11 +1355,123 @@ fn checkpointer_main(
                 );
             }
             Err(e) => {
-                // The log still holds every batch, so losing a checkpoint only
-                // costs recovery time; report, keep the dirty set, keep
-                // serving.
+                // The log still holds every batch, so a failed checkpoint only
+                // costs recovery time. Quarantine the image bytes for
+                // post-mortem (best-effort), keep the dirty set, and retry
+                // after a backoff without stalling publishes.
                 obs.record(EventKind::CheckpointFailed, job.epoch, full as u64, 0);
                 eprintln!("ksp-serve: background checkpoint at epoch {} failed: {e}", job.epoch);
+                quarantine_seq += 1;
+                if let Err(qe) = quarantine_image(store_dir, &encoded, quarantine_seq) {
+                    eprintln!(
+                        "ksp-serve: could not quarantine failed image for epoch {}: {qe}",
+                        job.epoch
+                    );
+                }
+                job.span = PublishSpan::disabled();
+                carry = Some(job);
+                backoff = (backoff * 2).min(RETRY_CAP);
+            }
+        }
+    }
+}
+
+/// Preserves the bytes of a checkpoint image whose staging or commit failed
+/// under `<store>/quarantine/image-<epoch>-<seq>.bad`, for post-mortem
+/// inspection. Best-effort: a quarantine failure loses only the artefact,
+/// never the retry. The subdirectory is invisible to recovery — the store's
+/// scanners match file-name prefixes in the store root only.
+fn quarantine_image(
+    store_dir: &std::path::Path,
+    encoded: &ksp_store::EncodedCheckpoint,
+    seq: u64,
+) -> std::io::Result<()> {
+    let dir = store_dir.join("quarantine");
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join(format!("image-{:020}-{seq}.bad", encoded.epoch)), encoded.bytes())
+}
+
+/// The degraded-mode probe: blocks (costing nothing) until a failed append
+/// wakes it, then retries the delta log with capped exponential backoff and
+/// lifts the degradation once an append path works again.
+///
+/// The probe's unit of work is [`Store::probe_log`]: rewind any impaired
+/// active segment, then exercise a sync through the store's I/O backend —
+/// the same backend a real append would use, so a still-broken log keeps the
+/// probe failing and the service degraded.
+fn degraded_probe_main(
+    store: &Mutex<Store>,
+    health: &DegradedHealth,
+    obs: &Observability,
+    epoch: &EpochPointer,
+    stop: &AtomicBool,
+    wake: &mpsc::Receiver<()>,
+) {
+    /// First retry delay after entering degradation.
+    const PROBE_BASE: Duration = Duration::from_millis(5);
+    /// Retry-delay ceiling while degraded.
+    const PROBE_CAP: Duration = Duration::from_millis(500);
+    /// Sleep slice, so shutdown is observed promptly mid-backoff.
+    const SLICE: Duration = Duration::from_millis(2);
+
+    loop {
+        // Healthy: block until a degradation entry wakes us (or shutdown
+        // drops the sender).
+        if !health.is_degraded() {
+            match wake.recv() {
+                Ok(()) => {}
+                Err(_) => return,
+            }
+        }
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut backoff = PROBE_BASE;
+        let mut attempts = 0u64;
+        while health.is_degraded() {
+            attempts += 1;
+            let probed = store.lock().probe_log();
+            match probed {
+                Ok(()) => {
+                    let degraded_for = health
+                        .entered_at
+                        .lock()
+                        .take()
+                        .map(|t| t.elapsed())
+                        .unwrap_or(Duration::ZERO);
+                    health.reason.lock().clear();
+                    health.recovered_total.fetch_add(1, Ordering::Relaxed);
+                    // Release-store after the repair so an apply_batch that
+                    // sees "healthy" sees the repaired log.
+                    health.degraded.store(false, Ordering::Release);
+                    obs.trigger(
+                        EventKind::DegradedRecovered,
+                        epoch.load().epoch(),
+                        attempts,
+                        degraded_for.as_micros().min(u64::MAX as u128) as u64,
+                        None,
+                    );
+                    eprintln!(
+                        "ksp-serve: degraded mode recovered after {attempts} probe attempt(s)"
+                    );
+                }
+                Err(_) => {
+                    // Still broken: sleep out the backoff in slices so a
+                    // shutdown mid-degradation is honoured promptly.
+                    let mut remaining = backoff;
+                    while !remaining.is_zero() {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let slice = remaining.min(SLICE);
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                    backoff = (backoff * 2).min(PROBE_CAP);
+                }
+            }
+            if stop.load(Ordering::Acquire) {
+                return;
             }
         }
     }
@@ -1179,6 +1498,13 @@ impl Drop for QueryService {
             p.jobs.take();
             if let Some(checkpointer) = p.checkpointer.take() {
                 let _ = checkpointer.join();
+            }
+            // Stop the degraded probe: flag first (honoured mid-backoff),
+            // then drop the wake sender so a healthy probe's recv ends.
+            p.probe_stop.store(true, Ordering::Release);
+            p.probe_wake.take();
+            if let Some(probe) = p.probe.take() {
+                let _ = probe.join();
             }
         }
         for shard in &self.shards {

@@ -47,7 +47,6 @@ use crate::error::StoreError;
 use ksp_core::dtlp::{DtlpIndex, SubgraphIndex};
 use ksp_graph::DynamicGraph;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -112,6 +111,13 @@ impl EncodedCheckpoint {
     /// Whether the image is empty (it never is; for clippy's benefit).
     pub fn is_empty(&self) -> bool {
         self.bytes.is_empty()
+    }
+
+    /// The encoded file image, exactly as it would be written to disk. Lets
+    /// a caller preserve (quarantine) an image whose staging or commit
+    /// failed, for post-mortem inspection.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
     }
 }
 
@@ -225,6 +231,15 @@ pub fn stage_checkpoint(
     dir: &Path,
     encoded: &EncodedCheckpoint,
 ) -> Result<StagedCheckpoint, StoreError> {
+    stage_checkpoint_with_io(dir, encoded, &crate::io::default_io())
+}
+
+/// [`stage_checkpoint`] with an explicit I/O backend (fault injection).
+pub fn stage_checkpoint_with_io(
+    dir: &Path,
+    encoded: &EncodedCheckpoint,
+    io: &std::sync::Arc<dyn crate::io::StorageIo>,
+) -> Result<StagedCheckpoint, StoreError> {
     static STAGE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let seq = STAGE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let final_path = dir.join(match encoded.kind {
@@ -235,9 +250,9 @@ pub fn stage_checkpoint(
     let staged = (|| {
         let mut file = fs::File::create(&tmp_path)
             .map_err(|e| StoreError::io(format!("creating {}", tmp_path.display()), e))?;
-        file.write_all(&encoded.bytes)
+        io.write_all(crate::io::IoClass::CheckpointImage, &mut file, &encoded.bytes)
             .map_err(|e| StoreError::io(format!("writing {}", tmp_path.display()), e))?;
-        file.sync_all()
+        io.sync_all(crate::io::IoClass::CheckpointImage, &file)
             .map_err(|e| StoreError::io(format!("fsyncing {}", tmp_path.display()), e))?;
         Ok(())
     })();

@@ -1,0 +1,225 @@
+//! Pluggable storage I/O backend.
+//!
+//! Every write/fsync the store issues against a segment or checkpoint file
+//! goes through a [`StorageIo`] implementation. The default, [`RealIo`], is
+//! a zero-cost passthrough to `std::fs`. [`FaultyIo`] wraps a seeded
+//! [`ksp_fault::FaultPlan`] and injects write errors, short writes, `ENOSPC`
+//! and fsync failures on the plan's schedule — the storage half of the
+//! chaos-test surface. Crash damage (torn tails, bit flips) is applied to
+//! files *between* a simulated kill and the following recovery via
+//! [`apply_crash_damage`], never by the live I/O path.
+
+use ksp_fault::{FaultAction, FaultPlan, FaultPoint};
+use std::fmt::Debug;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::Arc;
+
+/// What kind of file (and which phase) an I/O operation belongs to — the
+/// granularity at which faults can be aimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoClass {
+    /// A WAL segment header write (segment creation / rotation).
+    WalHeader,
+    /// A WAL record append or its commit fsync.
+    WalRecord,
+    /// A checkpoint image write (staging) or its fsync.
+    CheckpointImage,
+}
+
+impl IoClass {
+    fn write_point(self) -> FaultPoint {
+        match self {
+            IoClass::WalHeader | IoClass::WalRecord => FaultPoint::WalWrite,
+            IoClass::CheckpointImage => FaultPoint::CheckpointWrite,
+        }
+    }
+
+    fn sync_point(self) -> FaultPoint {
+        match self {
+            IoClass::WalHeader | IoClass::WalRecord => FaultPoint::WalFsync,
+            IoClass::CheckpointImage => FaultPoint::CheckpointFsync,
+        }
+    }
+}
+
+/// The storage I/O boundary: everything the store does to file *contents*
+/// that matters for durability. Metadata operations (create, rename, remove,
+/// `set_len` rewinds) stay on `std::fs` — they are the repair paths, and a
+/// fault injector that breaks the repairs tests nothing but itself.
+pub trait StorageIo: Send + Sync + Debug {
+    /// Writes `buf` to `file` (appending at its cursor), all or error.
+    fn write_all(&self, class: IoClass, file: &mut fs::File, buf: &[u8]) -> io::Result<()>;
+    /// Flushes file *data* to stable storage (`File::sync_data`).
+    fn sync_data(&self, class: IoClass, file: &fs::File) -> io::Result<()>;
+    /// Flushes file data and metadata to stable storage (`File::sync_all`).
+    fn sync_all(&self, class: IoClass, file: &fs::File) -> io::Result<()>;
+}
+
+/// The default backend: straight through to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StorageIo for RealIo {
+    fn write_all(&self, _class: IoClass, file: &mut fs::File, buf: &[u8]) -> io::Result<()> {
+        file.write_all(buf)
+    }
+
+    fn sync_data(&self, _class: IoClass, file: &fs::File) -> io::Result<()> {
+        file.sync_data()
+    }
+
+    fn sync_all(&self, _class: IoClass, file: &fs::File) -> io::Result<()> {
+        file.sync_all()
+    }
+}
+
+/// The default I/O handle ([`RealIo`]).
+pub fn default_io() -> Arc<dyn StorageIo> {
+    Arc::new(RealIo)
+}
+
+/// A fault-injecting backend driven by a seeded [`FaultPlan`].
+///
+/// Each operation consults the plan at the matching [`FaultPoint`]
+/// (`WalWrite`/`WalFsync` for segment files, `CheckpointWrite`/
+/// `CheckpointFsync` for images). Actions map as:
+///
+/// * `Fail` / `Enospc` — the operation fails without touching the file.
+/// * `ShortWrite { keep }` — the first `keep` bytes are written, then the
+///   operation fails: exactly the partial-append shape a crash leaves.
+/// * `DelayMs { ms }` — the operation stalls, then succeeds.
+/// * Anything else (crash-damage or network actions) is recorded by the plan
+///   but the operation proceeds normally.
+#[derive(Debug, Clone)]
+pub struct FaultyIo {
+    plan: FaultPlan,
+}
+
+impl FaultyIo {
+    /// Wraps `plan` as a storage backend.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyIo { plan }
+    }
+
+    /// The underlying plan (shared, so counters and the log stay visible).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn faulted_sync(&self, point: FaultPoint, file: &fs::File, all: bool) -> io::Result<()> {
+        match self.plan.next(point) {
+            Some(FaultAction::DelayMs { ms }) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Some(
+                action @ (FaultAction::Fail | FaultAction::Enospc | FaultAction::ShortWrite { .. }),
+            ) => {
+                return Err(action.to_io_error());
+            }
+            _ => {}
+        }
+        if all {
+            file.sync_all()
+        } else {
+            file.sync_data()
+        }
+    }
+}
+
+impl StorageIo for FaultyIo {
+    fn write_all(&self, class: IoClass, file: &mut fs::File, buf: &[u8]) -> io::Result<()> {
+        match self.plan.next(class.write_point()) {
+            Some(FaultAction::DelayMs { ms }) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Some(FaultAction::ShortWrite { keep }) => {
+                let keep = keep.min(buf.len());
+                file.write_all(&buf[..keep])?;
+                return Err(FaultAction::ShortWrite { keep }.to_io_error());
+            }
+            Some(action @ (FaultAction::Fail | FaultAction::Enospc)) => {
+                return Err(action.to_io_error());
+            }
+            _ => {}
+        }
+        file.write_all(buf)
+    }
+
+    fn sync_data(&self, class: IoClass, file: &fs::File) -> io::Result<()> {
+        self.faulted_sync(class.sync_point(), file, false)
+    }
+
+    fn sync_all(&self, class: IoClass, file: &fs::File) -> io::Result<()> {
+        self.faulted_sync(class.sync_point(), file, true)
+    }
+}
+
+/// Applies post-crash damage to the file at `path`: [`FaultAction::TornTail`]
+/// truncates `bytes` off the end (clamped to the file length);
+/// [`FaultAction::BitFlip`] flips one bit `offset` bytes from the end. Other
+/// actions are no-ops. Used by crash simulators between a simulated kill and
+/// the following recovery.
+pub fn apply_crash_damage(path: &Path, action: FaultAction) -> io::Result<()> {
+    match action {
+        FaultAction::TornTail { bytes } => {
+            let len = fs::metadata(path)?.len();
+            let keep = len.saturating_sub(bytes as u64);
+            let file = fs::OpenOptions::new().write(true).open(path)?;
+            file.set_len(keep)?;
+            file.sync_all()?;
+        }
+        FaultAction::BitFlip { offset } => {
+            let mut bytes = fs::read(path)?;
+            if bytes.is_empty() {
+                return Ok(());
+            }
+            let i = bytes.len().saturating_sub(1 + offset.min(bytes.len() - 1));
+            bytes[i] ^= 0x01;
+            fs::write(path, &bytes)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksp_fault::Schedule;
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("ksp-io-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn faulty_io_short_write_persists_prefix() {
+        let path = temp_file("short");
+        let plan = FaultPlan::new(1);
+        plan.arm(FaultPoint::WalWrite, Schedule::Nth(1), FaultAction::ShortWrite { keep: 3 });
+        let io = FaultyIo::new(plan.clone());
+        let mut file = fs::File::create(&path).unwrap();
+        let err = io.write_all(IoClass::WalRecord, &mut file, b"abcdef").unwrap_err();
+        assert!(err.to_string().contains("short_write"), "{err}");
+        assert_eq!(fs::read(&path).unwrap(), b"abc");
+        // The next write goes through untouched.
+        io.write_all(IoClass::WalRecord, &mut file, b"xyz").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"abcxyz");
+        assert_eq!(plan.injected_total(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_damage_torn_tail_and_bit_flip() {
+        let path = temp_file("damage");
+        fs::write(&path, b"0123456789").unwrap();
+        apply_crash_damage(&path, FaultAction::TornTail { bytes: 4 }).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"012345");
+        apply_crash_damage(&path, FaultAction::BitFlip { offset: 0 }).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"012344"); // '5' ^ 0x01 == '4'
+        let _ = fs::remove_file(&path);
+    }
+}

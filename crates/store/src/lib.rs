@@ -75,11 +75,13 @@ pub mod codec;
 pub mod error;
 pub mod graph_codec;
 pub mod index_codec;
+pub mod io;
 pub mod store;
 pub mod wal;
 
 pub use checkpoint::{Checkpoint, EncodedCheckpoint, ImageKind, PartialCheckpoint};
 pub use codec::{crc32, Reader, StoreCodec, Writer};
 pub use error::{CodecError, StoreError};
+pub use io::{apply_crash_damage, default_io, FaultyIo, IoClass, RealIo, StorageIo};
 pub use store::{Recovered, RecoveryReport, SnapshotManifest, Store, StoreConfig, VerifyReport};
 pub use wal::{AppendTimings, DeltaLog, LogRecord, SyncPolicy};

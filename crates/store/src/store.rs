@@ -21,14 +21,16 @@ use crate::checkpoint::{
     sweep_stale_tmp_files, write_checkpoint, EncodedCheckpoint, ImageKind, StagedCheckpoint,
 };
 use crate::error::StoreError;
+use crate::io::{default_io, StorageIo};
 use crate::wal::{
-    list_segments, remove_headerless_tail_segment, scan_segment, AppendTimings, DeltaLog,
-    SyncPolicy,
+    list_segments, remove_headerless_tail_segment, remove_zero_length_segments, scan_segment,
+    AppendTimings, DeltaLog, SyncPolicy,
 };
 use ksp_core::dtlp::DtlpIndex;
 use ksp_graph::{DynamicGraph, UpdateBatch};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Tunables of a [`Store`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +134,9 @@ pub struct RecoveryReport {
     /// Corrupt checkpoint files that were skipped while searching for a valid
     /// one (newest first).
     pub corrupt_checkpoints_skipped: usize,
+    /// Zero-length segment files removed (a crash between a segment file's
+    /// creation and its header write leaves one; it can hold no records).
+    pub empty_segments_skipped: u64,
     /// Wall time recovery took, lock acquisition to ready-to-append.
     pub duration: std::time::Duration,
 }
@@ -142,7 +147,8 @@ impl RecoveryReport {
     /// streams (e.g. the observability flight recorder) consume. The step
     /// codes are stable: 0 checkpoint loaded (value = epoch), 1 partial
     /// images applied, 2 batches replayed, 3 torn bytes dropped, 4 corrupt
-    /// checkpoints skipped.
+    /// checkpoints skipped, 6 empty segment files skipped (code 5 is
+    /// reserved by the serving layer for its recovery-completed marker).
     pub fn steps(&self) -> Vec<(&'static str, u64, u64)> {
         vec![
             ("checkpoint_loaded", 0, self.checkpoint_epoch),
@@ -150,6 +156,7 @@ impl RecoveryReport {
             ("batches_replayed", 2, self.batches_replayed as u64),
             ("torn_bytes_dropped", 3, self.torn_bytes_dropped),
             ("corrupt_checkpoints_skipped", 4, self.corrupt_checkpoints_skipped as u64),
+            ("empty_segments_skipped", 6, self.empty_segments_skipped),
         ]
     }
 }
@@ -332,6 +339,9 @@ pub struct Store {
     /// Length of the current partial chain (images since the last full
     /// checkpoint); drives the rebase policy.
     partials_since_full: u32,
+    /// The I/O backend content writes/fsyncs go through (real files by
+    /// default; a fault injector under test).
+    io: Arc<dyn StorageIo>,
     /// Held for the store's lifetime; released (deleted) on drop.
     _lock: DirLock,
 }
@@ -350,6 +360,18 @@ impl Store {
         graph: &DynamicGraph,
         index: &DtlpIndex,
     ) -> Result<Store, StoreError> {
+        Self::create_with_io(dir, config, epoch, graph, index, default_io())
+    }
+
+    /// [`Store::create`] with an explicit I/O backend (fault injection).
+    pub fn create_with_io(
+        dir: &Path,
+        config: StoreConfig,
+        epoch: u64,
+        graph: &DynamicGraph,
+        index: &DtlpIndex,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Store, StoreError> {
         fs::create_dir_all(dir)
             .map_err(|e| StoreError::io(format!("creating {}", dir.display()), e))?;
         let lock = DirLock::acquire(dir)?;
@@ -358,7 +380,13 @@ impl Store {
         }
         sweep_stale_tmp_files(dir)?;
         write_checkpoint(dir, &encode_checkpoint(epoch, graph, index))?;
-        let log = DeltaLog::create(dir, epoch + 1, config.sync, config.segment_max_records)?;
+        let log = DeltaLog::create_with_io(
+            dir,
+            epoch + 1,
+            config.sync,
+            config.segment_max_records,
+            Arc::clone(&io),
+        )?;
         Ok(Store {
             dir: dir.to_path_buf(),
             config,
@@ -366,6 +394,7 @@ impl Store {
             last_checkpoint_epoch: epoch,
             last_image_epoch: epoch,
             partials_since_full: 0,
+            io,
             _lock: lock,
         })
     }
@@ -384,14 +413,26 @@ impl Store {
     /// checkpoint, replays every logged batch after it (truncating a torn
     /// tail), and returns the store ready to append the next epoch.
     pub fn recover(dir: &Path, config: StoreConfig) -> Result<(Store, Recovered), StoreError> {
+        Self::recover_with_io(dir, config, default_io())
+    }
+
+    /// [`Store::recover`] with an explicit I/O backend (fault injection).
+    pub fn recover_with_io(
+        dir: &Path,
+        config: StoreConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<(Store, Recovered), StoreError> {
         // Exclusive ownership first: a second live opener must fail here,
         // before any repair below can disturb the owner's in-flight state.
         let recovery_started = std::time::Instant::now();
         let lock = DirLock::acquire(dir)?;
-        // Clean up two crash windows before looking at anything else: staged
-        // checkpoint temp files and a rotation that died before its segment
-        // header became durable (such a remnant can hold no records).
+        // Clean up three crash windows before looking at anything else:
+        // staged checkpoint temp files, a segment file created but never
+        // given a header (zero length — it can hold no records, but scanned
+        // it would poison the chain walk), and a rotation that died before
+        // its segment header became durable.
         sweep_stale_tmp_files(dir)?;
+        let empty_segments_skipped = remove_zero_length_segments(dir)?;
         let headerless_bytes = remove_headerless_tail_segment(dir)?;
         let mut checkpoints = list_checkpoints(dir)?;
         if checkpoints.is_empty() {
@@ -489,11 +530,21 @@ impl Store {
         let (log, records, torn_bytes) = if list_segments(dir)?.is_empty() {
             // A store that crashed between its first checkpoint and the log
             // creation; start a fresh log after the newest applied image.
-            let log =
-                DeltaLog::create(dir, chain_epoch + 1, config.sync, config.segment_max_records)?;
+            let log = DeltaLog::create_with_io(
+                dir,
+                chain_epoch + 1,
+                config.sync,
+                config.segment_max_records,
+                Arc::clone(&io),
+            )?;
             (log, Vec::new(), 0)
         } else {
-            DeltaLog::open_dir(dir, config.sync, config.segment_max_records)?
+            DeltaLog::open_dir_with_io(
+                dir,
+                config.sync,
+                config.segment_max_records,
+                Arc::clone(&io),
+            )?
         };
 
         let mut batches_replayed = 0;
@@ -548,6 +599,7 @@ impl Store {
             batches_replayed,
             torn_bytes_dropped: torn_bytes + headerless_bytes,
             corrupt_checkpoints_skipped: corrupt_skipped,
+            empty_segments_skipped,
             duration: recovery_started.elapsed(),
         };
         let store = Store {
@@ -557,6 +609,7 @@ impl Store {
             last_checkpoint_epoch: checkpoint_epoch,
             last_image_epoch: chain_epoch,
             partials_since_full: partial_images_applied as u32,
+            io,
             _lock: lock,
         };
         Ok((store, Recovered { graph, index, epoch, replayed_dirty, report }))
@@ -613,6 +666,21 @@ impl Store {
         batch: &UpdateBatch,
     ) -> Result<AppendTimings, StoreError> {
         self.log.append(epoch, batch)
+    }
+
+    /// Probes whether the delta log can accept appends again after a
+    /// failure: re-attempts the rewind of an impaired segment and exercises
+    /// an fsync on the active segment. The degraded-mode recovery hook — a
+    /// serving layer that flipped read-only on a failed [`Store::log_batch`]
+    /// calls this on a backoff schedule and resumes writes once it succeeds.
+    pub fn probe_log(&mut self) -> Result<(), StoreError> {
+        self.log.probe()
+    }
+
+    /// The I/O backend this store was opened with, for sharing with
+    /// out-of-lock staging ([`Store::stage_checkpoint_with_io`]).
+    pub fn io_handle(&self) -> Arc<dyn StorageIo> {
+        Arc::clone(&self.io)
     }
 
     /// The oldest epoch the delta log can still replay — the lower edge of
@@ -738,6 +806,17 @@ impl Store {
         encoded: &EncodedCheckpoint,
     ) -> Result<StagedCheckpoint, StoreError> {
         stage_checkpoint(dir, encoded)
+    }
+
+    /// [`Store::stage_checkpoint`] with an explicit I/O backend — pair with
+    /// [`Store::io_handle`] so a background checkpointer stages through the
+    /// same (possibly fault-injecting) backend the store was opened with.
+    pub fn stage_checkpoint_with_io(
+        dir: &Path,
+        encoded: &EncodedCheckpoint,
+        io: &Arc<dyn StorageIo>,
+    ) -> Result<StagedCheckpoint, StoreError> {
+        crate::checkpoint::stage_checkpoint_with_io(dir, encoded, io)
     }
 
     /// Commits a staged image: renames it into place, rotates the log and —
@@ -1006,6 +1085,49 @@ mod tests {
             EdgeId(seed % num_edges),
             Weight::new(1.0 + seed as f64 * 0.25),
         )])
+    }
+
+    #[test]
+    fn recover_skips_zero_length_segment_files() {
+        let dir = temp_dir("zerolen");
+        let (mut graph, mut index) = pair();
+        let m = graph.num_edges() as u32;
+        // One record per segment so several segment files exist.
+        let config = StoreConfig {
+            checkpoint_interval: 0,
+            segment_max_records: 1,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::create(&dir, config, 0, &graph, &index).unwrap();
+        for seed in 1..=3u32 {
+            let b = batch(seed, m);
+            let epoch = graph.apply_batch(&b).unwrap();
+            index.apply_batch(&b).unwrap();
+            store.log_batch(epoch, &b).unwrap();
+        }
+        drop(store);
+        // Rotation-per-record leaves segments starting at 1, 2, 3 and an
+        // empty active segment starting at 4. Simulate a crash between
+        // segment-file creation and the header write twice over: truncate
+        // segment 4 to zero length *and* add a zero-length segment 5, so one
+        // empty file sits mid-list and one is the tail. Before the fix, the
+        // mid-list one made the chain walk fail as corrupt.
+        let seg4 = dir.join(crate::wal::segment_file_name(4));
+        fs::OpenOptions::new().write(true).open(&seg4).unwrap().set_len(0).unwrap();
+        fs::write(dir.join(crate::wal::segment_file_name(5)), b"").unwrap();
+        let (store, recovered) = Store::recover(&dir, config).unwrap();
+        assert_eq!(recovered.epoch, 3, "every logged epoch survives");
+        assert_eq!(recovered.report.empty_segments_skipped, 2);
+        assert!(
+            recovered.report.steps().iter().any(|&(name, code, value)| {
+                name == "empty_segments_skipped" && code == 6 && value == 2
+            }),
+            "the skip is a logged recovery step: {:?}",
+            recovered.report.steps()
+        );
+        assert!(!seg4.exists());
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

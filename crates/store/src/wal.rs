@@ -33,10 +33,11 @@
 
 use crate::codec::{crc32, Reader, StoreCodec, Writer};
 use crate::error::StoreError;
+use crate::io::{default_io, IoClass, StorageIo};
 use ksp_graph::UpdateBatch;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic bytes identifying a log segment.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"KSPWAL01";
@@ -249,6 +250,9 @@ pub struct DeltaLog {
     /// Set when a failed append could not be rewound: the segment may hold
     /// garbage at its tail, so further appends are refused (fail closed).
     impaired: Option<String>,
+    /// The I/O backend every content write/fsync goes through (real files by
+    /// default; a fault injector under test).
+    io: Arc<dyn StorageIo>,
 }
 
 impl DeltaLog {
@@ -260,6 +264,17 @@ impl DeltaLog {
         sync: SyncPolicy,
         max_records_per_segment: u64,
     ) -> Result<Self, StoreError> {
+        Self::create_with_io(dir, next_epoch, sync, max_records_per_segment, default_io())
+    }
+
+    /// [`DeltaLog::create`] with an explicit I/O backend (fault injection).
+    pub fn create_with_io(
+        dir: &Path,
+        next_epoch: u64,
+        sync: SyncPolicy,
+        max_records_per_segment: u64,
+        io: Arc<dyn StorageIo>,
+    ) -> Result<Self, StoreError> {
         if !list_segments(dir)?.is_empty() {
             return Err(StoreError::corrupt(
                 dir,
@@ -269,13 +284,14 @@ impl DeltaLog {
         let mut log = DeltaLog {
             dir: dir.to_path_buf(),
             segments: Vec::new(),
-            active: new_segment_file(dir, next_epoch)?,
+            active: new_segment_file(dir, next_epoch, &io)?,
             records_in_active: 0,
             active_len: SEGMENT_HEADER_LEN,
             next_epoch,
             sync,
             max_records_per_segment: max_records_per_segment.max(1),
             impaired: None,
+            io,
         };
         log.segments.push((next_epoch, dir.join(segment_file_name(next_epoch))));
         Ok(log)
@@ -288,6 +304,16 @@ impl DeltaLog {
         dir: &Path,
         sync: SyncPolicy,
         max_records_per_segment: u64,
+    ) -> Result<(Self, Vec<LogRecord>, u64), StoreError> {
+        Self::open_dir_with_io(dir, sync, max_records_per_segment, default_io())
+    }
+
+    /// [`DeltaLog::open_dir`] with an explicit I/O backend (fault injection).
+    pub fn open_dir_with_io(
+        dir: &Path,
+        sync: SyncPolicy,
+        max_records_per_segment: u64,
+        io: Arc<dyn StorageIo>,
     ) -> Result<(Self, Vec<LogRecord>, u64), StoreError> {
         let segments = list_segments(dir)?;
         if segments.is_empty() {
@@ -364,6 +390,7 @@ impl DeltaLog {
             sync,
             max_records_per_segment: max_records_per_segment.max(1),
             impaired: None,
+            io,
         };
         Ok((log, all_records, torn_bytes_total))
     }
@@ -486,17 +513,19 @@ impl DeltaLog {
 
         let write_started = std::time::Instant::now();
         let mut timings = AppendTimings::default();
-        let write_result = self.active.write_all(&record).and_then(|()| {
-            timings.write = write_started.elapsed();
-            if self.sync == SyncPolicy::Always {
-                let sync_started = std::time::Instant::now();
-                let synced = self.active.sync_data();
-                timings.fsync = sync_started.elapsed();
-                synced
-            } else {
-                Ok(())
-            }
-        });
+        let io = Arc::clone(&self.io);
+        let write_result =
+            io.write_all(IoClass::WalRecord, &mut self.active, &record).and_then(|()| {
+                timings.write = write_started.elapsed();
+                if self.sync == SyncPolicy::Always {
+                    let sync_started = std::time::Instant::now();
+                    let synced = io.sync_data(IoClass::WalRecord, &self.active);
+                    timings.fsync = sync_started.elapsed();
+                    synced
+                } else {
+                    Ok(())
+                }
+            });
         if let Err(e) = write_result {
             // Drop whatever part of the record reached the file; the segment
             // ends at its previous complete record again (writes are in
@@ -532,8 +561,10 @@ impl DeltaLog {
         if self.records_in_active == 0 {
             return Ok(());
         }
-        self.active.sync_all().map_err(|e| StoreError::io("fsyncing rotated segment", e))?;
-        self.active = new_segment_file(&self.dir, self.next_epoch)?;
+        self.io
+            .sync_all(IoClass::WalRecord, &self.active)
+            .map_err(|e| StoreError::io("fsyncing rotated segment", e))?;
+        self.active = new_segment_file(&self.dir, self.next_epoch, &self.io)?;
         self.segments.push((self.next_epoch, self.dir.join(segment_file_name(self.next_epoch))));
         self.records_in_active = 0;
         self.active_len = SEGMENT_HEADER_LEN;
@@ -562,12 +593,65 @@ impl DeltaLog {
         }
         Ok(removed)
     }
+
+    /// Whether a failed append left the log refusing writes (fail closed).
+    pub fn is_impaired(&self) -> bool {
+        self.impaired.is_some()
+    }
+
+    /// Probes whether the log can accept appends again: re-attempts the
+    /// rewind of an impaired segment, then exercises an fsync on the active
+    /// segment through the I/O backend. Success clears the impaired state —
+    /// the degraded-mode recovery hook the serving layer's background probe
+    /// calls. The fsync goes through the (possibly fault-injecting) backend,
+    /// so a still-armed fault keeps the probe failing deterministically.
+    pub fn probe(&mut self) -> Result<(), StoreError> {
+        if self.impaired.is_some() {
+            self.active
+                .set_len(self.active_len)
+                .and_then(|()| self.active.sync_data())
+                .map_err(|e| StoreError::io("rewinding impaired segment", e))?;
+            self.impaired = None;
+        }
+        self.io
+            .sync_data(IoClass::WalRecord, &self.active)
+            .map_err(|e| StoreError::io("probing log segment", e))
+    }
+}
+
+/// Deletes zero-length segment files anywhere in `dir`. A crash between a
+/// segment file's creation and its header write leaves a zero-length file;
+/// such a file can hold no records (losing nothing by removal), but left in
+/// place it makes every later open fail on an unparseable segment. Record
+/// epoch contiguity is verified independently by [`DeltaLog::open_dir`], so
+/// removal in the middle of the list is safe too. Returns how many files
+/// were removed.
+pub fn remove_zero_length_segments(dir: &Path) -> Result<u64, StoreError> {
+    let mut removed = 0;
+    for (_, path) in list_segments(dir)? {
+        let len = fs::metadata(&path)
+            .map_err(|e| StoreError::io(format!("inspecting segment {}", path.display()), e))?
+            .len();
+        if len == 0 {
+            fs::remove_file(&path)
+                .map_err(|e| StoreError::io(format!("deleting empty {}", path.display()), e))?;
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        crate::checkpoint::sync_dir(dir)?;
+    }
+    Ok(removed)
 }
 
 /// Creates a new segment file with its header written and synced. Opened in
 /// append mode: every write lands at the current end of file, which is what
 /// lets a failed append rewind with `set_len` alone.
-fn new_segment_file(dir: &Path, start_epoch: u64) -> Result<fs::File, StoreError> {
+fn new_segment_file(
+    dir: &Path,
+    start_epoch: u64,
+    io: &Arc<dyn StorageIo>,
+) -> Result<fs::File, StoreError> {
     let path = dir.join(segment_file_name(start_epoch));
     let mut file = fs::OpenOptions::new()
         .create_new(true)
@@ -577,11 +661,11 @@ fn new_segment_file(dir: &Path, start_epoch: u64) -> Result<fs::File, StoreError
     let mut header = Writer::with_capacity(SEGMENT_HEADER_LEN as usize);
     header.put_bytes(&SEGMENT_MAGIC);
     header.put_u32(SEGMENT_VERSION);
-    let written = file
-        .write_all(&header.into_bytes())
+    let written = io
+        .write_all(IoClass::WalHeader, &mut file, &header.into_bytes())
         .map_err(|e| StoreError::io(format!("writing header of {}", path.display()), e))
         .and_then(|()| {
-            file.sync_all()
+            io.sync_all(IoClass::WalHeader, &file)
                 .map_err(|e| StoreError::io(format!("fsyncing new segment {}", path.display()), e))
         })
         .and_then(|()| crate::checkpoint::sync_dir(dir));

@@ -21,6 +21,10 @@
 //!   histograms, the flight recorder and the Prometheus text renderer
 //!   ([`ksp_obs`]); `serve` threads it through the query pipeline and
 //!   `proto` carries its snapshots over the wire.
+//! * [`fault`] — seeded deterministic fault injection ([`ksp_fault`]): the
+//!   fault plans the chaos tests drive the storage backend
+//!   ([`store::FaultyIo`](ksp_store::FaultyIo)) and network wrapper
+//!   ([`proto::FaultTransport`](ksp_proto::FaultTransport)) with.
 //! * [`proto`] — the typed request/response wire protocol (CRC-guarded,
 //!   versioned frames) and the pluggable [`Transport`](ksp_proto::Transport)
 //!   with its TCP implementation and [`KspClient`](ksp_proto::KspClient)
@@ -50,6 +54,7 @@ pub use ksp_algo as algo;
 pub use ksp_cands as cands;
 pub use ksp_cluster as cluster;
 pub use ksp_core as core;
+pub use ksp_fault as fault;
 pub use ksp_graph as graph;
 pub use ksp_obs as obs;
 pub use ksp_proto as proto;
